@@ -1,0 +1,97 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every benchmark module reproduces one table or figure from the paper's
+evaluation (§5) on a scaled configuration: 64 simulated processors (the
+paper's machine size) but shortened iteration counts so the whole suite
+runs in minutes.  The *shape* of each figure — which scheme wins, by
+roughly what factor — is asserted; absolute cycle counts are reported in
+EXPERIMENTS.md.
+
+Set ``REPRO_BENCH_PROCS`` to run the suite on a smaller machine.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.machine import AlewifeConfig, MachineStats, run_experiment
+from repro.stats.report import bar_chart, comparison_table
+
+BENCH_PROCS = int(os.environ.get("REPRO_BENCH_PROCS", "64"))
+
+#: scheme rows in the order the paper's figures list them
+SCHEMES = {
+    "Dir1NB": dict(protocol="limited", pointers=1),
+    "Dir2NB": dict(protocol="limited", pointers=2),
+    "Dir4NB": dict(protocol="limited", pointers=4),
+    "LimitLESS1-Ts50": dict(protocol="limitless", pointers=1, ts=50),
+    "LimitLESS2-Ts50": dict(protocol="limitless", pointers=2, ts=50),
+    "LimitLESS4-Ts25": dict(protocol="limitless", pointers=4, ts=25),
+    "LimitLESS4-Ts50": dict(protocol="limitless", pointers=4, ts=50),
+    "LimitLESS4-Ts100": dict(protocol="limitless", pointers=4, ts=100),
+    "LimitLESS4-Ts150": dict(protocol="limitless", pointers=4, ts=150),
+    "ApproxLL4-Ts50": dict(protocol="limitless_approx", pointers=4, ts=50),
+    "Full-Map": dict(protocol="fullmap"),
+    "Chained": dict(protocol="chained"),
+}
+
+
+def scheme_config(scheme: str, **overrides) -> AlewifeConfig:
+    params = dict(SCHEMES[scheme])
+    params.update(overrides)
+    params.setdefault("n_procs", BENCH_PROCS)
+    params.setdefault("max_cycles", 30_000_000)
+    return AlewifeConfig(**params)
+
+
+def run_scheme(scheme: str, workload, **overrides) -> MachineStats:
+    return run_experiment(scheme_config(scheme, **overrides), workload)
+
+
+def measure(benchmark, scheme: str, workload, **overrides) -> MachineStats:
+    """Run one scheme under pytest-benchmark (single round: the metric of
+    interest is simulated cycles, not wall-clock jitter)."""
+    stats = benchmark.pedantic(
+        run_scheme,
+        args=(scheme, workload),
+        kwargs=overrides,
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["cycles"] = stats.cycles
+    benchmark.extra_info["mcycles"] = round(stats.mcycles(), 4)
+    benchmark.extra_info["traps"] = stats.traps_taken
+    return stats
+
+
+def shape_check(benchmark, check) -> None:
+    """Run a figure-shape assertion under the benchmark fixture so it is
+    included in ``--benchmark-only`` runs (the figure is only meaningful
+    when its shape holds)."""
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+class FigureCollector:
+    """Accumulates (label, stats) rows and prints a paper-style figure."""
+
+    def __init__(self, title: str):
+        self.title = title
+        self.rows: list[tuple[str, MachineStats]] = []
+
+    def add(self, label: str, stats: MachineStats) -> None:
+        self.rows.append((label, stats))
+
+    def cycles(self, label: str) -> int:
+        for row_label, stats in self.rows:
+            if row_label == label:
+                return stats.cycles
+        raise KeyError(label)
+
+    def report(self) -> str:
+        chart = bar_chart(
+            self.title,
+            [(label, stats.mcycles()) for label, stats in self.rows],
+        )
+        table = comparison_table([stats for _, stats in self.rows])
+        return f"\n{chart}\n\n{table}\n"

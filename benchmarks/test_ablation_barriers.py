@@ -1,0 +1,92 @@
+"""Ablation: barrier structure (why Weather used software combining trees).
+
+The paper notes Weather "uses software combining trees to distribute its
+barrier synchronization variables" — without them, the barrier itself is
+a hot-spot: a central counter is a migratory object serialised across all
+N processors, and the central release flag has a worker-set of N.  We
+compare a central barrier against combining trees of arity 2 and 4 on an
+otherwise-trivial iteration loop, for full-map and LimitLESS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.machine import AlewifeConfig, run_experiment
+from repro.proc import ops
+from repro.sync.barrier import barrier_wait, build_central_barrier, build_combining_tree
+from repro.workloads.base import Program, Workload
+
+from common import BENCH_PROCS, FigureCollector, shape_check
+
+collector = FigureCollector("Ablation: central vs combining-tree barriers")
+
+
+@dataclass
+class _BarrierOnly(Workload):
+    """Processors think briefly and synchronize, repeatedly."""
+
+    style: str = "tree4"
+    rounds: int = 5
+    name: str = "barrier-only"
+
+    def build(self, machine) -> dict[int, list[Program]]:
+        n = machine.config.n_procs
+        participants = list(range(n))
+        if self.style == "central":
+            spec = build_central_barrier(machine.allocator, participants)
+        else:
+            arity = int(self.style.removeprefix("tree"))
+            spec = build_combining_tree(
+                machine.allocator, participants, arity=arity
+            )
+        poll = machine.config.spin_poll_interval
+
+        def program(p: int) -> Program:
+            for r in range(1, self.rounds + 1):
+                yield ops.think(40)
+                yield from barrier_wait(spec, p, r, poll_interval=poll)
+
+        return {p: [program(p)] for p in range(n)}
+
+
+STYLES = ["central", "tree2", "tree4"]
+PROTOCOLS = {"FullMap": dict(protocol="fullmap"),
+             "LimitLESS4": dict(protocol="limitless", pointers=4, ts=50)}
+
+
+@pytest.mark.parametrize("style", STYLES)
+@pytest.mark.parametrize("proto", sorted(PROTOCOLS))
+def test_barrier_case(benchmark, proto, style):
+    config = AlewifeConfig(n_procs=BENCH_PROCS, **PROTOCOLS[proto])
+    stats = benchmark.pedantic(
+        run_experiment,
+        args=(config, _BarrierOnly(style=style)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["cycles"] = stats.cycles
+    collector.add(f"{proto}/{style}", stats)
+    assert stats.cycles > 0
+
+
+def test_combining_trees_beat_central_barriers(benchmark):
+    def check():
+        if len(collector.rows) < len(STYLES) * len(PROTOCOLS):
+            pytest.skip("runs did not all execute")
+        for proto in PROTOCOLS:
+            central = collector.cycles(f"{proto}/central")
+            tree4 = collector.cycles(f"{proto}/tree4")
+            assert tree4 < central, (
+                f"{proto}: combining tree should beat the central barrier "
+                f"({tree4} vs {central})"
+            )
+        # The central barrier's pain is the serialized fetch-and-add chain
+        # plus the machine-wide flag worker-set.
+        full_central = dict(collector.rows)["FullMap/central"]
+        assert full_central.worker_sets.max() >= BENCH_PROCS - 1
+        print(collector.report())
+
+    shape_check(benchmark, check)

@@ -1,0 +1,77 @@
+"""Ablation: context switching as latency tolerance (§2).
+
+Alewife's answer to unavoidable remote latency is SPARCLE's rapid context
+switch: "the Alewife processors rapidly schedule another process in place
+of the stalled process", at 11 cycles per switch.  We give each processor
+a fixed budget of remote read misses split across 1, 2, or 4 hardware
+contexts: execution time must fall as contexts are added, because the
+switches overlap the network round trips.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AlewifeConfig, run_experiment
+from repro.workloads import LatencyToleranceWorkload
+
+from common import BENCH_PROCS, FigureCollector, shape_check
+
+collector = FigureCollector("Ablation: hardware contexts vs remote latency")
+
+THREADS = [1, 2, 4]
+
+
+@pytest.mark.parametrize("threads", THREADS)
+def test_contexts_case(benchmark, threads):
+    config = AlewifeConfig(n_procs=BENCH_PROCS, protocol="fullmap")
+    stats = benchmark.pedantic(
+        run_experiment,
+        args=(config, LatencyToleranceWorkload(threads_per_proc=threads)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["cycles"] = stats.cycles
+    collector.add(f"{threads}-context", stats)
+    assert stats.cycles > 0
+
+
+def test_multithreading_hides_latency(benchmark):
+    def check():
+        if len(collector.rows) < len(THREADS):
+            pytest.skip("runs did not all execute")
+        one = collector.cycles("1-context")
+        two = collector.cycles("2-context")
+        four = collector.cycles("4-context")
+        assert four < two < one
+        assert one / four > 1.4, (
+            f"four contexts should hide most of the latency "
+            f"({one} -> {four} cycles)"
+        )
+        # and the mechanism is real switching, not less work
+        four_stats = dict(collector.rows)["4-context"]
+        assert four_stats.counters.get("cpu.context_switches") > 0
+        print(collector.report())
+
+    shape_check(benchmark, check)
+
+
+def test_switch_cost_matters(benchmark):
+    """An instant context switch beats the 11-cycle SPARCLE switch, which
+    beats a sluggish 100-cycle one — ordering check on the cost model."""
+
+    def run_with(switch_cycles):
+        config = AlewifeConfig(
+            n_procs=BENCH_PROCS, protocol="fullmap", switch_cycles=switch_cycles
+        )
+        return run_experiment(
+            config, LatencyToleranceWorkload(threads_per_proc=4)
+        ).cycles
+
+    def check():
+        free = run_with(0)
+        sparcle = run_with(11)
+        slow = run_with(100)
+        assert free <= sparcle < slow
+
+    shape_check(benchmark, check)

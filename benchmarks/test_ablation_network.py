@@ -1,0 +1,76 @@
+"""Ablation: the network model behind the Weather results.
+
+§5.2 notes that the hot-spot effect "was not evident in previous
+evaluations of directory-based cache coherence, because the network model
+did not account for hot-spot behavior".  We rerun Figure 8's key comparison
+on an ideal (uncontended) network: the Dir4NB penalty must shrink
+substantially, confirming that contention — not just message counts — is
+what the paper's hot-spot is made of.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import WeatherWorkload
+
+from common import FigureCollector, measure, shape_check
+
+collector = FigureCollector("Ablation: contended mesh vs ideal network (Weather)")
+
+CASES = [
+    ("Dir4NB-mesh", "Dir4NB", {}),
+    ("FullMap-mesh", "Full-Map", {}),
+    ("Dir4NB-ideal", "Dir4NB", {"topology": "ideal"}),
+    ("FullMap-ideal", "Full-Map", {"topology": "ideal"}),
+]
+
+
+def workload():
+    return WeatherWorkload(iterations=5)
+
+
+@pytest.mark.parametrize("label,scheme,overrides", CASES, ids=[c[0] for c in CASES])
+def test_network_case(benchmark, label, scheme, overrides):
+    stats = measure(benchmark, scheme, workload(), **overrides)
+    collector.add(label, stats)
+    assert stats.cycles > 0
+
+
+def test_contention_is_part_of_the_hotspot_story(benchmark):
+    def check():
+        if len(collector.rows) < len(CASES):
+            pytest.skip("runs did not all execute")
+        mesh_penalty = collector.cycles("Dir4NB-mesh") / collector.cycles(
+            "FullMap-mesh"
+        )
+        ideal_penalty = collector.cycles("Dir4NB-ideal") / collector.cycles(
+            "FullMap-ideal"
+        )
+        # The limited directory still pays for its evictions without
+        # contention, but the penalty must be visibly smaller.
+        assert ideal_penalty < mesh_penalty
+        assert mesh_penalty > 1.5
+        print(collector.report())
+        print(
+            f"Dir4NB/Full-Map penalty: {mesh_penalty:.2f}x on the mesh, "
+            f"{ideal_penalty:.2f}x on an ideal network"
+        )
+
+    shape_check(benchmark, check)
+
+
+def test_omega_network_also_exhibits_hotspot(benchmark):
+    """ASIM modelled mesh and Omega interconnects; the effect is topology-
+    independent as long as the fabric models contention."""
+    stats = measure(benchmark, "Dir4NB", workload(), topology="omega")
+    full = measure_cache.get("omega_full")
+    if full is None:
+        from common import run_scheme
+
+        full = run_scheme("Full-Map", workload(), topology="omega")
+        measure_cache["omega_full"] = full
+    assert stats.cycles > 1.3 * full.cycles
+
+
+measure_cache: dict = {}

@@ -1,0 +1,81 @@
+"""Ablation: what to do when the pointer array overflows.
+
+The design space behind the paper: on a read that overflows the hardware
+pointers a directory can (a) evict a pointer — Dir_iNB, §5's limited
+directory; (b) stop recording and broadcast invalidations on the next
+write — Dir_iB from the cited taxonomy [8]; or (c) extend the directory
+in software — LimitLESS.  Weather's write-once hot variable is the
+pathological case for (a); a frequently-rewritten wide variable is the
+pathological case for (b); LimitLESS pays a bounded, one-time software
+cost in both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AlewifeConfig, run_experiment
+from repro.workloads import HotSpotWorkload
+
+from common import BENCH_PROCS, FigureCollector, shape_check
+
+collector = FigureCollector("Ablation: overflow policy (hot-spot microbenchmark)")
+
+POLICIES = {
+    "Dir4NB": dict(protocol="limited", pointers=4),
+    "Dir4B": dict(protocol="limited_broadcast", pointers=4),
+    "LimitLESS4": dict(protocol="limitless", pointers=4, ts=50),
+    "Full-Map": dict(protocol="fullmap"),
+}
+
+#: write_period=0 -> the Weather pattern (written once, read forever);
+#: write_period=1 -> rewritten every round (broadcast's bad case)
+VARIANTS = {"write-once": 0, "rewritten": 1}
+
+
+def workload(write_period):
+    # Arity-2 barriers keep the barrier flags inside four pointers, so the
+    # hot variable is the only block that overflows — isolating the policy
+    # under test.  (With wider trees the broadcast bit also arms on barrier
+    # flags and every release becomes a machine-wide invalidation — real
+    # Dir_iB behaviour, but it muddies the comparison.)
+    return HotSpotWorkload(rounds=5, write_period=write_period, barrier_arity=2)
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_overflow_policy_case(benchmark, policy, variant):
+    config = AlewifeConfig(n_procs=BENCH_PROCS, **POLICIES[policy])
+    stats = benchmark.pedantic(
+        run_experiment,
+        args=(config, workload(VARIANTS[variant])),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["cycles"] = stats.cycles
+    collector.add(f"{policy}/{variant}", stats)
+    assert stats.cycles > 0
+
+
+def test_overflow_policy_shapes(benchmark):
+    def check():
+        if len(collector.rows) < len(POLICIES) * len(VARIANTS):
+            pytest.skip("runs did not all execute")
+        # (a) write-once data: eviction thrashes, broadcast and LimitLESS
+        #     both approach full-map (no writes -> broadcast never fires).
+        full = collector.cycles("Full-Map/write-once")
+        assert collector.cycles("Dir4NB/write-once") > 1.25 * full
+        assert collector.cycles("Dir4B/write-once") < 1.05 * full
+        assert collector.cycles("LimitLESS4/write-once") < 1.2 * full
+        # (b) rewritten data: broadcast pays machine-wide invalidations;
+        #     it must lose its write-once advantage over eviction.
+        ratio_once = collector.cycles("Dir4B/write-once") / collector.cycles(
+            "Dir4NB/write-once"
+        )
+        ratio_rewrite = collector.cycles("Dir4B/rewritten") / collector.cycles(
+            "Dir4NB/rewritten"
+        )
+        assert ratio_rewrite > ratio_once
+        print(collector.report())
+
+    shape_check(benchmark, check)

@@ -1,0 +1,43 @@
+"""Figure 7: Static Multigrid, 64 processors.
+
+Paper result: Dir4NB, LimitLESS4 (Ts = 50 and 100), and Full-Map "require
+approximately the same time to complete the computation phase" — for
+applications with small worker-sets, limited (and therefore LimitLESS)
+directories perform almost as well as full-map.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import MultigridWorkload
+
+from common import FigureCollector, measure, shape_check
+
+SCHEMES = ["Dir4NB", "LimitLESS4-Ts100", "LimitLESS4-Ts50", "Full-Map"]
+
+collector = FigureCollector("Figure 7: Static Multigrid, 64 Processors")
+
+
+def workload():
+    return MultigridWorkload(levels=(2, 2, 2), points_per_proc=48)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig07_scheme(benchmark, scheme):
+    stats = measure(benchmark, scheme, workload())
+    collector.add(scheme, stats)
+    assert stats.cycles > 0
+
+
+def test_fig07_shape_all_schemes_comparable(benchmark):
+    def check():
+        """The figure's claim: every bar has approximately the same length."""
+        if len(collector.rows) < len(SCHEMES):
+            pytest.skip("scheme runs did not all execute")
+        cycles = [stats.cycles for _, stats in collector.rows]
+        spread = max(cycles) / min(cycles)
+        assert spread < 1.35, f"multigrid schemes diverged by {spread:.2f}x"
+        print(collector.report())
+
+    shape_check(benchmark, check)

@@ -1,0 +1,66 @@
+"""Figure 8: Weather, 64 processors, limited and full-map directories.
+
+Paper result: with the unoptimized widely-read variable, limited
+directories thrash — "when the worker-set of a single location in memory
+is much larger than the size of a limited directory, the whole system may
+suffer from hot-spot access" — so Dir1NB, Dir2NB and Dir4NB all run far
+slower than Full-Map, with fewer pointers hurting more.  §5.2 also reports
+that when the variable IS optimized (flagged read-only), a limited
+directory performs "just as well" as full-map.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import WeatherWorkload
+
+from common import FigureCollector, measure, run_scheme, shape_check
+
+SCHEMES = ["Dir1NB", "Dir2NB", "Dir4NB", "Full-Map"]
+
+collector = FigureCollector(
+    "Figure 8: Weather, 64 Processors, limited and full-map directories"
+)
+
+
+def workload(**kw):
+    return WeatherWorkload(iterations=5, **kw)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig08_scheme(benchmark, scheme):
+    stats = measure(benchmark, scheme, workload())
+    collector.add(scheme, stats)
+    assert stats.cycles > 0
+
+
+def test_fig08_shape_limited_directories_thrash(benchmark):
+    def check():
+        if len(collector.rows) < len(SCHEMES):
+            pytest.skip("scheme runs did not all execute")
+        full = collector.cycles("Full-Map")
+        dir1, dir2, dir4 = (
+            collector.cycles("Dir1NB"),
+            collector.cycles("Dir2NB"),
+            collector.cycles("Dir4NB"),
+        )
+        # All limited schemes pay a hot-spot penalty over full-map ...
+        assert dir4 > 1.5 * full, "Dir4NB should thrash on the hot variable"
+        # ... and fewer pointers never helps.
+        assert dir1 >= dir2 >= dir4
+        print(collector.report())
+    shape_check(benchmark, check)
+
+
+def test_fig08_optimized_weather_restores_limited_directories(benchmark):
+    """§5.2: flag the variable read-only and Dir4NB ~ Full-Map."""
+    opt_dir4 = benchmark.pedantic(
+        run_scheme,
+        args=("Dir4NB", workload(optimized=True)),
+        rounds=1,
+        iterations=1,
+    )
+    opt_full = run_scheme("Full-Map", workload(optimized=True))
+    ratio = opt_dir4.cycles / opt_full.cycles
+    assert ratio < 1.15, f"optimized Dir4NB still {ratio:.2f}x of full-map"

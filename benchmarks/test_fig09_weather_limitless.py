@@ -1,0 +1,62 @@
+"""Figure 9: Weather, 64 processors, LimitLESS with Ts = 25..150.
+
+Paper result: "the LimitLESS protocol performs about as well as the
+full-map directory protocol, even in a situation where a limited directory
+protocol does not perform well", and its performance "is not strongly
+dependent on the latency of the full-map directory emulation".  The paper
+also observed LimitLESS with Ts = 25 slightly *beating* full-map — a
+back-off anomaly caused by trap-slowed processors relieving network
+contention.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import WeatherWorkload
+
+from common import FigureCollector, measure, shape_check
+
+SCHEMES = [
+    "Dir4NB",
+    "LimitLESS4-Ts150",
+    "LimitLESS4-Ts100",
+    "LimitLESS4-Ts50",
+    "LimitLESS4-Ts25",
+    "Full-Map",
+]
+
+collector = FigureCollector(
+    "Figure 9: Weather, 64 Processors, LimitLESS 25-150 cycle emulation"
+)
+
+
+def workload():
+    return WeatherWorkload(iterations=5)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig09_scheme(benchmark, scheme):
+    stats = measure(benchmark, scheme, workload())
+    collector.add(scheme, stats)
+    assert stats.cycles > 0
+
+
+def test_fig09_shape_limitless_tracks_fullmap(benchmark):
+    def check():
+        if len(collector.rows) < len(SCHEMES):
+            pytest.skip("scheme runs did not all execute")
+        full = collector.cycles("Full-Map")
+        dir4 = collector.cycles("Dir4NB")
+        ll = {ts: collector.cycles(f"LimitLESS4-Ts{ts}") for ts in (25, 50, 100, 150)}
+        # Every LimitLESS point beats the limited directory ...
+        for ts, cycles in ll.items():
+            assert cycles < dir4, f"LimitLESS Ts={ts} should beat Dir4NB"
+        # ... the moderate-Ts points are close to full-map ...
+        assert ll[25] < 1.25 * full
+        assert ll[50] < 1.40 * full
+        # ... and the cost is monotone (weakly) in the emulation latency.
+        assert ll[25] <= ll[50] <= ll[100] <= ll[150]
+        print(collector.report())
+
+    shape_check(benchmark, check)

@@ -1,0 +1,79 @@
+"""Figure 10: Weather, 64 processors, LimitLESS with 1, 2 and 4 pointers.
+
+Paper result: "the performance of the LimitLESS protocol degrades
+gracefully as the number of hardware pointers is reduced.  The one-pointer
+LimitLESS protocol is especially bad, because some of Weather's variables
+have a worker-set that consists of exactly two processors."  Our Weather
+reconstruction gives each column's boundary value exactly two remote
+readers for this reason.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import WeatherWorkload
+
+from common import FigureCollector, measure, shape_check
+
+SCHEMES = [
+    "Dir4NB",
+    "LimitLESS1-Ts50",
+    "LimitLESS2-Ts50",
+    "LimitLESS4-Ts50",
+    "Full-Map",
+]
+
+collector = FigureCollector(
+    "Figure 10: Weather, 64 Processors, LimitLESS with 1, 2, 4 pointers"
+)
+
+
+def workload():
+    return WeatherWorkload(iterations=5)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig10_scheme(benchmark, scheme):
+    stats = measure(benchmark, scheme, workload())
+    collector.add(scheme, stats)
+    assert stats.cycles > 0
+
+
+def test_fig10_shape_graceful_degradation(benchmark):
+    def check():
+        if len(collector.rows) < len(SCHEMES):
+            pytest.skip("scheme runs did not all execute")
+        full = collector.cycles("Full-Map")
+        ll1 = collector.cycles("LimitLESS1-Ts50")
+        ll2 = collector.cycles("LimitLESS2-Ts50")
+        ll4 = collector.cycles("LimitLESS4-Ts50")
+        dir4 = collector.cycles("Dir4NB")
+        # Graceful, monotone degradation as pointers shrink.
+        assert full <= ll4 <= ll2 <= ll1
+        # LimitLESS1 is especially bad: the worker-set-2 boundary variables
+        # overflow its single pointer every sweep.
+        assert ll1 > 1.15 * ll2
+        # But even one pointer still beats a thrashing four-pointer Dir_iNB.
+        assert ll1 < dir4
+        print(collector.report())
+    shape_check(benchmark, check)
+
+
+def test_fig10_trap_counts_explain_degradation(benchmark):
+    def check():
+        """The mechanism behind the figure: trap counts rise as p falls."""
+        if len(collector.rows) < len(SCHEMES):
+            pytest.skip("scheme runs did not all execute")
+        traps = {
+            label: stats.traps_taken
+            for label, stats in collector.rows
+            if label.startswith("LimitLESS")
+        }
+        assert (
+            traps["LimitLESS1-Ts50"]
+            > traps["LimitLESS2-Ts50"]
+            > traps["LimitLESS4-Ts50"]
+        )
+
+    shape_check(benchmark, check)

@@ -1,0 +1,66 @@
+"""Machine-size scaling (§3.1's scalability argument).
+
+"LimitLESS directories are scalable, because the memory overhead grows as
+O(N), and the performance approaches that of a full-map directory as
+system size increases."  The flip side: the limited directory's hot-spot
+penalty *grows* with machine size, because the widely-read variable's
+worker-set is the whole machine.
+
+We sweep N on the Weather workload: the Dir4NB/full-map ratio must grow
+with N while the LimitLESS4/full-map ratio stays bounded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AlewifeConfig, run_experiment
+from repro.workloads import WeatherWorkload
+
+from common import FigureCollector, shape_check
+
+SIZES = [16, 64, 144]
+SCHEMES = {
+    "Dir4NB": dict(protocol="limited", pointers=4),
+    "LimitLESS4": dict(protocol="limitless", pointers=4, ts=50),
+    "Full-Map": dict(protocol="fullmap"),
+}
+
+collector = FigureCollector("Scaling: Weather across machine sizes")
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_scaling_case(benchmark, scheme, n):
+    config = AlewifeConfig(n_procs=n, **SCHEMES[scheme])
+    stats = benchmark.pedantic(
+        run_experiment,
+        args=(config, WeatherWorkload(iterations=4)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["cycles"] = stats.cycles
+    collector.add(f"{scheme}@{n}", stats)
+    assert stats.cycles > 0
+
+
+def test_scaling_shape(benchmark):
+    def check():
+        if len(collector.rows) < len(SIZES) * len(SCHEMES):
+            pytest.skip("runs did not all execute")
+        limited_ratio = []
+        limitless_ratio = []
+        for n in SIZES:
+            full = collector.cycles(f"Full-Map@{n}")
+            limited_ratio.append(collector.cycles(f"Dir4NB@{n}") / full)
+            limitless_ratio.append(collector.cycles(f"LimitLESS4@{n}") / full)
+        # limited-directory thrashing worsens with machine size ...
+        assert limited_ratio == sorted(limited_ratio)
+        assert limited_ratio[-1] > 1.8
+        # ... while LimitLESS stays within a bounded envelope of full-map.
+        assert max(limitless_ratio) < 1.5
+        print(collector.report())
+        print("Dir4NB/Full-Map ratios:", [f"{r:.2f}" for r in limited_ratio])
+        print("LimitLESS4/Full-Map:   ", [f"{r:.2f}" for r in limitless_ratio])
+
+    shape_check(benchmark, check)

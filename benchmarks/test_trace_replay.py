@@ -1,0 +1,78 @@
+"""Post-mortem trace methodology (§5.1): record once, replay everywhere.
+
+The paper's Weather numbers come from a dynamic post-mortem trace scheduler
+feeding the memory-system simulator.  We record the Weather reference
+stream from one execution and replay the *identical* stream under each
+directory scheme — the controlled-comparison methodology — and check the
+Figure 8/9 ordering still holds with the workload variance removed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AlewifeConfig, AlewifeMachine
+from repro.workloads import TraceReplayWorkload, WeatherWorkload, record_trace
+
+from common import BENCH_PROCS, FigureCollector, shape_check
+
+collector = FigureCollector("Post-mortem replay: one Weather trace, every scheme")
+
+_cache: dict = {}
+
+
+def recorded_trace():
+    if "trace" not in _cache:
+        config = AlewifeConfig(n_procs=BENCH_PROCS, protocol="fullmap")
+        _cache["trace"], _ = record_trace(config, WeatherWorkload(iterations=4))
+    return _cache["trace"]
+
+
+SCHEMES = {
+    "Dir2NB": dict(protocol="limited", pointers=2),
+    "Dir4NB": dict(protocol="limited", pointers=4),
+    "LimitLESS4": dict(protocol="limitless", pointers=4, ts=50),
+    "Full-Map": dict(protocol="fullmap"),
+}
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_replay_scheme(benchmark, scheme):
+    trace = recorded_trace()
+
+    def run():
+        config = AlewifeConfig(n_procs=BENCH_PROCS, **SCHEMES[scheme])
+        return AlewifeMachine(config).run(TraceReplayWorkload(trace))
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cycles"] = stats.cycles
+    collector.add(scheme, stats)
+    assert stats.cycles > 0
+
+
+def test_replay_preserves_figure8_ordering(benchmark):
+    def check():
+        if len(collector.rows) < len(SCHEMES):
+            pytest.skip("runs did not all execute")
+        full = collector.cycles("Full-Map")
+        assert collector.cycles("Dir2NB") >= collector.cycles("Dir4NB") > 1.3 * full
+        assert collector.cycles("LimitLESS4") < collector.cycles("Dir4NB")
+        print(collector.report())
+
+    shape_check(benchmark, check)
+
+
+def test_replay_determinism(benchmark):
+    trace = recorded_trace()
+
+    def run_twice():
+        results = []
+        for _ in range(2):
+            config = AlewifeConfig(n_procs=BENCH_PROCS, protocol="fullmap")
+            results.append(
+                AlewifeMachine(config).run(TraceReplayWorkload(trace)).cycles
+            )
+        return results
+
+    first, second = benchmark.pedantic(run_twice, rounds=1, iterations=1)
+    assert first == second

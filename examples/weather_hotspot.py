@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The Weather hot-spot study: Figures 8, 9 and 10 in one script.
+
+Reproduces the paper's central experiment at full machine size (64
+processors): an innocuous variable — initialized by one processor, read by
+all — cripples limited directories, while LimitLESS rides it out in
+software.
+
+Run:  python examples/weather_hotspot.py  [n_procs]
+"""
+
+import sys
+
+from repro import AlewifeConfig, run_experiment
+from repro.stats.report import bar_chart
+from repro.workloads import WeatherWorkload
+
+PROCS = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+
+
+def run(protocol: str, label: str, **extras):
+    config = AlewifeConfig(n_procs=PROCS, protocol=protocol, **extras)
+    stats = run_experiment(config, WeatherWorkload(iterations=5))
+    print(f"  {label:24s} {stats.cycles:>10,} cycles   traps={stats.traps_taken}")
+    return label, stats.mcycles()
+
+
+def main() -> None:
+    print(f"Weather (unoptimized hot variable), {PROCS} processors\n")
+
+    print("Figure 8 — limited directories thrash:")
+    fig8 = [
+        run("limited", "Dir1NB", pointers=1),
+        run("limited", "Dir2NB", pointers=2),
+        run("limited", "Dir4NB", pointers=4),
+        run("fullmap", "Full-Map"),
+    ]
+    print("\n" + bar_chart("Figure 8", fig8) + "\n")
+
+    print("Figure 9 — LimitLESS tracks full-map across Ts:")
+    fig9 = [run("limited", "Dir4NB", pointers=4)]
+    for ts in (150, 100, 50, 25):
+        fig9.append(run("limitless", f"LimitLESS4 Ts={ts}", pointers=4, ts=ts))
+    fig9.append(run("fullmap", "Full-Map"))
+    print("\n" + bar_chart("Figure 9", fig9) + "\n")
+
+    print("Figure 10 — graceful degradation with fewer pointers:")
+    fig10 = [run("limited", "Dir4NB", pointers=4)]
+    for p in (1, 2, 4):
+        fig10.append(run("limitless", f"LimitLESS{p}", pointers=p, ts=50))
+    fig10.append(run("fullmap", "Full-Map"))
+    print("\n" + bar_chart("Figure 10", fig10))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""LimitLESS Directories: A Scalable Cache Coherence Scheme — reproduction.
+
+Public API:
+
+* :class:`~repro.machine.AlewifeConfig` / :class:`~repro.machine.AlewifeMachine`
+  — configure and build a simulated Alewife machine with any of the
+  directory protocols (``fullmap``, ``limited``, ``limitless``,
+  ``limitless_approx``, ``chained``, ``trap_always``).
+* :func:`~repro.machine.run_experiment` — one-shot config + workload run.
+* :mod:`repro.workloads` — Weather, Multigrid, and the microbenchmarks.
+* :mod:`repro.model` — the §3.1 analytical latency model and directory
+  memory-overhead model.
+* :mod:`repro.stats` — figure-style reporting helpers.
+
+Quickstart::
+
+    from repro import AlewifeConfig, run_experiment
+    from repro.workloads import WeatherWorkload
+
+    config = AlewifeConfig(n_procs=16, protocol="limitless", pointers=4, ts=50)
+    stats = run_experiment(config, WeatherWorkload(iterations=4))
+    print(stats.summary())
+"""
+
+from .coherence import protocol_names
+from .machine import AlewifeConfig, AlewifeMachine, MachineStats, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlewifeConfig",
+    "AlewifeMachine",
+    "MachineStats",
+    "protocol_names",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Per-node direct-mapped cache and cache-side protocol engine."""
+
+from .cache import CacheArray, CacheLine
+from .controller import CacheController, Mshr
+from .states import CacheState
+
+__all__ = ["CacheArray", "CacheController", "CacheLine", "CacheState", "Mshr"]

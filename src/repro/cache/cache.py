@@ -1,0 +1,80 @@
+"""Direct-mapped cache array (Alewife: 64 KB, 16-byte lines).
+
+The array stores block contents and their coherence state.  Indexing is the
+classic direct-mapped scheme: block number modulo the number of lines, so
+distinct blocks can conflict and evict each other — the Dir_iNB thrashing
+results depend on caches that really replace lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mem.address import AddressSpace
+from ..mem.memory import BlockData
+from .states import CacheState
+
+
+@dataclass
+class CacheLine:
+    """One resident block."""
+
+    block: int
+    state: CacheState
+    data: BlockData
+    written: bool = False
+
+    @property
+    def valid(self) -> bool:
+        return self.state is not CacheState.INVALID
+
+
+class CacheArray:
+    """Direct-mapped tag/data array."""
+
+    def __init__(self, space: AddressSpace, n_lines: int) -> None:
+        if n_lines < 1 or (n_lines & (n_lines - 1)):
+            raise ValueError("cache line count must be a power of two")
+        self.space = space
+        self.n_lines = n_lines
+        self._lines: dict[int, CacheLine] = {}
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.n_lines * self.space.block_bytes
+
+    def index_of(self, block: int) -> int:
+        return (block // self.space.block_bytes) % self.n_lines
+
+    def lookup(self, block: int) -> CacheLine | None:
+        """The resident line for ``block`` or None on tag mismatch/invalid."""
+        line = self._lines.get(self.index_of(block))
+        if line is not None and line.valid and line.block == block:
+            return line
+        return None
+
+    def resident(self, index: int) -> CacheLine | None:
+        line = self._lines.get(index)
+        return line if line is not None and line.valid else None
+
+    def install(
+        self, block: int, state: CacheState, data: BlockData
+    ) -> CacheLine | None:
+        """Install a fill; returns the evicted victim line, if any."""
+        index = self.index_of(block)
+        victim = self.resident(index)
+        if victim is not None and victim.block == block:
+            victim = None  # refilling the same block is not an eviction
+        self._lines[index] = CacheLine(block, state, data)
+        return victim
+
+    def invalidate(self, block: int) -> CacheLine | None:
+        """Drop the block if resident; returns the dropped line."""
+        line = self.lookup(block)
+        if line is not None:
+            line.state = CacheState.INVALID
+            return line
+        return None
+
+    def valid_lines(self) -> list[CacheLine]:
+        return [line for line in self._lines.values() if line.valid]

@@ -1,0 +1,314 @@
+"""Cache-side coherence controller.
+
+Services processor loads, stores, and atomic read-modify-writes against the
+cache array; on a miss (or a write to a read-only copy) it opens a
+transaction with the block's home directory (RREQ/WREQ), retries on BUSY
+with exponential backoff, answers invalidations (UPDATE with data when the
+copy is dirty-exclusive, ACKC otherwise — including for blocks it silently
+replaced), and writes back replaced read-write lines with REPM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..mem.address import AddressSpace
+from ..network.interface import NetworkInterface
+from ..network.packet import Packet, protocol_packet
+from ..sim.component import Component
+from ..sim.kernel import Simulator
+from ..stats.counters import Counters, Histogram
+from .cache import CacheArray, CacheLine
+from .states import CacheState
+
+Callback = Callable[[Optional[int]], None]
+
+#: access kinds the processor can issue
+KINDS = ("load", "store", "rmw")
+
+
+@dataclass
+class _Waiter:
+    kind: str
+    addr: int
+    payload: object  # store value or rmw function
+    callback: Callback
+    issued_at: int
+
+
+@dataclass
+class Mshr:
+    """An open miss transaction for one block."""
+
+    block: int
+    need_write: bool
+    opened_at: int
+    waiters: list[_Waiter] = field(default_factory=list)
+    retries: int = 0
+
+
+class CacheController(Component):
+    """One node's cache plus its protocol engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        space: AddressSpace,
+        array: CacheArray,
+        nic: NetworkInterface,
+        *,
+        hit_latency: int = 1,
+        retry_base: int = 12,
+        retry_cap: int = 400,
+        rng=None,
+        counters: Counters | None = None,
+    ) -> None:
+        super().__init__(sim, f"cache{node_id}")
+        self.node_id = node_id
+        self.space = space
+        self.array = array
+        self.nic = nic
+        self.hit_latency = hit_latency
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self._rng = rng
+        self.counters = counters if counters is not None else Counters()
+        self._mshrs: dict[int, Mshr] = {}
+        self.miss_latency_total = 0
+        self.miss_latency_count = 0
+        #: miss latencies binned to 8-cycle buckets (distribution reporting)
+        self.latency_hist = Histogram()
+        #: blocks using update-mode coherence (§6 extension): stores apply
+        #: to the local read-only copy and write through to the home, which
+        #: pushes the new data to the other sharers
+        self.update_blocks: set[int] = set()
+        nic.set_cache_handler(self.receive)
+
+    # ------------------------------------------------------------------
+    # Processor interface
+    # ------------------------------------------------------------------
+
+    def access(self, kind: str, addr: int, payload, callback: Callback) -> None:
+        """Issue one memory operation; ``callback(value)`` fires when done.
+
+        * ``load``: payload ignored; callback receives the word value.
+        * ``store``: payload is the value to write; callback receives None.
+        * ``rmw``: payload maps old word -> new word; callback receives the
+          old value (an atomic fetch-and-op on an exclusive copy).
+        """
+        if kind not in KINDS:
+            raise ValueError(f"unknown access kind {kind!r}")
+        block = self.space.block_of(addr)
+        line = self.array.lookup(block)
+        if block in self.update_blocks and kind == "rmw":
+            # Update-mode blocks never become exclusive, so an atomic
+            # would retry its read fill forever; forbid it loudly.
+            raise ValueError(
+                "atomic operations are not supported on update-mode blocks"
+            )
+        if block in self.update_blocks and kind == "store":
+            if line is not None:
+                self._write_through(line, addr, payload)
+                self.schedule(self.hit_latency, lambda: callback(None))
+                return
+            # No copy yet: fetch read-only first, then write through.
+            self.counters.bump("cache.misses.store")
+            self._enqueue_miss(kind, addr, payload, callback, block)
+            return
+        if line is not None and self._is_hit(kind, line):
+            self.counters.bump(f"cache.hits.{kind}")
+            # Commit the operation at tag-check time; only the processor's
+            # completion is delayed.  Applying later would open an atomicity
+            # window where an INV ships the line away *before* the write or
+            # read-modify-write lands, losing the update.
+            result = self._apply(kind, line, addr, payload)
+            self.schedule(self.hit_latency, lambda: callback(result))
+            return
+        self.counters.bump(f"cache.misses.{kind}")
+        if line is not None and kind in ("store", "rmw"):
+            self.counters.bump("cache.upgrades")
+        self._enqueue_miss(kind, addr, payload, callback, block)
+
+    @staticmethod
+    def _is_hit(kind: str, line: CacheLine) -> bool:
+        if kind == "load":
+            return line.state in (CacheState.READ_ONLY, CacheState.READ_WRITE)
+        return line.state is CacheState.READ_WRITE
+
+    def _apply(self, kind: str, line: CacheLine, addr: int, payload) -> int | None:
+        word = self.space.word_in_block(addr)
+        if kind == "load":
+            return line.data.words[word]
+        if kind == "store":
+            line.data.words[word] = payload
+            line.written = True
+            return None
+        old = line.data.words[word]
+        line.data.words[word] = payload(old)
+        line.written = True
+        return old
+
+    # ------------------------------------------------------------------
+    # Miss handling
+    # ------------------------------------------------------------------
+
+    def _enqueue_miss(
+        self, kind: str, addr: int, payload, callback: Callback, block: int
+    ) -> None:
+        waiter = _Waiter(kind, addr, payload, callback, self.now)
+        need_write = kind in ("store", "rmw") and block not in self.update_blocks
+        mshr = self._mshrs.get(block)
+        if mshr is not None:
+            mshr.waiters.append(waiter)
+            if need_write and not mshr.need_write:
+                # A writer joined a read transaction: it will re-issue as an
+                # upgrade after the read data arrives.
+                self.counters.bump("cache.read_write_merge")
+            return
+        mshr = Mshr(block, need_write, self.now, [waiter])
+        self._mshrs[block] = mshr
+        self._send_request(mshr)
+
+    def _send_request(self, mshr: Mshr) -> None:
+        home = self.space.home_of(mshr.block)
+        opcode = "WREQ" if mshr.need_write else "RREQ"
+        if home == self.node_id:
+            self.counters.bump("cache.local_requests")
+        else:
+            self.counters.bump("cache.remote_requests")
+        self.nic.send(protocol_packet(self.node_id, home, opcode, mshr.block))
+
+    # ------------------------------------------------------------------
+    # Network interface
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        op = packet.opcode
+        if op == "RDATA":
+            self._fill(packet, CacheState.READ_ONLY)
+        elif op == "WDATA":
+            self._fill(packet, CacheState.READ_WRITE)
+        elif op == "INV":
+            self._invalidate(packet)
+        elif op == "BUSY":
+            self._busy(packet)
+        elif op == "UPDATE_DATA":
+            self._absorb_update(packet)
+        else:  # pragma: no cover - opcode routing is exhaustive
+            raise RuntimeError(f"{self.name}: unexpected packet {packet}")
+
+    def _fill(self, packet: Packet, state: CacheState) -> None:
+        block = packet.address
+        mshr = self._mshrs.pop(block, None)
+        if mshr is None:
+            # A data reply for a transaction we no longer track would break
+            # the directory's view of our copy; fail loudly.
+            raise RuntimeError(f"{self.name}: fill without MSHR: {packet}")
+        victim = self.array.install(block, state, packet.data.copy())
+        if victim is not None:
+            self._evict(victim)
+        latency = self.now - mshr.opened_at
+        self.miss_latency_total += latency
+        self.miss_latency_count += 1
+        self.latency_hist.add((latency // 8) * 8)
+        self.counters.bump("cache.fills")
+        for waiter in mshr.waiters:
+            # Replay through the front door: hits complete, and a write
+            # that only got read permission re-opens an upgrade miss.
+            self.access(waiter.kind, waiter.addr, waiter.payload, waiter.callback)
+
+    def _evict(self, victim: CacheLine) -> None:
+        home = self.space.home_of(victim.block)
+        if victim.state is CacheState.READ_WRITE:
+            # Replace-modified: the only copy travels home with the data.
+            self.counters.bump("cache.evict_rw")
+            self.nic.send(
+                protocol_packet(
+                    self.node_id, home, "REPM", victim.block, data=victim.data.copy()
+                )
+            )
+        else:
+            # Clean read-only copies are dropped silently; the directory
+            # pointer goes stale and is resolved by a benign ACKC later.
+            self.counters.bump("cache.evict_ro")
+        victim.state = CacheState.INVALID
+
+    def _invalidate(self, packet: Packet) -> None:
+        block = packet.address
+        txn = packet.meta.get("txn")
+        line = self.array.lookup(block)
+        self.counters.bump("cache.inv_received")
+        if line is not None and line.state is CacheState.READ_WRITE:
+            # Dirty-exclusive copy: answer with the data (UPDATE).
+            self.nic.send(
+                protocol_packet(
+                    self.node_id,
+                    packet.src,
+                    "UPDATE",
+                    block,
+                    data=line.data.copy(),
+                    txn=txn,
+                )
+            )
+            line.state = CacheState.INVALID
+            return
+        if line is not None:
+            line.state = CacheState.INVALID
+        self.nic.send(
+            protocol_packet(self.node_id, packet.src, "ACKC", block, txn=txn)
+        )
+
+    def _busy(self, packet: Packet) -> None:
+        block = packet.address
+        mshr = self._mshrs.get(block)
+        if mshr is None:
+            self.counters.bump("cache.busy_stray")
+            return
+        mshr.retries += 1
+        self.counters.bump("cache.busy_retries")
+        delay = min(self.retry_cap, self.retry_base * (2 ** min(mshr.retries - 1, 5)))
+        if self._rng is not None:
+            delay += self._rng.randint("cache.retry", 0, self.retry_base)
+        self.schedule(delay, lambda: self._retry(mshr))
+
+    def _retry(self, mshr: Mshr) -> None:
+        if self._mshrs.get(mshr.block) is mshr:
+            self._send_request(mshr)
+
+    def _write_through(self, line: CacheLine, addr: int, value: int) -> None:
+        """Update-mode store: mutate the local copy and push it home."""
+        word = self.space.word_in_block(addr)
+        line.data.words[word] = value
+        home = self.space.home_of(line.block)
+        self.counters.bump("cache.write_throughs")
+        self.nic.send(
+            protocol_packet(
+                self.node_id, home, "UPDATE", line.block, data=line.data.copy()
+            )
+        )
+
+    def _absorb_update(self, packet: Packet) -> None:
+        """Update-mode coherence (§6 extension): replace our copy's data.
+
+        Pushes are fire-and-forget: update-mode objects are weakly ordered
+        (see :mod:`repro.extensions.update`), and acknowledging every push
+        would bury the home node's trap engine under ack traps.
+        """
+        line = self.array.lookup(packet.address)
+        if line is not None and line.state is CacheState.READ_ONLY:
+            line.data = packet.data.copy()
+            self.counters.bump("cache.updates_absorbed")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def idle(self) -> bool:
+        return not self._mshrs
+
+    def mean_miss_latency(self) -> float:
+        if not self.miss_latency_count:
+            return 0.0
+        return self.miss_latency_total / self.miss_latency_count

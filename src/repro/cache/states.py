@@ -1,0 +1,5 @@
+"""Cache-side block states (re-exported from the coherence package)."""
+
+from ..coherence.states import CacheState
+
+__all__ = ["CacheState"]

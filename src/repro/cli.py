@@ -1,0 +1,133 @@
+"""Command-line experiment runner.
+
+Examples::
+
+    python -m repro --protocol limitless --pointers 4 --ts 50 \
+        --workload weather --procs 64
+    python -m repro --workload multigrid --compare fullmap limited limitless
+    python -m repro --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .coherence.registry import protocol_names
+from .machine import AlewifeConfig, run_experiment
+from .stats.machine_report import machine_report
+from .stats.report import bar_chart, comparison_table
+from .workloads import (
+    ButterflyWorkload,
+    HotSpotWorkload,
+    LatencyToleranceWorkload,
+    MatmulWorkload,
+    MigratoryWorkload,
+    MultigridWorkload,
+    ProducerConsumerWorkload,
+    SyntheticSharingWorkload,
+    WeatherWorkload,
+    Workload,
+)
+
+WORKLOADS: dict[str, Callable[[argparse.Namespace], Workload]] = {
+    "weather": lambda a: WeatherWorkload(iterations=a.iterations),
+    "weather-optimized": lambda a: WeatherWorkload(
+        iterations=a.iterations, optimized=True
+    ),
+    "multigrid": lambda a: MultigridWorkload(),
+    "hotspot": lambda a: HotSpotWorkload(rounds=a.iterations),
+    "migratory": lambda a: MigratoryWorkload(rounds=max(1, a.iterations // 2)),
+    "producer-consumer": lambda a: ProducerConsumerWorkload(epochs=a.iterations),
+    "matmul": lambda a: MatmulWorkload(sweeps=max(1, a.iterations // 2)),
+    "synthetic": lambda a: SyntheticSharingWorkload(
+        worker_sets=[(2, 4), (a.procs // 2, 1)], rounds=a.iterations
+    ),
+    "butterfly": lambda a: ButterflyWorkload(sweeps=max(1, a.iterations // 2)),
+    "latency": lambda a: LatencyToleranceWorkload(
+        total_accesses_per_proc=12 * a.iterations
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LimitLESS directories reproduction: run one experiment.",
+    )
+    parser.add_argument("--list", action="store_true", help="list protocols and workloads")
+    parser.add_argument("--protocol", default="limitless", choices=protocol_names())
+    parser.add_argument(
+        "--compare",
+        nargs="+",
+        metavar="PROTOCOL",
+        help="run several protocols on the same workload and chart them",
+    )
+    parser.add_argument("--workload", default="weather", choices=sorted(WORKLOADS))
+    parser.add_argument("--procs", type=int, default=64)
+    parser.add_argument("--pointers", type=int, default=4)
+    parser.add_argument("--ts", type=int, default=50)
+    parser.add_argument("--iterations", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--topology",
+        default="mesh",
+        choices=["mesh", "torus", "omega", "crossbar", "ideal"],
+    )
+    parser.add_argument("--memory-model", default="sc", choices=["sc", "wo"])
+    parser.add_argument("--verbose", action="store_true", help="print counters")
+    return parser
+
+
+def _config(args: argparse.Namespace, protocol: str) -> AlewifeConfig:
+    return AlewifeConfig(
+        n_procs=args.procs,
+        protocol=protocol,
+        pointers=args.pointers,
+        ts=args.ts,
+        topology=args.topology,
+        memory_model=args.memory_model,
+        seed=args.seed,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        print("protocols: " + ", ".join(protocol_names()))
+        print("workloads: " + ", ".join(sorted(WORKLOADS)))
+        return 0
+
+    workload = WORKLOADS[args.workload](args)
+    protocols = args.compare or [args.protocol]
+    for name in protocols:
+        if name not in protocol_names():
+            print(f"unknown protocol {name!r}", file=sys.stderr)
+            return 2
+
+    runs = []
+    for name in protocols:
+        stats = run_experiment(_config(args, name), workload)
+        runs.append(stats)
+        print(stats.summary())
+        if args.verbose:
+            print()
+            print(machine_report(stats))
+            print()
+
+    if len(runs) > 1:
+        print()
+        print(comparison_table(runs))
+        print()
+        print(
+            bar_chart(
+                f"{workload.describe()} on {args.procs} processors",
+                [(s.label, s.mcycles()) for s in runs],
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

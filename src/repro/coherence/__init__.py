@@ -1,0 +1,40 @@
+"""Directory-based cache coherence: the protocols of the paper."""
+
+from .approx import ApproxLimitLessController
+from .chained import ChainedController
+from .controller import MemoryController
+from .entry import Directory, DirectoryEntry
+from .fullmap import FullMapController
+from .limited import LimitedController
+from .limitless import (
+    FreeRunningTrapEngine,
+    LimitLessController,
+    LimitLessSoftware,
+    TrapAlwaysController,
+    TrapEngine,
+)
+from .registry import PROTOCOLS, SOFTWARE_PROTOCOLS, controller_class, protocol_names
+from .states import CacheState, DirState, MetaState, ProtocolError
+
+__all__ = [
+    "ApproxLimitLessController",
+    "CacheState",
+    "ChainedController",
+    "Directory",
+    "DirectoryEntry",
+    "DirState",
+    "FreeRunningTrapEngine",
+    "FullMapController",
+    "LimitedController",
+    "LimitLessController",
+    "LimitLessSoftware",
+    "MemoryController",
+    "MetaState",
+    "PROTOCOLS",
+    "ProtocolError",
+    "SOFTWARE_PROTOCOLS",
+    "TrapAlwaysController",
+    "TrapEngine",
+    "controller_class",
+    "protocol_names",
+]

@@ -1,0 +1,57 @@
+"""Limited directory with broadcast: Dir_iB (Agarwal et al. [8]).
+
+The paper's limited directory is Dir_iNB (*No Broadcast*): overflowing
+reads evict a pointer.  The other member of the cited taxonomy, Dir_iB,
+sets a *broadcast bit* instead: additional readers are granted copies
+without being recorded, and the next write invalidates **every cache in
+the machine**, collecting an acknowledgment from each.  Broadcast trades
+read-side thrashing for write-side invalidation storms — the trade
+LimitLESS avoids paying on either side.  Included as a comparison point
+for the overflow-policy ablation.
+"""
+
+from __future__ import annotations
+
+from ..network.packet import Packet
+from .controller import MemoryController
+from .entry import DirectoryEntry
+from .states import DirState
+
+
+class BroadcastController(MemoryController):
+    """Dir_iB: ``pointer_capacity`` pointers plus a broadcast bit."""
+
+    protocol_name = "limited_broadcast"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.pointer_capacity is None or self.pointer_capacity < 1:
+            raise ValueError("Dir_iB needs >= 1 hardware pointer")
+        #: blocks whose sharer set is only bounded by the machine size
+        self._broadcast: set[int] = set()
+
+    def _read_overflow(self, entry: DirectoryEntry, packet: Packet) -> None:
+        """Grant the copy unrecorded and arm the broadcast bit."""
+        if entry.block not in self._broadcast:
+            self._broadcast.add(entry.block)
+            self.counters.bump("dir.broadcast_armed")
+        self.counters.bump("dir.unrecorded_grants")
+        self._send_rdata(entry, packet.src)
+
+    def _in_read_only(self, entry: DirectoryEntry, packet: Packet) -> None:
+        if packet.opcode == "WREQ" and entry.block in self._broadcast:
+            self._broadcast_invalidate(entry, packet)
+            return
+        super()._in_read_only(entry, packet)
+
+    def _broadcast_invalidate(self, entry: DirectoryEntry, packet: Packet) -> None:
+        """The broadcast write: invalidate every cache, await every ack."""
+        targets = set(range(self.nic.network.n_nodes)) - {packet.src}
+        self._broadcast.discard(entry.block)
+        self.counters.bump("dir.broadcast_invalidates")
+        self._begin_write_transaction(entry, packet.src, targets)
+
+    def recorded_holders(self, entry: DirectoryEntry) -> set[int] | None:
+        if entry.block in self._broadcast:
+            return None  # any cache may legitimately hold a copy
+        return super().recorded_holders(entry)

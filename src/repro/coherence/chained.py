@@ -1,0 +1,69 @@
+"""Chained-directory coherence (James et al., SCI [9]) — comparison model.
+
+Chained directories avoid the full-map's memory overhead and the limited
+directory's thrashing by threading the sharers of each block on a linked
+list distributed through the caches.  Their cost, which the paper calls out
+in §1, is that "chained directories are forced to transmit invalidations
+sequentially through a linked-list structure, and thus incur high write
+latencies for very large machines."
+
+Behavioural simplification (see DESIGN.md §2): we keep the list membership
+at the home node but charge one full INV/ACK network round trip per list
+element, serialized, so the write latency grows linearly in the worker-set
+size exactly as in a cache-distributed chain.  Read latency and memory
+overhead (one head pointer per entry plus one forward pointer per cache
+line, counted in :mod:`repro.model.analytical`) also match.
+"""
+
+from __future__ import annotations
+
+from ..network.packet import Packet
+from .controller import MemoryController
+from .entry import DirectoryEntry
+from .states import DirState
+
+
+class ChainedController(MemoryController):
+    """Home-sequenced chained directory: serial invalidation."""
+
+    protocol_name = "chained"
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs["pointer_capacity"] = None  # chain membership is unbounded
+        super().__init__(*args, **kwargs)
+        #: invalidations not yet launched for an open write transaction
+        self._inv_queue: dict[int, list[int]] = {}
+
+    def _read_overflow(self, entry: DirectoryEntry, packet: Packet) -> None:
+        raise AssertionError("chained directories cannot overflow")
+
+    # ------------------------------------------------------------------
+    # Serial invalidation
+    # ------------------------------------------------------------------
+
+    def _begin_write_transaction(
+        self, entry: DirectoryEntry, requester: int, targets: set[int]
+    ) -> None:
+        """Walk the chain one element at a time instead of fanning out."""
+        ordered = sorted(targets)
+        txn = entry.begin_transaction(requester, {ordered[0]})
+        entry.clear_sharers()
+        entry.state = DirState.WRITE_TRANSACTION
+        self._inv_queue[entry.block] = ordered[1:]
+        self.worker_sets.add(len(targets) + 1)
+        self._send_inv(ordered[0], entry.block, txn)
+        self.counters.bump("dir.invalidations")
+
+    def _maybe_complete_write(self, entry: DirectoryEntry) -> None:
+        if entry.acks_outstanding:
+            return
+        queue = self._inv_queue.get(entry.block, [])
+        if queue:
+            nxt = queue.pop(0)
+            entry.ack_waiting = {nxt}
+            self._send_inv(nxt, entry.block, entry.txn)
+            self.counters.bump("dir.invalidations")
+            self.counters.bump("chained.serial_steps")
+            return
+        self._inv_queue.pop(entry.block, None)
+        super()._maybe_complete_write(entry)

@@ -1,0 +1,396 @@
+"""Memory-side coherence controller: the Figure 2 / Table 2 state machine.
+
+One controller per node services all protocol packets for blocks homed
+there.  The controller is a serial resource — each packet occupies it for
+``dir_occupancy`` cycles — which is what serializes hot-spot traffic at a
+popular home node even when the network itself has spare bandwidth.
+
+Transition numbers in comments refer to Table 2 of the paper.
+
+Race handling (beyond the paper's table, which assumes idealized delivery):
+
+* Both networks preserve per-(src, dst) FIFO order, like a deterministic
+  wormhole mesh, so a node's REPM always precedes its later RREQ.
+* ACKC and UPDATE echo the transaction id of the INV that caused them; the
+  directory only consumes acks whose id matches the current round *and*
+  whose sender is still awaited.  Stray acks (from eviction invalidates or
+  superseded rounds) are counted and dropped.
+* A cache that receives INV for a block it silently replaced acknowledges
+  anyway; a REPM that crosses an in-flight INV counts as that node's ack.
+"""
+
+from __future__ import annotations
+
+from ..mem.address import AddressSpace
+from ..mem.memory import MainMemory
+from ..network.interface import NetworkInterface
+from ..network.packet import Packet, protocol_packet
+from ..sim.component import Component
+from ..sim.kernel import Simulator, StallableResource
+from ..stats.counters import Counters, Histogram
+from .entry import Directory, DirectoryEntry
+from .states import DirState, MetaState, ProtocolError
+
+
+class MemoryController(Component):
+    """Base directory controller.
+
+    Subclasses specialize the pointer-overflow policy (`_read_overflow`)
+    and, for LimitLESS, the meta-state divert path.  ``pointer_capacity``
+    is the number of hardware pointers per entry (None = unlimited, i.e.
+    the full-map directory).
+    """
+
+    protocol_name = "base"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        space: AddressSpace,
+        memory: MainMemory,
+        nic: NetworkInterface,
+        *,
+        pointer_capacity: int | None = None,
+        dir_occupancy: int = 3,
+        counters: Counters | None = None,
+    ) -> None:
+        super().__init__(sim, f"dir{node_id}")
+        self.node_id = node_id
+        self.space = space
+        self.memory = memory
+        self.nic = nic
+        self.pointer_capacity = pointer_capacity
+        self.dir_occupancy = dir_occupancy
+        self.directory = Directory(node_id)
+        self.occupancy = StallableResource(sim, f"dirres{node_id}")
+        self.counters = counters if counters is not None else Counters()
+        self.worker_sets = Histogram()
+        #: set while the software trap handler executes the FSM on the
+        #: processor: software emulates a *full-map* directory, so pointer
+        #: capacity does not apply during a software pass
+        self._software_pass = False
+        nic.set_memory_handler(self.receive)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        """A protocol packet arrived from the network for a block homed here."""
+        if self.space.home_of(packet.address) != self.node_id:
+            raise ProtocolError(f"{self.name}: {packet} not homed here")
+        if packet.address != self.space.block_of(packet.address):
+            raise ProtocolError(f"{self.name}: {packet} not block aligned")
+        done_at = self.occupancy.acquire(self.dir_occupancy)
+        self.sim.call_at(done_at, lambda: self.process(packet))
+
+    def process(self, packet: Packet) -> None:
+        """Dispatch a packet once the controller pipeline reaches it."""
+        entry = self.directory.entry(packet.address)
+        self.counters.bump("dir.packets")
+        if self._meta_intercept(entry, packet):
+            return
+        self.dispatch(entry, packet)
+
+    def replay_pending(self, entry: DirectoryEntry) -> None:
+        """Re-inject packets queued while the entry was interlocked.
+
+        Packets are rescheduled in arrival order; if an early one
+        re-interlocks the entry, the later ones simply re-queue behind it
+        (``process`` checks the meta state again), preserving order.
+        """
+        while entry.pending:
+            packet = entry.pending.popleft()
+            self.counters.bump("dir.replayed")
+            done_at = self.occupancy.acquire(self.dir_occupancy)
+            self.sim.call_at(done_at, lambda p=packet: self.process(p))
+
+    # ------------------------------------------------------------------
+    # Meta states (LimitLESS modes; NORMAL for pure-hardware protocols)
+    # ------------------------------------------------------------------
+
+    def _meta_intercept(self, entry: DirectoryEntry, packet: Packet) -> bool:
+        """Returns True when the packet was queued or diverted to software."""
+        if entry.meta is MetaState.TRANS_IN_PROGRESS:
+            entry.pending.append(packet)
+            self.counters.bump("dir.interlocked")
+            return True
+        if entry.meta is MetaState.TRAP_ALWAYS:
+            self.divert(entry, packet)
+            return True
+        if entry.meta is MetaState.TRAP_ON_WRITE and packet.opcode in (
+            "WREQ",
+            "UPDATE",
+            "REPM",
+        ):
+            self.divert(entry, packet)
+            return True
+        return False
+
+    def divert(self, entry: DirectoryEntry, packet: Packet) -> None:
+        """Forward a packet to the IPI input queue for software handling."""
+        entry.trap_mode = entry.meta
+        entry.meta = MetaState.TRANS_IN_PROGRESS
+        self.counters.bump("dir.diverted")
+        self.nic.divert_to_ipi(packet)
+
+    # ------------------------------------------------------------------
+    # The Table 2 state machine
+    # ------------------------------------------------------------------
+
+    def dispatch(self, entry: DirectoryEntry, packet: Packet) -> None:
+        handler = {
+            DirState.READ_ONLY: self._in_read_only,
+            DirState.READ_WRITE: self._in_read_write,
+            DirState.READ_TRANSACTION: self._in_read_transaction,
+            DirState.WRITE_TRANSACTION: self._in_write_transaction,
+        }[entry.state]
+        handler(entry, packet)
+
+    # -- READ_ONLY ------------------------------------------------------
+
+    def _in_read_only(self, entry: DirectoryEntry, packet: Packet) -> None:
+        src = packet.src
+        op = packet.opcode
+        if op == "RREQ":
+            # Transition 1: P = P + {i}; RDATA -> i
+            if entry.holds(src) or self._pointer_available(entry, src):
+                entry.add_sharer(src)
+                self._send_rdata(entry, src)
+            else:
+                self.counters.bump("dir.read_overflow")
+                self._read_overflow(entry, packet)
+        elif op == "WREQ":
+            others = entry.all_copy_holders() - {src}
+            if not others:
+                # Transition 2: P = {i}; WDATA -> i
+                entry.clear_sharers()
+                entry.add_sharer(src)
+                entry.state = DirState.READ_WRITE
+                self._send_wdata(entry, src)
+            else:
+                # Transition 3: AckCtr = |P - {i}|; INV -> each k
+                self._begin_write_transaction(entry, src, others)
+        elif op == "ACKC":
+            self._stray(entry, packet)  # late ack from an eviction INV
+        elif op == "REPM":
+            self._stray(entry, packet)  # superseded by a completed transaction
+        else:
+            raise ProtocolError(f"{self.name}: {op} in READ_ONLY for {packet}")
+
+    # -- READ_WRITE -----------------------------------------------------
+
+    def _in_read_write(self, entry: DirectoryEntry, packet: Packet) -> None:
+        src = packet.src
+        op = packet.opcode
+        holders = entry.all_copy_holders()
+        if len(holders) != 1:
+            raise ProtocolError(f"{self.name}: READ_WRITE with holders={holders}")
+        owner = next(iter(holders))
+        if op == "RREQ":
+            # Transition 5: INV -> owner, enter READ_TRANSACTION
+            txn = entry.begin_transaction(src, {owner})
+            entry.state = DirState.READ_TRANSACTION
+            entry.clear_sharers()
+            self._send_inv(owner, entry.block, txn)
+        elif op == "WREQ":
+            if src == owner:
+                # Owner already exclusive; re-grant (lost-WDATA retry path).
+                self._send_wdata(entry, src)
+                self.counters.bump("dir.regrant")
+            else:
+                # Transition 4: INV -> owner, enter WRITE_TRANSACTION
+                txn = entry.begin_transaction(src, {owner})
+                entry.state = DirState.WRITE_TRANSACTION
+                entry.clear_sharers()
+                self._send_inv(owner, entry.block, txn)
+        elif op == "REPM":
+            if src == owner:
+                # Transition 6: owner replaced its modified copy
+                self.memory.write_block(entry.block, packet.data)
+                entry.clear_sharers()
+                entry.state = DirState.READ_ONLY
+            else:
+                self._stray(entry, packet)
+        elif op == "ACKC":
+            self._stray(entry, packet)
+        else:
+            raise ProtocolError(f"{self.name}: {op} in READ_WRITE for {packet}")
+
+    # -- WRITE_TRANSACTION ------------------------------------------------
+
+    def _in_write_transaction(self, entry: DirectoryEntry, packet: Packet) -> None:
+        src = packet.src
+        op = packet.opcode
+        if op in ("RREQ", "WREQ"):
+            # Transition 7: BUSY -> j
+            self._send_busy(src, entry.block)
+        elif op == "ACKC":
+            # Transitions 7/8: count the ack; last one releases WDATA.
+            if entry.ack_from(src, packet.meta.get("txn")):
+                self._maybe_complete_write(entry)
+            else:
+                self._stray(entry, packet)
+        elif op == "UPDATE":
+            # A dirty owner answered INV with its data (transition 8).
+            if entry.ack_from(src, packet.meta.get("txn")):
+                self.memory.write_block(entry.block, packet.data)
+                self._maybe_complete_write(entry)
+            else:
+                self._stray(entry, packet)
+        elif op == "REPM":
+            # Transition 7: a replacement crossing our INV counts as its ack.
+            if entry.ack_from(src, None):
+                self.memory.write_block(entry.block, packet.data)
+                self._maybe_complete_write(entry)
+            else:
+                self._stray(entry, packet)
+        else:
+            raise ProtocolError(f"{self.name}: {op} in WRITE_TRANSACTION")
+
+    def _maybe_complete_write(self, entry: DirectoryEntry) -> None:
+        if entry.acks_outstanding:
+            return
+        requester = entry.requester
+        if requester is None:
+            raise ProtocolError(f"{self.name}: write transaction lost requester")
+        entry.clear_sharers()
+        entry.add_sharer(requester)
+        entry.state = DirState.READ_WRITE
+        entry.requester = None
+        self._send_wdata(entry, requester)
+        self.counters.bump("dir.write_transactions_done")
+
+    # -- READ_TRANSACTION -------------------------------------------------
+
+    def _in_read_transaction(self, entry: DirectoryEntry, packet: Packet) -> None:
+        src = packet.src
+        op = packet.opcode
+        if op in ("RREQ", "WREQ"):
+            # Transition 9: BUSY -> j
+            self._send_busy(src, entry.block)
+        elif op == "UPDATE":
+            # Transition 10: data comes back; RDATA -> requester
+            if entry.ack_from(src, packet.meta.get("txn")):
+                self.memory.write_block(entry.block, packet.data)
+                self._complete_read(entry)
+            else:
+                self._stray(entry, packet)
+        elif op == "REPM":
+            if entry.ack_from(src, None):
+                self.memory.write_block(entry.block, packet.data)
+                self._complete_read(entry)
+            else:
+                self._stray(entry, packet)
+        elif op == "ACKC":
+            # The awaited owner must answer with data (UPDATE/REPM); a
+            # matching ACKC here indicates a protocol bug.
+            if entry.ack_from(src, packet.meta.get("txn")):
+                raise ProtocolError(
+                    f"{self.name}: dataless ACKC from owner in READ_TRANSACTION"
+                )
+            self._stray(entry, packet)
+        else:
+            raise ProtocolError(f"{self.name}: {op} in READ_TRANSACTION")
+
+    def _complete_read(self, entry: DirectoryEntry) -> None:
+        requester = entry.requester
+        if requester is None:
+            raise ProtocolError(f"{self.name}: read transaction lost requester")
+        entry.clear_sharers()
+        entry.add_sharer(requester)
+        entry.state = DirState.READ_ONLY
+        entry.requester = None
+        self._send_rdata(entry, requester)
+        self.counters.bump("dir.read_transactions_done")
+
+    # ------------------------------------------------------------------
+    # Policy hooks
+    # ------------------------------------------------------------------
+
+    def _pointer_available(self, entry: DirectoryEntry, src: int) -> bool:
+        """Can ``src`` be recorded without overflowing hardware pointers?"""
+        if src == entry.home:
+            return True  # the Local Bit is always available (§4.3)
+        if self.pointer_capacity is None or self._software_pass:
+            return True
+        return entry.pointers_used() < self.pointer_capacity
+
+    def _read_overflow(self, entry: DirectoryEntry, packet: Packet) -> None:
+        """Pointer-array overflow on a read request.  Subclasses decide."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Message helpers
+    # ------------------------------------------------------------------
+
+    def _begin_write_transaction(
+        self, entry: DirectoryEntry, requester: int, targets: set[int]
+    ) -> None:
+        txn = entry.begin_transaction(requester, targets)
+        entry.clear_sharers()
+        entry.state = DirState.WRITE_TRANSACTION
+        self.worker_sets.add(len(targets) + 1)
+        for node in sorted(targets):
+            self._send_inv(node, entry.block, txn)
+        self.counters.bump("dir.invalidations", len(targets))
+
+    def _send_rdata(self, entry: DirectoryEntry, dst: int) -> None:
+        self.nic.send(
+            protocol_packet(
+                self.node_id,
+                dst,
+                "RDATA",
+                entry.block,
+                data=self.memory.read_block(entry.block),
+            )
+        )
+
+    def _send_wdata(self, entry: DirectoryEntry, dst: int) -> None:
+        self.nic.send(
+            protocol_packet(
+                self.node_id,
+                dst,
+                "WDATA",
+                entry.block,
+                data=self.memory.read_block(entry.block),
+            )
+        )
+
+    def _send_inv(self, dst: int, block: int, txn: int | None) -> None:
+        self.nic.send(
+            protocol_packet(self.node_id, dst, "INV", block, txn=txn)
+        )
+
+    def _send_busy(self, dst: int, block: int) -> None:
+        self.counters.bump("dir.busy_sent")
+        self.nic.send(protocol_packet(self.node_id, dst, "BUSY", block))
+
+    def _stray(self, entry: DirectoryEntry, packet: Packet) -> None:
+        """Count and drop a packet made irrelevant by a race."""
+        self.counters.bump("dir.stray_dropped")
+        self.counters.bump(f"dir.stray.{packet.opcode}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def idle(self) -> bool:
+        """True when no entry has an open transaction or queued packet."""
+        return all(e.idle() for e in self.directory.entries())
+
+    def recorded_holders(self, entry: DirectoryEntry) -> set[int] | None:
+        """Nodes this directory believes may hold a copy (for auditing).
+
+        ``None`` means "any node" (a broadcast-mode entry deliberately
+        stops recording individual sharers).
+        """
+        return entry.all_copy_holders()
+
+    def busiest_blocks(self, top: int = 5) -> list[tuple[int, int]]:
+        ranked = sorted(
+            ((e.peak_sharers, e.block) for e in self.directory.entries()),
+            reverse=True,
+        )
+        return [(block, peak) for peak, block in ranked[:top]]

@@ -1,0 +1,135 @@
+"""Directory entries.
+
+Each block homed at a node has one entry holding: the base protocol state,
+the pointer set P, the Local Bit (§4.3 — the home node's own cached copy
+never consumes a hardware pointer), the acknowledgment counter realized as
+the explicit set of nodes whose invalidations are outstanding, a transaction
+sequence number used to match ACKC packets to the invalidation round that
+requested them, the LimitLESS meta state, and the queue of packets that
+arrived while the entry was interlocked in TRANS_IN_PROGRESS.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..network.packet import Packet
+from .states import DirState, MetaState
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory state for one memory block."""
+
+    block: int
+    home: int
+    state: DirState = DirState.READ_ONLY
+    sharers: set[int] = field(default_factory=set)
+    local_bit: bool = False
+    requester: int | None = None
+    ack_waiting: set[int] = field(default_factory=set)
+    txn: int = 0
+    meta: MetaState = MetaState.NORMAL
+    #: the meta state in force when the current divert happened (so the
+    #: trap handler knows whether it is a first overflow, a Trap-On-Write
+    #: termination, or Trap-Always software emulation)
+    trap_mode: MetaState | None = None
+    pending: deque[Packet] = field(default_factory=deque)
+    # peak worker-set observed for this block (profiling, §6)
+    peak_sharers: int = 0
+
+    # ------------------------------------------------------------------
+    # Pointer accounting
+    # ------------------------------------------------------------------
+
+    def pointers_used(self) -> int:
+        """Hardware pointers consumed (the home's copy uses the Local Bit)."""
+        return len(self.sharers - {self.home})
+
+    def all_copy_holders(self) -> set[int]:
+        """Every node holding a copy per this entry (pointers + local bit)."""
+        holders = set(self.sharers)
+        if self.local_bit:
+            holders.add(self.home)
+        return holders
+
+    def add_sharer(self, node: int) -> None:
+        if node == self.home:
+            self.local_bit = True
+        else:
+            self.sharers.add(node)
+        self.peak_sharers = max(self.peak_sharers, len(self.all_copy_holders()))
+
+    def drop_sharer(self, node: int) -> None:
+        if node == self.home:
+            self.local_bit = False
+        else:
+            self.sharers.discard(node)
+
+    def clear_sharers(self) -> None:
+        self.sharers.clear()
+        self.local_bit = False
+
+    def holds(self, node: int) -> bool:
+        if node == self.home:
+            return self.local_bit
+        return node in self.sharers
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def begin_transaction(self, requester: int, targets: set[int]) -> int:
+        """Start an invalidation round; returns its transaction id."""
+        self.txn += 1
+        self.requester = requester
+        self.ack_waiting = set(targets)
+        return self.txn
+
+    def ack_from(self, node: int, txn: int | None) -> bool:
+        """Consume one outstanding invalidation if it matches.
+
+        ``txn`` is the id echoed by an ACKC/UPDATE (None for spontaneous
+        REPM).  Returns True when the ack was expected and consumed.
+        """
+        if node not in self.ack_waiting:
+            return False
+        if txn is not None and txn != self.txn:
+            return False
+        self.ack_waiting.discard(node)
+        return True
+
+    @property
+    def acks_outstanding(self) -> int:
+        return len(self.ack_waiting)
+
+    def idle(self) -> bool:
+        """True when no transaction or software interlock is active."""
+        return (
+            self.state in (DirState.READ_ONLY, DirState.READ_WRITE)
+            and self.meta is not MetaState.TRANS_IN_PROGRESS
+            and not self.pending
+            and not self.ack_waiting
+        )
+
+
+class Directory:
+    """All directory entries homed at one node (allocated on first touch)."""
+
+    def __init__(self, home: int) -> None:
+        self.home = home
+        self._entries: dict[int, DirectoryEntry] = {}
+
+    def entry(self, block: int) -> DirectoryEntry:
+        found = self._entries.get(block)
+        if found is None:
+            found = DirectoryEntry(block=block, home=self.home)
+            self._entries[block] = found
+        return found
+
+    def entries(self) -> list[DirectoryEntry]:
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,26 @@
+"""Full-map directory (Censier & Feautrier style, distributed as in [8]).
+
+One pointer per processor per entry: reads never overflow, so the overflow
+hook is unreachable.  Memory overhead grows as O(N^2) with machine size —
+the problem LimitLESS exists to solve — which the analytical model in
+:mod:`repro.model.analytical` quantifies.
+"""
+
+from __future__ import annotations
+
+from .controller import MemoryController
+from .entry import DirectoryEntry
+from ..network.packet import Packet
+
+
+class FullMapController(MemoryController):
+    """Directory with an unlimited pointer set."""
+
+    protocol_name = "fullmap"
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs["pointer_capacity"] = None
+        super().__init__(*args, **kwargs)
+
+    def _read_overflow(self, entry: DirectoryEntry, packet: Packet) -> None:
+        raise AssertionError("full-map directories cannot overflow")

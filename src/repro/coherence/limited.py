@@ -1,0 +1,79 @@
+"""Limited directory Dir_iNB (Agarwal et al. [8]).
+
+``i`` hardware pointers, No Broadcast.  When all pointers are in use and a
+new cache issues a read request, the protocol *evicts* one previously
+recorded copy: it invalidates a victim pointer and reassigns it to the new
+reader.  Widely shared blocks therefore thrash — constant eviction and
+reassignment of directory pointers — which is exactly the hot-spot
+degradation Figure 8 measures for the unoptimized Weather code.
+"""
+
+from __future__ import annotations
+
+from ..network.packet import Packet
+from .controller import MemoryController
+from .entry import DirectoryEntry
+
+
+class LimitedController(MemoryController):
+    """Dir_iNB: ``pointer_capacity`` pointers, eviction on overflow.
+
+    ``victim_policy`` selects which pointer to evict: ``"fifo"`` evicts the
+    lowest-numbered node that is not the requester (deterministic and close
+    to a hardware rotating pointer), ``"random"`` draws from the entry's
+    current sharers.
+    """
+
+    protocol_name = "limited"
+
+    def __init__(self, *args, victim_policy: str = "fifo", rng=None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.pointer_capacity is None or self.pointer_capacity < 1:
+            raise ValueError("limited directory needs >= 1 hardware pointer")
+        if victim_policy not in ("fifo", "random"):
+            raise ValueError(f"unknown victim policy {victim_policy!r}")
+        self.victim_policy = victim_policy
+        self._rng = rng
+        self._fifo_order: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def _in_read_only(self, entry: DirectoryEntry, packet: Packet) -> None:
+        # Track insertion order for FIFO victim selection.
+        if packet.opcode == "RREQ":
+            order = self._fifo_order.setdefault(entry.block, [])
+            if packet.src in order:
+                order.remove(packet.src)
+        super()._in_read_only(entry, packet)
+        if packet.opcode == "RREQ" and entry.holds(packet.src):
+            order = self._fifo_order.setdefault(entry.block, [])
+            if packet.src != entry.home and packet.src not in order:
+                order.append(packet.src)
+
+    def _read_overflow(self, entry: DirectoryEntry, packet: Packet) -> None:
+        """Evict a pointer, then service the read with the freed slot."""
+        victim = self._choose_victim(entry, packet.src)
+        self.counters.bump("dir.pointer_evictions")
+        # Eviction invalidate carries no transaction id: the resulting ACKC
+        # is dropped as stray (the pointer is already reassigned).
+        self._send_inv(victim, entry.block, None)
+        entry.drop_sharer(victim)
+        order = self._fifo_order.get(entry.block, [])
+        if victim in order:
+            order.remove(victim)
+        entry.add_sharer(packet.src)
+        if packet.src != entry.home:
+            order.append(packet.src)
+        self._send_rdata(entry, packet.src)
+
+    def _choose_victim(self, entry: DirectoryEntry, requester: int) -> int:
+        candidates = sorted(entry.sharers - {requester})
+        if not candidates:
+            raise AssertionError("overflow with no evictable pointer")
+        if self.victim_policy == "random" and self._rng is not None:
+            return self._rng.choice("dir.victim", candidates)
+        order = self._fifo_order.get(entry.block, [])
+        for node in order:
+            if node in candidates:
+                return node
+        return candidates[0]

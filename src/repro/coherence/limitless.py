@@ -1,0 +1,308 @@
+"""The LimitLESS directory protocol (paper §3–§4).
+
+LimitLESS = a **Limit**ed directory that is **L**ocally **E**xtended through
+**S**oftware **S**upport.  The hardware keeps ``p`` pointers per entry.  On
+a read that overflows them, the memory controller diverts the request packet
+into the IPI input queue and interrupts the local processor; the trap
+handler empties the hardware pointers into a full-map bit vector kept in a
+hash table in local memory, answers the read itself, and leaves the entry in
+Trap-On-Write mode so hardware keeps servicing reads until the pointers fill
+again.  A write request to an overflowed entry traps too: the handler merges
+pointers into the vector, launches the invalidations, sets the
+acknowledgment counter, and returns the entry to hardware control in the
+Write-Transaction state so the hardware finishes the protocol (§4.4).
+
+The software side costs ``ts`` processor cycles per trap (the paper's
+``T_s`` parameter, swept 25–150 in Figures 9/10) and runs *on the
+application processor*, which both delays that node's thread and — at very
+low ``ts`` — produces the mild back-off effect that let LimitLESS(25) beat
+full-map in Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..network.interface import NetworkInterface
+from ..network.packet import Packet
+from ..sim.kernel import Simulator, StallableResource
+from .controller import MemoryController
+from .entry import DirectoryEntry
+from .states import DirState, MetaState, ProtocolError
+
+
+class TrapEngine:
+    """Where LimitLESS traps execute: the node's processor.
+
+    ``request_trap(cycles, callback)`` must serialize traps, charge the
+    processor ``cycles`` of trap time, and then invoke ``callback`` with the
+    directory mutation.  The Processor model implements this; tests and
+    processor-less rigs can use :class:`FreeRunningTrapEngine`.
+    """
+
+    def request_trap(self, cycles: int, callback: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+
+class FreeRunningTrapEngine(TrapEngine):
+    """A trap engine with no application workload to displace."""
+
+    def __init__(self, sim: Simulator, name: str = "trapengine") -> None:
+        self.sim = sim
+        self._resource = StallableResource(sim, name)
+        self.traps_taken = 0
+        self.trap_cycles = 0
+
+    def request_trap(self, cycles: int, callback: Callable[[], None]) -> None:
+        self.traps_taken += 1
+        self.trap_cycles += cycles
+        done_at = self._resource.acquire(cycles)
+        self.sim.call_at(done_at, callback)
+
+
+class LimitLessController(MemoryController):
+    """Hardware half of LimitLESS: p pointers + divert-on-overflow."""
+
+    protocol_name = "limitless"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.pointer_capacity is None or self.pointer_capacity < 0:
+            raise ValueError("LimitLESS needs a hardware pointer count >= 0")
+
+    def _read_overflow(self, entry: DirectoryEntry, packet: Packet) -> None:
+        """Pointer-array overflow: hand the read to software (§4.3)."""
+        self.counters.bump("limitless.overflow_diverts")
+        self.divert(entry, packet)
+
+
+class TrapAlwaysController(LimitLessController):
+    """Software-only coherence: every protocol packet traps (§3.1's
+    ``m = 1`` migration-path limit and §6's profiling mode)."""
+
+    protocol_name = "trap_always"
+
+    def _meta_intercept(self, entry: DirectoryEntry, packet: Packet) -> bool:
+        if entry.meta is MetaState.TRANS_IN_PROGRESS:
+            entry.pending.append(packet)
+            self.counters.bump("dir.interlocked")
+            return True
+        # Force every block into Trap-Always mode on first touch.
+        if entry.meta is MetaState.NORMAL:
+            entry.meta = MetaState.TRAP_ALWAYS
+        self.divert(entry, packet)
+        return True
+
+
+class LimitLessSoftware:
+    """The LimitLESS trap handler: full-map emulation in local memory.
+
+    One instance per node.  It watches the node's IPI input queue, charges
+    ``ts`` cycles of processor time per diverted packet, and applies the
+    §4.4 handler at trap completion.
+    """
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        nic: NetworkInterface,
+        engine: TrapEngine,
+        *,
+        ts: int = 50,
+        ts_per_invalidation: int = 0,
+    ) -> None:
+        self.controller = controller
+        self.nic = nic
+        self.engine = engine
+        self.ts = ts
+        self.ts_per_invalidation = ts_per_invalidation
+        #: the software directory: block -> full-map bit vector, "allocated
+        #: in local memory and entered into a hash table" (§4.4)
+        self.vectors: dict[int, set[int]] = {}
+        self.counters = controller.counters
+        # §6 extension hooks (installed by repro.extensions.*):
+        #: called with every packet handled in software (profiling)
+        self.profile_hook: Callable[[Packet], None] | None = None
+        #: blocks whose transaction-time requests are buffered FIFO instead
+        #: of bounced with BUSY (FIFO lock data type)
+        self.fifo_blocks: set[int] = set()
+        #: the software FIFO request queues for those blocks
+        self.fifo_queues: dict[int, list[Packet]] = {}
+        #: blocks using update (rather than invalidate) coherence
+        self.update_blocks: set[int] = set()
+        #: handler for interrupt-class (software-defined) packets — the
+        #: IPI message-passing path of §4.2; installed by
+        #: repro.extensions.messaging
+        self.interrupt_handler: Callable[[Packet], None] | None = None
+        nic.set_trap_handler(self._on_ipi_interrupt)
+
+    # ------------------------------------------------------------------
+    # Interrupt plumbing
+    # ------------------------------------------------------------------
+
+    def _on_ipi_interrupt(self) -> None:
+        """A packet entered the IPI queue; schedule one trap per packet."""
+        packet = self.nic.ipi_head()
+        cost = self.ts
+        if packet is not None and packet.opcode == "WREQ":
+            vector = self.vectors.get(packet.address, set())
+            cost += self.ts_per_invalidation * len(vector)
+        self.counters.bump("limitless.traps")
+        self.engine.request_trap(cost, self._run_handler)
+
+    def _run_handler(self) -> None:
+        packet = self.nic.ipi_pop()
+        if packet.is_interrupt:
+            # Interprocessor message, not coherence traffic: hand it to the
+            # registered software handler (dropped with a counter if none).
+            if self.interrupt_handler is not None:
+                self.interrupt_handler(packet)
+            else:
+                self.counters.bump("limitless.interrupts_dropped")
+            return
+        entry = self.controller.directory.entry(packet.address)
+        if entry.meta is not MetaState.TRANS_IN_PROGRESS:
+            raise ProtocolError("trap handler ran on a non-interlocked entry")
+        mode = entry.trap_mode or MetaState.NORMAL
+        entry.trap_mode = None
+        if mode is MetaState.TRAP_ALWAYS:
+            self._software_fullmap(entry, packet)
+        elif packet.opcode == "RREQ":
+            self._handle_read_overflow(entry, packet)
+        elif packet.opcode == "WREQ":
+            self._handle_write_termination(entry, packet)
+        else:
+            # UPDATE/REPM trapped in Trap-On-Write: made irrelevant by an
+            # earlier software transition; drop and restore the mode.
+            self.counters.bump("limitless.sw_stray")
+            entry.meta = mode
+        self.controller.replay_pending(entry)
+
+    # ------------------------------------------------------------------
+    # §4.4 trap handler proper
+    # ------------------------------------------------------------------
+
+    def _empty_pointers_into_vector(self, entry: DirectoryEntry) -> set[int]:
+        vector = self.vectors.setdefault(entry.block, set())
+        vector |= entry.sharers
+        entry.sharers.clear()
+        return vector
+
+    def _handle_read_overflow(self, entry: DirectoryEntry, packet: Packet) -> None:
+        """First (or repeated) overflow trap: §4.4 paragraph 1."""
+        if entry.state is not DirState.READ_ONLY:
+            raise ProtocolError("read overflow trap outside READ_ONLY")
+        vector = self._empty_pointers_into_vector(entry)
+        vector.add(packet.src)
+        entry.peak_sharers = max(
+            entry.peak_sharers, len(vector) + (1 if entry.local_bit else 0)
+        )
+        # The handler launches the data reply itself through the IPI
+        # transmit interface.
+        self.controller._send_rdata(entry, packet.src)
+        entry.meta = MetaState.TRAP_ON_WRITE
+        self.counters.bump("limitless.read_overflow_traps")
+
+    def _handle_write_termination(self, entry: DirectoryEntry, packet: Packet) -> None:
+        """Write request to an overflowed entry: §4.4 paragraph 2.
+
+        Empty pointers into the vector, record the requester, set the
+        acknowledgment counter, return the entry to hardware control in
+        WRITE_TRANSACTION, send the invalidations, free the vector.
+        """
+        if entry.state is not DirState.READ_ONLY:
+            raise ProtocolError("write termination trap outside READ_ONLY")
+        vector = self._empty_pointers_into_vector(entry)
+        if entry.local_bit:
+            vector.add(entry.home)
+            entry.local_bit = False
+        targets = vector - {packet.src}
+        self.vectors.pop(entry.block, None)  # the vector may now be freed
+        self.controller.worker_sets.add(len(vector | {packet.src}))
+        entry.meta = MetaState.NORMAL  # memory line returns to hardware
+        if not targets:
+            entry.clear_sharers()
+            entry.add_sharer(packet.src)
+            entry.state = DirState.READ_WRITE
+            self.controller._send_wdata(entry, packet.src)
+        else:
+            txn = entry.begin_transaction(packet.src, targets)
+            entry.clear_sharers()
+            entry.state = DirState.WRITE_TRANSACTION
+            for node in sorted(targets):
+                self.controller._send_inv(node, entry.block, txn)
+            self.counters.bump("dir.invalidations", len(targets))
+        self.counters.bump("limitless.write_termination_traps")
+
+    # ------------------------------------------------------------------
+    # Trap-Always software emulation
+    # ------------------------------------------------------------------
+
+    def _software_fullmap(self, entry: DirectoryEntry, packet: Packet) -> None:
+        """Run the ordinary FSM in software with unlimited pointers.
+
+        The §6 extensions plug in here: profiling sees every packet; FIFO
+        blocks buffer requests that hardware would bounce with BUSY; update
+        blocks propagate new data to sharers instead of invalidating them.
+        """
+        entry.meta = MetaState.TRAP_ALWAYS
+        if self.profile_hook is not None:
+            self.profile_hook(packet)
+        if packet.address in self.update_blocks and packet.opcode == "UPDATE":
+            self._propagate_update(entry, packet)
+            self.counters.bump("limitless.software_fsm")
+            return
+        if (
+            packet.address in self.fifo_blocks
+            and packet.opcode in ("RREQ", "WREQ")
+            and entry.state
+            in (DirState.READ_TRANSACTION, DirState.WRITE_TRANSACTION)
+        ):
+            # FIFO lock data type: buffer instead of BUSY.  The request
+            # rests in a software queue (not entry.pending, which would
+            # spin it through a trap per replay) until the open transaction
+            # completes, then is granted in arrival order.
+            self.fifo_queues.setdefault(packet.address, []).append(packet)
+            self.counters.bump("limitless.fifo_buffered")
+            return
+        self.controller._software_pass = True
+        try:
+            self.controller.dispatch(entry, packet)
+        finally:
+            self.controller._software_pass = False
+        self.counters.bump("limitless.software_fsm")
+        self._drain_fifo_queue(entry)
+
+    def _drain_fifo_queue(self, entry: DirectoryEntry) -> None:
+        """Re-inject the oldest buffered request once the block is free."""
+        queue = self.fifo_queues.get(entry.block)
+        if not queue:
+            return
+        if entry.state in (DirState.READ_TRANSACTION, DirState.WRITE_TRANSACTION):
+            return
+        oldest = queue.pop(0)
+        if not queue:
+            self.fifo_queues.pop(entry.block, None)
+        done_at = self.controller.occupancy.acquire(self.controller.dir_occupancy)
+        self.controller.sim.call_at(
+            done_at, lambda: self.controller.process(oldest)
+        )
+
+    def _propagate_update(self, entry: DirectoryEntry, packet: Packet) -> None:
+        """Update-mode coherence: write memory, push new data to sharers."""
+        from ..network.packet import protocol_packet
+
+        self.controller.memory.write_block(entry.block, packet.data)
+        entry.add_sharer(packet.src)
+        targets = entry.all_copy_holders() - {packet.src}
+        for node in sorted(targets):
+            self.nic.send(
+                protocol_packet(
+                    self.controller.node_id,
+                    node,
+                    "UPDATE_DATA",
+                    entry.block,
+                    data=packet.data.copy(),
+                )
+            )
+        self.counters.bump("limitless.updates_propagated", max(1, len(targets)))

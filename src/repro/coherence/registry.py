@@ -1,0 +1,42 @@
+"""Protocol registry: build a memory controller by name.
+
+Names follow the paper: ``fullmap``, ``limited`` (Dir_iNB),
+``limitless`` (message-accurate), ``limitless_approx`` (the §5.1 ASIM
+technique), ``chained``, and ``trap_always`` (software-only coherence).
+"""
+
+from __future__ import annotations
+
+from .approx import ApproxLimitLessController
+from .broadcast import BroadcastController
+from .chained import ChainedController
+from .controller import MemoryController
+from .fullmap import FullMapController
+from .limited import LimitedController
+from .limitless import LimitLessController, TrapAlwaysController
+
+PROTOCOLS = {
+    "fullmap": FullMapController,
+    "limited": LimitedController,
+    "limited_broadcast": BroadcastController,
+    "limitless": LimitLessController,
+    "limitless_approx": ApproxLimitLessController,
+    "chained": ChainedController,
+    "trap_always": TrapAlwaysController,
+}
+
+#: protocols whose node needs a LimitLessSoftware trap handler attached
+SOFTWARE_PROTOCOLS = frozenset({"limitless", "trap_always"})
+
+
+def protocol_names() -> list[str]:
+    return sorted(PROTOCOLS)
+
+
+def controller_class(name: str) -> type[MemoryController]:
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; choose from {protocol_names()}"
+        ) from None

@@ -1,0 +1,42 @@
+"""Protocol states (paper Tables 1 and 4).
+
+Directory states follow Figure 2's transition diagram; an uncached block is
+the READ_ONLY state with an empty pointer set, as in the paper's
+specification.  Meta states are the LimitLESS directory *modes* layered on
+top of the base states (Table 4): they decide whether the hardware
+controller or the software trap handler services each incoming packet.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+
+class DirState(Enum):
+    """Memory-side directory state for one block (Table 1)."""
+
+    READ_ONLY = auto()        # some number of caches hold read-only copies
+    READ_WRITE = auto()       # exactly one cache holds a read-write copy
+    READ_TRANSACTION = auto() # holding a read request, update in progress
+    WRITE_TRANSACTION = auto()# holding a write request, invalidation in progress
+
+
+class CacheState(Enum):
+    """Cache-side state for one block (Table 1)."""
+
+    INVALID = auto()
+    READ_ONLY = auto()
+    READ_WRITE = auto()
+
+
+class MetaState(Enum):
+    """LimitLESS directory modes (Table 4)."""
+
+    NORMAL = auto()            # handled entirely by hardware
+    TRANS_IN_PROGRESS = auto() # interlock: software processing in progress
+    TRAP_ON_WRITE = auto()     # trap for WREQ, UPDATE and REPM
+    TRAP_ALWAYS = auto()       # trap for all incoming protocol packets
+
+
+class ProtocolError(RuntimeError):
+    """A packet arrived that the specification does not permit."""

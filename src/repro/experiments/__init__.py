@@ -1,0 +1,25 @@
+"""Experiment machinery: parameter sweeps and the canonical figures."""
+
+from .figures import ALL_FIGURES, figure7, figure8, figure9, figure10
+from .sweep import (
+    SweepPoint,
+    SweepResult,
+    pointer_points,
+    run_sweep,
+    scheme_points,
+    ts_points,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "SweepPoint",
+    "SweepResult",
+    "figure10",
+    "figure7",
+    "figure8",
+    "figure9",
+    "pointer_points",
+    "run_sweep",
+    "scheme_points",
+    "ts_points",
+]

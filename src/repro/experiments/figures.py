@@ -1,0 +1,101 @@
+"""Canonical definitions of the paper's figures, as library API.
+
+Each function reproduces one figure of §5 at a caller-chosen scale and
+returns a :class:`~repro.experiments.sweep.SweepResult`; the benchmark
+suite and ``benchmarks/run_figures.py`` both scale these down/up rather
+than duplicating scheme lists.
+"""
+
+from __future__ import annotations
+
+from ..machine import AlewifeConfig
+from ..workloads import MultigridWorkload, WeatherWorkload
+from .sweep import SweepPoint, SweepResult, run_sweep
+
+
+def _base(n_procs: int, **overrides) -> AlewifeConfig:
+    return AlewifeConfig(n_procs=n_procs, **overrides)
+
+
+def figure7(n_procs: int = 64, *, levels=(2, 2, 2), progress=None) -> SweepResult:
+    """Static Multigrid: all schemes approximately equal."""
+    points = [
+        SweepPoint("Dir4NB", dict(protocol="limited", pointers=4)),
+        SweepPoint("LimitLESS4 Ts=100", dict(protocol="limitless", pointers=4, ts=100)),
+        SweepPoint("LimitLESS4 Ts=50", dict(protocol="limitless", pointers=4, ts=50)),
+        SweepPoint("Full-Map", dict(protocol="fullmap")),
+    ]
+    return run_sweep(
+        f"Figure 7: Static Multigrid, {n_procs} Processors",
+        _base(n_procs),
+        points,
+        lambda: MultigridWorkload(levels=levels, points_per_proc=48),
+        progress=progress,
+    )
+
+
+def figure8(
+    n_procs: int = 64, *, iterations: int = 5, optimized: bool = False, progress=None
+) -> SweepResult:
+    """Weather under limited directories: the hot-spot thrash."""
+    points = [
+        SweepPoint("Dir1NB", dict(protocol="limited", pointers=1)),
+        SweepPoint("Dir2NB", dict(protocol="limited", pointers=2)),
+        SweepPoint("Dir4NB", dict(protocol="limited", pointers=4)),
+        SweepPoint("Full-Map", dict(protocol="fullmap")),
+    ]
+    tag = "optimized" if optimized else "unoptimized"
+    return run_sweep(
+        f"Figure 8: Weather ({tag}), {n_procs} Processors",
+        _base(n_procs),
+        points,
+        lambda: WeatherWorkload(iterations=iterations, optimized=optimized),
+        progress=progress,
+    )
+
+
+def figure9(n_procs: int = 64, *, iterations: int = 5, progress=None) -> SweepResult:
+    """Weather under LimitLESS across the Ts sweep."""
+    points = [SweepPoint("Dir4NB", dict(protocol="limited", pointers=4))]
+    for ts in (150, 100, 50, 25):
+        points.append(
+            SweepPoint(
+                f"LimitLESS4 Ts={ts}",
+                dict(protocol="limitless", pointers=4, ts=ts),
+            )
+        )
+    points.append(SweepPoint("Full-Map", dict(protocol="fullmap")))
+    return run_sweep(
+        f"Figure 9: Weather, {n_procs} Processors, Ts sweep",
+        _base(n_procs),
+        points,
+        lambda: WeatherWorkload(iterations=iterations),
+        progress=progress,
+    )
+
+
+def figure10(n_procs: int = 64, *, iterations: int = 5, progress=None) -> SweepResult:
+    """Weather under LimitLESS with 1, 2, 4 hardware pointers."""
+    points = [SweepPoint("Dir4NB", dict(protocol="limited", pointers=4))]
+    for p in (1, 2, 4):
+        points.append(
+            SweepPoint(
+                f"LimitLESS{p}", dict(protocol="limitless", pointers=p, ts=50)
+            )
+        )
+    points.append(SweepPoint("Full-Map", dict(protocol="fullmap")))
+    return run_sweep(
+        f"Figure 10: Weather, {n_procs} Processors, pointer sweep",
+        _base(n_procs),
+        points,
+        lambda: WeatherWorkload(iterations=iterations),
+        progress=progress,
+    )
+
+
+ALL_FIGURES = {
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+}

@@ -1,0 +1,161 @@
+"""Parameter sweeps over machine configurations.
+
+The evaluation's figures are all sweeps (over schemes, over Ts, over
+pointer counts); this module provides the generic machinery so users can
+define their own, with results as structured rows ready for tabulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from ..machine import AlewifeConfig, MachineStats, run_experiment
+from ..stats.report import bar_chart, format_table
+from ..workloads.base import Workload
+
+
+@dataclass
+class SweepPoint:
+    """One configuration in a sweep."""
+
+    label: str
+    overrides: dict[str, Any]
+
+
+@dataclass
+class SweepResult:
+    """Results of one sweep: ordered (point, stats) pairs."""
+
+    title: str
+    rows: list[tuple[SweepPoint, MachineStats]] = field(default_factory=list)
+
+    def cycles(self, label: str) -> int:
+        for point, stats in self.rows:
+            if point.label == label:
+                return stats.cycles
+        raise KeyError(label)
+
+    def stats(self, label: str) -> MachineStats:
+        for point, stats in self.rows:
+            if point.label == label:
+                return stats
+        raise KeyError(label)
+
+    def labels(self) -> list[str]:
+        return [point.label for point, _ in self.rows]
+
+    def ratios(self, baseline: str) -> dict[str, float]:
+        """Execution-time ratios relative to ``baseline``."""
+        base = self.cycles(baseline)
+        return {
+            point.label: stats.cycles / base for point, stats in self.rows
+        }
+
+    def table(self) -> str:
+        base = min(stats.cycles for _, stats in self.rows)
+        return format_table(
+            ["point", "cycles", "ratio", "traps", "evictions"],
+            [
+                (
+                    point.label,
+                    f"{stats.cycles:,}",
+                    f"{stats.cycles / base:.2f}x",
+                    stats.traps_taken,
+                    stats.counters.get("dir.pointer_evictions"),
+                )
+                for point, stats in self.rows
+            ],
+        )
+
+    def chart(self) -> str:
+        return bar_chart(
+            self.title,
+            [(point.label, stats.mcycles()) for point, stats in self.rows],
+        )
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable record of the sweep (for archiving runs)."""
+        return {
+            "title": self.title,
+            "rows": [
+                {
+                    "label": point.label,
+                    "overrides": point.overrides,
+                    "cycles": stats.cycles,
+                    "utilization": round(stats.utilization, 4),
+                    "traps": stats.traps_taken,
+                    "packets": stats.network.packets,
+                    "counters": stats.counters.as_dict(),
+                    "config": {
+                        "n_procs": stats.config.n_procs,
+                        "protocol": stats.config.protocol,
+                        "pointers": stats.config.pointers,
+                        "ts": stats.config.ts,
+                        "seed": stats.config.seed,
+                    },
+                }
+                for point, stats in self.rows
+            ],
+        }
+
+    def save_json(self, path) -> None:
+        """Write the sweep record to ``path``."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+
+def run_sweep(
+    title: str,
+    base_config: AlewifeConfig,
+    points: Iterable[SweepPoint],
+    workload_factory: Callable[[], Workload],
+    *,
+    progress: Callable[[str, MachineStats], None] | None = None,
+) -> SweepResult:
+    """Run ``workload_factory()`` under each configuration point.
+
+    A fresh workload instance per point keeps generator state from leaking
+    between runs; the base config's seed keeps points comparable.
+    """
+    result = SweepResult(title)
+    for point in points:
+        config = base_config.with_(**point.overrides)
+        stats = run_experiment(config, workload_factory())
+        result.rows.append((point, stats))
+        if progress is not None:
+            progress(point.label, stats)
+    return result
+
+
+def scheme_points(
+    schemes: dict[str, dict[str, Any]] | None = None,
+) -> list[SweepPoint]:
+    """The paper's standard scheme list as sweep points."""
+    if schemes is None:
+        schemes = {
+            "Dir1NB": dict(protocol="limited", pointers=1),
+            "Dir2NB": dict(protocol="limited", pointers=2),
+            "Dir4NB": dict(protocol="limited", pointers=4),
+            "LimitLESS4 Ts=50": dict(protocol="limitless", pointers=4, ts=50),
+            "Full-Map": dict(protocol="fullmap"),
+        }
+    return [SweepPoint(label, overrides) for label, overrides in schemes.items()]
+
+
+def ts_points(ts_values: Iterable[int] = (25, 50, 100, 150)) -> list[SweepPoint]:
+    """Figure 9's Ts sweep."""
+    return [
+        SweepPoint(f"LimitLESS4 Ts={ts}", dict(protocol="limitless", pointers=4, ts=ts))
+        for ts in ts_values
+    ]
+
+
+def pointer_points(pointers: Iterable[int] = (1, 2, 4)) -> list[SweepPoint]:
+    """Figure 10's pointer sweep."""
+    return [
+        SweepPoint(f"LimitLESS{p}", dict(protocol="limitless", pointers=p, ts=50))
+        for p in pointers
+    ]

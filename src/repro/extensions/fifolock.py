@@ -1,0 +1,43 @@
+"""§6 extension: the FIFO lock data type.
+
+"A FIFO lock data type provides another example; the trap handler can
+buffer write requests for a programmer-specified variable and grant the
+requests on a first-come, first-serve basis."
+
+A flagged block is placed in Trap-Always mode; while a transaction is open
+on it, incoming read/write requests are *buffered* by the trap handler in
+arrival order instead of being bounced with BUSY.  Contending processors
+therefore acquire a test-and-set lock in request-arrival order with no
+retry storm, instead of in whatever order the BUSY/backoff race happens to
+produce.
+"""
+
+from __future__ import annotations
+
+from ..coherence.states import MetaState
+
+
+def make_fifo_block(machine, addr: int) -> int:
+    """Give the block containing ``addr`` FIFO write-grant semantics.
+
+    Requires a software-extended protocol.  Returns the block address.
+    Call before ``machine.run``.
+    """
+    block = machine.space.block_of(addr)
+    home = machine.space.home_of(block)
+    node = machine.nodes[home]
+    if node.software is None:
+        raise ValueError(
+            "FIFO locks need a software-extended protocol "
+            "(limitless or trap_always)"
+        )
+    entry = node.directory_controller.directory.entry(block)
+    entry.meta = MetaState.TRAP_ALWAYS
+    node.software.fifo_blocks.add(block)
+    return block
+
+
+def fifo_grants(machine, block: int) -> int:
+    """How many requests were FIFO-buffered for ``block``'s home node."""
+    home = machine.space.home_of(block)
+    return machine.nodes[home].counters.get("limitless.fifo_buffered")

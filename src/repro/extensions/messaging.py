@@ -1,0 +1,121 @@
+"""Interprocessor messaging over the IPI interface (§4.2).
+
+"Not only can it be used to send and receive cache protocol packets, but it
+can also be used to send preemptive messages to remote processors (as in
+message-passing machines). ... This store-back capability permits
+message-passing and block-transfers in addition to enabling the processing
+of protocol packets with data."
+
+This extension provides that path on the simulated machine: a sender
+launches an interrupt-class packet (optionally carrying data words); the
+destination's IPI input queue raises a trap; the receiving handler runs on
+the destination *processor* (charged ``handler_cycles``), can examine the
+header and operands, and can store the data portion back to local memory —
+exactly the §4.2 reception model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..mem.memory import BlockData
+from ..network.packet import Packet, interrupt_packet
+
+
+@dataclass
+class ReceivedMessage:
+    """One delivered interprocessor message."""
+
+    cycle: int
+    src: int
+    opcode: str
+    meta: dict
+    data_words: list[int]
+
+
+@dataclass
+class Mailbox:
+    """Per-node software message log plus optional user callback."""
+
+    node_id: int
+    messages: list[ReceivedMessage] = field(default_factory=list)
+    on_message: Callable[[ReceivedMessage], None] | None = None
+
+
+def open_mailboxes(machine, *, handler_cycles: int = 25) -> dict[int, Mailbox]:
+    """Install an IPI message handler on every node.
+
+    On software-extended protocols (``limitless``, ``trap_always``) the
+    handler shares the LimitLESS trap path; on hardware-only protocols it
+    attaches directly to the NIC trap hook.  Returns one mailbox per node.
+    Call before ``machine.run``.
+    """
+    mailboxes: dict[int, Mailbox] = {}
+    for node in machine.nodes:
+        mailbox = Mailbox(node.node_id)
+        mailboxes[node.node_id] = mailbox
+
+        def deliver(packet: Packet, _node=node, _mailbox=mailbox) -> None:
+            message = ReceivedMessage(
+                cycle=_node.processor.now,
+                src=packet.src,
+                opcode=packet.opcode,
+                meta=dict(packet.meta),
+                data_words=list(packet.data.words) if packet.data else [],
+            )
+            # Store-back: a message carrying data words lands in local
+            # memory at the address named by the 'store_to' operand.
+            store_to = packet.meta.get("store_to")
+            if store_to is not None and packet.data is not None:
+                block = machine.space.block_of(store_to)
+                _node.memory.write_block(block, packet.data.copy())
+            _mailbox.messages.append(message)
+            if _mailbox.on_message is not None:
+                _mailbox.on_message(message)
+
+        if node.software is not None:
+            node.software.interrupt_handler = deliver
+        else:
+            # Hardware-only protocol: handle the IPI queue directly, still
+            # charging the destination processor for the trap.
+            def trap_hook(_node=node, _deliver=deliver) -> None:
+                def consume() -> None:
+                    _deliver(_node.nic.ipi_pop())
+
+                _node.processor.request_trap(handler_cycles, consume)
+
+            node.nic.set_trap_handler(trap_hook)
+    return mailboxes
+
+
+def send_message(
+    machine,
+    src: int,
+    dst: int,
+    *,
+    opcode: str = "IPI",
+    payload_words: list[int] | None = None,
+    store_to: int | None = None,
+    **meta,
+) -> None:
+    """Launch an interprocessor message from ``src`` to ``dst``.
+
+    ``payload_words`` become the packet's data portion; ``store_to`` names
+    the destination-memory address the receiver stores them to (block
+    transfer).  Plain operands travel in ``meta``.
+    """
+    data = None
+    if payload_words is not None:
+        words = machine.space.words_per_block
+        if len(payload_words) > words:
+            raise ValueError(f"payload exceeds one block ({words} words)")
+        data = BlockData(words)
+        data.words[: len(payload_words)] = payload_words
+    if store_to is not None:
+        if machine.space.home_of(store_to) != dst:
+            raise ValueError("store_to must name memory homed at the receiver")
+        meta["store_to"] = store_to
+    machine.nodes[src].nic.send(
+        interrupt_packet(src, dst, opcode, data=data, **meta)
+    )

@@ -1,0 +1,49 @@
+"""§6 extension: update-mode coherence objects.
+
+"The directory trap modes can also be used to construct objects that
+update (rather than invalidate) cached copies after they are modified."
+
+A flagged block keeps its sharer set across writes: a store applies to the
+writer's read-only copy and writes through to the home node, whose trap
+handler stores the new data to memory and pushes it (``UPDATE_DATA``) to
+every other sharer.  Readers never take an invalidation miss; the cost is
+one data-bearing message per sharer per write — the classic
+update-vs-invalidate trade, now selectable per object as §6 proposes.
+
+Update-mode objects are weakly ordered (the writer continues before the
+updates land), so they suit convergence-style data, not synchronization.
+Use plain loads and stores on them — atomics still need exclusivity.
+"""
+
+from __future__ import annotations
+
+from ..coherence.states import MetaState
+
+
+def make_update_block(machine, addr: int) -> int:
+    """Give the block containing ``addr`` update-mode coherence.
+
+    Flags the block at its home directory (Trap-Always) and on every
+    cache controller (stores become write-throughs).  Requires a
+    software-extended protocol.  Call before ``machine.run``.
+    """
+    block = machine.space.block_of(addr)
+    home = machine.space.home_of(block)
+    home_node = machine.nodes[home]
+    if home_node.software is None:
+        raise ValueError(
+            "update-mode objects need a software-extended protocol "
+            "(limitless or trap_always)"
+        )
+    entry = home_node.directory_controller.directory.entry(block)
+    entry.meta = MetaState.TRAP_ALWAYS
+    home_node.software.update_blocks.add(block)
+    for node in machine.nodes:
+        node.cache_controller.update_blocks.add(block)
+    return block
+
+
+def updates_propagated(machine, block: int) -> int:
+    """Total UPDATE_DATA pushes performed by ``block``'s home node."""
+    home = machine.space.home_of(block)
+    return machine.nodes[home].counters.get("limitless.updates_propagated")

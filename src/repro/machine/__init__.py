@@ -1,0 +1,7 @@
+"""Machine assembly and the experiment driver."""
+
+from .config import AlewifeConfig
+from .machine import AlewifeMachine, MachineStats, run_experiment
+from .node import Node
+
+__all__ = ["AlewifeConfig", "AlewifeMachine", "MachineStats", "Node", "run_experiment"]

@@ -1,0 +1,101 @@
+"""Machine configuration.
+
+Defaults model the Alewife node of §2: a 33 MHz SPARCLE with four hardware
+contexts and an 11-cycle context switch, 64 KB direct-mapped cache with
+16-byte lines, 4 MB of globally shared memory per node, a wormhole-routed
+2-D mesh, and a single-chip cache/memory controller.  ``ts`` is the paper's
+T_s — the LimitLESS full-map-emulation latency, estimated at 50–100 cycles
+for Alewife and swept 25–150 in the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..coherence.registry import protocol_names
+
+
+@dataclass(frozen=True)
+class AlewifeConfig:
+    """Complete description of one simulated machine."""
+
+    n_procs: int = 64
+    protocol: str = "limitless"
+    #: hardware pointers per directory entry (the i of Dir_iNB, the p of
+    #: LimitLESS_p); ignored by fullmap/chained
+    pointers: int = 4
+    #: LimitLESS software emulation latency per trap (cycles)
+    ts: int = 50
+    #: optional additional software cost per invalidation launched by the
+    #: write-termination trap handler (0 = the paper's flat-T_s model)
+    ts_per_invalidation: int = 0
+
+    # Network
+    topology: str = "mesh"  # mesh | torus | omega | crossbar | ideal
+    hop_latency: int = 1
+    cycles_per_word: int = 1
+    injection_latency: int = 1
+    ideal_latency: int = 8
+
+    # Memory system
+    block_bytes: int = 16
+    segment_bytes: int = 1 << 22
+    cache_lines: int = 4096
+    cache_hit_latency: int = 1
+    dir_occupancy: int = 3
+    retry_base: int = 12
+    retry_cap: int = 400
+    victim_policy: str = "fifo"
+
+    # Processor
+    switch_cycles: int = 11
+    max_contexts: int = 4
+    spin_poll_interval: int = 12
+    #: "sc" = sequentially consistent (stores block, as in Alewife);
+    #: "wo" = weakly ordered (stores buffered, fences/atomics order) — the
+    #: §2 note that LimitLESS also works under weak ordering
+    memory_model: str = "sc"
+    #: outstanding-store capacity per context under "wo"
+    store_buffer: int = 8
+
+    # Simulation
+    seed: int = 42
+    max_cycles: int = 50_000_000
+    ipi_capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.n_procs < 1:
+            raise ValueError("need at least one processor")
+        if self.protocol not in protocol_names():
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; choose from {protocol_names()}"
+            )
+        if self.pointers < 0:
+            raise ValueError("pointer count must be >= 0")
+        if self.protocol in ("limited", "limited_broadcast") and self.pointers < 1:
+            raise ValueError("limited directories need at least one pointer")
+        if self.memory_model not in ("sc", "wo"):
+            raise ValueError("memory_model must be 'sc' or 'wo'")
+
+    def with_(self, **changes: Any) -> "AlewifeConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def label(self) -> str:
+        """Short protocol label in the paper's notation."""
+        if self.protocol == "fullmap":
+            return "Full-Map"
+        if self.protocol == "limited":
+            return f"Dir{self.pointers}NB"
+        if self.protocol == "limited_broadcast":
+            return f"Dir{self.pointers}B"
+        if self.protocol == "limitless":
+            return f"LimitLESS{self.pointers} (Ts={self.ts})"
+        if self.protocol == "limitless_approx":
+            return f"LimitLESS{self.pointers}~approx (Ts={self.ts})"
+        if self.protocol == "chained":
+            return "Chained"
+        if self.protocol == "trap_always":
+            return f"Software-only (Ts={self.ts})"
+        return self.protocol

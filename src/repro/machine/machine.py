@@ -1,0 +1,177 @@
+"""The Alewife machine: nodes + network + experiment driver.
+
+``AlewifeMachine(config).run(workload)`` builds the machine, loads the
+workload's programs into the processors, runs the event simulation until
+every program finishes, audits the coherence invariants, and returns a
+:class:`MachineStats` with the absolute execution time in cycles — the
+paper's bottom-line metric ("how fast a system can run a program", §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..mem.address import AddressSpace, Allocator
+from ..network.fabric import IdealNetwork, Network, NetworkStats, WormholeNetwork
+from ..network.topology import make_topology
+from ..sim.kernel import SimulationError, Simulator
+from ..sim.rng import DeterministicRng
+from ..stats.counters import Counters, Histogram
+from ..verify.invariants import audit_machine
+from .config import AlewifeConfig
+from .node import Node
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..workloads.base import Workload
+
+
+@dataclass
+class MachineStats:
+    """Results of one complete simulation."""
+
+    config: AlewifeConfig
+    cycles: int
+    counters: Counters
+    network: NetworkStats
+    worker_sets: Histogram
+    utilization: float
+    mean_miss_latency: float
+    traps_taken: int
+    trap_cycles: int
+    per_proc_finish: list[int] = field(default_factory=list)
+    entries_audited: int = 0
+
+    @property
+    def label(self) -> str:
+        return self.config.label()
+
+    def mcycles(self) -> float:
+        return self.cycles / 1e6
+
+    def summary(self) -> str:
+        c = self.counters
+        hits = sum(c.get(f"cache.hits.{k}") for k in ("load", "store", "rmw"))
+        misses = sum(c.get(f"cache.misses.{k}") for k in ("load", "store", "rmw"))
+        ratio = hits / (hits + misses) if hits + misses else 0.0
+        return (
+            f"{self.label}: {self.cycles} cycles | util {self.utilization:.2f} "
+            f"| hit-rate {ratio:.3f} | Th≈{self.mean_miss_latency:.1f} "
+            f"| traps {self.traps_taken} | packets {self.network.packets}"
+        )
+
+
+class AlewifeMachine:
+    """A configured machine instance, ready to run one workload."""
+
+    def __init__(self, config: AlewifeConfig) -> None:
+        self.config = config
+        self.sim = Simulator(max_cycles=config.max_cycles)
+        self.rng = DeterministicRng(config.seed)
+        self.space = AddressSpace(
+            n_nodes=config.n_procs,
+            block_bytes=config.block_bytes,
+            segment_bytes=config.segment_bytes,
+        )
+        self.allocator = Allocator(self.space)
+        self.network = self._build_network()
+        self._finished = 0
+        self.nodes = [
+            Node(
+                self.sim,
+                node_id,
+                config,
+                self.space,
+                self.network,
+                self.rng,
+                on_proc_done=self._proc_done,
+            )
+            for node_id in range(config.n_procs)
+        ]
+
+    def _build_network(self) -> Network:
+        if self.config.topology == "ideal":
+            return IdealNetwork(
+                self.sim,
+                self.config.n_procs,
+                latency=self.config.ideal_latency,
+                cycles_per_word=self.config.cycles_per_word,
+            )
+        topology = make_topology(self.config.topology, self.config.n_procs)
+        return WormholeNetwork(
+            self.sim,
+            topology,
+            hop_latency=self.config.hop_latency,
+            cycles_per_word=self.config.cycles_per_word,
+            injection_latency=self.config.injection_latency,
+        )
+
+    def _proc_done(self, _proc) -> None:
+        self._finished += 1
+
+    # ------------------------------------------------------------------
+    # Running workloads
+    # ------------------------------------------------------------------
+
+    def run(self, workload: "Workload", *, audit: bool = True) -> MachineStats:
+        """Build the workload's programs, simulate to completion, audit."""
+        programs = workload.build(self)
+        threads = 0
+        for proc_id, generators in programs.items():
+            for gen in generators:
+                self.nodes[proc_id].processor.add_thread(gen)
+                threads += 1
+        if not threads:
+            raise SimulationError("workload produced no programs")
+        for node in self.nodes:
+            node.start()
+        self.sim.run()
+        laggards = [n.node_id for n in self.nodes if not n.processor.done]
+        if laggards:
+            from ..verify.diagnose import diagnose
+
+            raise SimulationError(
+                f"simulation stopped at {self.sim.now} cycles with processors "
+                f"{laggards[:8]} unfinished (deadlock or max_cycles too small)\n"
+                + diagnose(self).report()
+            )
+        entries = audit_machine(self) if audit else 0
+        return self._collect(entries)
+
+    def _collect(self, entries_audited: int) -> MachineStats:
+        counters = Counters()
+        worker_sets = Histogram()
+        miss_total = 0
+        miss_count = 0
+        traps = 0
+        trap_cycles = 0
+        finishes = []
+        for node in self.nodes:
+            counters.merge(node.counters)
+            worker_sets.counts.update(node.directory_controller.worker_sets.counts)
+            miss_total += node.cache_controller.miss_latency_total
+            miss_count += node.cache_controller.miss_latency_count
+            traps += node.processor.traps_taken
+            trap_cycles += node.processor.trap_cycles
+            finishes.append(node.processor.finish_time or 0)
+        cycles = max(finishes) if finishes else self.sim.now
+        busy = sum(n.processor.busy_cycles for n in self.nodes)
+        denom = cycles * len(self.nodes)
+        return MachineStats(
+            config=self.config,
+            cycles=cycles,
+            counters=counters,
+            network=self.network.stats,
+            worker_sets=worker_sets,
+            utilization=busy / denom if denom else 0.0,
+            mean_miss_latency=miss_total / miss_count if miss_count else 0.0,
+            traps_taken=traps,
+            trap_cycles=trap_cycles,
+            per_proc_finish=finishes,
+            entries_audited=entries_audited,
+        )
+
+
+def run_experiment(config: AlewifeConfig, workload: "Workload") -> MachineStats:
+    """Convenience one-shot: build a machine, run, return stats."""
+    return AlewifeMachine(config).run(workload)

@@ -1,0 +1,13 @@
+"""Shared-memory geometry, allocation, and per-node block storage."""
+
+from .address import WORD_BYTES, AddressSpace, Allocation, Allocator
+from .memory import BlockData, MainMemory
+
+__all__ = [
+    "WORD_BYTES",
+    "AddressSpace",
+    "Allocation",
+    "Allocator",
+    "BlockData",
+    "MainMemory",
+]

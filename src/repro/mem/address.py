@@ -1,0 +1,160 @@
+"""Address space and home-node mapping.
+
+Alewife distributes globally shared memory among the processing nodes: each
+node holds a slice of shared memory plus the directory entries for the
+blocks it homes.  We encode the home node in the high bits of the (byte)
+address, so ``home_of`` is a shift — the same effect as Alewife's
+per-node 4 MB memory segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+WORD_BYTES = 4
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class AddressSpace:
+    """Shared-memory geometry: block size and per-node segment size.
+
+    ``block_bytes`` is the coherence unit (16 bytes in Alewife).
+    ``segment_bytes`` is the shared memory held by each node (4 MB in
+    Alewife; smaller in tests).
+    """
+
+    n_nodes: int
+    block_bytes: int = 16
+    segment_bytes: int = 1 << 22
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("need at least one node")
+        if not _is_power_of_two(self.block_bytes):
+            raise ValueError("block size must be a power of two")
+        if self.block_bytes % WORD_BYTES:
+            raise ValueError("block size must be a whole number of words")
+        if not _is_power_of_two(self.segment_bytes):
+            raise ValueError("segment size must be a power of two")
+        if self.segment_bytes < self.block_bytes:
+            raise ValueError("segment smaller than a block")
+
+    # -- geometry ------------------------------------------------------
+
+    @property
+    def words_per_block(self) -> int:
+        return self.block_bytes // WORD_BYTES
+
+    @property
+    def segment_shift(self) -> int:
+        return self.segment_bytes.bit_length() - 1
+
+    @property
+    def block_mask(self) -> int:
+        return ~(self.block_bytes - 1)
+
+    # -- decomposition -------------------------------------------------
+
+    def home_of(self, addr: int) -> int:
+        """Node that homes ``addr`` (holds its memory + directory entry)."""
+        home = addr >> self.segment_shift
+        if not 0 <= home < self.n_nodes:
+            raise ValueError(f"address {addr:#x} outside shared memory")
+        return home
+
+    def block_of(self, addr: int) -> int:
+        """Block-aligned base address containing ``addr``."""
+        return addr & self.block_mask
+
+    def word_in_block(self, addr: int) -> int:
+        """Word index of ``addr`` within its block."""
+        return (addr & (self.block_bytes - 1)) // WORD_BYTES
+
+    def address(self, home: int, offset: int) -> int:
+        """Byte address at ``offset`` within ``home``'s segment."""
+        if not 0 <= home < self.n_nodes:
+            raise ValueError(f"home {home} out of range")
+        if not 0 <= offset < self.segment_bytes:
+            raise ValueError(f"offset {offset:#x} outside segment")
+        return (home << self.segment_shift) | offset
+
+    def blocks_in_segment(self) -> int:
+        return self.segment_bytes // self.block_bytes
+
+
+@dataclass
+class Allocation:
+    """A named region of shared memory."""
+
+    name: str
+    base: int
+    n_bytes: int
+    home: int
+
+    def word(self, index: int = 0) -> int:
+        """Byte address of the ``index``-th word of the allocation."""
+        addr = self.base + index * WORD_BYTES
+        if addr >= self.base + self.n_bytes:
+            raise IndexError(f"{self.name}[{index}] out of bounds")
+        return addr
+
+
+@dataclass
+class Allocator:
+    """Bump allocator over each node's shared segment.
+
+    Workload generators use it to place variables on specific home nodes
+    (matching the paper's static data distribution) and, by default, to give
+    each allocation its own coherence block so unrelated variables do not
+    false-share.
+
+    Each home's allocation stream starts at a *staggered* offset
+    (``home * stagger_blocks`` coherence blocks).  Without this, the first
+    allocation of every node would live at segment offset 0 and all of them
+    would collide in the same direct-mapped cache set — an artifact of the
+    power-of-two segment size, not of the workloads being modelled.
+    """
+
+    space: AddressSpace
+    stagger_blocks: int = 17
+    _next: dict[int, int] = field(default_factory=dict)
+    allocations: list[Allocation] = field(default_factory=list)
+
+    def _start_offset(self, home: int) -> int:
+        offset = home * self.stagger_blocks * self.space.block_bytes
+        return offset % max(self.space.block_bytes, self.space.segment_bytes // 2)
+
+    def alloc(
+        self,
+        name: str,
+        n_bytes: int,
+        *,
+        home: int,
+        block_aligned: bool = True,
+    ) -> Allocation:
+        """Allocate ``n_bytes`` on ``home``'s segment."""
+        if n_bytes <= 0:
+            raise ValueError("allocation must be positive")
+        offset = self._next.get(home, self._start_offset(home))
+        if block_aligned:
+            mask = self.space.block_bytes - 1
+            offset = (offset + mask) & ~mask
+        end = offset + n_bytes
+        if end > self.space.segment_bytes:
+            raise MemoryError(f"segment of node {home} exhausted ({name})")
+        self._next[home] = end
+        allocation = Allocation(name, self.space.address(home, offset), n_bytes, home)
+        self.allocations.append(allocation)
+        return allocation
+
+    def alloc_words(self, name: str, n_words: int, *, home: int) -> Allocation:
+        """Allocate ``n_words`` 4-byte words on ``home``."""
+        return self.alloc(name, n_words * WORD_BYTES, home=home)
+
+    def alloc_scalar(self, name: str, *, home: int) -> Allocation:
+        """Allocate one word in its own block (no false sharing)."""
+        return self.alloc(name, WORD_BYTES, home=home)

@@ -1,0 +1,78 @@
+"""Per-node main memory holding real block data.
+
+The reproduction carries actual word values through the coherence protocol
+(RDATA/WDATA/UPDATE/REPM messages transport block contents).  This makes the
+simulated synchronization real — barriers spin on values that the protocol
+delivered — and doubles as a correctness oracle for the protocol tests.
+"""
+
+from __future__ import annotations
+
+from .address import AddressSpace
+
+
+class BlockData:
+    """Contents of one coherence block: a small tuple of words."""
+
+    __slots__ = ("words",)
+
+    def __init__(self, n_words: int, fill: int = 0) -> None:
+        self.words = [fill] * n_words
+
+    def copy(self) -> "BlockData":
+        clone = BlockData(0)
+        clone.words = list(self.words)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BlockData) and self.words == other.words
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BlockData({self.words})"
+
+
+class MainMemory:
+    """The shared-memory slice held by one node.
+
+    Blocks materialize on first touch with zero-filled words, mirroring
+    zero-initialized shared memory.
+    """
+
+    def __init__(self, space: AddressSpace, node_id: int) -> None:
+        self.space = space
+        self.node_id = node_id
+        self._blocks: dict[int, BlockData] = {}
+
+    def block(self, block_addr: int) -> BlockData:
+        """Return the live block at ``block_addr`` (home-checked)."""
+        if self.space.home_of(block_addr) != self.node_id:
+            raise ValueError(
+                f"block {block_addr:#x} is not homed at node {self.node_id}"
+            )
+        data = self._blocks.get(block_addr)
+        if data is None:
+            data = BlockData(self.space.words_per_block)
+            self._blocks[block_addr] = data
+        return data
+
+    def read_block(self, block_addr: int) -> BlockData:
+        """A snapshot copy of the block (what a data message carries)."""
+        return self.block(block_addr).copy()
+
+    def write_block(self, block_addr: int, data: BlockData) -> None:
+        """Overwrite the block with ``data`` (a write-back landing)."""
+        self.block(block_addr).words = list(data.words)
+
+    def peek_word(self, addr: int) -> int:
+        """Directly read a word (test/debug oracle, no protocol)."""
+        block = self.block(self.space.block_of(addr))
+        return block.words[self.space.word_in_block(addr)]
+
+    def poke_word(self, addr: int, value: int) -> None:
+        """Directly write a word (test/debug, no protocol)."""
+        block = self.block(self.space.block_of(addr))
+        block.words[self.space.word_in_block(addr)] = value
+
+    @property
+    def touched_blocks(self) -> int:
+        return len(self._blocks)

@@ -1,0 +1,23 @@
+"""Analytical models (§3.1 latency model, §1 memory-overhead model)."""
+
+from .analytical import (
+    DirectoryOverhead,
+    chained_write_latency,
+    directory_overhead,
+    fanout_write_latency,
+    limitless_remote_latency,
+    overflow_fraction_for_slowdown,
+    slowdown_vs_fullmap,
+    software_only_viability,
+)
+
+__all__ = [
+    "DirectoryOverhead",
+    "chained_write_latency",
+    "directory_overhead",
+    "fanout_write_latency",
+    "limitless_remote_latency",
+    "overflow_fraction_for_slowdown",
+    "slowdown_vs_fullmap",
+    "software_only_viability",
+]

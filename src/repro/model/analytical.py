@@ -1,0 +1,140 @@
+"""Analytical models from the paper.
+
+§3.1's latency model: with hardware protocol latency ``Th`` and software
+emulation latency ``Ts``, the LimitLESS average remote access latency is
+``Th + m * Ts`` where ``m`` is the fraction of remote accesses that
+overflow the hardware pointer array.  The worked example: Th = 35 cycles
+(measured for Weather on a 64-node Alewife), Ts = 100, m = 3 % gives a 10 %
+slowdown over full-map.
+
+§1's memory-overhead argument: full-map directories grow as O(N^2) with
+machine size (N pointers for each of O(N) memory blocks), limited/LimitLESS
+directories as O(N), and chained directories as O(N) with the forward
+pointers living in the caches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def limitless_remote_latency(th: float, ts: float, m: float) -> float:
+    """Average remote latency of LimitLESS: ``Th + m * Ts`` (§3.1)."""
+    if not 0.0 <= m <= 1.0:
+        raise ValueError("m is a fraction of accesses, 0..1")
+    if th < 0 or ts < 0:
+        raise ValueError("latencies must be non-negative")
+    return th + m * ts
+
+
+def slowdown_vs_fullmap(th: float, ts: float, m: float) -> float:
+    """Fractional slowdown of LimitLESS over full-map (0.10 == 10 %)."""
+    if th <= 0:
+        raise ValueError("Th must be positive")
+    return limitless_remote_latency(th, ts, m) / th - 1.0
+
+
+def overflow_fraction_for_slowdown(th: float, ts: float, slowdown: float) -> float:
+    """The m at which LimitLESS is ``slowdown`` slower than full-map."""
+    if ts <= 0:
+        raise ValueError("Ts must be positive")
+    return slowdown * th / ts
+
+
+def software_only_viability(th: float, ts: float) -> float:
+    """Slowdown of all-software coherence (m = 1): the §3.1 migration-path
+    observation that Th >> Ts makes interrupt-driven coherence viable."""
+    return slowdown_vs_fullmap(th, ts, 1.0)
+
+
+@dataclass(frozen=True)
+class DirectoryOverhead:
+    """Directory memory for one machine configuration, in bits."""
+
+    scheme: str
+    n_processors: int
+    total_memory_bytes: int
+    block_bytes: int
+    pointers: int
+    directory_bits: int
+
+    @property
+    def blocks(self) -> int:
+        return self.total_memory_bytes // self.block_bytes
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Directory bits per bit of main memory."""
+        return self.directory_bits / (self.total_memory_bytes * 8)
+
+
+def _pointer_bits(n_processors: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, n_processors))))
+
+
+#: base protocol state bits per entry (Table 1: 4 states -> 2 bits)
+STATE_BITS = 2
+#: LimitLESS meta-state bits per entry (Table 4: "the two bits required")
+META_BITS = 2
+#: the Local Bit (§4.3)
+LOCAL_BITS = 1
+
+
+def directory_overhead(
+    scheme: str,
+    n_processors: int,
+    *,
+    memory_per_node_bytes: int = 1 << 22,
+    block_bytes: int = 16,
+    pointers: int = 4,
+) -> DirectoryOverhead:
+    """Directory size for ``scheme`` on an N-node machine.
+
+    Schemes: ``fullmap`` (N presence bits/entry), ``limited``/``limitless``
+    (p pointers of log2 N bits, LimitLESS adds meta bits + local bit),
+    ``chained`` (one head pointer per entry + one forward pointer per
+    *cache line*, charged to directory memory here).
+    """
+    total_memory = memory_per_node_bytes * n_processors
+    blocks = total_memory // block_bytes
+    ptr = _pointer_bits(n_processors)
+    if scheme == "fullmap":
+        per_entry = STATE_BITS + n_processors
+        bits = blocks * per_entry
+        p = n_processors
+    elif scheme == "limited":
+        per_entry = STATE_BITS + pointers * ptr
+        bits = blocks * per_entry
+        p = pointers
+    elif scheme == "limitless":
+        per_entry = STATE_BITS + META_BITS + LOCAL_BITS + pointers * ptr
+        bits = blocks * per_entry
+        p = pointers
+    elif scheme == "chained":
+        per_entry = STATE_BITS + ptr
+        # forward pointers: one per cache line, ~one cache's worth per node
+        cache_lines_per_node = (1 << 16) // block_bytes
+        bits = blocks * per_entry + n_processors * cache_lines_per_node * ptr
+        p = 1
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    return DirectoryOverhead(
+        scheme, n_processors, total_memory, block_bytes, p, bits
+    )
+
+
+def chained_write_latency(worker_set: int, round_trip: float) -> float:
+    """Invalidate latency of a chained directory: sequential walk (§1).
+
+    One network round trip per chain element versus a single fan-out for
+    full-map/LimitLESS.
+    """
+    if worker_set < 0:
+        raise ValueError("worker set must be non-negative")
+    return worker_set * round_trip
+
+
+def fanout_write_latency(worker_set: int, round_trip: float) -> float:
+    """Invalidate latency with parallel fan-out: one round trip total."""
+    return round_trip if worker_set else 0.0

@@ -1,0 +1,36 @@
+"""Interconnection network: packets, topologies, fabric, IPI interface."""
+
+from .fabric import IdealNetwork, Network, NetworkStats, WormholeNetwork
+from .interface import IpiQueueOverflow, NetworkInterface
+from .packet import (
+    CACHE_TO_MEMORY,
+    DATA_BEARING_OPCODES,
+    MEMORY_TO_CACHE,
+    PROTOCOL_OPCODES,
+    Packet,
+    interrupt_packet,
+    protocol_packet,
+)
+from .topology import Crossbar, Mesh2D, Omega, Topology, Torus2D, make_topology
+
+__all__ = [
+    "CACHE_TO_MEMORY",
+    "Crossbar",
+    "DATA_BEARING_OPCODES",
+    "IdealNetwork",
+    "IpiQueueOverflow",
+    "MEMORY_TO_CACHE",
+    "Mesh2D",
+    "Network",
+    "NetworkInterface",
+    "NetworkStats",
+    "Omega",
+    "PROTOCOL_OPCODES",
+    "Packet",
+    "Topology",
+    "Torus2D",
+    "WormholeNetwork",
+    "interrupt_packet",
+    "make_topology",
+    "protocol_packet",
+]

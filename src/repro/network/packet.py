@@ -1,0 +1,118 @@
+"""Uniform network packet format (paper §4.2, Figure 4).
+
+Every packet carries a header (source, length, opcode), zero or more
+operands, and zero or more data words.  Opcodes split into two classes:
+
+* *protocol* opcodes — cache-coherence traffic, normally produced and
+  consumed by the controller hardware but also by the LimitLESS trap
+  handler;
+* *interrupt* opcodes (MSB set in hardware) — interprocessor messages whose
+  format is defined entirely by software.
+
+The packet's length in words determines its serialization cost on the
+network, so data-carrying messages (RDATA, WDATA, UPDATE, REPM) cost more
+than control messages — exactly the asymmetry that makes invalidation
+fan-out cheap and data fan-out expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..mem.memory import BlockData
+
+HEADER_WORDS = 1
+
+#: Opcodes whose packets carry a data block (Table 3's "Data?" column).
+DATA_BEARING_OPCODES = frozenset({"RDATA", "WDATA", "UPDATE", "REPM", "UPDATE_DATA"})
+
+#: Protocol opcodes sent from caches to memory controllers (Table 3).
+CACHE_TO_MEMORY = ("RREQ", "WREQ", "REPM", "UPDATE", "ACKC")
+
+#: Protocol opcodes sent from memory controllers to caches (Table 3).
+MEMORY_TO_CACHE = ("RDATA", "WDATA", "INV", "BUSY", "UPDATE_DATA")
+
+PROTOCOL_OPCODES = frozenset(CACHE_TO_MEMORY) | frozenset(MEMORY_TO_CACHE)
+
+#: Interrupt-class opcodes (software-defined interprocessor messages).
+INTERRUPT_OPCODES = frozenset({"IPI", "PROFILE", "LOCK_GRANT"})
+
+
+@dataclass
+class Packet:
+    """One network packet in the uniform Alewife format.
+
+    ``operands`` always starts with the block address for protocol packets.
+    ``data`` is the block payload for data-bearing packets.  ``meta`` holds
+    bookkeeping that a real machine would encode in operands (requester id,
+    version numbers) — it contributes to the operand count so the timing
+    model stays honest.
+    """
+
+    src: int
+    dst: int
+    opcode: str
+    address: int = 0
+    data: Optional[BlockData] = None
+    meta: dict[str, Any] = field(default_factory=dict)
+    sent_at: int = -1
+
+    def __post_init__(self) -> None:
+        if self.opcode in DATA_BEARING_OPCODES and self.data is None:
+            raise ValueError(f"{self.opcode} packet requires data")
+
+    @property
+    def is_protocol(self) -> bool:
+        return self.opcode in PROTOCOL_OPCODES
+
+    @property
+    def is_interrupt(self) -> bool:
+        return not self.is_protocol
+
+    @property
+    def data_words(self) -> int:
+        return len(self.data.words) if self.data is not None else 0
+
+    @property
+    def length_words(self) -> int:
+        """Total packet length: header + operands + data words."""
+        operands = 1 + len(self.meta)  # address + encoded bookkeeping
+        return HEADER_WORDS + operands + self.data_words
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({self.opcode} {self.src}->{self.dst} "
+            f"addr={self.address:#x} len={self.length_words})"
+        )
+
+
+def protocol_packet(
+    src: int,
+    dst: int,
+    opcode: str,
+    address: int,
+    *,
+    data: Optional[BlockData] = None,
+    **meta: Any,
+) -> Packet:
+    """Build a protocol-class packet, validating the opcode."""
+    if opcode not in PROTOCOL_OPCODES:
+        raise ValueError(f"unknown protocol opcode {opcode!r}")
+    return Packet(src, dst, opcode, address, data=data, meta=dict(meta))
+
+
+def interrupt_packet(
+    src: int,
+    dst: int,
+    opcode: str,
+    *,
+    data: Optional[BlockData] = None,
+    **meta: Any,
+) -> Packet:
+    """Build an interrupt-class (software-defined) packet.
+
+    ``data`` carries optional data words — the uniform format's tail, used
+    by the IPI interface's message-passing and block-transfer modes.
+    """
+    return Packet(src, dst, opcode, 0, data=data, meta=dict(meta))

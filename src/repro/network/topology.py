@@ -1,0 +1,210 @@
+"""Interconnect topologies and deterministic routing.
+
+Alewife uses a 2-D mesh with dimension-ordered wormhole routing; ASIM's
+network module can also model Omega (multistage) interconnects.  We provide
+both, plus a torus and a zero-hop crossbar used for ablations.
+
+A topology's job is purely structural: map (src, dst) to an ordered list of
+directed *link ids*.  The fabric layers timing and contention on top.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+LinkId = Hashable
+
+
+class Topology:
+    """Structural interconnect: nodes and routes between them."""
+
+    n_nodes: int
+
+    def route(self, src: int, dst: int) -> list[LinkId]:
+        """Ordered directed links a packet traverses from src to dst."""
+        raise NotImplementedError
+
+    def hops(self, src: int, dst: int) -> int:
+        return len(self.route(src, dst))
+
+    def average_distance(self) -> float:
+        """Mean hop count over all ordered pairs (src != dst)."""
+        total = 0
+        pairs = 0
+        for s in range(self.n_nodes):
+            for d in range(self.n_nodes):
+                if s != d:
+                    total += self.hops(s, d)
+                    pairs += 1
+        return total / pairs if pairs else 0.0
+
+    def check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range 0..{self.n_nodes - 1}")
+
+
+@dataclass(frozen=True)
+class _MeshGeometry:
+    width: int
+    height: int
+
+    def coords(self, node: int) -> tuple[int, int]:
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        return y * self.width + x
+
+
+class Mesh2D(Topology):
+    """2-D mesh with dimension-ordered (X then Y) routing.
+
+    Link ids are ``(node, direction)`` tuples where direction is one of
+    ``"E" | "W" | "N" | "S"`` — each physical channel is unidirectional,
+    as in a wormhole-routed mesh.
+    """
+
+    DIRECTIONS = ("E", "W", "N", "S")
+
+    def __init__(self, width: int, height: int | None = None) -> None:
+        if height is None:
+            height = width
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.geometry = _MeshGeometry(width, height)
+        self.n_nodes = width * height
+
+    @classmethod
+    def square_for(cls, n_nodes: int) -> "Mesh2D":
+        """Smallest near-square mesh holding ``n_nodes`` (exact fit only)."""
+        side = int(math.isqrt(n_nodes))
+        if side * side == n_nodes:
+            return cls(side, side)
+        # fall back to a W x H factorization closest to square
+        for w in range(side, 0, -1):
+            if n_nodes % w == 0:
+                return cls(w, n_nodes // w)
+        raise ValueError(f"cannot factor {n_nodes} into a mesh")
+
+    def route(self, src: int, dst: int) -> list[LinkId]:
+        self.check_node(src)
+        self.check_node(dst)
+        x0, y0 = self.geometry.coords(src)
+        x1, y1 = self.geometry.coords(dst)
+        links: list[LinkId] = []
+        x, y = x0, y0
+        while x != x1:  # X dimension first
+            if x < x1:
+                links.append((self.geometry.node_at(x, y), "E"))
+                x += 1
+            else:
+                links.append((self.geometry.node_at(x, y), "W"))
+                x -= 1
+        while y != y1:  # then Y
+            if y < y1:
+                links.append((self.geometry.node_at(x, y), "S"))
+                y += 1
+            else:
+                links.append((self.geometry.node_at(x, y), "N"))
+                y -= 1
+        return links
+
+
+class Torus2D(Mesh2D):
+    """2-D torus: dimension-ordered routing with wraparound shortcuts."""
+
+    def route(self, src: int, dst: int) -> list[LinkId]:
+        self.check_node(src)
+        self.check_node(dst)
+        width = self.geometry.width
+        height = self.geometry.height
+        x0, y0 = self.geometry.coords(src)
+        x1, y1 = self.geometry.coords(dst)
+        links: list[LinkId] = []
+
+        def steps(frm: int, to: int, size: int) -> tuple[int, int]:
+            """(count, direction) along a ring; +1 means increasing index."""
+            forward = (to - frm) % size
+            backward = (frm - to) % size
+            if forward <= backward:
+                return forward, 1
+            return backward, -1
+
+        count, sign = steps(x0, x1, width)
+        x, y = x0, y0
+        for _ in range(count):
+            links.append((self.geometry.node_at(x, y), "E" if sign > 0 else "W"))
+            x = (x + sign) % width
+        count, sign = steps(y0, y1, height)
+        for _ in range(count):
+            links.append((self.geometry.node_at(x, y), "S" if sign > 0 else "N"))
+            y = (y + sign) % height
+        return links
+
+
+class Omega(Topology):
+    """Omega (multistage shuffle-exchange) network for N = 2^k nodes.
+
+    Packets traverse ``k`` switch stages; the link id at stage ``s`` is
+    ``("omega", s, switch_input)``.  Routing is destination-tag: at stage
+    ``s`` the packet exits on the port given by destination bit ``k-1-s``.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        k = n_nodes.bit_length() - 1
+        if n_nodes < 2 or (1 << k) != n_nodes:
+            raise ValueError("Omega network requires a power-of-two node count")
+        self.n_nodes = n_nodes
+        self.stages = k
+
+    @staticmethod
+    def _shuffle(value: int, k: int) -> int:
+        """Perfect shuffle: rotate the k-bit address left by one."""
+        msb = (value >> (k - 1)) & 1
+        return ((value << 1) | msb) & ((1 << k) - 1)
+
+    def route(self, src: int, dst: int) -> list[LinkId]:
+        self.check_node(src)
+        self.check_node(dst)
+        links: list[LinkId] = []
+        current = src
+        for stage in range(self.stages):
+            current = self._shuffle(current, self.stages)
+            # Exchange: set the low bit to the routing bit of dst.
+            bit = (dst >> (self.stages - 1 - stage)) & 1
+            current = (current & ~1) | bit
+            links.append(("omega", stage, current))
+        return links
+
+
+class Crossbar(Topology):
+    """Full crossbar: one dedicated link per ordered pair (no contention
+    between distinct pairs).  Used for ideal-network ablations."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.n_nodes = n_nodes
+
+    def route(self, src: int, dst: int) -> list[LinkId]:
+        self.check_node(src)
+        self.check_node(dst)
+        if src == dst:
+            return []
+        return [("xbar", src, dst)]
+
+
+def make_topology(kind: str, n_nodes: int) -> Topology:
+    """Factory used by machine configuration."""
+    kind = kind.lower()
+    if kind == "mesh":
+        return Mesh2D.square_for(n_nodes)
+    if kind == "torus":
+        mesh = Mesh2D.square_for(n_nodes)
+        return Torus2D(mesh.geometry.width, mesh.geometry.height)
+    if kind == "omega":
+        return Omega(n_nodes)
+    if kind == "crossbar":
+        return Crossbar(n_nodes)
+    raise ValueError(f"unknown topology {kind!r}")

@@ -1,0 +1,6 @@
+"""Processor model and program operation vocabulary."""
+
+from . import ops
+from .processor import Context, ContextState, Processor
+
+__all__ = ["Context", "ContextState", "Processor", "ops"]

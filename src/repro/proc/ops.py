@@ -1,0 +1,73 @@
+"""Operations a program yields to the processor.
+
+Programs are Python generators: they ``yield`` operation tuples and receive
+the operation's result via ``send`` — loads return the word value, atomic
+read-modify-writes return the old value.  This is the reproduction's
+equivalent of the paper's trace-driven inputs with embedded synchronization
+(the post-mortem scheduler of §5.1): the instruction stream is fixed, but
+synchronization operations can branch on the values the memory system
+actually delivers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+THINK = "think"
+LOAD = "load"
+STORE = "store"
+RMW = "rmw"
+FENCE = "fence"
+SWITCH_HINT = "switch_hint"
+
+
+def think(cycles: int) -> tuple:
+    """Compute locally for ``cycles`` cycles (no memory traffic)."""
+    if cycles < 0:
+        raise ValueError("think time must be non-negative")
+    return (THINK, cycles)
+
+
+def load(addr: int) -> tuple:
+    """Read a shared word; the yield expression evaluates to its value."""
+    return (LOAD, addr)
+
+
+def store(addr: int, value: int) -> tuple:
+    """Write ``value`` to a shared word."""
+    return (STORE, addr, value)
+
+
+def rmw(addr: int, fn: Callable[[int], int]) -> tuple:
+    """Atomic read-modify-write; yields the *old* value."""
+    return (RMW, addr, fn)
+
+
+def fetch_add(addr: int, delta: int = 1) -> tuple:
+    """Atomic fetch-and-add; yields the pre-increment value."""
+    return (RMW, addr, lambda old: old + delta)
+
+
+def test_and_set(addr: int) -> tuple:
+    """Atomic test-and-set; yields the old value (0 means acquired)."""
+    return (RMW, addr, lambda _old: 1)
+
+
+def switch_hint() -> tuple:
+    """Yield the pipeline to another ready hardware context, if any.
+
+    Models SPARCLE's context switch on *synchronization faults* (§2): a
+    spinning thread gives way so same-node threads cannot starve each
+    other.  Costs the 11-cycle switch when a switch happens, one cycle
+    otherwise.  Spin loops in :mod:`repro.sync` emit this between polls.
+    """
+    return (SWITCH_HINT,)
+
+
+def fence() -> tuple:
+    """Order point: wait until all of this context's buffered stores have
+    completed.  A no-op (one cycle) under sequential consistency, where
+    every store already blocks; required for release ordering under the
+    weakly-ordered model (``memory_model="wo"``).  Atomics fence
+    implicitly."""
+    return (FENCE,)

@@ -1,0 +1,372 @@
+"""SPARCLE-like processor model.
+
+Each processor runs one or more *contexts* (hardware threads; SPARCLE caches
+four register frames).  A context executes a program — a generator yielding
+:mod:`repro.proc.ops` tuples.  Following the paper (§2):
+
+* cache hits and local-memory misses hold the processor;
+* a memory request that must cross the interconnection network releases the
+  pipeline and, if another context is ready, the processor switches to it in
+  ``switch_cycles`` (11 in SPARCLE);
+* LimitLESS traps run on this processor (it implements
+  :class:`~repro.coherence.limitless.TrapEngine`), displacing application
+  work — the source of both the Ts cost and the mild back-off effect seen
+  in Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Callable, Generator, Optional
+
+from ..cache.controller import CacheController
+from ..coherence.limitless import TrapEngine
+from ..mem.address import AddressSpace
+from ..sim.component import Component
+from ..sim.kernel import SimulationError, Simulator
+from ..stats.counters import Counters
+from . import ops
+
+
+class ContextState(Enum):
+    READY = auto()
+    RUNNING = auto()
+    BLOCKED = auto()
+    DONE = auto()
+
+
+@dataclass
+class Context:
+    """One hardware context (register frame set)."""
+
+    index: int
+    gen: Generator
+    state: ContextState = ContextState.READY
+    started: bool = False
+    resume_value: Optional[int] = None
+    ops_executed: int = 0
+    #: most recent op issued (debugging / deadlock diagnosis)
+    last_op: tuple | None = None
+    # -- weak-ordering store buffer state ------------------------------
+    #: stores issued but not yet completed (memory_model="wo")
+    outstanding_stores: int = 0
+    #: per-block count of those stores (loads to these blocks must wait)
+    pending_store_blocks: dict[int, int] = field(default_factory=dict)
+    #: an op pulled from the generator but waiting on a drain condition
+    pending_op: tuple | None = None
+    #: what the pending op waits for: "slot" | "all" | a block address
+    pending_needs: object = None
+
+
+class Processor(Component, TrapEngine):
+    """In-order processor executing program generators over the cache."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        space: AddressSpace,
+        cache: CacheController,
+        *,
+        switch_cycles: int = 11,
+        max_contexts: int = 4,
+        memory_model: str = "sc",
+        store_buffer: int = 8,
+        counters: Counters | None = None,
+        on_done: Callable[["Processor"], None] | None = None,
+    ) -> None:
+        super().__init__(sim, f"cpu{node_id}")
+        self.node_id = node_id
+        self.space = space
+        self.cache = cache
+        self.switch_cycles = switch_cycles
+        self.max_contexts = max_contexts
+        if memory_model not in ("sc", "wo"):
+            raise ValueError(f"unknown memory model {memory_model!r}")
+        self.memory_model = memory_model
+        self.store_buffer = store_buffer
+        self.counters = counters if counters is not None else Counters()
+        self.on_done = on_done
+        self.contexts: list[Context] = []
+        self._running: Context | None = None
+        self._last_on_pipeline: Context | None = None
+        # Trap engine state
+        self.trap_free_at = 0
+        self.trap_cycles = 0
+        self.traps_taken = 0
+        # Accounting
+        self.busy_cycles = 0
+        self.switch_charged = 0
+        self.finish_time: int | None = None
+        self.done = False
+
+    # ------------------------------------------------------------------
+    # Thread setup
+    # ------------------------------------------------------------------
+
+    def add_thread(self, gen: Generator) -> Context:
+        """Load a program into a free hardware context."""
+        if len(self.contexts) >= self.max_contexts:
+            raise SimulationError(f"{self.name}: out of hardware contexts")
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"{self.name}: programs must be generators (got {type(gen).__name__})"
+            )
+        ctx = Context(len(self.contexts), gen)
+        self.contexts.append(ctx)
+        return ctx
+
+    def start(self) -> None:
+        """Begin executing (called once, at cycle 0 or later)."""
+        if not self.contexts:
+            self._finish()
+            return
+        self._dispatch(self.contexts[0], 0)
+
+    # ------------------------------------------------------------------
+    # TrapEngine: LimitLESS software runs here
+    # ------------------------------------------------------------------
+
+    def request_trap(self, cycles: int, callback: Callable[[], None]) -> None:
+        start = max(self.now, self.trap_free_at)
+        self.trap_free_at = start + cycles
+        self.trap_cycles += cycles
+        self.traps_taken += 1
+        self.sim.call_at(self.trap_free_at, callback)
+
+    # ------------------------------------------------------------------
+    # Execution engine
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, ctx: Context, delay: int) -> None:
+        self._running = ctx
+        self._last_on_pipeline = ctx
+        ctx.state = ContextState.RUNNING
+        self.schedule(delay, lambda: self._step(ctx))
+
+    def _step(self, ctx: Context) -> None:
+        if ctx.state is ContextState.DONE:  # pragma: no cover - safety net
+            return
+        if self.now < self.trap_free_at:
+            # A LimitLESS trap owns the pipeline; resume when it returns.
+            self.sim.call_at(self.trap_free_at, lambda: self._step(ctx))
+            return
+        ctx.state = ContextState.RUNNING
+        if ctx.pending_op is not None:
+            # Resume an op that was parked on a store-buffer drain.
+            op, ctx.pending_op, ctx.pending_needs = ctx.pending_op, None, None
+        else:
+            value, ctx.resume_value = ctx.resume_value, None
+            try:
+                if ctx.started:
+                    op = ctx.gen.send(value)
+                else:
+                    ctx.started = True
+                    op = next(ctx.gen)
+            except StopIteration:
+                if ctx.outstanding_stores:
+                    # Drain the store buffer before retiring the thread.
+                    self._park(ctx, ("__retire__",), "all")
+                    return
+                self._retire(ctx)
+                return
+            ctx.ops_executed += 1
+        ctx.last_op = op
+        self._execute_op(ctx, op)
+
+    def _execute_op(self, ctx: Context, op: tuple) -> None:
+        kind = op[0]
+        if kind == ops.THINK:
+            cycles = op[1]
+            self.busy_cycles += cycles
+            self.counters.bump("cpu.think_cycles", cycles)
+            self.schedule(cycles, lambda: self._step(ctx))
+        elif kind == ops.LOAD:
+            block = self.space.block_of(op[1])
+            if ctx.pending_store_blocks.get(block):
+                # Self-consistency: a load must see this context's own
+                # buffered store; wait for it to land.
+                self._park(ctx, op, block)
+                return
+            self._issue(ctx, "load", op[1], None)
+        elif kind == ops.STORE:
+            if self.memory_model == "wo":
+                self._issue_buffered_store(ctx, op)
+            else:
+                self._issue(ctx, "store", op[1], op[2])
+        elif kind == ops.RMW:
+            if ctx.outstanding_stores:
+                self._park(ctx, op, "all")  # atomics fence implicitly
+                return
+            self._issue(ctx, "rmw", op[1], op[2])
+        elif kind == ops.FENCE:
+            if ctx.outstanding_stores:
+                self.counters.bump("cpu.fence_stalls")
+                self._park(ctx, op, "all")
+                return
+            self.busy_cycles += 1
+            self.schedule(1, lambda: self._step(ctx))
+        elif kind == ops.SWITCH_HINT:
+            self._switch_hint(ctx)
+        elif kind == "__retire__":
+            self._retire(ctx)
+        else:
+            raise SimulationError(f"{self.name}: unknown op {op!r}")
+
+    def _switch_hint(self, ctx: Context) -> None:
+        """Synchronization-fault switch: yield to a ready context, if any."""
+        n = len(self.contexts)
+        for offset in range(1, n):
+            candidate = self.contexts[(ctx.index + offset) % n]
+            if candidate.state is ContextState.READY:
+                ctx.state = ContextState.READY
+                self.counters.bump("cpu.sync_switches")
+                self.switch_charged += self.switch_cycles
+                self._dispatch(candidate, self.switch_cycles)
+                return
+        # nobody else is ready: continue after one cycle
+        self.busy_cycles += 1
+        self.schedule(1, lambda: self._step(ctx))
+
+    # ------------------------------------------------------------------
+    # Weakly-ordered stores (memory_model="wo")
+    # ------------------------------------------------------------------
+
+    def _issue_buffered_store(self, ctx: Context, op: tuple) -> None:
+        if ctx.outstanding_stores >= self.store_buffer:
+            self.counters.bump("cpu.store_buffer_full")
+            self._park(ctx, op, "slot")
+            return
+        _, addr, value = op
+        block = self.space.block_of(addr)
+        ctx.outstanding_stores += 1
+        ctx.pending_store_blocks[block] = (
+            ctx.pending_store_blocks.get(block, 0) + 1
+        )
+        self.counters.bump("cpu.wo_stores_buffered")
+        self.cache.access(
+            "store", addr, value, lambda _v, b=block: self._store_done(ctx, b)
+        )
+        # The processor moves on: one cycle to issue into the buffer.
+        self.busy_cycles += 1
+        self.schedule(1, lambda: self._step(ctx))
+
+    def _store_done(self, ctx: Context, block: int) -> None:
+        ctx.outstanding_stores -= 1
+        remaining = ctx.pending_store_blocks.get(block, 0) - 1
+        if remaining > 0:
+            ctx.pending_store_blocks[block] = remaining
+        else:
+            ctx.pending_store_blocks.pop(block, None)
+        if (
+            ctx.pending_op is not None
+            and ctx.state is ContextState.BLOCKED
+            and self._drain_satisfied(ctx)
+        ):
+            ctx.state = ContextState.READY
+            if self._running is None:
+                cost = 0 if self._last_on_pipeline is ctx else self.switch_cycles
+                if cost:
+                    self.switch_charged += cost
+                    self.counters.bump("cpu.context_switches")
+                self._dispatch(ctx, cost)
+
+    def _drain_satisfied(self, ctx: Context) -> bool:
+        needs = ctx.pending_needs
+        if needs == "slot":
+            return ctx.outstanding_stores < self.store_buffer
+        if needs == "all":
+            return ctx.outstanding_stores == 0
+        return ctx.pending_store_blocks.get(needs, 0) == 0
+
+    def _park(self, ctx: Context, op: tuple, needs) -> None:
+        """Hold an op until the store buffer drains far enough."""
+        ctx.pending_op = op
+        ctx.pending_needs = needs
+        ctx.state = ContextState.BLOCKED
+        if self._running is ctx:
+            self._running = None
+            self._find_work()
+
+    def _issue(self, ctx: Context, kind: str, addr: int, payload) -> None:
+        block = self.space.block_of(addr)
+        line = self.cache.array.lookup(block)
+        will_hit = line is not None and CacheController._is_hit(kind, line)
+        remote = self.space.home_of(block) != self.node_id
+        ctx.state = ContextState.BLOCKED
+        if will_hit:
+            self.busy_cycles += self.cache.hit_latency
+        elif remote:
+            # Remote request: release the pipeline and switch if possible.
+            self.counters.bump("cpu.remote_stalls")
+            self._running = None
+        else:
+            self.counters.bump("cpu.local_stalls")
+        self.cache.access(kind, addr, payload, lambda v: self._mem_done(ctx, v))
+        if self._running is None:
+            self._find_work()
+
+    def _mem_done(self, ctx: Context, value) -> None:
+        ctx.resume_value = value
+        if self._running is ctx:
+            # The pipeline was held (hit or local miss): continue in place.
+            self._step(ctx)
+            return
+        ctx.state = ContextState.READY
+        if self._running is None:
+            cost = 0 if self._last_on_pipeline is ctx else self.switch_cycles
+            if cost:
+                self.switch_charged += cost
+                self.counters.bump("cpu.context_switches")
+            self._dispatch(ctx, cost)
+
+    def _find_work(self) -> None:
+        """Round-robin to the next ready context, paying the switch cost."""
+        if not self.contexts:
+            return
+        start = (self._last_on_pipeline.index + 1) if self._last_on_pipeline else 0
+        n = len(self.contexts)
+        for offset in range(n):
+            candidate = self.contexts[(start + offset) % n]
+            if candidate.state is ContextState.READY:
+                self.switch_charged += self.switch_cycles
+                self.counters.bump("cpu.context_switches")
+                self._dispatch(candidate, self.switch_cycles)
+                return
+        # Nothing ready: pipeline idles until a memory completion arrives.
+
+    def _retire(self, ctx: Context) -> None:
+        ctx.state = ContextState.DONE
+        self._running = None
+        if all(c.state is ContextState.DONE for c in self.contexts):
+            self._finish()
+        else:
+            self._find_work()
+
+    def _finish(self) -> None:
+        self.done = True
+        self.finish_time = self.now
+        if self.on_done is not None:
+            self.on_done(self)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def stall_cycles(self) -> int:
+        """Cycles neither computing, switching, nor in trap code."""
+        if self.finish_time is None:
+            return 0
+        return max(
+            0,
+            self.finish_time
+            - self.busy_cycles
+            - self.switch_charged
+            - self.trap_cycles,
+        )
+
+    def utilization(self) -> float:
+        if not self.finish_time:
+            return 0.0
+        return self.busy_cycles / self.finish_time

@@ -1,0 +1,23 @@
+"""Event-driven simulation kernel (the reproduction's ASIM core)."""
+
+from .component import Component
+from .kernel import (
+    DeadlockError,
+    Event,
+    SimulationError,
+    Simulator,
+    StallableResource,
+    simulate_all,
+)
+from .rng import DeterministicRng
+
+__all__ = [
+    "Component",
+    "DeadlockError",
+    "DeterministicRng",
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "StallableResource",
+    "simulate_all",
+]

@@ -1,0 +1,29 @@
+"""Base class for simulated hardware components."""
+
+from __future__ import annotations
+
+from .kernel import Simulator
+
+
+class Component:
+    """A named piece of hardware attached to a :class:`Simulator`.
+
+    Components share the simulator clock and provide a uniform ``name`` used
+    in statistics and error messages.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+
+    @property
+    def now(self) -> int:
+        """Current simulation cycle."""
+        return self.sim.now
+
+    def schedule(self, delay: int, callback) -> None:
+        """Schedule ``callback`` after ``delay`` cycles."""
+        self.sim.call_after(delay, callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,182 @@
+"""Discrete-event simulation kernel.
+
+ASIM, the Alewife system simulator, advances the machine model in processor
+cycles.  We reproduce it with an event-driven kernel: components schedule
+callbacks at absolute cycle times, and the kernel executes them in
+deterministic (time, sequence) order.  Determinism matters because the
+reproduction's experiments compare protocols on *absolute execution cycles*;
+two runs of the same configuration must produce identical cycle counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while agents are still blocked."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by (time, seq): ties at the same cycle execute in the order
+    they were scheduled, which keeps runs deterministic.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its time arrives."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event queue plus the global cycle counter.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.call_at(10, lambda: print("cycle 10"))
+        sim.run()
+    """
+
+    def __init__(self, *, max_cycles: int | None = None) -> None:
+        self._queue: list[Event] = []
+        self._seq = 0
+        self.now = 0
+        self.max_cycles = max_cycles
+        self.events_executed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def call_at(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute cycle ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time}, now is {self.now}"
+            )
+        event = Event(int(time), self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_after(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self.now + int(delay), callback)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when drained."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise SimulationError("event queue time went backwards")
+            self.now = event.time
+            self.events_executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: int | None = None) -> int:
+        """Run until the queue drains, ``until`` cycles, or ``max_cycles``.
+
+        Returns the cycle count at which the run stopped.
+        """
+        limit = self.max_cycles if until is None else until
+        self._running = True
+        try:
+            while self._queue:
+                if limit is not None and self._queue[0].time > limit:
+                    self.now = limit
+                    break
+                if not self.step():
+                    break
+        finally:
+            self._running = False
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def drain_check(self, describe_blocked: Callable[[], str] | None = None) -> None:
+        """Raise :class:`DeadlockError` if live events remain queued."""
+        if self.pending_events:
+            detail = describe_blocked() if describe_blocked else ""
+            raise DeadlockError(
+                f"{self.pending_events} events still pending at cycle "
+                f"{self.now}. {detail}"
+            )
+
+
+class StallableResource:
+    """A serially-occupied resource (memory controller, link, ...).
+
+    Requests reserve the resource for a number of cycles; a request arriving
+    while the resource is busy starts when it frees.  ``acquire`` returns the
+    cycle at which the reservation *ends* (i.e. when the work completes).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "resource") -> None:
+        self._sim = sim
+        self.name = name
+        self.free_at = 0
+        self.busy_cycles = 0
+        self.requests = 0
+
+    def acquire(self, occupancy: int, *, not_before: int | None = None) -> int:
+        """Reserve ``occupancy`` cycles, starting no earlier than now.
+
+        ``not_before`` lets callers model work that cannot begin until some
+        future cycle (e.g. a packet that is still in flight).
+        """
+        start = max(self._sim.now, self.free_at)
+        if not_before is not None:
+            start = max(start, not_before)
+        self.free_at = start + int(occupancy)
+        self.busy_cycles += int(occupancy)
+        self.requests += 1
+        return self.free_at
+
+    def stall(self, cycles: int) -> None:
+        """Push the resource's free time out by ``cycles`` (e.g. a trap)."""
+        start = max(self._sim.now, self.free_at)
+        self.free_at = start + int(cycles)
+        self.busy_cycles += int(cycles)
+
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of ``elapsed`` cycles the resource was occupied."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed)
+
+
+def simulate_all(sim: Simulator, components: list[Any]) -> int:
+    """Start every component (calling ``start()`` if present) and run."""
+    for component in components:
+        start = getattr(component, "start", None)
+        if callable(start):
+            start()
+    return sim.run()

@@ -1,0 +1,15 @@
+"""Statistics: counters, histograms, and figure-style reports."""
+
+from .counters import Counters, Histogram
+from .machine_report import histogram_lines, machine_report
+from .report import bar_chart, comparison_table, format_table
+
+__all__ = [
+    "Counters",
+    "Histogram",
+    "bar_chart",
+    "comparison_table",
+    "format_table",
+    "histogram_lines",
+    "machine_report",
+]

@@ -1,0 +1,64 @@
+"""Lightweight named counters and histograms shared by all components."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+class Counters:
+    """A bag of named integer counters.
+
+    Components bump counters by name; reports read them back.  Unknown names
+    read as zero, so report code never KeyErrors on configurations that
+    simply never exercised a path.
+    """
+
+    def __init__(self) -> None:
+        self._values: Counter[str] = Counter()
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._values)
+
+    def merge(self, other: "Counters") -> None:
+        self._values.update(other._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counters({dict(self._values)})"
+
+
+@dataclass
+class Histogram:
+    """Integer-valued histogram (e.g. worker-set sizes)."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def add(self, value: int, weight: int = 1) -> None:
+        self.counts[value] += weight
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def mean(self) -> float:
+        total = self.total()
+        if not total:
+            return 0.0
+        return sum(v * c for v, c in self.counts.items()) / total
+
+    def max(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+    def fraction_at_most(self, value: int) -> float:
+        total = self.total()
+        if not total:
+            return 0.0
+        return sum(c for v, c in self.counts.items() if v <= value) / total
+
+    def as_sorted_items(self) -> list[tuple[int, int]]:
+        return sorted(self.counts.items())

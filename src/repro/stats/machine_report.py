@@ -1,0 +1,107 @@
+"""Full multi-section machine report.
+
+Renders everything a MachineStats knows into one readable block: execution
+summary, cache behaviour, network traffic by message type, the worker-set
+distribution the §6 profiling feedback loop is built on, and the software
+(LimitLESS) activity.  Used by the CLI's ``--verbose`` and by examples.
+"""
+
+from __future__ import annotations
+
+from .counters import Histogram
+from .report import format_table
+
+
+def histogram_lines(hist: Histogram, *, title: str, width: int = 36) -> str:
+    """Render a histogram as labelled ASCII bars."""
+    items = hist.as_sorted_items()
+    if not items:
+        return f"{title}: (empty)"
+    biggest = max(count for _, count in items)
+    lines = [title]
+    for value, count in items:
+        bar = "#" * max(1, round(width * count / biggest))
+        lines.append(f"  {value:>6}  |{bar} {count}")
+    return "\n".join(lines)
+
+
+def machine_report(stats) -> str:
+    """A complete report for one simulation run."""
+    c = stats.counters
+    sections: list[str] = []
+
+    # -- execution ------------------------------------------------------
+    sections.append(
+        format_table(
+            ["metric", "value"],
+            [
+                ["scheme", stats.label],
+                ["workload cycles", f"{stats.cycles:,}"],
+                ["processor utilization", f"{stats.utilization:.3f}"],
+                ["mean remote-miss latency (Th)", f"{stats.mean_miss_latency:.1f}"],
+                ["traps taken", stats.traps_taken],
+                ["trap cycles", stats.trap_cycles],
+                ["entries audited", stats.entries_audited],
+            ],
+        )
+    )
+
+    # -- cache ----------------------------------------------------------
+    rows = []
+    for kind in ("load", "store", "rmw"):
+        hits = c.get(f"cache.hits.{kind}")
+        misses = c.get(f"cache.misses.{kind}")
+        total = hits + misses
+        rate = f"{hits / total:.3f}" if total else "-"
+        rows.append([kind, hits, misses, rate])
+    rows.append(
+        ["evictions (clean/dirty)", c.get("cache.evict_ro"), c.get("cache.evict_rw"), "-"]
+    )
+    rows.append(["busy retries", c.get("cache.busy_retries"), "", "-"])
+    sections.append(format_table(["access", "hits", "misses", "hit rate"], rows))
+
+    # -- directory ------------------------------------------------------
+    sections.append(
+        format_table(
+            ["directory event", "count"],
+            [
+                ["protocol packets processed", c.get("dir.packets")],
+                ["invalidations sent", c.get("dir.invalidations")],
+                ["BUSY responses", c.get("dir.busy_sent")],
+                ["pointer evictions (Dir_iNB)", c.get("dir.pointer_evictions")],
+                ["broadcast invalidates (Dir_iB)", c.get("dir.broadcast_invalidates")],
+                ["packets diverted to software", c.get("dir.diverted")],
+                ["packets queued on interlock", c.get("dir.interlocked")],
+                ["stray packets dropped", c.get("dir.stray_dropped")],
+                ["read-overflow traps", c.get("limitless.read_overflow_traps")],
+                ["write-termination traps", c.get("limitless.write_termination_traps")],
+            ],
+        )
+    )
+
+    # -- network ---------------------------------------------------------
+    net = stats.network
+    opcode_rows = sorted(net.per_opcode.items(), key=lambda kv: -kv[1])
+    sections.append(
+        format_table(
+            ["network", "value"],
+            [
+                ["packets", net.packets],
+                ["words", net.words],
+                ["mean latency", f"{net.mean_latency:.1f}"],
+                ["contention cycles", net.contention_cycles],
+            ],
+        )
+        + "\n"
+        + format_table(["opcode", "packets"], opcode_rows)
+    )
+
+    # -- worker sets ------------------------------------------------------
+    sections.append(
+        histogram_lines(
+            stats.worker_sets,
+            title="worker-set size at invalidation time (writes)",
+        )
+    )
+
+    return "\n\n".join(sections)

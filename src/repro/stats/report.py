@@ -1,0 +1,79 @@
+"""Figure-style ASCII reports.
+
+The paper's Figures 7–10 are horizontal bar charts of total execution time
+(in Mcycles) per coherence scheme.  ``bar_chart`` renders the same layout
+in text so a benchmark run visually mirrors the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A plain fixed-width table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    title: str,
+    entries: Sequence[tuple[str, float]],
+    *,
+    unit: str = "Mcycles",
+    width: int = 46,
+) -> str:
+    """Horizontal bars in the style of the paper's execution-time figures.
+
+    ``entries`` are (label, value) pairs, plotted in the given order —
+    the paper lists the worst scheme on top and Full-Map at the bottom.
+    """
+    if not entries:
+        return f"{title}\n(no data)"
+    biggest = max(value for _, value in entries) or 1.0
+    label_w = max(len(label) for label, _ in entries)
+    lines = [title]
+    for label, value in entries:
+        bar = "#" * max(1, round(width * value / biggest))
+        lines.append(f"  {label.ljust(label_w)} |{bar} {value:.3f} {unit}")
+    return "\n".join(lines)
+
+
+def comparison_table(stats_list: Sequence, baseline_label: str | None = None) -> str:
+    """Compare MachineStats runs: cycles, ratio to baseline, key counters."""
+    if not stats_list:
+        return "(no runs)"
+    baseline = None
+    if baseline_label is not None:
+        for stats in stats_list:
+            if stats.label == baseline_label:
+                baseline = stats.cycles
+                break
+    if baseline is None:
+        baseline = min(s.cycles for s in stats_list)
+    rows = []
+    for s in stats_list:
+        c = s.counters
+        rows.append(
+            [
+                s.label,
+                s.cycles,
+                f"{s.cycles / baseline:.2f}x",
+                f"{s.utilization:.2f}",
+                c.get("dir.pointer_evictions"),
+                s.traps_taken,
+                s.network.packets,
+            ]
+        )
+    return format_table(
+        ["scheme", "cycles", "vs base", "util", "evictions", "traps", "packets"],
+        rows,
+    )

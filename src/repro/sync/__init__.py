@@ -1,0 +1,20 @@
+"""Synchronization built on shared memory: barriers and locks."""
+
+from .barrier import (
+    BarrierNode,
+    BarrierSpec,
+    barrier_wait,
+    build_central_barrier,
+    build_combining_tree,
+)
+from .lock import spin_lock_acquire, spin_lock_release
+
+__all__ = [
+    "BarrierNode",
+    "BarrierSpec",
+    "barrier_wait",
+    "build_central_barrier",
+    "build_combining_tree",
+    "spin_lock_acquire",
+    "spin_lock_release",
+]

@@ -1,0 +1,12 @@
+"""End-of-run coherence audits and stuck-machine diagnosis."""
+
+from .diagnose import Diagnosis, StuckContext, diagnose
+from .invariants import CoherenceViolation, audit_machine
+
+__all__ = [
+    "CoherenceViolation",
+    "Diagnosis",
+    "StuckContext",
+    "audit_machine",
+    "diagnose",
+]

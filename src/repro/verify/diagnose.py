@@ -1,0 +1,130 @@
+"""Stuck-machine diagnosis.
+
+When a simulation stops at ``max_cycles`` with unfinished processors, the
+interesting question is *who is waiting on what*.  ``diagnose`` collects,
+per node: unfinished contexts with their last operation (and, for programs
+built from the sync library, the barrier/spin frame they are sitting in),
+open MSHRs, directory entries with open transactions or queued packets,
+and undrained IPI queues — the forensic view used to debug the protocol
+during development, packaged for users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..proc.processor import ContextState
+
+
+@dataclass
+class StuckContext:
+    node: int
+    context: int
+    state: str
+    last_op: tuple | None
+    frame_info: str
+
+
+@dataclass
+class Diagnosis:
+    """Everything known about why a machine has not finished."""
+
+    cycle: int
+    finished_processors: int
+    total_processors: int
+    stuck_contexts: list[StuckContext] = field(default_factory=list)
+    open_mshrs: list[tuple[int, int, bool, int]] = field(default_factory=list)
+    busy_entries: list[str] = field(default_factory=list)
+    ipi_backlogs: list[tuple[int, int]] = field(default_factory=list)
+    packets_in_flight: int = 0
+
+    @property
+    def is_quiescent(self) -> bool:
+        return (
+            self.finished_processors == self.total_processors
+            and not self.open_mshrs
+            and not self.busy_entries
+            and self.packets_in_flight == 0
+        )
+
+    def report(self) -> str:
+        lines = [
+            f"cycle {self.cycle}: {self.finished_processors}/"
+            f"{self.total_processors} processors finished, "
+            f"{self.packets_in_flight} packets in flight"
+        ]
+        for ctx in self.stuck_contexts[:16]:
+            lines.append(
+                f"  node {ctx.node} ctx {ctx.context} [{ctx.state}] "
+                f"last_op={ctx.last_op} {ctx.frame_info}"
+            )
+        for node, block, write, retries in self.open_mshrs[:16]:
+            kind = "WREQ" if write else "RREQ"
+            lines.append(
+                f"  node {node}: open MSHR {kind} block {block:#x} "
+                f"(retries={retries})"
+            )
+        lines.extend(f"  {entry}" for entry in self.busy_entries[:16])
+        for node, depth in self.ipi_backlogs:
+            lines.append(f"  node {node}: {depth} packets in the IPI queue")
+        if self.is_quiescent:
+            lines.append("  (machine is quiescent)")
+        return "\n".join(lines)
+
+
+def _frame_info(ctx) -> str:
+    """Best-effort description of where the program generator is parked."""
+    gen = ctx.gen
+    frame = getattr(gen, "gi_frame", None)
+    if frame is None:
+        return "(finished)"
+    info = f"at {frame.f_code.co_name}:{frame.f_lineno}"
+    sub = getattr(gen, "gi_yieldfrom", None)
+    subframe = getattr(sub, "gi_frame", None)
+    if subframe is not None:
+        locals_ = subframe.f_locals
+        node = locals_.get("node")
+        detail = f" in {subframe.f_code.co_name}:{subframe.f_lineno}"
+        if node is not None and hasattr(node, "name"):
+            detail += f" ({node.name}, epoch={locals_.get('epoch')})"
+        info += detail
+    return info
+
+
+def diagnose(machine) -> Diagnosis:
+    """Inspect a machine (typically after a max_cycles stop)."""
+    diagnosis = Diagnosis(
+        cycle=machine.sim.now,
+        finished_processors=sum(1 for n in machine.nodes if n.processor.done),
+        total_processors=len(machine.nodes),
+        packets_in_flight=machine.network.in_flight,
+    )
+    for node in machine.nodes:
+        for ctx in node.processor.contexts:
+            if ctx.state is ContextState.DONE:
+                continue
+            diagnosis.stuck_contexts.append(
+                StuckContext(
+                    node.node_id,
+                    ctx.index,
+                    ctx.state.name,
+                    ctx.last_op,
+                    _frame_info(ctx),
+                )
+            )
+        for block, mshr in node.cache_controller._mshrs.items():
+            diagnosis.open_mshrs.append(
+                (node.node_id, block, mshr.need_write, mshr.retries)
+            )
+        for entry in node.directory_controller.directory.entries():
+            if not entry.idle():
+                diagnosis.busy_entries.append(
+                    f"node {node.node_id}: block {entry.block:#x} "
+                    f"{entry.state.name}/{entry.meta.name} "
+                    f"awaiting={sorted(entry.ack_waiting)} "
+                    f"pending={len(entry.pending)}"
+                )
+        backlog = node.nic.ipi_pending()
+        if backlog:
+            diagnosis.ipi_backlogs.append((node.node_id, backlog))
+    return diagnosis

@@ -1,0 +1,104 @@
+"""Coherence invariant auditing.
+
+At quiescence (all programs finished, no packets in flight, no open
+transactions) the machine must satisfy the invariants the protocol exists
+to provide.  The auditor cross-checks three sources of truth — the
+directory entries, the software-extended vectors, and the actual cache
+arrays — plus the block data itself.
+
+Allowed asymmetry: a directory (or software vector) may record a *stale*
+sharer whose cache silently replaced its clean copy; the reverse — a cache
+holding a copy the directory does not know about — is a protocol violation.
+"""
+
+from __future__ import annotations
+
+from ..cache.states import CacheState
+from ..coherence.states import DirState, MetaState
+
+
+class CoherenceViolation(AssertionError):
+    """The memory system ended in an inconsistent state."""
+
+
+def audit_machine(machine) -> int:
+    """Audit a finished machine; returns the number of entries checked."""
+    problems: list[str] = []
+    checked = 0
+
+    if machine.network.in_flight:
+        problems.append(f"{machine.network.in_flight} packets still in flight")
+
+    for node in machine.nodes:
+        if not node.cache_controller.idle():
+            problems.append(f"node {node.node_id}: open MSHRs at quiescence")
+        if node.nic.ipi_pending():
+            problems.append(f"node {node.node_id}: IPI queue not drained")
+
+    # Map: block -> {node: cache line} for every valid cached copy.
+    cached: dict[int, dict[int, object]] = {}
+    for node in machine.nodes:
+        for line in node.cache_array.valid_lines():
+            cached.setdefault(line.block, {})[node.node_id] = line
+
+    for node in machine.nodes:
+        controller = node.directory_controller
+        software = node.software
+        for entry in controller.directory.entries():
+            checked += 1
+            block = entry.block
+            copies = cached.get(block, {})
+            recorded = controller.recorded_holders(entry)
+            if recorded is None:  # broadcast-mode entry: anyone may share
+                recorded = {n.node_id for n in machine.nodes}
+            if software is not None:
+                recorded |= software.vectors.get(block, set())
+
+            if entry.meta is MetaState.TRANS_IN_PROGRESS:
+                problems.append(f"block {block:#x}: interlocked at quiescence")
+            if entry.pending:
+                problems.append(f"block {block:#x}: queued packets at quiescence")
+            if entry.state in (DirState.READ_TRANSACTION, DirState.WRITE_TRANSACTION):
+                problems.append(
+                    f"block {block:#x}: open {entry.state.name} at quiescence"
+                )
+
+            unknown = set(copies) - recorded
+            if unknown:
+                problems.append(
+                    f"block {block:#x}: cached at {sorted(unknown)} "
+                    f"but directory records {sorted(recorded)}"
+                )
+
+            rw_holders = [
+                n for n, line in copies.items()
+                if line.state is CacheState.READ_WRITE
+            ]
+            if entry.state is DirState.READ_WRITE:
+                if len(copies) != 1 or len(rw_holders) != 1:
+                    problems.append(
+                        f"block {block:#x}: READ_WRITE but copies at "
+                        f"{sorted(copies)} (rw={sorted(rw_holders)})"
+                    )
+            else:
+                if rw_holders:
+                    problems.append(
+                        f"block {block:#x}: {entry.state.name} but nodes "
+                        f"{sorted(rw_holders)} hold READ_WRITE copies"
+                    )
+                # Every read-only copy must match memory's data.
+                memory_words = node.memory.block(block).words
+                for holder, line in copies.items():
+                    if line.data.words != memory_words:
+                        problems.append(
+                            f"block {block:#x}: node {holder} caches "
+                            f"{line.data.words} but memory holds {memory_words}"
+                        )
+
+    if problems:
+        summary = "\n  ".join(problems[:20])
+        more = f"\n  (+{len(problems) - 20} more)" if len(problems) > 20 else ""
+        raise CoherenceViolation(
+            f"{len(problems)} coherence violations:\n  {summary}{more}"
+        )
+    return checked

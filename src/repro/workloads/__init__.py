@@ -1,0 +1,33 @@
+"""Workloads: the applications the paper evaluates plus microbenchmarks."""
+
+from .base import Program, Workload, one_program_per_proc
+from .butterfly import ButterflyWorkload
+from .hotspot import HotSpotWorkload
+from .latency import LatencyToleranceWorkload
+from .trace import Trace, TraceOp, TraceRecorder, TraceReplayWorkload, record_trace
+from .matmul import MatmulWorkload
+from .migratory import MigratoryWorkload
+from .multigrid import MultigridWorkload
+from .producer_consumer import ProducerConsumerWorkload
+from .synthetic import SyntheticSharingWorkload
+from .weather import WeatherWorkload
+
+__all__ = [
+    "ButterflyWorkload",
+    "HotSpotWorkload",
+    "LatencyToleranceWorkload",
+    "MatmulWorkload",
+    "MigratoryWorkload",
+    "MultigridWorkload",
+    "ProducerConsumerWorkload",
+    "Program",
+    "SyntheticSharingWorkload",
+    "Trace",
+    "TraceOp",
+    "TraceRecorder",
+    "TraceReplayWorkload",
+    "WeatherWorkload",
+    "Workload",
+    "one_program_per_proc",
+    "record_trace",
+]

@@ -1,0 +1,41 @@
+"""Workload framework.
+
+A workload builds, against a concrete machine, one program (generator) per
+processor — the reproduction's stand-in for the paper's Mul-T applications
+and post-mortem traces (DESIGN.md §2 documents the substitution).  Programs
+express computation as ``think`` time and communication as real loads,
+stores, and atomics against shared memory, with barriers built from those
+same primitives, so every coherence effect the paper measures comes out of
+the protocol rather than out of workload bookkeeping.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Generator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machine.machine import AlewifeMachine
+
+Program = Generator[tuple, int, None]
+
+
+class Workload(ABC):
+    """Builds per-processor programs for one machine instance."""
+
+    name: str = "workload"
+
+    @abstractmethod
+    def build(self, machine: "AlewifeMachine") -> dict[int, list[Program]]:
+        """Allocate shared data and return programs keyed by processor id."""
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        return self.name
+
+
+def one_program_per_proc(
+    machine: "AlewifeMachine", make: "callable"
+) -> dict[int, list[Program]]:
+    """Helper: ``make(proc_id)`` -> generator, one per processor."""
+    return {p: [make(p)] for p in range(machine.config.n_procs)}

@@ -1,0 +1,73 @@
+"""Butterfly-exchange workload (FFT-style).
+
+log2(N) rounds; in round r, processor p exchanges a value with its
+butterfly partner p XOR 2^r.  Every shared value has a worker-set of
+exactly two processors, but — unlike Multigrid's fixed neighbours — the
+*partner changes every round*, so directory pointers never settle.  A good
+stress for pointer reuse and a sharing pattern common in real scientific
+codes the paper's era evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..proc import ops
+from ..sync.barrier import barrier_wait, build_combining_tree
+from .base import Program, Workload
+
+
+@dataclass
+class ButterflyWorkload(Workload):
+    """FFT-style pairwise exchange with log2(N) rounds."""
+
+    sweeps: int = 2
+    cycles_per_stage: int = 20
+    barrier_arity: int = 4
+    name: str = "butterfly"
+
+    def describe(self) -> str:
+        return f"butterfly(sweeps={self.sweeps})"
+
+    def build(self, machine) -> dict[int, list[Program]]:
+        n = machine.config.n_procs
+        stages = max(1, (n - 1).bit_length())
+        if (1 << stages) != n:
+            raise ValueError("butterfly needs a power-of-two processor count")
+        alloc = machine.allocator
+        poll = machine.config.spin_poll_interval
+
+        # One published slot per processor per stage (its outgoing value).
+        slots = {
+            (p, s): alloc.alloc_scalar(f"fft.{p}.{s}", home=p)
+            for p in range(n)
+            for s in range(stages)
+        }
+        barrier = build_combining_tree(
+            alloc, list(range(n)), arity=self.barrier_arity, name="fft.bar"
+        )
+
+        def program(p: int) -> Program:
+            value = p + 1
+            epoch = 0
+            for sweep in range(self.sweeps):
+                for stage in range(stages):
+                    partner = p ^ (1 << stage)
+                    # publish my value for this stage
+                    yield ops.store(slots[p, stage].base, value)
+                    epoch += 1
+                    yield from barrier_wait(barrier, p, epoch, poll_interval=poll)
+                    # combine with the partner's published value
+                    other = yield ops.load(slots[partner, stage].base)
+                    value = (value + other) % 1_000_003
+                    yield ops.think(self.cycles_per_stage)
+            self._finals[p] = value
+
+        self._finals: dict[int, int] = {}
+        return {p: [program(p)] for p in range(n)}
+
+    @property
+    def finals(self) -> dict[int, int]:
+        """Per-processor results (after the run): every processor must end
+        with the same value — the all-reduce property of the butterfly."""
+        return self._finals

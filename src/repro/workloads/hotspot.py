@@ -1,0 +1,59 @@
+"""Hot-spot microbenchmark.
+
+The distilled form of Weather's pathological variable: one processor
+writes a location (once, or periodically), and every processor reads it
+each round.  This is the smallest workload that separates the directory
+schemes, and the unit used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..proc import ops
+from ..sync.barrier import barrier_wait, build_combining_tree
+from .base import Program, Workload
+
+
+@dataclass
+class HotSpotWorkload(Workload):
+    """All processors repeatedly read one widely shared variable."""
+
+    rounds: int = 5
+    #: if > 0, processor 0 rewrites the variable every ``write_period``
+    #: rounds (0 = written once, Weather-style)
+    write_period: int = 0
+    think_per_round: int = 40
+    barrier_arity: int = 4
+    name: str = "hotspot"
+
+    def describe(self) -> str:
+        mode = f"rewrite/{self.write_period}" if self.write_period else "write-once"
+        return f"hotspot({mode}, rounds={self.rounds})"
+
+    def build(self, machine) -> dict[int, list[Program]]:
+        n = machine.config.n_procs
+        alloc = machine.allocator
+        poll = machine.config.spin_poll_interval
+        hot = alloc.alloc_scalar("hotspot.var", home=0)
+        barrier = build_combining_tree(
+            alloc, list(range(n)), arity=self.barrier_arity, name="hot.bar"
+        )
+
+        def program(p: int) -> Program:
+            if p == 0:
+                yield ops.store(hot.base, 1)
+            for round_no in range(1, self.rounds + 1):
+                if (
+                    p == 0
+                    and self.write_period
+                    and round_no % self.write_period == 0
+                ):
+                    yield ops.store(hot.base, round_no)
+                yield from barrier_wait(barrier, p, round_no, poll_interval=poll)
+                value = yield ops.load(hot.base)
+                if value <= 0:
+                    raise AssertionError("hot variable lost its value")
+                yield ops.think(self.think_per_round)
+
+        return {p: [program(p)] for p in range(n)}

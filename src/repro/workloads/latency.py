@@ -1,0 +1,74 @@
+"""Latency-tolerance workload (the §2 multithreading story).
+
+"When the system cannot avoid a remote memory request ... the Alewife
+processors rapidly schedule another process in place of the stalled
+process."  This workload gives each processor a fixed budget of remote
+read misses, divided among one to four threads (SPARCLE hardware
+contexts): with one context the pipeline idles for every network round
+trip; with four, the 11-cycle context switch overlaps the round trips and
+the same work finishes roughly twice as fast.
+
+Used by the context-switching ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..proc import ops
+from .base import Program, Workload
+
+
+@dataclass
+class LatencyToleranceWorkload(Workload):
+    """Independent remote read-miss streams, one per hardware context."""
+
+    threads_per_proc: int = 4
+    #: fixed total remote misses per processor, divided among its threads —
+    #: more threads means the same work finishes sooner iff latency is hidden
+    total_accesses_per_proc: int = 48
+    think_between: int = 6
+    name: str = "latency_tolerance"
+
+    def describe(self) -> str:
+        return (
+            f"latency_tolerance(threads={self.threads_per_proc}, "
+            f"accesses={self.total_accesses_per_proc})"
+        )
+
+    def build(self, machine) -> dict[int, list[Program]]:
+        n = machine.config.n_procs
+        if self.threads_per_proc > machine.config.max_contexts:
+            raise ValueError(
+                f"{self.threads_per_proc} threads exceed "
+                f"{machine.config.max_contexts} hardware contexts"
+            )
+        alloc = machine.allocator
+        words_per_block = machine.space.words_per_block
+        per_thread = max(
+            1, self.total_accesses_per_proc // self.threads_per_proc
+        )
+
+        # Each (proc, thread) streams once through a private remote array —
+        # every access touches a fresh block, so every access is a genuine
+        # remote read miss with no sharing and no reuse: pure latency.
+        arrays = {}
+        for p in range(n):
+            for t in range(self.threads_per_proc):
+                home = (p + 7 + t * 11) % n
+                if home == p:
+                    home = (home + 1) % n
+                arrays[p, t] = alloc.alloc_words(
+                    f"lat.{p}.{t}", per_thread * words_per_block, home=home
+                )
+
+        def thread(p: int, t: int) -> Program:
+            array = arrays[p, t]
+            for i in range(per_thread):
+                yield ops.load(array.word(i * words_per_block))
+                yield ops.think(self.think_between)
+
+        return {
+            p: [thread(p, t) for t in range(self.threads_per_proc)]
+            for p in range(n)
+        }

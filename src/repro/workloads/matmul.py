@@ -1,0 +1,84 @@
+"""Blocked matrix-multiply workload.
+
+A grid of processors computes C = A x B with a 2-D block decomposition:
+processor (i, j) owns C[i][j], reads the blocks of A's row i (owned by the
+processors of that row) and of B's column j.  Row and column blocks get
+worker-sets of about sqrt(N) — between Multigrid's pairwise sharing and
+Weather's machine-wide hot-spot — giving the protocol comparison a
+middle-ground data point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..proc import ops
+from ..sync.barrier import barrier_wait, build_combining_tree
+from .base import Program, Workload
+
+
+@dataclass
+class MatmulWorkload(Workload):
+    """C = A x B over a near-square processor grid."""
+
+    #: multiply/accumulate cycles modelled per block pair
+    cycles_per_block: int = 24
+    sweeps: int = 2
+    barrier_arity: int = 4
+    name: str = "matmul"
+
+    def describe(self) -> str:
+        return f"matmul(sweeps={self.sweeps})"
+
+    @staticmethod
+    def _grid(n: int) -> tuple[int, int]:
+        rows = int(math.isqrt(n))
+        while n % rows:
+            rows -= 1
+        return rows, n // rows
+
+    def build(self, machine) -> dict[int, list[Program]]:
+        n = machine.config.n_procs
+        rows, cols = self._grid(n)
+        alloc = machine.allocator
+
+        def pid(i: int, j: int) -> int:
+            return i * cols + j
+
+        a_blocks = {}
+        b_blocks = {}
+        c_blocks = {}
+        for i in range(rows):
+            for j in range(cols):
+                owner = pid(i, j)
+                a_blocks[i, j] = alloc.alloc_scalar(f"mm.a{i}.{j}", home=owner)
+                b_blocks[i, j] = alloc.alloc_scalar(f"mm.b{i}.{j}", home=owner)
+                c_blocks[i, j] = alloc.alloc_scalar(f"mm.c{i}.{j}", home=owner)
+
+        barrier = build_combining_tree(
+            alloc, list(range(n)), arity=self.barrier_arity, name="mm.bar"
+        )
+        poll = machine.config.spin_poll_interval
+
+        def program(p: int) -> Program:
+            i, j = divmod(p, cols)
+            for sweep in range(1, self.sweeps + 1):
+                # Refresh this processor's own A and B blocks.
+                yield ops.store(a_blocks[i, j].base, sweep * 10 + p)
+                yield ops.store(b_blocks[i, j].base, sweep * 20 + p)
+                yield from barrier_wait(
+                    barrier, p, 2 * sweep - 1, poll_interval=poll
+                )
+                # Accumulate over the shared row of A and column of B.
+                acc = 0
+                for k in range(cols):
+                    acc += yield ops.load(a_blocks[i, k].base)
+                    yield ops.think(self.cycles_per_block)
+                for k in range(rows):
+                    acc += yield ops.load(b_blocks[k, j].base)
+                    yield ops.think(self.cycles_per_block)
+                yield ops.store(c_blocks[i, j].base, acc)
+                yield from barrier_wait(barrier, p, 2 * sweep, poll_interval=poll)
+
+        return {p: [program(p)] for p in range(n)}

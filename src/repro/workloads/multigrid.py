@@ -1,0 +1,82 @@
+"""The Multigrid workload (paper §5.2, Figure 7).
+
+A statically scheduled multigrid relaxation: processors sweep their strip
+of the grid at a sequence of grid levels (fine levels mean more local work,
+coarse levels mean less), exchanging only strip-edge values with their
+immediate neighbours between sweeps.  Worker-sets are tiny — each edge
+value is written by its owner and read by exactly one neighbour — so
+limited, LimitLESS, and full-map directories all perform alike: the
+paper's Figure 7 result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..proc import ops
+from ..sync.barrier import barrier_wait, build_combining_tree
+from .base import Program, Workload
+
+
+@dataclass
+class MultigridWorkload(Workload):
+    """Static multigrid relaxation over a strip-partitioned grid."""
+
+    #: V-cycle description: sweeps per level, finest first
+    levels: tuple[int, ...] = (2, 2, 2)
+    points_per_proc: int = 32
+    cycles_per_point: int = 5
+    barrier_arity: int = 4
+    name: str = "multigrid"
+
+    def describe(self) -> str:
+        return f"multigrid(levels={list(self.levels)})"
+
+    def build(self, machine) -> dict[int, list[Program]]:
+        n = machine.config.n_procs
+        alloc = machine.allocator
+        poll = machine.config.spin_poll_interval
+
+        # Strip edges: each processor publishes a left and a right edge
+        # value; each is read by exactly one neighbour (worker-set one).
+        left_edges = [
+            alloc.alloc_scalar(f"mg.left{p}", home=p) for p in range(n)
+        ]
+        right_edges = [
+            alloc.alloc_scalar(f"mg.right{p}", home=p) for p in range(n)
+        ]
+        strips = [
+            alloc.alloc_words(f"mg.strip{p}", max(4, self.points_per_proc), home=p)
+            for p in range(n)
+        ]
+        barrier = build_combining_tree(
+            alloc, list(range(n)), arity=self.barrier_arity, name="mg.bar"
+        )
+
+        def program(p: int) -> Program:
+            strip = strips[p]
+            epoch = 0
+            for depth, sweeps in enumerate(self.levels):
+                # Coarser levels touch a fraction of the points.
+                points = max(2, self.points_per_proc >> depth)
+                for _sweep in range(sweeps):
+                    epoch += 1
+                    # Relax this strip: local reads/writes plus think time.
+                    for point in range(min(4, points)):
+                        value = yield ops.load(strip.word(point))
+                        yield ops.store(strip.word(point), value + 1)
+                    yield ops.think(points * self.cycles_per_point)
+
+                    # Publish strip edges for the neighbours.
+                    yield ops.store(left_edges[p].base, epoch)
+                    yield ops.store(right_edges[p].base, epoch)
+
+                    yield from barrier_wait(barrier, p, epoch, poll_interval=poll)
+
+                    # Read one edge from each neighbour.
+                    if p > 0:
+                        yield ops.load(right_edges[p - 1].base)
+                    if p < n - 1:
+                        yield ops.load(left_edges[p + 1].base)
+
+        return {p: [program(p)] for p in range(n)}

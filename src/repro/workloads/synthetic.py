@@ -1,0 +1,82 @@
+"""Synthetic worker-set workload.
+
+Directly parameterizes the quantity the whole paper turns on: the
+*worker-set size distribution* of shared data.  Each shared variable is
+assigned a worker-set (its reader group) drawn from a configurable
+distribution; readers re-read their variables every round and each
+variable's owner occasionally rewrites it.  Sweeping the distribution
+against the pointer count reproduces, in controlled form, the §3.1 model's
+``m`` (fraction of accesses that overflow the hardware pointers) and the
+Figure 10 sensitivity to worker-sets just above ``p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..proc import ops
+from ..sync.barrier import barrier_wait, build_combining_tree
+from .base import Program, Workload
+
+
+@dataclass
+class SyntheticSharingWorkload(Workload):
+    """Tunable worker-set sizes over a population of shared variables."""
+
+    #: (worker_set_size, count) pairs — e.g. [(2, 8), (16, 1)] gives eight
+    #: variables read by two processors and one read by sixteen
+    worker_sets: list[tuple[int, int]] = field(default_factory=lambda: [(2, 4)])
+    rounds: int = 4
+    #: a variable's owner rewrites it every ``write_period`` rounds (0 = never)
+    write_period: int = 2
+    think_per_round: int = 40
+    barrier_arity: int = 4
+    name: str = "synthetic"
+
+    def describe(self) -> str:
+        return f"synthetic(ws={self.worker_sets}, rounds={self.rounds})"
+
+    def build(self, machine) -> dict[int, list[Program]]:
+        n = machine.config.n_procs
+        alloc = machine.allocator
+        rng = machine.rng
+        poll = machine.config.spin_poll_interval
+
+        # Assign each variable an owner (home) and a reader group.
+        variables: list[tuple[int, int, list[int]]] = []  # (addr, owner, readers)
+        index = 0
+        for size, count in self.worker_sets:
+            if size < 1 or size > n:
+                raise ValueError(f"worker-set size {size} out of range for {n} procs")
+            for _ in range(count):
+                owner = rng.randint("synthetic.owner", 0, n - 1)
+                others = [p for p in range(n) if p != owner]
+                readers = rng.shuffled(f"synthetic.readers{index}", others)[
+                    : max(0, size - 1)
+                ]
+                var = alloc.alloc_scalar(f"syn.var{index}", home=owner)
+                variables.append((var.base, owner, sorted(readers)))
+                index += 1
+
+        barrier = build_combining_tree(
+            alloc, list(range(n)), arity=self.barrier_arity, name="syn.bar"
+        )
+
+        reads_of: dict[int, list[int]] = {p: [] for p in range(n)}
+        writes_of: dict[int, list[int]] = {p: [] for p in range(n)}
+        for addr, owner, readers in variables:
+            writes_of[owner].append(addr)
+            for reader in readers:
+                reads_of[reader].append(addr)
+
+        def program(p: int) -> Program:
+            for round_no in range(1, self.rounds + 1):
+                if self.write_period and round_no % self.write_period == 0:
+                    for addr in writes_of[p]:
+                        yield ops.store(addr, round_no)
+                yield from barrier_wait(barrier, p, round_no, poll_interval=poll)
+                for addr in reads_of[p]:
+                    yield ops.load(addr)
+                yield ops.think(self.think_per_round)
+
+        return {p: [program(p)] for p in range(n)}

@@ -1,0 +1,114 @@
+"""The Weather workload (paper §5.2, Figures 8–10).
+
+Weather is a column-partitioned atmospheric model.  The sharing structure
+that drives the paper's results, reconstructed from the text:
+
+* per-iteration *boundary* exchange between neighbouring columns — shared
+  values with worker-sets of exactly two remote processors (these are the
+  variables that make the one-pointer LimitLESS protocol "especially bad",
+  Figure 10);
+* software combining trees for barrier synchronization;
+* **one variable initialized by one processor and then read by all of the
+  other processors** (found by Kiyoshi Kurihara) — never written again, so
+  under a full-map directory every processor caches it after the first
+  sweep and it costs nothing, while a Dir_iNB directory evicts pointers on
+  every sweep forever: the hot-spot of Figure 8.
+
+``optimized=True`` models the paper's fix of flagging that variable
+read-only: each processor then fetches it once instead of re-reading a
+coherent copy every iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..proc import ops
+from ..sync.barrier import barrier_wait, build_combining_tree
+from .base import Program, Workload
+
+
+@dataclass
+class WeatherWorkload(Workload):
+    """Synthetic Weather with the documented sharing pattern."""
+
+    iterations: int = 6
+    #: grid points per processor column (drives local work and think time)
+    points_per_proc: int = 24
+    #: compute cycles modelled per grid point per sweep
+    cycles_per_point: int = 6
+    #: how many times the sweep's inner loop references the shared
+    #: initialization variable; under a full-map directory these are all
+    #: cache hits after the first sweep, under Dir_iNB each one can be a
+    #: fresh miss because of pointer thrashing
+    hot_reads_per_iteration: int = 8
+    barrier_arity: int = 4
+    optimized: bool = False
+    name: str = "weather"
+
+    def describe(self) -> str:
+        tag = "optimized" if self.optimized else "unoptimized"
+        return f"weather({tag}, iters={self.iterations})"
+
+    def build(self, machine) -> dict[int, list[Program]]:
+        n = machine.config.n_procs
+        alloc = machine.allocator
+        poll = machine.config.spin_poll_interval
+
+        # The hot-spot variable, homed at (and initialized by) processor 0.
+        init_var = alloc.alloc_scalar("weather.init", home=0)
+
+        # Each processor's column: a private working array plus a boundary
+        # corner value read by both neighbours (worker-set two).
+        corners = [
+            alloc.alloc_scalar(f"weather.corner{p}", home=p) for p in range(n)
+        ]
+        columns = [
+            alloc.alloc_words(
+                f"weather.col{p}", max(4, self.points_per_proc), home=p
+            )
+            for p in range(n)
+        ]
+
+        barrier = build_combining_tree(
+            alloc, list(range(n)), arity=self.barrier_arity, name="weather.bar"
+        )
+
+        def program(p: int) -> Program:
+            left = corners[(p - 1) % n].base
+            right = corners[(p + 1) % n].base
+            mine = corners[p].base
+            column = columns[p]
+
+            if p == 0:
+                # One processor initializes the shared variable, once.
+                yield ops.store(init_var.base, 777)
+
+            for it in range(1, self.iterations + 1):
+                # Local sweep over this processor's column.
+                for point in range(min(4, self.points_per_proc)):
+                    value = yield ops.load(column.word(point))
+                    yield ops.store(column.word(point), value + it)
+                yield ops.think(self.points_per_proc * self.cycles_per_point)
+
+                # Publish this column's boundary value.
+                yield ops.store(mine, it)
+
+                yield from barrier_wait(barrier, p, it, poll_interval=poll)
+
+                # Read both neighbours' boundaries (worker-set-2 variables).
+                yield ops.load(left)
+                yield ops.load(right)
+
+                # The unoptimized hot-spot: the sweep's inner loop keeps
+                # referencing the read-only variable.  Optimized code reads
+                # it once (the paper's "flagged read-only" fix).
+                if self.optimized:
+                    if it == 1:
+                        yield ops.load(init_var.base)
+                else:
+                    for _ in range(self.hot_reads_per_iteration):
+                        yield ops.load(init_var.base)
+                        yield ops.think(self.cycles_per_point)
+
+        return {p: [program(p)] for p in range(n)}

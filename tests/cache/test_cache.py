@@ -1,0 +1,85 @@
+"""Tests for the direct-mapped cache array."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.cache import CacheArray
+from repro.cache.states import CacheState
+from repro.mem.address import AddressSpace
+from repro.mem.memory import BlockData
+
+
+@pytest.fixture
+def array(space4):
+    return CacheArray(space4, n_lines=16)
+
+
+def block_at(space, home, index):
+    return space.address(home, index * space.block_bytes)
+
+
+class TestIndexing:
+    def test_power_of_two_required(self, space4):
+        with pytest.raises(ValueError):
+            CacheArray(space4, n_lines=10)
+
+    def test_capacity(self, array, space4):
+        assert array.capacity_bytes == 16 * space4.block_bytes
+
+    def test_conflicting_blocks_share_an_index(self, array, space4):
+        a = block_at(space4, 0, 0)
+        b = block_at(space4, 0, 16)  # 16 lines -> wraps to index 0
+        assert array.index_of(a) == array.index_of(b)
+
+    @given(index=st.integers(min_value=0, max_value=200))
+    def test_index_in_range(self, index):
+        space = AddressSpace(n_nodes=2, block_bytes=16, segment_bytes=1 << 16)
+        array = CacheArray(space, n_lines=16)
+        blk = space.address(1, (index * 16) % (1 << 16))
+        assert 0 <= array.index_of(blk) < 16
+
+
+class TestInstallLookup:
+    def test_miss_then_hit(self, array, space4):
+        blk = block_at(space4, 0, 1)
+        assert array.lookup(blk) is None
+        array.install(blk, CacheState.READ_ONLY, BlockData(4))
+        line = array.lookup(blk)
+        assert line is not None and line.state is CacheState.READ_ONLY
+
+    def test_conflict_eviction_returns_victim(self, array, space4):
+        a = block_at(space4, 0, 0)
+        b = block_at(space4, 0, 16)
+        array.install(a, CacheState.READ_WRITE, BlockData(4))
+        victim = array.install(b, CacheState.READ_ONLY, BlockData(4))
+        assert victim is not None and victim.block == a
+        assert array.lookup(a) is None
+        assert array.lookup(b) is not None
+
+    def test_refill_same_block_is_not_eviction(self, array, space4):
+        blk = block_at(space4, 0, 2)
+        array.install(blk, CacheState.READ_ONLY, BlockData(4))
+        victim = array.install(blk, CacheState.READ_WRITE, BlockData(4))
+        assert victim is None
+
+    def test_invalidate(self, array, space4):
+        blk = block_at(space4, 0, 3)
+        array.install(blk, CacheState.READ_ONLY, BlockData(4))
+        dropped = array.invalidate(blk)
+        assert dropped is not None
+        assert array.lookup(blk) is None
+        assert array.invalidate(blk) is None  # second time: nothing
+
+    def test_valid_lines_listing(self, array, space4):
+        for i in range(3):
+            array.install(block_at(space4, 0, i), CacheState.READ_ONLY, BlockData(4))
+        array.invalidate(block_at(space4, 0, 1))
+        assert len(array.valid_lines()) == 2
+
+    def test_tag_mismatch_is_miss(self, array, space4):
+        a = block_at(space4, 0, 0)
+        b = block_at(space4, 0, 16)
+        array.install(a, CacheState.READ_ONLY, BlockData(4))
+        assert array.lookup(b) is None

@@ -1,0 +1,122 @@
+"""Cache-side tests for update-mode blocks (§6 extension plumbing).
+
+Update-mode blocks require their home directory in Trap-Always mode (the
+software handler owns the UPDATE write-through), so these tests run on a
+small LimitLESS machine configured through the extension's own API.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extensions import make_update_block
+from repro.machine import AlewifeConfig, AlewifeMachine
+from repro.proc import ops
+from repro.workloads.base import Workload
+
+from .test_controller import Rig
+
+
+class _Script(Workload):
+    """Drives the update-mode block with an explicit op sequence."""
+
+    name = "update-script"
+
+    def __init__(self, steps):
+        self.steps = steps  # list of (proc, op-tuple factory given addr)
+        self.results = []
+        self.addr = None
+
+    def build(self, machine):
+        var = machine.allocator.alloc_scalar("upd.var", home=0)
+        self.addr = var.base
+        per_proc: dict[int, list] = {}
+        for proc, make in self.steps:
+            per_proc.setdefault(proc, []).append(make)
+
+        def program(p, makes):
+            for make in makes:
+                value = yield make(var.base)
+                self.results.append((p, value))
+                yield ops.think(60)
+
+        return {p: [program(p, makes)] for p, makes in per_proc.items()} or {
+            0: [iter(())]
+        }
+
+
+def run_script(steps, n_procs=3):
+    machine = AlewifeMachine(
+        AlewifeConfig(
+            n_procs=n_procs,
+            protocol="limitless",
+            pointers=2,
+            ts=30,
+            cache_lines=256,
+            segment_bytes=1 << 16,
+            max_cycles=2_000_000,
+        )
+    )
+    workload = _Script(steps)
+    programs = workload.build(machine)
+    make_update_block(machine, workload.addr)
+    def idle():
+        yield ops.think(1)
+
+    for p in range(n_procs):
+        gens = programs.get(p) or [idle()]
+        for gen in gens:
+            machine.nodes[p].processor.add_thread(gen)
+    for node in machine.nodes:
+        node.start()
+    machine.sim.run()
+    assert all(n.processor.done for n in machine.nodes)
+    return machine, workload
+
+
+class TestUpdateModeCacheSide:
+    def test_store_with_copy_writes_through(self):
+        machine, workload = run_script(
+            [
+                (1, ops.load),                      # get a read-only copy
+                (1, lambda a: ops.store(a, 42)),    # write through
+                (1, ops.load),                      # still readable locally
+            ]
+        )
+        assert machine.nodes[0].memory.peek_word(workload.addr) == 42
+        cache = machine.nodes[1].cache_controller
+        assert cache.counters.get("cache.write_throughs") == 1
+        # the copy stayed read-only: no exclusivity dance
+        line = cache.array.lookup(machine.space.block_of(workload.addr))
+        assert line is not None and line.state.name == "READ_ONLY"
+        assert (1, 42) in workload.results
+
+    def test_store_without_copy_fetches_then_writes_through(self):
+        machine, workload = run_script([(2, lambda a: ops.store(a, 9))])
+        assert machine.nodes[0].memory.peek_word(workload.addr) == 9
+        cache = machine.nodes[2].cache_controller
+        assert cache.counters.get("cache.write_throughs") == 1
+        # the fetch used a read request, never an exclusive one
+        assert cache.counters.get("cache.upgrades") == 0
+
+    def test_rmw_rejected(self):
+        rig = Rig()
+        blk = rig.space.block_of(rig.block())
+        rig.caches[1].update_blocks.add(blk)
+        with pytest.raises(ValueError, match="update-mode"):
+            rig.caches[1].access("rmw", blk, lambda v: v + 1, lambda v: None)
+
+    def test_sharers_absorb_the_push(self):
+        machine, workload = run_script(
+            [
+                (1, ops.load),
+                (2, ops.load),
+                (1, lambda a: ops.store(a, 7)),
+            ]
+        )
+        assert machine.nodes[2].counters.get("cache.updates_absorbed") >= 1
+        blk = machine.space.block_of(workload.addr)
+        line = machine.nodes[2].cache_array.lookup(blk)
+        if line is not None:
+            word = machine.space.word_in_block(workload.addr)
+            assert line.data.words[word] == 7

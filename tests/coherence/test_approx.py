@@ -1,0 +1,112 @@
+"""Tests for the §5.1 ASIM approximation of LimitLESS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.approx import ApproxLimitLessController
+from repro.coherence.limitless import FreeRunningTrapEngine
+from repro.coherence.states import DirState
+
+from .rig import ControllerRig
+
+
+def make_rig(pointers=2, ts=40, n_nodes=8, auto_ack=False):
+    rig = ControllerRig(
+        ApproxLimitLessController,
+        hw_pointers=pointers,
+        ts=ts,
+        n_nodes=n_nodes,
+        auto_ack=auto_ack,
+    )
+    engine = FreeRunningTrapEngine(rig.sim)
+    rig.controller.trap_engine = engine
+    return rig, engine
+
+
+class TestOverflowStalls:
+    def test_within_pointers_no_stall(self):
+        rig, engine = make_rig()
+        blk = rig.block()
+        for node in (1, 2):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        assert engine.traps_taken == 0
+
+    def test_overflow_stalls_processor_and_controller(self):
+        rig, engine = make_rig(ts=40)
+        blk = rig.block()
+        for node in (1, 2, 3):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        assert engine.traps_taken == 1
+        assert engine.trap_cycles == 40
+        assert rig.controller.occupancy.busy_cycles >= 40
+
+    def test_request_still_serviced_fullmap_style(self):
+        rig, engine = make_rig()
+        blk = rig.block()
+        for node in (1, 2, 3):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        # Full-map semantics: every reader recorded, every reader answered.
+        assert rig.entry(blk).sharers == {1, 2, 3}
+        for node in (1, 2, 3):
+            assert rig.sent_to(node, "RDATA")
+
+    def test_overflow_empties_emulated_pointers(self):
+        rig, engine = make_rig(pointers=2)
+        blk = rig.block()
+        for node in (1, 2, 3):  # 3rd overflows, array empties
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        for node in (4, 5):  # refill the two emulated pointers
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        assert engine.traps_taken == 1
+        rig.send(6, "RREQ", blk)  # overflows again
+        rig.run()
+        assert engine.traps_taken == 2
+
+    def test_write_after_overflow_stalls_once_more(self):
+        rig, engine = make_rig(auto_ack=True)
+        blk = rig.block()
+        for node in (1, 2, 3):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        assert engine.traps_taken == 1
+        rig.send(4, "WREQ", blk)
+        rig.run()
+        assert engine.traps_taken == 2  # the Trap-On-Write termination
+        assert rig.sent_to(4, "WDATA")
+        assert rig.entry(blk).state is DirState.READ_WRITE
+
+    def test_write_without_prior_overflow_does_not_stall(self):
+        rig, engine = make_rig(auto_ack=True)
+        blk = rig.block()
+        rig.send(1, "RREQ", blk)
+        rig.run()
+        rig.send(2, "WREQ", blk)
+        rig.run()
+        assert engine.traps_taken == 0
+
+    def test_home_reads_never_overflow(self):
+        rig, engine = make_rig(pointers=1)
+        blk = rig.block()
+        rig.send(0, "RREQ", blk)  # local bit
+        rig.send(1, "RREQ", blk)
+        rig.run()
+        rig.send(0, "RREQ", blk)
+        rig.run()
+        assert engine.traps_taken == 0
+
+    def test_zero_pointer_configuration(self):
+        rig, engine = make_rig(pointers=0)
+        blk = rig.block()
+        rig.send(1, "RREQ", blk)
+        rig.run()
+        assert engine.traps_taken == 1  # every remote read overflows
+
+    def test_negative_pointers_rejected(self):
+        with pytest.raises(ValueError):
+            ControllerRig(ApproxLimitLessController, hw_pointers=-1)

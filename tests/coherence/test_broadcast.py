@@ -1,0 +1,113 @@
+"""Tests for Dir_iB: the broadcast-on-overflow limited directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.broadcast import BroadcastController
+from repro.coherence.states import DirState
+
+from .rig import ControllerRig
+
+
+@pytest.fixture
+def rig():
+    return ControllerRig(BroadcastController, pointer_capacity=2, n_nodes=6)
+
+
+class TestBroadcastBit:
+    def test_within_capacity_behaves_like_limited(self, rig):
+        blk = rig.block()
+        for node in (1, 2):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        assert rig.counters.get("dir.broadcast_armed") == 0
+        assert rig.entry(blk).sharers == {1, 2}
+
+    def test_overflow_grants_unrecorded_copy(self, rig):
+        blk = rig.block()
+        for node in (1, 2, 3):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        assert rig.counters.get("dir.broadcast_armed") == 1
+        assert rig.counters.get("dir.unrecorded_grants") == 1
+        assert rig.sent_to(3, "RDATA")
+        # pointer set unchanged; node 3 holds a copy the directory can't name
+        assert rig.entry(blk).sharers == {1, 2}
+        assert rig.counters.get("dir.pointer_evictions") == 0
+
+    def test_recorded_holders_is_any_when_armed(self, rig):
+        blk = rig.block()
+        for node in (1, 2, 3):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        assert rig.controller.recorded_holders(rig.entry(blk)) is None
+
+    def test_write_broadcasts_to_every_cache(self, rig):
+        blk = rig.block()
+        for node in (1, 2, 3, 4):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        rig.send(5, "WREQ", blk)
+        rig.run()
+        entry = rig.entry(blk)
+        assert entry.state is DirState.WRITE_TRANSACTION
+        # INV to every node except the writer — including never-sharers.
+        assert entry.ack_waiting == {0, 1, 2, 3, 4}
+        assert rig.counters.get("dir.broadcast_invalidates") == 1
+
+    def test_broadcast_completes_and_disarms(self):
+        rig = ControllerRig(
+            BroadcastController, pointer_capacity=2, n_nodes=6, auto_ack=True
+        )
+        blk = rig.block()
+        for node in (1, 2, 3, 4):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        rig.send(5, "WREQ", blk)
+        rig.run()
+        entry = rig.entry(blk)
+        assert entry.state is DirState.READ_WRITE
+        assert rig.sent_to(5, "WDATA")
+        # disarmed: the next overflow must re-arm
+        assert rig.controller.recorded_holders(entry) == {5}
+
+    def test_write_without_broadcast_stays_precise(self, rig):
+        blk = rig.block()
+        for node in (1, 2):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        rig.send(3, "WREQ", blk)
+        rig.run()
+        assert rig.entry(blk).ack_waiting == {1, 2}
+        assert rig.counters.get("dir.broadcast_invalidates") == 0
+
+    def test_requires_a_pointer(self):
+        with pytest.raises(ValueError):
+            ControllerRig(BroadcastController, pointer_capacity=0)
+
+
+class TestBroadcastEndToEnd:
+    def test_full_machine_run_audits(self):
+        from repro.machine import AlewifeConfig, run_experiment
+        from repro.workloads import HotSpotWorkload, WeatherWorkload
+
+        for wl in (HotSpotWorkload(rounds=3, write_period=1),
+                   WeatherWorkload(iterations=2)):
+            stats = run_experiment(
+                AlewifeConfig(
+                    n_procs=8,
+                    protocol="limited_broadcast",
+                    pointers=2,
+                    cache_lines=256,
+                    segment_bytes=1 << 16,
+                    max_cycles=4_000_000,
+                ),
+                wl,
+            )
+            assert stats.counters.get("dir.broadcast_invalidates") > 0
+
+    def test_label(self):
+        from repro.machine import AlewifeConfig
+
+        assert AlewifeConfig(protocol="limited_broadcast", pointers=2).label() == "Dir2B"

@@ -1,0 +1,114 @@
+"""Tests for the chained-directory comparison model: serial invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.chained import ChainedController
+from repro.coherence.states import DirState
+
+from .rig import ControllerRig
+
+
+@pytest.fixture
+def rig():
+    return ControllerRig(ChainedController, n_nodes=8)
+
+
+class TestSerialInvalidation:
+    def _share(self, rig, blk, nodes):
+        for node in nodes:
+            rig.send(node, "RREQ", blk)
+        rig.run()
+
+    def test_only_first_target_invalidated_initially(self, rig):
+        blk = rig.block()
+        self._share(rig, blk, (1, 2, 3))
+        rig.send(4, "WREQ", blk)
+        rig.run()
+        invs = [n for n in range(8) if rig.sent_to(n, "INV")]
+        assert len(invs) == 1  # one element of the chain at a time
+
+    def test_each_ack_advances_the_chain(self, rig):
+        blk = rig.block()
+        self._share(rig, blk, (1, 2, 3))
+        rig.send(4, "WREQ", blk)
+        rig.run()
+        txn = rig.entry(blk).txn
+        rig.send(1, "ACKC", blk, txn=txn)
+        rig.run()
+        assert rig.sent_to(2, "INV")
+        assert not rig.sent_to(3, "INV")
+        rig.send(2, "ACKC", blk, txn=txn)
+        rig.run()
+        assert rig.sent_to(3, "INV")
+        assert not rig.sent_to(4, "WDATA")
+
+    def test_completion_after_full_walk(self, rig):
+        blk = rig.block()
+        self._share(rig, blk, (1, 2, 3))
+        rig.send(4, "WREQ", blk)
+        rig.run()
+        txn = rig.entry(blk).txn
+        for node in (1, 2, 3):
+            rig.send(node, "ACKC", blk, txn=txn)
+            rig.run()
+        assert rig.sent_to(4, "WDATA")
+        entry = rig.entry(blk)
+        assert entry.state is DirState.READ_WRITE
+        assert entry.sharers == {4}
+
+    def test_serial_latency_grows_with_worker_set(self):
+        """The §1 criticism: write latency is linear in the chain length."""
+
+        def write_latency(n_sharers):
+            rig = ControllerRig(ChainedController, n_nodes=10, auto_ack=True)
+            blk = rig.block()
+            for node in range(1, 1 + n_sharers):
+                rig.send(node, "RREQ", blk)
+            rig.run()
+            start = rig.sim.now
+            rig.send(9, "WREQ", blk)
+            rig.run()
+            assert rig.sent_to(9, "WDATA")
+            return rig.sim.now - start
+
+        assert write_latency(6) > write_latency(2) > write_latency(1)
+
+    def test_serial_steps_counted(self, rig):
+        blk = rig.block()
+        self._share(rig, blk, (1, 2, 3))
+        rig.send(4, "WREQ", blk)
+        rig.run()
+        txn = rig.entry(blk).txn
+        for node in (1, 2, 3):
+            rig.send(node, "ACKC", blk, txn=txn)
+            rig.run()
+        assert rig.counters.get("chained.serial_steps") == 2
+
+    def test_no_read_overflow_possible(self, rig):
+        blk = rig.block()
+        self._share(rig, blk, range(1, 8))
+        assert rig.entry(blk).sharers == set(range(1, 8))
+        assert rig.counters.get("dir.read_overflow") == 0
+
+    def test_busy_during_walk(self, rig):
+        blk = rig.block()
+        self._share(rig, blk, (1, 2))
+        rig.send(4, "WREQ", blk)
+        rig.run()
+        rig.send(5, "RREQ", blk)
+        rig.run()
+        assert rig.sent_to(5, "BUSY")
+
+    def test_single_owner_write_is_one_step(self, rig):
+        blk = rig.block()
+        rig.send(1, "WREQ", blk)
+        rig.run()
+        rig.send(2, "WREQ", blk)
+        rig.run()
+        txn = rig.entry(blk).txn
+        rig.send(1, "UPDATE", blk, data=rig.data(9), txn=txn)
+        rig.run()
+        assert rig.sent_to(2, "WDATA")
+        assert rig.counters.get("chained.serial_steps") == 0

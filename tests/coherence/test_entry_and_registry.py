@@ -1,0 +1,116 @@
+"""Tests for directory entries and the protocol registry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coherence.entry import Directory, DirectoryEntry
+from repro.coherence.registry import (
+    PROTOCOLS,
+    SOFTWARE_PROTOCOLS,
+    controller_class,
+    protocol_names,
+)
+from repro.coherence.states import DirState, MetaState
+
+
+class TestDirectoryEntry:
+    def test_local_bit_instead_of_pointer(self):
+        entry = DirectoryEntry(block=0x100, home=3)
+        entry.add_sharer(3)
+        assert entry.local_bit
+        assert entry.pointers_used() == 0
+        assert entry.all_copy_holders() == {3}
+
+    def test_remote_sharers_use_pointers(self):
+        entry = DirectoryEntry(block=0x100, home=3)
+        entry.add_sharer(1)
+        entry.add_sharer(2)
+        assert entry.pointers_used() == 2
+
+    def test_drop_sharer_handles_both(self):
+        entry = DirectoryEntry(block=0x100, home=3)
+        entry.add_sharer(3)
+        entry.add_sharer(1)
+        entry.drop_sharer(3)
+        entry.drop_sharer(1)
+        assert entry.all_copy_holders() == set()
+
+    def test_peak_sharers_tracks_maximum(self):
+        entry = DirectoryEntry(block=0x100, home=0)
+        for node in (1, 2, 3):
+            entry.add_sharer(node)
+        entry.clear_sharers()
+        entry.add_sharer(1)
+        assert entry.peak_sharers == 3
+
+    def test_transaction_ack_matching(self):
+        entry = DirectoryEntry(block=0x100, home=0)
+        txn = entry.begin_transaction(5, {1, 2})
+        assert not entry.ack_from(3, txn)      # not awaited
+        assert not entry.ack_from(1, txn - 1)  # stale round
+        assert entry.ack_from(1, txn)
+        assert not entry.ack_from(1, txn)      # double ack
+        assert entry.ack_from(2, None)         # REPM-style, no txn echo
+        assert entry.acks_outstanding == 0
+
+    def test_txn_increments_per_transaction(self):
+        entry = DirectoryEntry(block=0x100, home=0)
+        t1 = entry.begin_transaction(1, {2})
+        t2 = entry.begin_transaction(1, {2})
+        assert t2 == t1 + 1
+
+    def test_idle_conditions(self):
+        entry = DirectoryEntry(block=0x100, home=0)
+        assert entry.idle()
+        entry.state = DirState.WRITE_TRANSACTION
+        assert not entry.idle()
+        entry.state = DirState.READ_ONLY
+        entry.meta = MetaState.TRANS_IN_PROGRESS
+        assert not entry.idle()
+        entry.meta = MetaState.TRAP_ON_WRITE
+        assert entry.idle()  # software mode at rest is quiescent
+
+    @given(nodes=st.lists(st.integers(min_value=0, max_value=31), max_size=40))
+    def test_holders_match_membership(self, nodes):
+        entry = DirectoryEntry(block=0x100, home=0)
+        for node in nodes:
+            entry.add_sharer(node)
+        for node in set(nodes):
+            assert entry.holds(node)
+        assert entry.all_copy_holders() == set(nodes)
+
+
+class TestDirectory:
+    def test_entries_allocated_on_first_touch(self):
+        directory = Directory(home=2)
+        assert len(directory) == 0
+        entry = directory.entry(0x200)
+        assert entry.home == 2
+        assert len(directory) == 1
+        assert directory.entry(0x200) is entry
+
+
+class TestRegistry:
+    def test_all_protocols_present(self):
+        assert set(protocol_names()) == {
+            "chained",
+            "fullmap",
+            "limited",
+            "limited_broadcast",
+            "limitless",
+            "limitless_approx",
+            "trap_always",
+        }
+
+    def test_software_protocols_subset(self):
+        assert SOFTWARE_PROTOCOLS <= set(PROTOCOLS)
+
+    @pytest.mark.parametrize("name", sorted(PROTOCOLS))
+    def test_lookup(self, name):
+        assert controller_class(name).protocol_name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            controller_class("snoopy")

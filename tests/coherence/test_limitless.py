@@ -1,0 +1,197 @@
+"""Tests for the LimitLESS protocol: meta states, traps, software vectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.limitless import (
+    FreeRunningTrapEngine,
+    LimitLessController,
+    LimitLessSoftware,
+    TrapAlwaysController,
+)
+from repro.coherence.states import DirState, MetaState
+
+from .rig import ControllerRig
+
+
+def make_limitless(pointers=2, ts=50, n_nodes=8, auto_ack=False, cls=LimitLessController):
+    rig = ControllerRig(
+        cls, pointer_capacity=pointers, n_nodes=n_nodes, auto_ack=auto_ack
+    )
+    engine = FreeRunningTrapEngine(rig.sim)
+    software = LimitLessSoftware(rig.controller, rig.nics[rig.home], engine, ts=ts)
+    return rig, software, engine
+
+
+class TestReadOverflow:
+    def test_reads_within_pointers_stay_in_hardware(self):
+        rig, software, engine = make_limitless()
+        blk = rig.block()
+        for node in (1, 2):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        assert engine.traps_taken == 0
+        assert rig.entry(blk).meta is MetaState.NORMAL
+
+    def test_overflow_traps_and_answers_in_software(self):
+        rig, software, engine = make_limitless()
+        blk = rig.block()
+        for node in (1, 2, 3):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        assert engine.traps_taken == 1
+        assert rig.sent_to(3, "RDATA")  # software launched the reply
+        entry = rig.entry(blk)
+        assert entry.meta is MetaState.TRAP_ON_WRITE
+        # pointers emptied into the local-memory vector; requester added
+        assert entry.sharers == set()
+        assert software.vectors[blk] == {1, 2, 3}
+
+    def test_trap_charges_ts_cycles(self):
+        rig, software, engine = make_limitless(ts=75)
+        blk = rig.block()
+        for node in (1, 2, 3):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        assert engine.trap_cycles == 75
+
+    def test_hardware_resumes_reads_after_trap(self):
+        rig, software, engine = make_limitless()
+        blk = rig.block()
+        for node in (1, 2, 3):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        rig.send(4, "RREQ", blk)
+        rig.run()
+        # 4 fits in the freshly emptied hardware pointers: no second trap
+        assert engine.traps_taken == 1
+        assert rig.entry(blk).sharers == {4}
+        assert rig.sent_to(4, "RDATA")
+
+    def test_second_overflow_merges_into_vector(self):
+        rig, software, engine = make_limitless(pointers=1, n_nodes=8)
+        blk = rig.block()
+        for node in (1, 2, 3, 4):
+            rig.send(node, "RREQ", blk)
+            rig.run()
+        assert software.vectors[blk] >= {1, 2, 3}
+        assert engine.traps_taken >= 2
+
+    def test_packets_queued_while_trans_in_progress(self):
+        rig, software, engine = make_limitless(ts=500)
+        blk = rig.block()
+        for node in (1, 2, 3, 4, 5):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        # Everyone eventually got data despite the interlock.
+        for node in (1, 2, 3, 4, 5):
+            assert rig.sent_to(node, "RDATA"), f"node {node} starved"
+        assert rig.counters.get("dir.interlocked") > 0
+        assert rig.entry(blk).meta is MetaState.TRAP_ON_WRITE
+
+
+class TestWriteTermination:
+    def _overflowed_rig(self, **kw):
+        rig, software, engine = make_limitless(auto_ack=True, **kw)
+        blk = rig.block()
+        for node in (1, 2, 3):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        assert rig.entry(blk).meta is MetaState.TRAP_ON_WRITE
+        return rig, software, engine, blk
+
+    def test_wreq_traps_and_returns_entry_to_hardware(self):
+        rig, software, engine, blk = self._overflowed_rig()
+        rig.send(4, "WREQ", blk)
+        rig.run()
+        entry = rig.entry(blk)
+        assert entry.meta is MetaState.NORMAL  # back under hardware control
+        assert entry.state is DirState.READ_WRITE  # acks auto-answered
+        assert rig.sent_to(4, "WDATA")
+        assert blk not in software.vectors  # the vector was freed
+
+    def test_invalidations_cover_the_vector(self):
+        rig, software, engine, blk = self._overflowed_rig()
+        rig.send(4, "WREQ", blk)
+        rig.run()
+        for node in (1, 2, 3):
+            assert rig.sent_to(node, "INV"), f"node {node} kept a stale copy"
+
+    def test_writer_in_vector_not_invalidated(self):
+        rig, software, engine, blk = self._overflowed_rig()
+        rig.send(2, "WREQ", blk)
+        rig.run()
+        assert not rig.sent_to(2, "INV")
+        assert rig.sent_to(2, "WDATA")
+
+    def test_write_to_empty_vector_grants_directly(self):
+        rig, software, engine = make_limitless()
+        blk = rig.block()
+        for node in (1, 2, 3):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        # Manually shrink the vector to only the writer.
+        software.vectors[blk] = {4}
+        rig.send(4, "WREQ", blk)
+        rig.run()
+        assert rig.sent_to(4, "WDATA")
+        assert rig.entry(blk).state is DirState.READ_WRITE
+
+    def test_ts_per_invalidation_charged(self):
+        rig, software, engine = make_limitless(auto_ack=True)
+        software.ts_per_invalidation = 10
+        blk = rig.block()
+        for node in (1, 2, 3):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        cycles_before = engine.trap_cycles
+        rig.send(4, "WREQ", blk)
+        rig.run()
+        assert engine.trap_cycles - cycles_before == 50 + 10 * 3
+
+
+class TestTrapAlways:
+    def test_every_packet_traps(self):
+        rig, software, engine = make_limitless(cls=TrapAlwaysController)
+        blk = rig.block()
+        rig.send(1, "RREQ", blk)
+        rig.run()
+        assert engine.traps_taken == 1
+        assert rig.sent_to(1, "RDATA")
+        assert rig.entry(blk).meta is MetaState.TRAP_ALWAYS
+
+    def test_software_emulates_fullmap_without_overflow(self):
+        rig, software, engine = make_limitless(
+            cls=TrapAlwaysController, pointers=1
+        )
+        blk = rig.block()
+        for node in (1, 2, 3, 4):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        # Unlimited pointers in software: all four recorded, no eviction.
+        assert rig.entry(blk).sharers == {1, 2, 3, 4}
+        assert rig.counters.get("dir.pointer_evictions") == 0
+
+    def test_software_write_transaction_completes(self):
+        rig, software, engine = make_limitless(
+            cls=TrapAlwaysController, auto_ack=True
+        )
+        blk = rig.block()
+        for node in (1, 2, 3):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        rig.send(4, "WREQ", blk)
+        rig.run()
+        assert rig.sent_to(4, "WDATA")
+        assert rig.entry(blk).state is DirState.READ_WRITE
+
+
+class TestEngineAccounting:
+    def test_free_running_engine_serializes(self, sim):
+        engine = FreeRunningTrapEngine(sim)
+        done = []
+        engine.request_trap(10, lambda: done.append(sim.now))
+        engine.request_trap(10, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [10, 20]

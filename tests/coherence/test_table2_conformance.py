@@ -1,0 +1,359 @@
+"""Conformance tests: every transition of the paper's Table 2.
+
+Each test drives the full-map controller (the reference DirNNB member)
+through one annotated transition and checks the directory-entry change and
+output message(s) the table specifies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.fullmap import FullMapController
+from repro.coherence.states import DirState
+
+from .rig import ControllerRig
+
+
+@pytest.fixture
+def rig():
+    return ControllerRig(FullMapController)
+
+
+class TestTransition1:
+    """READ_ONLY + RREQ(i): P = P + {i}; RDATA -> i."""
+
+    def test_first_reader(self, rig):
+        blk = rig.block()
+        rig.send(1, "RREQ", blk)
+        rig.run()
+        assert rig.sent_to(1, "RDATA")
+        assert rig.entry(blk).sharers == {1}
+        assert rig.entry(blk).state is DirState.READ_ONLY
+
+    def test_pointer_set_accumulates(self, rig):
+        blk = rig.block()
+        for node in (1, 2, 3):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        assert rig.entry(blk).sharers == {1, 2, 3}
+        for node in (1, 2, 3):
+            assert rig.sent_to(node, "RDATA")
+
+    def test_rdata_carries_memory_contents(self, rig):
+        blk = rig.block()
+        rig.memory.block(blk).words[0] = 99
+        rig.send(1, "RREQ", blk)
+        rig.run()
+        assert rig.last_to(1).data.words[0] == 99
+
+    def test_repeat_reader_not_duplicated(self, rig):
+        blk = rig.block()
+        rig.send(1, "RREQ", blk)
+        rig.run()
+        rig.send(1, "RREQ", blk)
+        rig.run()
+        assert rig.entry(blk).sharers == {1}
+        assert len(rig.sent_to(1, "RDATA")) == 2
+
+    def test_home_node_uses_local_bit(self, rig):
+        blk = rig.block()
+        rig.send(0, "RREQ", blk)
+        rig.run()
+        entry = rig.entry(blk)
+        assert entry.local_bit
+        assert entry.sharers == set()
+        assert entry.pointers_used() == 0
+
+
+class TestTransition2:
+    """READ_ONLY + WREQ(i), P = {} or {i}: P = {i}; WDATA -> i."""
+
+    def test_write_to_uncached_block(self, rig):
+        blk = rig.block()
+        rig.send(2, "WREQ", blk)
+        rig.run()
+        assert rig.sent_to(2, "WDATA")
+        entry = rig.entry(blk)
+        assert entry.state is DirState.READ_WRITE
+        assert entry.sharers == {2}
+
+    def test_upgrade_by_sole_sharer(self, rig):
+        blk = rig.block()
+        rig.send(2, "RREQ", blk)
+        rig.run()
+        rig.send(2, "WREQ", blk)
+        rig.run()
+        assert rig.sent_to(2, "WDATA")
+        assert not rig.sent_to(2, "INV")
+        assert rig.entry(blk).state is DirState.READ_WRITE
+
+
+class TestTransition3:
+    """READ_ONLY + WREQ(i), P = {k1..kn}: AckCtr = n (or n-1 if i in P);
+    INV -> each k != i; enter WRITE_TRANSACTION."""
+
+    def test_invalidates_all_other_sharers(self, rig):
+        blk = rig.block()
+        for node in (1, 2, 3):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        rig.send(4, "WREQ", blk)
+        rig.run()
+        entry = rig.entry(blk)
+        assert entry.state is DirState.WRITE_TRANSACTION
+        assert entry.ack_waiting == {1, 2, 3}
+        for node in (1, 2, 3):
+            assert rig.sent_to(node, "INV")
+        assert not rig.sent_to(4, "WDATA")  # held until acks arrive
+
+    def test_writer_already_in_pointer_set(self, rig):
+        blk = rig.block()
+        for node in (1, 2):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        rig.send(1, "WREQ", blk)
+        rig.run()
+        entry = rig.entry(blk)
+        assert entry.ack_waiting == {2}  # AckCtr = n - 1
+        assert not rig.sent_to(1, "INV")
+
+
+class TestTransition4:
+    """READ_WRITE + WREQ(j != owner): INV -> owner; WRITE_TRANSACTION."""
+
+    def test_owner_invalidated(self, rig):
+        blk = rig.block()
+        rig.send(1, "WREQ", blk)
+        rig.run()
+        rig.send(2, "WREQ", blk)
+        rig.run()
+        assert rig.sent_to(1, "INV")
+        entry = rig.entry(blk)
+        assert entry.state is DirState.WRITE_TRANSACTION
+        assert entry.ack_waiting == {1}
+        assert entry.requester == 2
+
+
+class TestTransition5:
+    """READ_WRITE + RREQ(i): INV -> owner; READ_TRANSACTION."""
+
+    def test_reader_waits_for_owner(self, rig):
+        blk = rig.block()
+        rig.send(1, "WREQ", blk)
+        rig.run()
+        rig.send(3, "RREQ", blk)
+        rig.run()
+        assert rig.sent_to(1, "INV")
+        entry = rig.entry(blk)
+        assert entry.state is DirState.READ_TRANSACTION
+        assert entry.requester == 3
+        assert not rig.sent_to(3, "RDATA")
+
+
+class TestTransition6:
+    """READ_WRITE + REPM(owner): data -> memory; P = {}; READ_ONLY."""
+
+    def test_replace_modified(self, rig):
+        blk = rig.block()
+        rig.send(1, "WREQ", blk)
+        rig.run()
+        rig.send(1, "REPM", blk, data=rig.data(42))
+        rig.run()
+        entry = rig.entry(blk)
+        assert entry.state is DirState.READ_ONLY
+        assert entry.sharers == set()
+        assert rig.memory.block(blk).words[0] == 42
+
+
+class TestTransition7:
+    """WRITE_TRANSACTION: requests bounce BUSY; acks count down."""
+
+    def test_rreq_gets_busy(self, rig):
+        blk = rig.block()
+        for node in (1, 2):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        rig.send(3, "WREQ", blk)
+        rig.run()
+        rig.send(4, "RREQ", blk)
+        rig.run()
+        assert rig.sent_to(4, "BUSY")
+
+    def test_wreq_gets_busy(self, rig):
+        blk = rig.block()
+        for node in (1, 2):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        rig.send(3, "WREQ", blk)
+        rig.run()
+        rig.send(4, "WREQ", blk)
+        rig.run()
+        assert rig.sent_to(4, "BUSY")
+
+    def test_partial_acks_do_not_complete(self, rig):
+        blk = rig.block()
+        for node in (1, 2):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        rig.send(3, "WREQ", blk)
+        rig.run()
+        txn = rig.entry(blk).txn
+        rig.send(1, "ACKC", blk, txn=txn)
+        rig.run()
+        assert rig.entry(blk).state is DirState.WRITE_TRANSACTION
+        assert not rig.sent_to(3, "WDATA")
+
+    def test_repm_counts_as_ack(self, rig):
+        blk = rig.block()
+        rig.send(1, "WREQ", blk)
+        rig.run()
+        rig.send(2, "WREQ", blk)
+        rig.run()
+        # Owner's replacement crosses the INV: counts as the ack, with data.
+        rig.send(1, "REPM", blk, data=rig.data(7))
+        rig.run()
+        assert rig.sent_to(2, "WDATA")
+        assert rig.entry(blk).state is DirState.READ_WRITE
+        assert rig.memory.block(blk).words[0] == 7
+
+
+class TestTransition8:
+    """WRITE_TRANSACTION: last ACKC (or owner's UPDATE) releases WDATA."""
+
+    def test_last_ack_completes(self, rig):
+        blk = rig.block()
+        for node in (1, 2):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        rig.send(3, "WREQ", blk)
+        rig.run()
+        txn = rig.entry(blk).txn
+        rig.send(1, "ACKC", blk, txn=txn)
+        rig.send(2, "ACKC", blk, txn=txn)
+        rig.run()
+        assert rig.sent_to(3, "WDATA")
+        entry = rig.entry(blk)
+        assert entry.state is DirState.READ_WRITE
+        assert entry.sharers == {3}
+
+    def test_owner_update_completes(self, rig):
+        blk = rig.block()
+        rig.send(1, "WREQ", blk)
+        rig.run()
+        rig.send(2, "WREQ", blk)
+        rig.run()
+        txn = rig.entry(blk).txn
+        rig.send(1, "UPDATE", blk, data=rig.data(55), txn=txn)
+        rig.run()
+        wdata = rig.sent_to(2, "WDATA")
+        assert wdata and wdata[0].data.words[0] == 55
+        assert rig.entry(blk).state is DirState.READ_WRITE
+
+
+class TestTransition9:
+    """READ_TRANSACTION: requests bounce BUSY."""
+
+    @pytest.mark.parametrize("opcode", ["RREQ", "WREQ"])
+    def test_busy(self, rig, opcode):
+        blk = rig.block()
+        rig.send(1, "WREQ", blk)
+        rig.run()
+        rig.send(2, "RREQ", blk)
+        rig.run()
+        rig.send(3, opcode, blk)
+        rig.run()
+        assert rig.sent_to(3, "BUSY")
+
+
+class TestTransition10:
+    """READ_TRANSACTION + UPDATE: data -> memory; RDATA -> requester."""
+
+    def test_update_completes_read(self, rig):
+        blk = rig.block()
+        rig.send(1, "WREQ", blk)
+        rig.run()
+        rig.send(2, "RREQ", blk)
+        rig.run()
+        txn = rig.entry(blk).txn
+        rig.send(1, "UPDATE", blk, data=rig.data(88), txn=txn)
+        rig.run()
+        rdata = rig.sent_to(2, "RDATA")
+        assert rdata and rdata[0].data.words[0] == 88
+        entry = rig.entry(blk)
+        assert entry.state is DirState.READ_ONLY
+        assert entry.sharers == {2}
+        assert rig.memory.block(blk).words[0] == 88
+
+    def test_owner_repm_also_completes_read(self, rig):
+        blk = rig.block()
+        rig.send(1, "WREQ", blk)
+        rig.run()
+        rig.send(2, "RREQ", blk)
+        rig.run()
+        rig.send(1, "REPM", blk, data=rig.data(21))
+        rig.run()
+        assert rig.sent_to(2, "RDATA")
+        assert rig.entry(blk).state is DirState.READ_ONLY
+
+
+class TestRaceHandling:
+    """Beyond Table 2: stray and mismatched packets are counted, dropped."""
+
+    def test_stray_ack_in_read_only_dropped(self, rig):
+        blk = rig.block()
+        rig.send(1, "ACKC", blk, txn=None)
+        rig.run()
+        assert rig.counters.get("dir.stray_dropped") == 1
+        assert rig.entry(blk).state is DirState.READ_ONLY
+
+    def test_stale_txn_ack_not_counted(self, rig):
+        blk = rig.block()
+        for node in (1, 2):
+            rig.send(node, "RREQ", blk)
+        rig.run()
+        rig.send(3, "WREQ", blk)
+        rig.run()
+        txn = rig.entry(blk).txn
+        rig.send(1, "ACKC", blk, txn=txn - 1)  # echo of an older round
+        rig.run()
+        assert rig.entry(blk).ack_waiting == {1, 2}
+        assert rig.counters.get("dir.stray_dropped") == 1
+
+    def test_repm_from_non_owner_dropped(self, rig):
+        blk = rig.block()
+        rig.send(1, "WREQ", blk)
+        rig.run()
+        rig.send(2, "REPM", blk, data=rig.data(1))
+        rig.run()
+        assert rig.entry(blk).state is DirState.READ_WRITE
+        assert rig.memory.block(blk).words[0] == 0  # data not absorbed
+        assert rig.counters.get("dir.stray_dropped") == 1
+
+    def test_regrant_to_owner(self, rig):
+        """A WREQ from the current owner re-sends WDATA (retry path)."""
+        blk = rig.block()
+        rig.send(1, "WREQ", blk)
+        rig.run()
+        rig.send(1, "WREQ", blk)
+        rig.run()
+        assert len(rig.sent_to(1, "WDATA")) == 2
+        assert rig.counters.get("dir.regrant") == 1
+
+    def test_wrong_home_rejected(self, rig):
+        from repro.coherence.states import ProtocolError
+
+        foreign = rig.space.address(1, 0x100)
+        with pytest.raises(ProtocolError):
+            rig.controller.receive(
+                __import__(
+                    "repro.network.packet", fromlist=["protocol_packet"]
+                ).protocol_packet(1, 0, "RREQ", foreign)
+            )
+
+    def test_unaligned_address_rejected(self, rig):
+        from repro.coherence.states import ProtocolError
+        from repro.network.packet import protocol_packet
+
+        with pytest.raises(ProtocolError):
+            rig.controller.receive(protocol_packet(1, 0, "RREQ", rig.block() + 4))

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AlewifeConfig
+from repro.mem.address import AddressSpace
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(max_cycles=10_000_000)
+
+
+@pytest.fixture
+def space4() -> AddressSpace:
+    """A small 4-node address space with Alewife-sized blocks."""
+    return AddressSpace(n_nodes=4, block_bytes=16, segment_bytes=1 << 16)
+
+
+def small_config(**overrides) -> AlewifeConfig:
+    """A fast machine config for integration tests."""
+    defaults = dict(
+        n_procs=4,
+        protocol="fullmap",
+        pointers=2,
+        ts=50,
+        cache_lines=256,
+        segment_bytes=1 << 16,
+        seed=7,
+        max_cycles=5_000_000,
+    )
+    defaults.update(overrides)
+    return AlewifeConfig(**defaults)
+
+
+@pytest.fixture
+def config_factory():
+    return small_config

@@ -1,0 +1,49 @@
+"""Tests for sweep-result export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import SweepPoint, run_sweep
+from repro.machine import AlewifeConfig
+from repro.workloads import HotSpotWorkload
+
+
+def small_sweep():
+    return run_sweep(
+        "export-test",
+        AlewifeConfig(
+            n_procs=4,
+            cache_lines=128,
+            segment_bytes=1 << 16,
+            max_cycles=2_000_000,
+        ),
+        [
+            SweepPoint("full", dict(protocol="fullmap")),
+            SweepPoint("ll2", dict(protocol="limitless", pointers=2, ts=40)),
+        ],
+        lambda: HotSpotWorkload(rounds=2),
+    )
+
+
+class TestExport:
+    def test_to_dict_round_trips_through_json(self):
+        record = small_sweep().to_dict()
+        blob = json.dumps(record)
+        loaded = json.loads(blob)
+        assert loaded["title"] == "export-test"
+        assert [r["label"] for r in loaded["rows"]] == ["full", "ll2"]
+        assert loaded["rows"][1]["config"]["protocol"] == "limitless"
+        assert loaded["rows"][0]["cycles"] > 0
+
+    def test_save_json(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        small_sweep().save_json(path)
+        loaded = json.loads(path.read_text())
+        assert len(loaded["rows"]) == 2
+        assert "counters" in loaded["rows"][0]
+
+    def test_record_carries_mechanism_counters(self):
+        record = small_sweep().to_dict()
+        ll_row = record["rows"][1]
+        assert "limitless.traps" in ll_row["counters"]

@@ -1,0 +1,116 @@
+"""Tests for the sweep machinery and canonical figure definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ALL_FIGURES,
+    SweepPoint,
+    figure7,
+    figure8,
+    pointer_points,
+    run_sweep,
+    scheme_points,
+    ts_points,
+)
+from repro.machine import AlewifeConfig
+from repro.workloads import HotSpotWorkload
+
+
+def base_config():
+    return AlewifeConfig(
+        n_procs=8,
+        cache_lines=256,
+        segment_bytes=1 << 16,
+        max_cycles=4_000_000,
+    )
+
+
+class TestRunSweep:
+    def test_runs_each_point(self):
+        points = [
+            SweepPoint("full", dict(protocol="fullmap")),
+            SweepPoint("dir1", dict(protocol="limited", pointers=1)),
+        ]
+        result = run_sweep(
+            "t", base_config(), points, lambda: HotSpotWorkload(rounds=2)
+        )
+        assert result.labels() == ["full", "dir1"]
+        assert result.cycles("full") > 0
+        assert result.stats("dir1").counters.get("dir.pointer_evictions") > 0
+
+    def test_ratios(self):
+        points = [
+            SweepPoint("full", dict(protocol="fullmap")),
+            SweepPoint("dir1", dict(protocol="limited", pointers=1)),
+        ]
+        result = run_sweep(
+            "t", base_config(), points, lambda: HotSpotWorkload(rounds=2)
+        )
+        ratios = result.ratios("full")
+        assert ratios["full"] == 1.0
+        assert ratios["dir1"] > 1.0
+
+    def test_unknown_label_raises(self):
+        result = run_sweep(
+            "t",
+            base_config(),
+            [SweepPoint("full", dict(protocol="fullmap"))],
+            lambda: HotSpotWorkload(rounds=1),
+        )
+        with pytest.raises(KeyError):
+            result.cycles("nope")
+
+    def test_progress_callback(self):
+        seen = []
+        run_sweep(
+            "t",
+            base_config(),
+            [SweepPoint("full", dict(protocol="fullmap"))],
+            lambda: HotSpotWorkload(rounds=1),
+            progress=lambda label, stats: seen.append(label),
+        )
+        assert seen == ["full"]
+
+    def test_table_and_chart_render(self):
+        result = run_sweep(
+            "chart title",
+            base_config(),
+            [SweepPoint("full", dict(protocol="fullmap"))],
+            lambda: HotSpotWorkload(rounds=1),
+        )
+        assert "full" in result.table()
+        assert "chart title" in result.chart()
+
+
+class TestPointFactories:
+    def test_scheme_points_default(self):
+        labels = [p.label for p in scheme_points()]
+        assert "Full-Map" in labels
+        assert "Dir4NB" in labels
+
+    def test_ts_points(self):
+        assert [p.overrides["ts"] for p in ts_points((25, 50))] == [25, 50]
+
+    def test_pointer_points(self):
+        assert [p.overrides["pointers"] for p in pointer_points((1, 4))] == [1, 4]
+
+
+class TestFigures:
+    def test_all_figures_registry(self):
+        assert set(ALL_FIGURES) == {"figure7", "figure8", "figure9", "figure10"}
+
+    def test_figure7_small_scale(self):
+        result = figure7(n_procs=8, levels=(1,))
+        assert len(result.rows) == 4
+        assert "Figure 7" in result.title
+
+    def test_figure8_small_scale_keeps_ordering(self):
+        result = figure8(n_procs=16, iterations=3)
+        assert result.cycles("Dir1NB") >= result.cycles("Dir4NB")
+        assert result.cycles("Dir4NB") > result.cycles("Full-Map")
+
+    def test_figure8_optimized_variant(self):
+        result = figure8(n_procs=8, iterations=2, optimized=True)
+        assert "optimized" in result.title

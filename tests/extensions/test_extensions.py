@@ -1,0 +1,182 @@
+"""Tests for the §6 extensions: profiling, FIFO locks, update mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extensions import (
+    fifo_grants,
+    make_fifo_block,
+    make_update_block,
+    overflow_worker_sets,
+    profile_blocks,
+    updates_propagated,
+)
+from repro.machine import AlewifeConfig, AlewifeMachine
+from repro.proc import ops
+from repro.workloads import HotSpotWorkload
+from repro.workloads.base import Workload
+
+
+def make_machine(protocol="limitless", **overrides):
+    defaults = dict(
+        n_procs=4,
+        protocol=protocol,
+        pointers=2,
+        ts=30,
+        cache_lines=256,
+        segment_bytes=1 << 16,
+        max_cycles=4_000_000,
+    )
+    defaults.update(overrides)
+    return AlewifeMachine(AlewifeConfig(**defaults))
+
+
+class _SharedVarWorkload(Workload):
+    """Readers poll a variable; the writer rewrites it several times."""
+
+    name = "sharedvar"
+
+    def __init__(self, writes=3):
+        self.writes = writes
+        self.addr = None
+        self.seen: list[int] = []
+
+    def build(self, machine):
+        var = machine.allocator.alloc_scalar("shared.var", home=0)
+        self.addr = var.base
+        n = machine.config.n_procs
+
+        def writer():
+            for i in range(1, self.writes + 1):
+                yield ops.store(var.base, i)
+                yield ops.think(120)
+
+        def reader(p):
+            for _ in range(3 * self.writes):
+                value = yield ops.load(var.base)
+                self.seen.append(value)
+                yield ops.think(35)
+
+        programs = {0: [writer()]}
+        for p in range(1, n):
+            programs[p] = [reader(p)]
+        return programs
+
+
+class TestProfiling:
+    def test_records_transactions_for_flagged_blocks(self):
+        machine = make_machine()
+        workload = _SharedVarWorkload()
+        programs_built = workload.build(machine)
+        profiler = profile_blocks(machine, [workload.addr])
+        for proc_id, gens in programs_built.items():
+            for gen in gens:
+                machine.nodes[proc_id].processor.add_thread(gen)
+        for node in machine.nodes:
+            node.start()
+        machine.sim.run()
+        assert profiler.records, "no transactions profiled"
+        opcodes = {r.opcode for r in profiler.records}
+        assert "RREQ" in opcodes and "WREQ" in opcodes
+        assert profiler.worker_set(machine.space.block_of(workload.addr)) >= {1}
+
+    def test_requires_software_protocol(self):
+        machine = make_machine(protocol="fullmap")
+        with pytest.raises(ValueError):
+            profile_blocks(machine, [machine.space.address(0, 0x100)])
+
+    def test_overflow_worker_sets_feedback(self):
+        machine = make_machine(pointers=1)
+        machine.run(HotSpotWorkload(rounds=2))
+        report = overflow_worker_sets(machine)
+        assert report, "no overflowed blocks reported"
+        assert max(report.values()) >= 3
+
+
+class _LockStormWorkload(Workload):
+    """All processors fight for one test-and-set lock."""
+
+    name = "lockstorm"
+
+    def __init__(self):
+        self.addr = None
+        self.holders: list[int] = []
+
+    def build(self, machine):
+        lock = machine.allocator.alloc_scalar("fifo.lock", home=0)
+        self.addr = lock.base
+
+        def program(p):
+            got = False
+            while not got:
+                old = yield ops.test_and_set(lock.base)
+                if old == 0:
+                    got = True
+                else:
+                    yield ops.think(15)
+            self.holders.append(p)
+            yield ops.think(40)
+            yield ops.store(lock.base, 0)
+
+        return {p: [program(p)] for p in range(machine.config.n_procs)}
+
+
+class TestFifoLock:
+    def test_all_contenders_eventually_acquire(self):
+        machine = make_machine(n_procs=6)
+        workload = _LockStormWorkload()
+        programs = workload.build(machine)
+        make_fifo_block(machine, workload.addr)
+        for proc_id, gens in programs.items():
+            for gen in gens:
+                machine.nodes[proc_id].processor.add_thread(gen)
+        for node in machine.nodes:
+            node.start()
+        machine.sim.run()
+        assert sorted(workload.holders) == list(range(6))
+        assert fifo_grants(machine, machine.space.block_of(workload.addr)) > 0
+
+    def test_requires_software_protocol(self):
+        machine = make_machine(protocol="limited")
+        with pytest.raises(ValueError):
+            make_fifo_block(machine, machine.space.address(0, 0x100))
+
+
+class TestUpdateMode:
+    def test_readers_see_new_values_without_invalidation(self):
+        machine = make_machine(n_procs=4)
+        workload = _SharedVarWorkload(writes=3)
+        programs = workload.build(machine)
+        blk = make_update_block(machine, workload.addr)
+        for proc_id, gens in programs.items():
+            for gen in gens:
+                machine.nodes[proc_id].processor.add_thread(gen)
+        for node in machine.nodes:
+            node.start()
+        machine.sim.run()
+        # updates reached the readers' caches (they may finish polling
+        # before the writer's last store; memory convergence is checked in
+        # the next test)
+        assert max(workload.seen) >= 2
+        assert updates_propagated(machine, blk) > 0
+        # readers were never invalidated for this block
+        assert machine.nodes[1].counters.get("cache.updates_absorbed") > 0
+
+    def test_memory_converges_to_last_write(self):
+        machine = make_machine(n_procs=4)
+        workload = _SharedVarWorkload(writes=2)
+        programs = workload.build(machine)
+        make_update_block(machine, workload.addr)
+        for proc_id, gens in programs.items():
+            for gen in gens:
+                machine.nodes[proc_id].processor.add_thread(gen)
+        for node in machine.nodes:
+            node.start()
+        machine.sim.run()
+        assert machine.nodes[0].memory.peek_word(workload.addr) == 2
+
+    def test_requires_software_protocol(self):
+        machine = make_machine(protocol="chained")
+        with pytest.raises(ValueError):
+            make_update_block(machine, machine.space.address(0, 0x100))

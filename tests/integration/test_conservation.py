@@ -1,0 +1,77 @@
+"""Message-conservation properties across full machine runs.
+
+Coherence protocols have bookkeeping identities that must hold over any
+complete execution: every request gets exactly one response, every
+invalidation gets exactly one resolution, fills equal data replies.  These
+catch lost/duplicated packets that latency-level tests can miss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AlewifeConfig, run_experiment
+from repro.workloads import (
+    ButterflyWorkload,
+    MigratoryWorkload,
+    MultigridWorkload,
+    WeatherWorkload,
+)
+
+WORKLOADS = [
+    WeatherWorkload(iterations=3),
+    MultigridWorkload(levels=(1, 1)),
+    MigratoryWorkload(rounds=2),
+    ButterflyWorkload(sweeps=1),
+]
+
+PROTOCOLS = [
+    ("fullmap", {}),
+    ("limited", {"pointers": 1}),
+    ("limitless", {"pointers": 2, "ts": 40}),
+    ("chained", {}),
+    ("limited_broadcast", {"pointers": 2}),
+]
+
+
+def run(workload, protocol, overrides):
+    return run_experiment(
+        AlewifeConfig(
+            n_procs=8,
+            protocol=protocol,
+            cache_lines=512,
+            segment_bytes=1 << 17,
+            max_cycles=8_000_000,
+            **overrides,
+        ),
+        workload,
+    )
+
+
+@pytest.mark.parametrize("protocol,overrides", PROTOCOLS, ids=[p for p, _ in PROTOCOLS])
+@pytest.mark.parametrize("workload", WORKLOADS, ids=[w.name for w in WORKLOADS])
+class TestConservation:
+    def test_every_data_reply_fills_a_cache(self, workload, protocol, overrides):
+        stats = run(workload, protocol, overrides)
+        net = stats.network.per_opcode
+        fills = stats.counters.get("cache.fills")
+        assert fills == net.get("RDATA", 0) + net.get("WDATA", 0)
+
+    def test_every_invalidation_resolved(self, workload, protocol, overrides):
+        """INVs sent equals INVs received; each produced ACKC or UPDATE."""
+        stats = run(workload, protocol, overrides)
+        net = stats.network.per_opcode
+        invs = net.get("INV", 0)
+        responses = net.get("ACKC", 0) + net.get("UPDATE", 0)
+        assert responses == invs
+
+    def test_requests_equal_responses(self, workload, protocol, overrides):
+        """RREQ+WREQ each get exactly one RDATA/WDATA/BUSY (diverted ones
+        included — software answers them too)."""
+        stats = run(workload, protocol, overrides)
+        net = stats.network.per_opcode
+        requests = net.get("RREQ", 0) + net.get("WREQ", 0)
+        responses = (
+            net.get("RDATA", 0) + net.get("WDATA", 0) + net.get("BUSY", 0)
+        )
+        assert responses == requests

@@ -1,0 +1,135 @@
+"""Property-based fuzzing: random programs must stay coherent everywhere.
+
+Hypothesis generates random little parallel programs (loads, stores,
+atomics, think time over a small set of shared variables); every protocol
+must run them to completion and pass the quiescence audit, and atomic
+increments must never be lost.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.machine import AlewifeConfig, AlewifeMachine
+from repro.proc import ops
+from repro.workloads.base import Workload
+
+N_PROCS = 4
+N_VARS = 3
+
+op_strategy = st.tuples(
+    st.sampled_from(["load", "store", "rmw", "think"]),
+    st.integers(min_value=0, max_value=N_VARS - 1),
+    st.integers(min_value=1, max_value=20),
+)
+
+program_strategy = st.lists(op_strategy, min_size=1, max_size=12)
+schedule_strategy = st.lists(program_strategy, min_size=N_PROCS, max_size=N_PROCS)
+
+
+class _FuzzWorkload(Workload):
+    name = "fuzz"
+
+    def __init__(self, schedule):
+        self.schedule = schedule
+        self.rmw_counts = [0] * N_VARS
+
+    def build(self, machine):
+        variables = [
+            machine.allocator.alloc_scalar(f"fuzz{i}", home=i % machine.config.n_procs)
+            for i in range(N_VARS)
+        ]
+        self.addrs = [v.base for v in variables]
+
+        def program(p, steps):
+            for kind, var, value in steps:
+                addr = variables[var].base
+                if kind == "load":
+                    yield ops.load(addr)
+                elif kind == "store":
+                    yield ops.store(addr, value)
+                elif kind == "rmw":
+                    self.rmw_counts[var] += 1
+                    yield ops.fetch_add(addr, 1)
+                else:
+                    yield ops.think(value)
+
+        return {p: [program(p, steps)] for p, steps in enumerate(self.schedule)}
+
+
+def run_fuzz(schedule, protocol, **overrides):
+    config = AlewifeConfig(
+        n_procs=N_PROCS,
+        protocol=protocol,
+        cache_lines=64,
+        segment_bytes=1 << 16,
+        max_cycles=2_000_000,
+        **overrides,
+    )
+    workload = _FuzzWorkload(schedule)
+    machine = AlewifeMachine(config)
+    stats = machine.run(workload)  # audits invariants internally
+    return machine, workload, stats
+
+
+def final_word(machine, addr):
+    """The coherent value of a word at quiescence (cache RW copy or memory)."""
+    blk = machine.space.block_of(addr)
+    value = machine.nodes[machine.space.home_of(addr)].memory.peek_word(addr)
+    for node in machine.nodes:
+        line = node.cache_array.lookup(blk)
+        if line is not None and line.state.name == "READ_WRITE":
+            value = line.data.words[machine.space.word_in_block(addr)]
+    return value
+
+
+FUZZ_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@pytest.mark.parametrize(
+    "protocol,overrides",
+    [
+        ("fullmap", {}),
+        ("limited", {"pointers": 1}),
+        ("limitless", {"pointers": 1, "ts": 25}),
+        ("chained", {}),
+        ("trap_always", {"ts": 25}),
+    ],
+    ids=["fullmap", "dir1nb", "limitless1", "chained", "trap_always"],
+)
+class TestFuzzedPrograms:
+    @given(schedule=schedule_strategy)
+    @FUZZ_SETTINGS
+    def test_completes_and_audits(self, protocol, overrides, schedule):
+        machine, workload, stats = run_fuzz(schedule, protocol, **overrides)
+        assert stats.cycles >= 0
+
+    @given(schedule=schedule_strategy)
+    @FUZZ_SETTINGS
+    def test_rmw_only_programs_conserve_increments(
+        self, protocol, overrides, schedule
+    ):
+        # Keep only think + rmw so the final counter value is predictable.
+        filtered = [
+            [step for step in program if step[0] in ("rmw", "think")]
+            or [("think", 0, 1)]
+            for program in schedule
+        ]
+        machine, workload, _stats = run_fuzz(filtered, protocol, **overrides)
+        for var in range(N_VARS):
+            assert final_word(machine, workload.addrs[var]) == workload.rmw_counts[var]
+
+
+class TestDeterministicReplay:
+    @given(schedule=schedule_strategy)
+    @FUZZ_SETTINGS
+    def test_same_schedule_same_cycles(self, schedule):
+        _, _, a = run_fuzz(schedule, "limitless", pointers=1, ts=25)
+        _, _, b = run_fuzz(schedule, "limitless", pointers=1, ts=25)
+        assert a.cycles == b.cycles
+        assert a.network.packets == b.network.packets

@@ -1,0 +1,71 @@
+"""Property test: barriers stay correct across protocols, arities, sizes."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.machine import AlewifeConfig, AlewifeMachine
+from repro.proc import ops
+from repro.sync.barrier import barrier_wait, build_combining_tree
+from repro.workloads.base import Workload
+
+
+class _OrderedPhases(Workload):
+    """Each processor logs (round, proc) before each barrier; rounds must
+    never interleave in the log if the barrier is correct."""
+
+    name = "phases"
+
+    def __init__(self, rounds, arity):
+        self.rounds = rounds
+        self.arity = arity
+        self.log: list[tuple[int, int]] = []
+
+    def build(self, machine):
+        n = machine.config.n_procs
+        spec = build_combining_tree(
+            machine.allocator, list(range(n)), arity=self.arity
+        )
+        poll = machine.config.spin_poll_interval
+
+        def program(p):
+            for r in range(1, self.rounds + 1):
+                self.log.append((r, p))
+                yield ops.think(3 + (p * 7) % 23)  # skewed arrival times
+                yield from barrier_wait(spec, p, r, poll_interval=poll)
+
+        return {p: [program(p)] for p in range(n)}
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n_procs=st.integers(min_value=2, max_value=12),
+    arity=st.integers(min_value=2, max_value=5),
+    rounds=st.integers(min_value=1, max_value=3),
+    protocol=st.sampled_from(["fullmap", "limited", "limitless", "chained"]),
+    memory_model=st.sampled_from(["sc", "wo"]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_barrier_rounds_never_interleave(
+    n_procs, arity, rounds, protocol, memory_model, seed
+):
+    config = AlewifeConfig(
+        n_procs=n_procs,
+        protocol=protocol,
+        pointers=1,
+        ts=30,
+        memory_model=memory_model,
+        cache_lines=128,
+        segment_bytes=1 << 16,
+        seed=seed,
+        max_cycles=4_000_000,
+    )
+    workload = _OrderedPhases(rounds, arity)
+    AlewifeMachine(config).run(workload)  # audits on completion
+    seen_rounds = [r for r, _ in workload.log]
+    assert seen_rounds == sorted(seen_rounds)
+    assert len(workload.log) == n_procs * rounds

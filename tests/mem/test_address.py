@@ -1,0 +1,109 @@
+"""Tests for address-space geometry and allocation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.address import WORD_BYTES, AddressSpace, Allocator
+
+
+class TestAddressSpace:
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ValueError):
+            AddressSpace(n_nodes=4, block_bytes=24)
+
+    def test_rejects_tiny_segment(self):
+        with pytest.raises(ValueError):
+            AddressSpace(n_nodes=4, block_bytes=64, segment_bytes=32)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            AddressSpace(n_nodes=0)
+
+    def test_words_per_block(self, space4):
+        assert space4.words_per_block == 4
+
+    def test_home_decoding(self, space4):
+        for home in range(4):
+            addr = space4.address(home, 0x120)
+            assert space4.home_of(addr) == home
+
+    def test_out_of_range_address_raises(self, space4):
+        beyond = space4.address(3, space4.segment_bytes - 4) + space4.segment_bytes
+        with pytest.raises(ValueError):
+            space4.home_of(beyond)
+
+    def test_block_alignment(self, space4):
+        addr = space4.address(2, 0x23)
+        block = space4.block_of(addr)
+        assert block % space4.block_bytes == 0
+        assert block <= addr < block + space4.block_bytes
+
+    def test_word_in_block(self, space4):
+        base = space4.address(1, 0x40)
+        assert space4.word_in_block(base) == 0
+        assert space4.word_in_block(base + 4) == 1
+        assert space4.word_in_block(base + 12) == 3
+
+    @given(
+        home=st.integers(min_value=0, max_value=3),
+        offset=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    )
+    def test_roundtrip_properties(self, home, offset):
+        space = AddressSpace(n_nodes=4, block_bytes=16, segment_bytes=1 << 16)
+        addr = space.address(home, offset)
+        assert space.home_of(addr) == home
+        block = space.block_of(addr)
+        assert space.home_of(block) == home  # blocks never straddle homes
+        assert 0 <= space.word_in_block(addr) < space.words_per_block
+
+
+class TestAllocator:
+    def test_scalar_allocations_get_distinct_blocks(self, space4):
+        alloc = Allocator(space4)
+        a = alloc.alloc_scalar("a", home=0)
+        b = alloc.alloc_scalar("b", home=0)
+        assert space4.block_of(a.base) != space4.block_of(b.base)
+
+    def test_home_placement(self, space4):
+        alloc = Allocator(space4)
+        for home in range(4):
+            got = alloc.alloc_scalar(f"v{home}", home=home)
+            assert space4.home_of(got.base) == home
+
+    def test_word_indexing(self, space4):
+        alloc = Allocator(space4)
+        arr = alloc.alloc_words("arr", 8, home=1)
+        assert arr.word(0) == arr.base
+        assert arr.word(7) == arr.base + 7 * WORD_BYTES
+        with pytest.raises(IndexError):
+            arr.word(8)
+
+    def test_segment_exhaustion(self, space4):
+        alloc = Allocator(space4)
+        with pytest.raises(MemoryError):
+            alloc.alloc("big", space4.segment_bytes + 1, home=0)
+
+    def test_rejects_non_positive(self, space4):
+        alloc = Allocator(space4)
+        with pytest.raises(ValueError):
+            alloc.alloc("zero", 0, home=0)
+
+    def test_allocations_never_overlap(self, space4):
+        alloc = Allocator(space4)
+        spans = []
+        for i in range(20):
+            a = alloc.alloc(f"x{i}", 12 + i, home=i % 4)
+            spans.append((a.base, a.base + a.n_bytes))
+        spans.sort()
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=64), max_size=30))
+    def test_block_aligned_allocations_are_aligned(self, sizes):
+        space = AddressSpace(n_nodes=2, block_bytes=16, segment_bytes=1 << 16)
+        alloc = Allocator(space)
+        for i, size in enumerate(sizes):
+            a = alloc.alloc(f"v{i}", size, home=i % 2)
+            assert a.base % space.block_bytes == 0

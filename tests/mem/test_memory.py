@@ -1,0 +1,88 @@
+"""Tests for per-node main memory and block data."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.address import AddressSpace
+from repro.mem.memory import BlockData, MainMemory
+
+
+class TestBlockData:
+    def test_zero_filled(self):
+        assert BlockData(4).words == [0, 0, 0, 0]
+
+    def test_copy_is_independent(self):
+        a = BlockData(4)
+        b = a.copy()
+        b.words[0] = 9
+        assert a.words[0] == 0
+
+    def test_equality_by_value(self):
+        a, b = BlockData(4), BlockData(4)
+        assert a == b
+        b.words[2] = 1
+        assert a != b
+        assert a != "not a block"
+
+
+class TestMainMemory:
+    def setup_method(self):
+        self.space = AddressSpace(n_nodes=4, block_bytes=16, segment_bytes=1 << 16)
+        self.memory = MainMemory(self.space, node_id=1)
+
+    def addr(self, offset=0x100):
+        return self.space.address(1, offset)
+
+    def test_blocks_materialize_zeroed(self):
+        block = self.memory.block(self.space.block_of(self.addr()))
+        assert block.words == [0, 0, 0, 0]
+        assert self.memory.touched_blocks == 1
+
+    def test_same_block_returned(self):
+        blk = self.space.block_of(self.addr())
+        assert self.memory.block(blk) is self.memory.block(blk)
+
+    def test_rejects_foreign_blocks(self):
+        foreign = self.space.address(2, 0x100)
+        with pytest.raises(ValueError):
+            self.memory.block(self.space.block_of(foreign))
+
+    def test_read_block_is_a_snapshot(self):
+        blk = self.space.block_of(self.addr())
+        snap = self.memory.read_block(blk)
+        snap.words[0] = 42
+        assert self.memory.block(blk).words[0] == 0
+
+    def test_write_block_lands(self):
+        blk = self.space.block_of(self.addr())
+        incoming = BlockData(4)
+        incoming.words[3] = 7
+        self.memory.write_block(blk, incoming)
+        assert self.memory.block(blk).words[3] == 7
+
+    def test_peek_poke_word(self):
+        self.memory.poke_word(self.addr() + 8, 31)
+        assert self.memory.peek_word(self.addr() + 8) == 31
+        assert self.memory.peek_word(self.addr()) == 0
+
+    @given(
+        offsets=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=-(2**31), max_value=2**31 - 1),
+            ),
+            max_size=30,
+        )
+    )
+    def test_words_are_independent(self, offsets):
+        space = AddressSpace(n_nodes=2, block_bytes=16, segment_bytes=1 << 16)
+        memory = MainMemory(space, 0)
+        expected = {}
+        for word_index, value in offsets:
+            addr = space.address(0, word_index * 4)
+            memory.poke_word(addr, value)
+            expected[addr] = value
+        for addr, value in expected.items():
+            assert memory.peek_word(addr) == value

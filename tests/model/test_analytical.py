@@ -1,0 +1,118 @@
+"""Tests for the §3.1 analytical model and memory-overhead model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.analytical import (
+    chained_write_latency,
+    directory_overhead,
+    fanout_write_latency,
+    limitless_remote_latency,
+    overflow_fraction_for_slowdown,
+    slowdown_vs_fullmap,
+    software_only_viability,
+)
+
+
+class TestLatencyModel:
+    def test_papers_worked_example(self):
+        """Th=35, Ts=100, m=3% -> remote accesses 10% slower (§3.1)."""
+        slowdown = slowdown_vs_fullmap(th=35, ts=100, m=0.03)
+        assert slowdown == pytest.approx(0.10, abs=0.015)
+
+    def test_zero_overflow_matches_fullmap(self):
+        assert limitless_remote_latency(35, 100, 0.0) == 35
+
+    def test_all_overflow_adds_full_ts(self):
+        assert limitless_remote_latency(35, 100, 1.0) == 135
+
+    def test_inverse_relation(self):
+        m = overflow_fraction_for_slowdown(th=35, ts=100, slowdown=0.10)
+        assert m == pytest.approx(0.035, abs=1e-9)
+        assert slowdown_vs_fullmap(35, 100, m) == pytest.approx(0.10)
+
+    def test_software_only_migration_path(self):
+        """§3.1: when Th >> Ts, even m=1 becomes viable."""
+        today = software_only_viability(th=35, ts=100)
+        future = software_only_viability(th=1000, ts=50)
+        assert today > 1.0      # all-software hurts on a 64-node Alewife
+        assert future < 0.10    # but is <10% when networks dominate
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            limitless_remote_latency(35, 100, 1.5)
+        with pytest.raises(ValueError):
+            limitless_remote_latency(-1, 100, 0.5)
+        with pytest.raises(ValueError):
+            slowdown_vs_fullmap(0, 100, 0.5)
+        with pytest.raises(ValueError):
+            overflow_fraction_for_slowdown(35, 0, 0.1)
+
+    @given(
+        th=st.floats(min_value=1, max_value=1e4),
+        ts=st.floats(min_value=0, max_value=1e4),
+        m=st.floats(min_value=0, max_value=1),
+    )
+    def test_latency_monotone_in_m(self, th, ts, m):
+        assert limitless_remote_latency(th, ts, m) >= th
+
+
+class TestMemoryOverhead:
+    def test_fullmap_grows_quadratically(self):
+        """§1: full-map directory size grows as O(N^2)."""
+        small = directory_overhead("fullmap", 64)
+        big = directory_overhead("fullmap", 256)
+        # 4x the nodes -> 4x the blocks AND 4x pointer bits/entry ~ 16x+
+        assert big.directory_bits / small.directory_bits > 12
+
+    def test_limitless_grows_linearly(self):
+        small = directory_overhead("limitless", 64)
+        big = directory_overhead("limitless", 256)
+        ratio = big.directory_bits / small.directory_bits
+        assert 4 <= ratio <= 6  # O(N) blocks x O(log N) pointer width
+
+    def test_limitless_beats_fullmap_at_scale(self):
+        for n in (64, 256, 1024):
+            full = directory_overhead("fullmap", n)
+            lless = directory_overhead("limitless", n)
+            assert lless.directory_bits < full.directory_bits
+
+    def test_limitless_overhead_close_to_limited(self):
+        limited = directory_overhead("limited", 256)
+        limitless = directory_overhead("limitless", 256)
+        # the extra meta bits + local bit cost a few percent, not a factor
+        assert limitless.directory_bits / limited.directory_bits < 1.2
+
+    def test_chained_linear(self):
+        small = directory_overhead("chained", 64)
+        big = directory_overhead("chained", 256)
+        assert big.directory_bits / small.directory_bits < 6
+
+    def test_overhead_ratio_sensible(self):
+        full = directory_overhead("fullmap", 64)
+        # 64 presence bits per 16-byte (128-bit) block: ~52% overhead
+        assert 0.4 < full.overhead_ratio < 0.6
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            directory_overhead("snooping", 64)
+
+
+class TestWriteLatencyModels:
+    def test_chained_linear_in_worker_set(self):
+        assert chained_write_latency(8, 40) == 320
+        assert chained_write_latency(0, 40) == 0
+
+    def test_fanout_constant(self):
+        assert fanout_write_latency(8, 40) == 40
+        assert fanout_write_latency(0, 40) == 0
+
+    def test_chained_loses_for_wide_sharing(self):
+        for ws in (2, 8, 32):
+            assert chained_write_latency(ws, 40) >= fanout_write_latency(ws, 40)
+
+    def test_negative_worker_set_rejected(self):
+        with pytest.raises(ValueError):
+            chained_write_latency(-1, 40)

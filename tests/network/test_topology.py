@@ -1,0 +1,141 @@
+"""Tests for interconnect topologies and routing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.topology import (
+    Crossbar,
+    Mesh2D,
+    Omega,
+    Torus2D,
+    make_topology,
+)
+
+
+class TestMesh2D:
+    def test_route_to_self_is_empty(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.route(5, 5) == []
+
+    def test_manhattan_distance(self):
+        mesh = Mesh2D(4, 4)
+        # node 0 = (0,0), node 15 = (3,3)
+        assert len(mesh.route(0, 15)) == 6
+
+    def test_x_dimension_first(self):
+        mesh = Mesh2D(4, 4)
+        path = mesh.route(0, 5)  # (0,0) -> (1,1)
+        directions = [d for _, d in path]
+        assert directions == ["E", "S"]
+
+    def test_square_for_exact_square(self):
+        mesh = Mesh2D.square_for(64)
+        assert mesh.geometry.width == 8
+        assert mesh.geometry.height == 8
+
+    def test_square_for_rectangle(self):
+        mesh = Mesh2D.square_for(32)
+        assert mesh.n_nodes == 32
+
+    def test_route_rejects_bad_node(self):
+        mesh = Mesh2D(2, 2)
+        with pytest.raises(ValueError):
+            mesh.route(0, 4)
+
+    def test_average_distance_small_mesh(self):
+        mesh = Mesh2D(2, 2)
+        # pairwise distances: 4 pairs at 1 hop, 2 at 2 hops, doubled = 12/12... compute
+        assert mesh.average_distance() == pytest.approx(16 / 12)
+
+    @given(
+        src=st.integers(min_value=0, max_value=15),
+        dst=st.integers(min_value=0, max_value=15),
+    )
+    def test_route_ends_at_destination(self, src, dst):
+        mesh = Mesh2D(4, 4)
+        x, y = mesh.geometry.coords(src)
+        for node, direction in mesh.route(src, dst):
+            nx, ny = mesh.geometry.coords(node)
+            assert (nx, ny) == (x, y)
+            dx = {"E": 1, "W": -1}.get(direction, 0)
+            dy = {"S": 1, "N": -1}.get(direction, 0)
+            x, y = nx + dx, ny + dy
+        assert mesh.geometry.node_at(x, y) == dst
+
+    @given(
+        src=st.integers(min_value=0, max_value=15),
+        dst=st.integers(min_value=0, max_value=15),
+    )
+    def test_deterministic_routing(self, src, dst):
+        mesh = Mesh2D(4, 4)
+        assert mesh.route(src, dst) == mesh.route(src, dst)
+
+
+class TestTorus2D:
+    def test_wraparound_shortens_path(self):
+        torus = Torus2D(4, 4)
+        mesh = Mesh2D(4, 4)
+        # 0 -> 3 is 3 hops on a mesh, 1 hop on a torus ring
+        assert len(mesh.route(0, 3)) == 3
+        assert len(torus.route(0, 3)) == 1
+
+    @given(
+        src=st.integers(min_value=0, max_value=15),
+        dst=st.integers(min_value=0, max_value=15),
+    )
+    def test_never_longer_than_mesh(self, src, dst):
+        torus = Torus2D(4, 4)
+        mesh = Mesh2D(4, 4)
+        assert len(torus.route(src, dst)) <= len(mesh.route(src, dst))
+
+
+class TestOmega:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            Omega(12)
+
+    def test_stage_count(self):
+        omega = Omega(16)
+        assert omega.stages == 4
+        assert len(omega.route(3, 9)) == 4
+
+    @given(
+        src=st.integers(min_value=0, max_value=15),
+        dst=st.integers(min_value=0, max_value=15),
+    )
+    def test_final_exchange_lands_on_destination(self, src, dst):
+        omega = Omega(16)
+        path = omega.route(src, dst)
+        # last link's switch-input equals the destination address
+        _, _, final = path[-1]
+        assert final == dst
+
+    def test_distinct_destinations_distinct_final_links(self):
+        omega = Omega(8)
+        finals = {omega.route(0, d)[-1] for d in range(8)}
+        assert len(finals) == 8
+
+
+class TestCrossbar:
+    def test_single_hop(self):
+        xbar = Crossbar(8)
+        assert len(xbar.route(1, 5)) == 1
+        assert xbar.route(2, 2) == []
+
+    def test_links_are_pairwise_unique(self):
+        xbar = Crossbar(4)
+        links = {xbar.route(s, d)[0] for s in range(4) for d in range(4) if s != d}
+        assert len(links) == 12
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", ["mesh", "torus", "omega", "crossbar"])
+    def test_make_topology(self, kind):
+        topo = make_topology(kind, 16)
+        assert topo.n_nodes == 16
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_topology("hypercube", 16)

@@ -1,0 +1,39 @@
+"""Tests for the program operation vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.proc import ops
+
+
+class TestConstructors:
+    def test_think(self):
+        assert ops.think(5) == ("think", 5)
+        with pytest.raises(ValueError):
+            ops.think(-1)
+
+    def test_load_store(self):
+        assert ops.load(0x40) == ("load", 0x40)
+        assert ops.store(0x40, 9) == ("store", 0x40, 9)
+
+    def test_fetch_add_semantics(self):
+        kind, addr, fn = ops.fetch_add(0x40, 3)
+        assert kind == "rmw"
+        assert addr == 0x40
+        assert fn(10) == 13
+
+    def test_test_and_set_semantics(self):
+        _, _, fn = ops.test_and_set(0x40)
+        assert fn(0) == 1
+        assert fn(1) == 1
+
+    def test_rmw_custom_function(self):
+        _, _, fn = ops.rmw(0x40, lambda v: v * 2)
+        assert fn(21) == 42
+
+    def test_fence(self):
+        assert ops.fence() == ("fence",)
+
+    def test_switch_hint(self):
+        assert ops.switch_hint() == ("switch_hint",)

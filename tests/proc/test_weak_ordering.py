@@ -1,0 +1,223 @@
+"""Tests for the weakly-ordered memory model (store buffer + fences)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AlewifeConfig, AlewifeMachine, run_experiment
+from repro.proc import ops
+from repro.workloads import (
+    MigratoryWorkload,
+    MultigridWorkload,
+    ProducerConsumerWorkload,
+    WeatherWorkload,
+)
+from repro.workloads.base import Workload
+
+from .test_processor import Rig
+
+
+def wo_rig(**kw):
+    rig = Rig(**kw)
+    rig.cpu.memory_model = "wo"
+    return rig
+
+
+class TestStoreBuffer:
+    def test_store_does_not_block_the_pipeline(self):
+        rig = wo_rig()
+        order = []
+
+        def program():
+            yield ops.store(rig.remote(), 1)  # remote store, buffered
+            order.append(("continued", rig.sim.now))
+            yield ops.think(1)
+
+        rig.cpu.add_thread(program())
+        rig.run()
+        # the program continued long before a remote round trip completed
+        assert order and order[0][1] <= 3
+        assert rig.cpu.counters.get("cpu.wo_stores_buffered") == 1
+
+    def test_load_to_same_block_waits_for_own_store(self):
+        rig = wo_rig()
+        seen = []
+
+        def program():
+            yield ops.store(rig.remote(), 77)
+            seen.append((yield ops.load(rig.remote())))
+
+        rig.cpu.add_thread(program())
+        rig.run()
+        assert seen == [77]
+
+    def test_load_to_other_block_proceeds(self):
+        rig = wo_rig()
+        rig.memories[1].poke_word(rig.local(), 5)
+        seen = []
+
+        def program():
+            yield ops.store(rig.remote(), 1)
+            seen.append(((yield ops.load(rig.local())), rig.sim.now))
+
+        rig.cpu.add_thread(program())
+        rig.run()
+        value, when = seen[0]
+        assert value == 5
+        assert when < 15  # did not wait for the remote store round trip
+
+    def test_fence_drains_all_stores(self):
+        rig = wo_rig()
+        marks = []
+
+        def program():
+            yield ops.store(rig.remote(0), 1)
+            yield ops.store(rig.remote(1), 2)
+            yield ops.fence()
+            marks.append(rig.sim.now)
+
+        rig.cpu.add_thread(program())
+        rig.run()
+        assert rig.memories[0].peek_word(rig.remote(0)) >= 0  # landed somewhere
+        assert marks[0] > 10  # fence actually waited for the round trips
+        assert rig.cpu.counters.get("cpu.fence_stalls") == 1
+
+    def test_rmw_is_an_implicit_fence(self):
+        rig = wo_rig()
+        olds = []
+
+        def program():
+            yield ops.store(rig.remote(), 10)
+            olds.append((yield ops.fetch_add(rig.remote(), 1)))
+
+        rig.cpu.add_thread(program())
+        rig.run()
+        assert olds == [10]  # the buffered store landed before the atomic
+
+    def test_store_buffer_capacity_blocks(self):
+        rig = wo_rig()
+        rig.cpu.store_buffer = 2
+
+        def program():
+            for i in range(5):
+                yield ops.store(rig.remote(i), i)
+            yield ops.fence()
+
+        rig.cpu.add_thread(program())
+        rig.run()
+        assert rig.cpu.counters.get("cpu.store_buffer_full") > 0
+
+    def test_retire_waits_for_buffered_stores(self):
+        rig = wo_rig()
+
+        def program():
+            yield ops.store(rig.remote(), 9)
+            # program ends with the store still in flight
+
+        rig.cpu.add_thread(program())
+        rig.run()
+        assert rig.memories[0].peek_word(rig.remote()) in (0, 9)
+        # the machine drained: the store completed before retirement
+        assert rig.caches[1].idle()
+
+    def test_sc_mode_rejects_nothing_but_blocks(self):
+        rig = Rig()  # default sc
+
+        def program():
+            yield ops.store(rig.remote(), 3)
+            yield ops.fence()  # legal no-op under SC
+
+        rig.cpu.add_thread(program())
+        rig.run()
+        assert rig.cpu.counters.get("cpu.wo_stores_buffered") == 0
+
+    def test_unknown_memory_model_rejected(self):
+        with pytest.raises(ValueError):
+            AlewifeConfig(memory_model="tso")
+
+
+class _MessagePassing(Workload):
+    """The canonical weak-ordering litmus: data then flag, with a fence."""
+
+    name = "litmus"
+
+    def __init__(self):
+        self.observed: list[int] = []
+
+    def build(self, machine):
+        data = machine.allocator.alloc_scalar("litmus.data", home=0)
+        flag = machine.allocator.alloc_scalar("litmus.flag", home=1)
+
+        def writer():
+            yield ops.store(data.base, 42)
+            yield ops.fence()
+            yield ops.store(flag.base, 1)
+
+        def reader():
+            while True:
+                value = yield ops.load(flag.base)
+                if value:
+                    break
+                yield ops.think(8)
+            self.observed.append((yield ops.load(data.base)))
+
+        return {0: [writer()], 1: [reader()]}
+
+
+class TestLitmus:
+    @pytest.mark.parametrize("seed", [1, 7, 23, 99])
+    def test_message_passing_with_fence_is_safe(self, seed):
+        workload = _MessagePassing()
+        run_experiment(
+            AlewifeConfig(
+                n_procs=2,
+                memory_model="wo",
+                cache_lines=128,
+                segment_bytes=1 << 16,
+                seed=seed,
+                max_cycles=2_000_000,
+            ),
+            workload,
+        )
+        assert workload.observed == [42]
+
+
+class TestWorkloadsUnderWeakOrdering:
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            WeatherWorkload(iterations=2),
+            MultigridWorkload(levels=(1, 1)),
+            MigratoryWorkload(rounds=1),
+            ProducerConsumerWorkload(epochs=2),
+        ],
+        ids=["weather", "multigrid", "migratory", "pc"],
+    )
+    @pytest.mark.parametrize("protocol", ["fullmap", "limitless"])
+    def test_complete_and_audit(self, workload, protocol):
+        stats = run_experiment(
+            AlewifeConfig(
+                n_procs=8,
+                protocol=protocol,
+                pointers=2,
+                memory_model="wo",
+                cache_lines=512,
+                segment_bytes=1 << 17,
+                max_cycles=8_000_000,
+            ),
+            workload,
+        )
+        assert stats.counters.get("cpu.wo_stores_buffered") > 0
+
+    def test_machine_runs_audit_clean_under_wo(self):
+        machine = AlewifeMachine(
+            AlewifeConfig(
+                n_procs=4,
+                memory_model="wo",
+                cache_lines=128,
+                segment_bytes=1 << 16,
+                max_cycles=2_000_000,
+            )
+        )
+        stats = machine.run(MigratoryWorkload(rounds=2))
+        assert stats.entries_audited > 0

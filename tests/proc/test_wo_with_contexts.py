@@ -1,0 +1,86 @@
+"""Weak ordering combined with multi-context execution."""
+
+from __future__ import annotations
+
+from repro.machine import AlewifeConfig, AlewifeMachine
+from repro.proc import ops
+from repro.workloads import LatencyToleranceWorkload
+from repro.workloads.base import Workload
+
+
+class _MixedThreads(Workload):
+    """Two threads per processor: one streams buffered stores, one spins
+    on a flag another processor releases — the combination exercises
+    parking, store-buffer drain, and context switching together."""
+
+    name = "mixed"
+
+    def __init__(self):
+        self.finishes: list[tuple[int, str]] = []
+
+    def build(self, machine):
+        n = machine.config.n_procs
+        flags = [machine.allocator.alloc_scalar(f"f{p}", home=p) for p in range(n)]
+        data = [machine.allocator.alloc_words(f"d{p}", 8, home=(p + 1) % n)
+                for p in range(n)]
+
+        def storer(p):
+            for i in range(6):
+                yield ops.store(data[p].word(i % 8), i)
+            yield ops.fence()
+            # release the next processor's waiter
+            yield ops.store(flags[(p + 1) % n].base, 1)
+            self.finishes.append((p, "storer"))
+
+        def waiter(p):
+            while True:
+                value = yield ops.load(flags[p].base)
+                if value:
+                    break
+                yield ops.think(9)
+                yield ops.switch_hint()
+            # after release, the releaser's fenced data must be visible
+            got = yield ops.load(data[(p - 1) % n].word(5))
+            assert got == 5, f"waiter {p} saw unfenced data {got}"
+            self.finishes.append((p, "waiter"))
+
+        return {p: [storer(p), waiter(p)] for p in range(n)}
+
+
+class TestWeakOrderingWithContexts:
+    def test_mixed_threads_complete_and_see_fenced_data(self):
+        config = AlewifeConfig(
+            n_procs=4,
+            protocol="limitless",
+            pointers=2,
+            ts=30,
+            memory_model="wo",
+            cache_lines=256,
+            segment_bytes=1 << 16,
+            max_cycles=4_000_000,
+        )
+        workload = _MixedThreads()
+        machine = AlewifeMachine(config)
+        stats = machine.run(workload)
+        assert len(workload.finishes) == 8
+        assert stats.counters.get("cpu.wo_stores_buffered") > 0
+        assert stats.counters.get("cpu.context_switches") > 0
+
+    def test_latency_tolerance_still_wins_under_wo(self):
+        def run(threads):
+            config = AlewifeConfig(
+                n_procs=8,
+                protocol="fullmap",
+                memory_model="wo",
+                cache_lines=512,
+                segment_bytes=1 << 17,
+                max_cycles=4_000_000,
+            )
+            return (
+                AlewifeMachine(config)
+                .run(LatencyToleranceWorkload(threads_per_proc=threads,
+                                              total_accesses_per_proc=32))
+                .cycles
+            )
+
+        assert run(4) < run(1)

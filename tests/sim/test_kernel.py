@@ -1,0 +1,160 @@
+"""Tests for the event-driven simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import (
+    DeadlockError,
+    SimulationError,
+    Simulator,
+    StallableResource,
+    simulate_all,
+)
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, sim):
+        log = []
+        sim.call_at(30, lambda: log.append(30))
+        sim.call_at(10, lambda: log.append(10))
+        sim.call_at(20, lambda: log.append(20))
+        sim.run()
+        assert log == [10, 20, 30]
+
+    def test_ties_run_in_scheduling_order(self, sim):
+        log = []
+        for i in range(5):
+            sim.call_at(7, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_now_advances_to_event_time(self, sim):
+        seen = []
+        sim.call_at(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+        assert sim.now == 42
+
+    def test_call_after_is_relative(self, sim):
+        seen = []
+        sim.call_at(10, lambda: sim.call_after(5, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [15]
+
+    def test_scheduling_in_the_past_raises(self, sim):
+        sim.call_at(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(5, lambda: None)
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.call_after(-1, lambda: None)
+
+    def test_cancelled_event_does_not_run(self, sim):
+        log = []
+        event = sim.call_at(10, lambda: log.append("nope"))
+        event.cancel()
+        sim.run()
+        assert log == []
+
+    def test_events_scheduled_during_execution_run(self, sim):
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                sim.call_after(1, lambda: chain(n + 1))
+
+        sim.call_at(0, lambda: chain(0))
+        sim.run()
+        assert log == [0, 1, 2, 3]
+
+
+class TestRunLimits:
+    def test_run_until_stops_early(self, sim):
+        log = []
+        sim.call_at(10, lambda: log.append("early"))
+        sim.call_at(100, lambda: log.append("late"))
+        sim.run(until=50)
+        assert log == ["early"]
+        assert sim.now == 50
+
+    def test_max_cycles_is_respected(self):
+        sim = Simulator(max_cycles=25)
+        log = []
+        sim.call_at(10, lambda: log.append("in"))
+        sim.call_at(30, lambda: log.append("out"))
+        sim.run()
+        assert log == ["in"]
+
+    def test_pending_events_counts_live_events(self, sim):
+        keep = sim.call_at(10, lambda: None)
+        dead = sim.call_at(20, lambda: None)
+        dead.cancel()
+        assert sim.pending_events == 1
+        assert keep is not dead
+
+    def test_drain_check_raises_when_events_remain(self, sim):
+        sim.call_at(10, lambda: None)
+        with pytest.raises(DeadlockError):
+            sim.drain_check()
+
+    def test_drain_check_passes_when_empty(self, sim):
+        sim.run()
+        sim.drain_check()
+
+
+class TestStallableResource:
+    def test_serializes_requests(self, sim):
+        res = StallableResource(sim, "dir")
+        first = res.acquire(10)
+        second = res.acquire(10)
+        assert first == 10
+        assert second == 20
+
+    def test_acquire_after_idle_starts_now(self, sim):
+        res = StallableResource(sim, "dir")
+        res.acquire(5)
+        sim.call_at(100, lambda: None)
+        sim.run()
+        assert res.acquire(5) == 105
+
+    def test_not_before_delays_start(self, sim):
+        res = StallableResource(sim, "dir")
+        assert res.acquire(5, not_before=50) == 55
+
+    def test_stall_pushes_out_free_time(self, sim):
+        res = StallableResource(sim, "dir")
+        res.acquire(10)
+        res.stall(100)
+        assert res.acquire(1) == 111
+
+    def test_utilization(self, sim):
+        res = StallableResource(sim, "dir")
+        res.acquire(25)
+        assert res.utilization(100) == 0.25
+        assert res.utilization(0) == 0.0
+
+    def test_busy_cycles_accumulate(self, sim):
+        res = StallableResource(sim, "dir")
+        res.acquire(3)
+        res.acquire(4)
+        assert res.busy_cycles == 7
+        assert res.requests == 2
+
+
+class TestSimulateAll:
+    def test_starts_components_with_start_method(self, sim):
+        started = []
+
+        class Comp:
+            def __init__(self, n):
+                self.n = n
+
+            def start(self):
+                started.append(self.n)
+
+        simulate_all(sim, [Comp(1), Comp(2), object()])
+        assert started == [1, 2]

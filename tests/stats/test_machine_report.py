@@ -1,0 +1,87 @@
+"""Tests for the full machine report."""
+
+from __future__ import annotations
+
+from repro.machine import AlewifeConfig, run_experiment
+from repro.stats.counters import Histogram
+from repro.stats.machine_report import histogram_lines, machine_report
+from repro.workloads import WeatherWorkload
+
+
+def run_once(protocol="limitless", **extras):
+    return run_experiment(
+        AlewifeConfig(
+            n_procs=8,
+            protocol=protocol,
+            pointers=2,
+            ts=40,
+            cache_lines=256,
+            segment_bytes=1 << 16,
+            max_cycles=4_000_000,
+            **extras,
+        ),
+        WeatherWorkload(iterations=2),
+    )
+
+
+class TestHistogramLines:
+    def test_renders_bars(self):
+        hist = Histogram()
+        hist.add(2, weight=4)
+        hist.add(8, weight=1)
+        out = histogram_lines(hist, title="t", width=8)
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].count("#") == 8
+        assert lines[2].count("#") == 2
+
+    def test_empty(self):
+        assert "(empty)" in histogram_lines(Histogram(), title="t")
+
+
+class TestMachineReport:
+    def test_contains_all_sections(self):
+        report = machine_report(run_once())
+        for fragment in (
+            "workload cycles",
+            "hit rate",
+            "invalidations sent",
+            "read-overflow traps",
+            "mean latency",
+            "worker-set size",
+        ):
+            assert fragment in report, f"missing section: {fragment}"
+
+    def test_reports_scheme_label(self):
+        report = machine_report(run_once())
+        assert "LimitLESS2" in report
+
+    def test_limited_directory_eviction_row(self):
+        report = machine_report(run_once(protocol="limited"))
+        line = next(
+            l for l in report.splitlines() if "pointer evictions" in l
+        )
+        assert not line.rstrip().endswith(" 0")
+
+    def test_worker_set_histogram_nonempty_after_writes(self):
+        stats = run_once(protocol="fullmap")
+        assert stats.worker_sets.total() > 0
+        assert "worker-set size" in machine_report(stats)
+
+    def test_latency_histogram_collected(self):
+        from repro.machine import AlewifeMachine
+
+        machine = AlewifeMachine(
+            AlewifeConfig(
+                n_procs=4,
+                cache_lines=128,
+                segment_bytes=1 << 16,
+                max_cycles=2_000_000,
+            )
+        )
+        machine.run(WeatherWorkload(iterations=2))
+        hist = Histogram()
+        for node in machine.nodes:
+            hist.counts.update(node.cache_controller.latency_hist.counts)
+        assert hist.total() > 0
+        assert hist.max() >= 8  # remote misses cross the bucket boundary

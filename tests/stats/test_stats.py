@@ -1,0 +1,82 @@
+"""Tests for counters, histograms, and figure-style reports."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.stats.counters import Counters, Histogram
+from repro.stats.report import bar_chart, format_table
+
+
+class TestCounters:
+    def test_unknown_reads_zero(self):
+        assert Counters().get("nope") == 0
+
+    def test_bump_and_merge(self):
+        a, b = Counters(), Counters()
+        a.bump("x")
+        a.bump("x", 2)
+        b.bump("x")
+        b.bump("y", 5)
+        a.merge(b)
+        assert a.get("x") == 4
+        assert a.get("y") == 5
+
+    def test_as_dict(self):
+        c = Counters()
+        c.bump("k", 3)
+        assert c.as_dict() == {"k": 3}
+
+
+class TestHistogram:
+    def test_mean_and_max(self):
+        h = Histogram()
+        h.add(2, weight=3)
+        h.add(10)
+        assert h.total() == 4
+        assert h.mean() == (2 * 3 + 10) / 4
+        assert h.max() == 10
+
+    def test_empty(self):
+        h = Histogram()
+        assert h.mean() == 0.0
+        assert h.max() == 0
+        assert h.fraction_at_most(5) == 0.0
+
+    def test_fraction_at_most(self):
+        h = Histogram()
+        for v in (1, 2, 3, 10):
+            h.add(v)
+        assert h.fraction_at_most(3) == 0.75
+
+    @given(values=st.lists(st.integers(min_value=0, max_value=64), min_size=1))
+    def test_cdf_monotone(self, values):
+        h = Histogram()
+        for v in values:
+            h.add(v)
+        fractions = [h.fraction_at_most(k) for k in range(65)]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+
+class TestReports:
+    def test_format_table_aligns_columns(self):
+        table = format_table(["a", "label"], [[1, "x"], [100, "longer"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_bar_chart_scales_to_largest(self):
+        chart = bar_chart("Figure", [("small", 1.0), ("big", 2.0)], width=10)
+        lines = chart.splitlines()
+        small_bar = lines[1].count("#")
+        big_bar = lines[2].count("#")
+        assert big_bar == 10
+        assert small_bar == 5
+
+    def test_bar_chart_handles_empty(self):
+        assert "no data" in bar_chart("Figure", [])
+
+    def test_bar_chart_zero_values(self):
+        chart = bar_chart("Figure", [("zero", 0.0)])
+        assert "zero" in chart

@@ -1,0 +1,132 @@
+"""Tests for barrier construction and the barrier program fragment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AlewifeConfig, AlewifeMachine
+from repro.mem.address import AddressSpace, Allocator
+from repro.proc import ops
+from repro.sync.barrier import (
+    barrier_wait,
+    build_central_barrier,
+    build_combining_tree,
+)
+from repro.workloads.base import Workload
+
+
+class TestConstruction:
+    def setup_method(self):
+        self.space = AddressSpace(n_nodes=16, block_bytes=16, segment_bytes=1 << 16)
+        self.alloc = Allocator(self.space)
+
+    def test_central_barrier_single_node(self):
+        spec = build_central_barrier(self.alloc, list(range(16)))
+        assert spec.root.arity == 16
+        assert all(spec.leaf_of(p) is spec.root for p in range(16))
+
+    def test_combining_tree_structure(self):
+        spec = build_combining_tree(self.alloc, list(range(16)), arity=4)
+        nodes = list(spec.nodes())
+        leaves = {id(spec.leaf_of(p)) for p in range(16)}
+        assert len(leaves) == 4
+        assert spec.root.arity == 4
+        assert len(nodes) == 5  # 4 leaves + root
+
+    def test_uneven_group_sizes(self):
+        spec = build_combining_tree(self.alloc, list(range(10)), arity=4)
+        total = sum(spec.leaf_of(p).arity for p in {id(spec.leaf_of(q)): q for q in range(10)}.values())
+        # leaf arities are 4, 4, 2
+        arities = sorted(
+            {id(spec.leaf_of(p)): spec.leaf_of(p).arity for p in range(10)}.values()
+        )
+        assert arities == [2, 4, 4]
+        assert total == 10
+
+    def test_counter_and_flag_in_distinct_blocks(self):
+        spec = build_combining_tree(self.alloc, list(range(8)), arity=2)
+        for node in spec.nodes():
+            assert self.space.block_of(node.counter_addr) != self.space.block_of(
+                node.flag_addr
+            )
+
+    def test_tree_nodes_spread_over_homes(self):
+        spec = build_combining_tree(self.alloc, list(range(16)), arity=4)
+        homes = {self.space.home_of(n.counter_addr) for n in spec.nodes()}
+        assert len(homes) > 1
+
+    def test_single_participant_degenerates_to_central(self):
+        spec = build_combining_tree(self.alloc, [3], arity=4)
+        assert spec.root.arity == 1
+
+    def test_needs_participants(self):
+        with pytest.raises(ValueError):
+            build_central_barrier(self.alloc, [])
+        with pytest.raises(ValueError):
+            build_combining_tree(self.alloc, list(range(4)), arity=1)
+
+
+class _BarrierWorkload(Workload):
+    """All processors cross the same barrier `rounds` times; a shared log
+    records the order, which must never interleave across rounds."""
+
+    name = "barrier-test"
+
+    def __init__(self, rounds=3, arity=4, central=False):
+        self.rounds = rounds
+        self.arity = arity
+        self.central = central
+        self.log: list[tuple[int, int]] = []
+
+    def build(self, machine):
+        n = machine.config.n_procs
+        if self.central:
+            spec = build_central_barrier(machine.allocator, list(range(n)))
+        else:
+            spec = build_combining_tree(
+                machine.allocator, list(range(n)), arity=self.arity
+            )
+
+        def program(p):
+            for r in range(1, self.rounds + 1):
+                self.log.append((r, p))
+                yield from barrier_wait(spec, p, r)
+                yield ops.think(5 + p)
+
+        return {p: [program(p)] for p in range(n)}
+
+
+def run_barrier_workload(n_procs=8, **kw):
+    config = AlewifeConfig(
+        n_procs=n_procs,
+        protocol="fullmap",
+        cache_lines=256,
+        segment_bytes=1 << 16,
+        max_cycles=3_000_000,
+    )
+    workload = _BarrierWorkload(**kw)
+    AlewifeMachine(config).run(workload)
+    return workload.log
+
+
+class TestBarrierSemantics:
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_rounds_never_interleave_combining(self, arity):
+        log = run_barrier_workload(n_procs=8, rounds=3, arity=arity)
+        seen_rounds = [r for r, _ in log]
+        # every processor logs round r before ANY processor logs r+1
+        assert seen_rounds == sorted(seen_rounds)
+
+    def test_rounds_never_interleave_central(self):
+        log = run_barrier_workload(n_procs=8, rounds=3, central=True)
+        seen_rounds = [r for r, _ in log]
+        assert seen_rounds == sorted(seen_rounds)
+
+    def test_every_processor_participates_every_round(self):
+        log = run_barrier_workload(n_procs=8, rounds=3)
+        for r in (1, 2, 3):
+            assert sorted(p for rr, p in log if rr == r) == list(range(8))
+
+    def test_odd_processor_count(self):
+        log = run_barrier_workload(n_procs=7, rounds=2, arity=3)
+        assert len(log) == 14

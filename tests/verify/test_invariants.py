@@ -1,0 +1,129 @@
+"""Tests for the coherence invariant auditor — including that it actually
+catches corrupted states (an auditor that can't fail verifies nothing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.states import CacheState
+from repro.coherence.states import DirState, MetaState
+from repro.machine import AlewifeConfig, AlewifeMachine
+from repro.mem.memory import BlockData
+from repro.verify.invariants import CoherenceViolation, audit_machine
+from repro.workloads import HotSpotWorkload, MigratoryWorkload
+
+
+def finished_machine(protocol="fullmap", **overrides):
+    defaults = dict(
+        n_procs=4,
+        protocol=protocol,
+        cache_lines=128,
+        segment_bytes=1 << 16,
+        max_cycles=2_000_000,
+    )
+    defaults.update(overrides)
+    machine = AlewifeMachine(AlewifeConfig(**defaults))
+    machine.run(HotSpotWorkload(rounds=2), audit=False)
+    return machine
+
+
+class TestCleanMachinePasses:
+    def test_fullmap(self):
+        assert audit_machine(finished_machine()) > 0
+
+    def test_limitless_with_vectors(self):
+        machine = finished_machine(protocol="limitless", pointers=1, ts=30)
+        assert audit_machine(machine) > 0
+
+    def test_migratory_final_state(self):
+        machine = AlewifeMachine(
+            AlewifeConfig(
+                n_procs=4, cache_lines=128, segment_bytes=1 << 16,
+                max_cycles=2_000_000,
+            )
+        )
+        machine.run(MigratoryWorkload(rounds=1), audit=False)
+        assert audit_machine(machine) > 0
+
+
+class TestCorruptionDetected:
+    def test_unrecorded_cached_copy(self):
+        machine = finished_machine()
+        blk = machine.space.address(0, 0x8000)
+        machine.nodes[2].cache_array.install(
+            blk, CacheState.READ_ONLY, BlockData(4)
+        )
+        machine.nodes[0].directory_controller.directory.entry(blk)  # empty P
+        with pytest.raises(CoherenceViolation, match="cached at"):
+            audit_machine(machine)
+
+    def test_two_writers(self):
+        machine = finished_machine()
+        blk = machine.space.address(0, 0x8000)
+        entry = machine.nodes[0].directory_controller.directory.entry(blk)
+        entry.state = DirState.READ_WRITE
+        for node in (1, 2):
+            entry.add_sharer(node)
+            machine.nodes[node].cache_array.install(
+                blk, CacheState.READ_WRITE, BlockData(4)
+            )
+        with pytest.raises(CoherenceViolation, match="READ_WRITE"):
+            audit_machine(machine)
+
+    def test_stale_read_only_data(self):
+        machine = finished_machine()
+        blk = machine.space.address(0, 0x8000)
+        entry = machine.nodes[0].directory_controller.directory.entry(blk)
+        entry.add_sharer(1)
+        bad = BlockData(4)
+        bad.words[0] = 999  # memory still holds zeros
+        machine.nodes[1].cache_array.install(blk, CacheState.READ_ONLY, bad)
+        with pytest.raises(CoherenceViolation, match="caches"):
+            audit_machine(machine)
+
+    def test_open_transaction_at_quiescence(self):
+        machine = finished_machine()
+        blk = machine.space.address(0, 0x8000)
+        entry = machine.nodes[0].directory_controller.directory.entry(blk)
+        entry.state = DirState.WRITE_TRANSACTION
+        with pytest.raises(CoherenceViolation, match="WRITE_TRANSACTION"):
+            audit_machine(machine)
+
+    def test_interlocked_entry_at_quiescence(self):
+        machine = finished_machine()
+        blk = machine.space.address(0, 0x8000)
+        entry = machine.nodes[0].directory_controller.directory.entry(blk)
+        entry.meta = MetaState.TRANS_IN_PROGRESS
+        with pytest.raises(CoherenceViolation, match="interlocked"):
+            audit_machine(machine)
+
+    def test_rw_copy_under_read_only_entry(self):
+        machine = finished_machine()
+        blk = machine.space.address(0, 0x8000)
+        entry = machine.nodes[0].directory_controller.directory.entry(blk)
+        entry.add_sharer(3)
+        machine.nodes[3].cache_array.install(
+            blk, CacheState.READ_WRITE, BlockData(4)
+        )
+        with pytest.raises(CoherenceViolation, match="hold READ_WRITE"):
+            audit_machine(machine)
+
+    def test_stale_directory_pointer_is_allowed(self):
+        """The asymmetric case that is NOT a violation: silent clean
+        replacement leaves a pointer with no copy behind it."""
+        machine = finished_machine()
+        blk = machine.space.address(0, 0x8000)
+        entry = machine.nodes[0].directory_controller.directory.entry(blk)
+        entry.add_sharer(1)  # directory thinks node 1 caches it; it doesn't
+        assert audit_machine(machine) > 0
+
+    def test_vector_recorded_copy_is_allowed(self):
+        machine = finished_machine(protocol="limitless", pointers=1, ts=30)
+        node0 = machine.nodes[0]
+        blk = machine.space.address(0, 0x8000)
+        node0.directory_controller.directory.entry(blk)
+        node0.software.vectors[blk] = {2}
+        machine.nodes[2].cache_array.install(
+            blk, CacheState.READ_ONLY, BlockData(4)
+        )
+        assert audit_machine(machine) > 0

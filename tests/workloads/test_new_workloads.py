@@ -1,0 +1,99 @@
+"""Tests for the butterfly and latency-tolerance workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AlewifeConfig, AlewifeMachine, run_experiment
+from repro.workloads import ButterflyWorkload, LatencyToleranceWorkload
+
+
+def config(**overrides):
+    defaults = dict(
+        n_procs=8,
+        protocol="fullmap",
+        cache_lines=512,
+        segment_bytes=1 << 17,
+        max_cycles=8_000_000,
+    )
+    defaults.update(overrides)
+    return AlewifeConfig(**defaults)
+
+
+class TestButterfly:
+    def test_all_reduce_property(self):
+        """After log2(N) exchange stages every processor holds the same
+        combined value — the butterfly's defining invariant, computed
+        entirely through coherent shared memory."""
+        machine = AlewifeMachine(config())
+        workload = ButterflyWorkload(sweeps=1)
+        machine.run(workload)
+        finals = set(workload.finals.values())
+        assert len(finals) == 1
+        assert finals.pop() == sum(range(1, 9))
+
+    def test_requires_power_of_two(self):
+        machine = AlewifeMachine(config(n_procs=6))
+        with pytest.raises(ValueError):
+            ButterflyWorkload().build(machine)
+
+    def test_pairwise_worker_sets(self):
+        machine = AlewifeMachine(config())
+        machine.run(ButterflyWorkload(sweeps=1))
+        for a in machine.allocator.allocations:
+            if not a.name.startswith("fft.") or ".bar" in a.name:
+                continue  # barrier tree variables have wider worker-sets
+            entry = machine.nodes[a.home].directory_controller.directory.entry(
+                machine.space.block_of(a.base)
+            )
+            assert entry.peak_sharers <= 2
+
+    @pytest.mark.parametrize(
+        "protocol,extras",
+        [("limited", {"pointers": 1}), ("limitless", {"pointers": 1, "ts": 30})],
+    )
+    def test_under_tight_pointer_budgets(self, protocol, extras):
+        machine = AlewifeMachine(config(protocol=protocol, **extras))
+        workload = ButterflyWorkload(sweeps=1)
+        machine.run(workload)
+        assert len(set(workload.finals.values())) == 1
+
+    def test_multiple_sweeps(self):
+        machine = AlewifeMachine(config())
+        workload = ButterflyWorkload(sweeps=3)
+        stats = machine.run(workload)
+        assert stats.cycles > 0
+
+
+class TestLatencyTolerance:
+    def test_more_threads_less_time(self):
+        cycles = {}
+        for threads in (1, 4):
+            stats = run_experiment(
+                config(n_procs=16),
+                LatencyToleranceWorkload(
+                    threads_per_proc=threads, total_accesses_per_proc=32
+                ),
+            )
+            cycles[threads] = stats.cycles
+        assert cycles[4] < cycles[1]
+
+    def test_every_access_is_a_remote_miss(self):
+        stats = run_experiment(
+            config(n_procs=8),
+            LatencyToleranceWorkload(threads_per_proc=2, total_accesses_per_proc=16),
+        )
+        c = stats.counters
+        # every load opened a miss (the matching "hit" count is the MSHR
+        # waiter replaying through the front door after its fill)
+        assert c.get("cache.misses.load") == 8 * 16
+        assert c.get("cache.fills") == 8 * 16
+        assert c.get("cache.local_requests") == 0
+
+    def test_rejects_too_many_threads(self):
+        machine = AlewifeMachine(config(max_contexts=2))
+        with pytest.raises(ValueError):
+            LatencyToleranceWorkload(threads_per_proc=4).build(machine)
+
+    def test_describe(self):
+        assert "threads=2" in LatencyToleranceWorkload(threads_per_proc=2).describe()

@@ -1,0 +1,201 @@
+"""Tests for workload construction and their documented sharing shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AlewifeConfig, AlewifeMachine, run_experiment
+from repro.workloads import (
+    HotSpotWorkload,
+    MatmulWorkload,
+    MigratoryWorkload,
+    MultigridWorkload,
+    ProducerConsumerWorkload,
+    SyntheticSharingWorkload,
+    WeatherWorkload,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(
+        n_procs=8,
+        protocol="fullmap",
+        cache_lines=512,
+        segment_bytes=1 << 17,
+        max_cycles=8_000_000,
+    )
+    defaults.update(overrides)
+    return AlewifeConfig(**defaults)
+
+
+class TestWeather:
+    def test_builds_one_program_per_proc(self):
+        machine = AlewifeMachine(small_config())
+        programs = WeatherWorkload(iterations=1).build(machine)
+        assert set(programs) == set(range(8))
+        assert all(len(v) == 1 for v in programs.values())
+
+    def test_hot_variable_worker_set_is_machine_wide(self):
+        machine = AlewifeMachine(small_config())
+        machine.run(WeatherWorkload(iterations=2))
+        hot = next(
+            a for a in machine.allocator.allocations if a.name == "weather.init"
+        )
+        entry = machine.nodes[0].directory_controller.directory.entry(
+            machine.space.block_of(hot.base)
+        )
+        assert entry.peak_sharers == 8
+
+    def test_optimized_reads_hot_variable_once(self):
+        opt = run_experiment(
+            small_config(), WeatherWorkload(iterations=3, optimized=True)
+        )
+        unopt = run_experiment(
+            small_config(), WeatherWorkload(iterations=3, optimized=False)
+        )
+        assert opt.counters.get("cache.hits.load") < unopt.counters.get(
+            "cache.hits.load"
+        )
+
+    def test_describe_mentions_optimization(self):
+        assert "unoptimized" in WeatherWorkload().describe()
+        assert "optimized" in WeatherWorkload(optimized=True).describe()
+
+    def test_corner_worker_sets_are_two_remote_readers(self):
+        machine = AlewifeMachine(small_config())
+        machine.run(WeatherWorkload(iterations=2))
+        for p in range(8):
+            corner = next(
+                a
+                for a in machine.allocator.allocations
+                if a.name == f"weather.corner{p}"
+            )
+            entry = machine.nodes[p].directory_controller.directory.entry(
+                machine.space.block_of(corner.base)
+            )
+            # two neighbours plus (sometimes) the local writer
+            assert 2 <= entry.peak_sharers <= 3
+
+
+class TestMultigrid:
+    def test_edge_worker_sets_are_pairwise(self):
+        machine = AlewifeMachine(small_config())
+        machine.run(MultigridWorkload(levels=(1, 1)))
+        for p in range(1, 7):
+            edge = next(
+                a
+                for a in machine.allocator.allocations
+                if a.name == f"mg.left{p}"
+            )
+            entry = machine.nodes[p].directory_controller.directory.entry(
+                machine.space.block_of(edge.base)
+            )
+            assert entry.peak_sharers <= 2
+
+    def test_level_sequence_shapes_work(self):
+        shallow = run_experiment(small_config(), MultigridWorkload(levels=(1,)))
+        deep = run_experiment(small_config(), MultigridWorkload(levels=(2, 2, 2)))
+        assert deep.cycles > shallow.cycles
+
+
+class TestHotSpot:
+    def test_write_once_mode(self):
+        stats = run_experiment(small_config(), HotSpotWorkload(rounds=3))
+        assert stats.cycles > 0
+
+    def test_rewrite_mode_invalidates_readers(self):
+        rewrite = run_experiment(
+            small_config(), HotSpotWorkload(rounds=3, write_period=1)
+        )
+        once = run_experiment(small_config(), HotSpotWorkload(rounds=3))
+        assert rewrite.counters.get("dir.invalidations") > once.counters.get(
+            "dir.invalidations"
+        )
+
+
+class TestMigratory:
+    def test_payload_migrates_through_every_processor(self):
+        machine = AlewifeMachine(small_config())
+        machine.run(MigratoryWorkload(rounds=2, payload_words=2))
+        payload = next(
+            a for a in machine.allocator.allocations if a.name == "mig.payload"
+        )
+        blk = machine.space.block_of(payload.base)
+        value = machine.nodes[0].memory.peek_word(payload.base)
+        for node in machine.nodes:
+            line = node.cache_array.lookup(blk)
+            if line is not None and line.state.name == "READ_WRITE":
+                value = line.data.words[0]
+        assert value == 16  # 8 procs x 2 rounds
+
+    def test_exercises_ownership_transfers(self):
+        stats = run_experiment(small_config(), MigratoryWorkload(rounds=1))
+        assert stats.counters.get("dir.read_transactions_done") > 0
+
+
+class TestProducerConsumer:
+    def test_consumers_see_complete_epochs(self):
+        stats = run_experiment(small_config(), ProducerConsumerWorkload(epochs=3))
+        assert stats.cycles > 0
+
+    def test_single_node_machine(self):
+        stats = run_experiment(
+            small_config(n_procs=1), ProducerConsumerWorkload(epochs=2)
+        )
+        assert stats.cycles > 0
+
+
+class TestSynthetic:
+    def test_rejects_oversized_worker_set(self):
+        machine = AlewifeMachine(small_config())
+        with pytest.raises(ValueError):
+            SyntheticSharingWorkload(worker_sets=[(100, 1)]).build(machine)
+
+    def test_worker_sets_match_specification(self):
+        machine = AlewifeMachine(small_config())
+        machine.run(
+            SyntheticSharingWorkload(
+                worker_sets=[(5, 2)], rounds=2, write_period=0
+            )
+        )
+        peaks = []
+        for a in machine.allocator.allocations:
+            if a.name.startswith("syn.var"):
+                entry = machine.nodes[a.home].directory_controller.directory.entry(
+                    machine.space.block_of(a.base)
+                )
+                peaks.append(entry.peak_sharers)
+        # worker-set 5 = the owner plus 4 readers; with write_period=0 the
+        # owner never touches the variable, so the directory sees 4 readers
+        assert all(p == 4 for p in peaks)
+
+    def test_deterministic_given_seed(self):
+        a = run_experiment(
+            small_config(seed=3),
+            SyntheticSharingWorkload(worker_sets=[(3, 2)], rounds=2),
+        )
+        b = run_experiment(
+            small_config(seed=3),
+            SyntheticSharingWorkload(worker_sets=[(3, 2)], rounds=2),
+        )
+        assert a.cycles == b.cycles
+        assert a.network.packets == b.network.packets
+
+
+class TestMatmul:
+    def test_grid_factorization(self):
+        assert MatmulWorkload._grid(8) == (2, 4)
+        assert MatmulWorkload._grid(16) == (4, 4)
+        assert MatmulWorkload._grid(7) == (1, 7)
+
+    def test_row_and_column_sharing(self):
+        machine = AlewifeMachine(small_config())
+        machine.run(MatmulWorkload(sweeps=1))
+        a_block = next(
+            a for a in machine.allocator.allocations if a.name == "mm.a0.0"
+        )
+        entry = machine.nodes[a_block.home].directory_controller.directory.entry(
+            machine.space.block_of(a_block.base)
+        )
+        # read by its row (4 procs on a 2x4 grid)
+        assert entry.peak_sharers >= 3
