@@ -6,6 +6,7 @@ Examples::
         --workload weather --procs 64
     python -m repro --workload multigrid --compare fullmap limited limitless
     python -m repro --list
+    python -m repro modelcheck --protocol limitless --caches 3
 """
 
 from __future__ import annotations
@@ -93,6 +94,14 @@ def _config(args: argparse.Namespace, protocol: str) -> AlewifeConfig:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "modelcheck":
+        # Exhaustive verification lives in its own subcommand so the
+        # experiment flags above stay untouched.
+        from .modelcheck.cli import main as modelcheck_main
+
+        return modelcheck_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         print("protocols: " + ", ".join(protocol_names()))

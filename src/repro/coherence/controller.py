@@ -228,7 +228,12 @@ class MemoryController(Component):
             self._send_busy(src, entry.block)
         elif op == "ACKC":
             # Transitions 7/8: count the ack; last one releases WDATA.
-            if entry.ack_from(src, packet.meta.get("txn")):
+            # An ACKC without a txn answers an *eviction* INV, never this
+            # round's transactional INV (those always echo the id), so it
+            # must not wildcard-match — the evictee may since have
+            # re-entered the pointer set and owe a real ack.
+            txn = packet.meta.get("txn")
+            if txn is not None and entry.ack_from(src, txn):
                 self._maybe_complete_write(entry)
             else:
                 self._stray(entry, packet)
@@ -285,8 +290,11 @@ class MemoryController(Component):
                 self._stray(entry, packet)
         elif op == "ACKC":
             # The awaited owner must answer with data (UPDATE/REPM); a
-            # matching ACKC here indicates a protocol bug.
-            if entry.ack_from(src, packet.meta.get("txn")):
+            # matching ACKC here indicates a protocol bug.  A txn-less
+            # ACKC is a late eviction ack and may arrive from any node —
+            # even one that has since become the owner — so it is stray.
+            txn = packet.meta.get("txn")
+            if txn is not None and entry.ack_from(src, txn):
                 raise ProtocolError(
                     f"{self.name}: dataless ACKC from owner in READ_TRANSACTION"
                 )

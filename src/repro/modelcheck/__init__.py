@@ -1,0 +1,28 @@
+"""Exhaustive protocol model checking (see docs/PROTOCOL.md, Verification).
+
+Explores every reachable state of a single memory block under each
+registered coherence protocol, driven by the *real* controller and cache
+transition logic, checking the invariants shared with
+:mod:`repro.verify.predicates` at every state and reconstructing the
+shortest counterexample trace on failure.
+"""
+
+from .counterexample import format_state, format_trace, replay
+from .explore import CheckResult, Violation, explore, random_walk
+from .model import ProtocolModel, checkable_protocols, model_spec
+from .state import MCState, canonical_key
+
+__all__ = [
+    "CheckResult",
+    "MCState",
+    "ProtocolModel",
+    "Violation",
+    "canonical_key",
+    "checkable_protocols",
+    "explore",
+    "format_state",
+    "format_trace",
+    "model_spec",
+    "random_walk",
+    "replay",
+]

@@ -1,0 +1,127 @@
+"""Counterexample reconstruction: replay a violating trace and print it.
+
+The explorer hands back a list of actions from the initial state.  Replay
+is deterministic (the model's transitions are), so re-running the actions
+reproduces the exact witness execution, letting the printer show — for
+every step — the message consumed, the messages launched in response, and
+the resulting directory/cache picture in the paper's Table 2/3
+vocabulary: ``P`` is the pointer set, ``AckCtr`` the outstanding
+acknowledgment count, and opcodes are the paper's RREQ/WREQ/RDATA/WDATA/
+INV/BUSY/ACKC/UPDATE/REPM.
+"""
+
+from __future__ import annotations
+
+from .explore import Violation
+from .model import Action, ProtocolModel, StepResult
+from .state import MCState
+
+_CACHE_ABBREV = {"INVALID": "INV", "READ_ONLY": "RO", "READ_WRITE": "RW"}
+
+
+def describe_action(action: Action, step: StepResult | None = None) -> str:
+    kind = action[0]
+    if kind == "deliver":
+        _, src, dst = action
+        if step is not None and step.delivered is not None:
+            _, _, opcode, txn, value = step.delivered
+            detail = _describe_msg(opcode, txn, value)
+            return f"deliver {detail} from node {src} to node {dst}"
+        return f"deliver head of channel {src}->{dst}"
+    if kind == "trap":
+        return "run the pending LimitLESS trap handler at the home node"
+    if kind == "load":
+        return f"processor {action[1]} issues a load"
+    if kind == "store":
+        return f"processor {action[1]} issues a store"
+    if kind == "evict":
+        return f"cache {action[1]} replaces (evicts) its copy"
+    return repr(action)
+
+
+def _describe_msg(opcode: str, txn, value) -> str:
+    parts = [opcode]
+    if txn is not None:
+        parts.append(f"txn={txn}")
+    if value is not None:
+        parts.append(f"data={value}")
+    return f"{parts[0]}[{', '.join(parts[1:])}]" if parts[1:] else opcode
+
+
+def format_state(state: MCState) -> str:
+    pointers = sorted(state.sharers)
+    dir_bits = [
+        f"dir={state.dir_state}",
+        f"P={{{','.join(map(str, pointers))}}}" + ("+L" if state.local_bit else ""),
+        f"AckCtr={len(state.ack_waiting)}",
+    ]
+    if state.requester is not None:
+        dir_bits.append(f"req={state.requester}")
+    if state.meta != "NORMAL":
+        dir_bits.append(f"meta={state.meta}")
+    if state.pending:
+        dir_bits.append(f"pending={len(state.pending)}")
+    caches = " ".join(
+        f"{node}={_CACHE_ABBREV[line_state]}"
+        + (f"({value})" if line_state != "INVALID" else "")
+        + ("*" if mshr is not None else "")
+        for node, (line_state, value, mshr) in enumerate(state.caches)
+    )
+    wires = " ".join(
+        f"{src}->{dst}:" + ",".join(_describe_msg(*m[1:]) for m in msgs)
+        for (src, dst), msgs in state.channels
+    )
+    line = f"{' '.join(dir_bits)} | mem={state.mem} | caches: {caches}"
+    if wires:
+        line += f" | wires: {wires}"
+    if state.ipi:
+        line += f" | ipi: {','.join(_describe_msg(*m[1:]) for m in state.ipi)}"
+    if any(state.node_sets):
+        vectors = "+".join(
+            "{" + ",".join(map(str, sorted(vec))) + "}" for vec in state.node_sets
+        )
+        line += f" | swvec={vectors}"
+    return line
+
+
+def replay(model: ProtocolModel, actions: list[Action]) -> list[StepResult]:
+    """Re-run a trace from the initial state; deterministic by design."""
+    state = model.initial_state()
+    steps: list[StepResult] = []
+    for action in actions:
+        step = model.apply(state, action)
+        steps.append(step)
+        if step.state is None:  # the step that raised ends the trace
+            break
+        state = step.state
+    return steps
+
+
+def format_trace(model: ProtocolModel, violation: Violation) -> str:
+    """Render the shortest violating execution, one step per stanza."""
+    lines = [
+        f"counterexample: {violation.kind} violation under "
+        f"'{model.protocol}' with {model.n_nodes} caches "
+        f"({len(violation.actions)} steps)",
+        f"  start: {format_state(model.initial_state())}",
+    ]
+    for index, step in enumerate(replay(model, violation.actions), start=1):
+        lines.append(f"  step {index}: {describe_action(step.action, step)}")
+        for src, dst, opcode, txn, value in step.sent:
+            lines.append(
+                f"          sends {_describe_msg(opcode, txn, value)} "
+                f"to node {dst}"
+            )
+        for src, dst, opcode, txn, value in step.auto:
+            lines.append(
+                f"          (BUSY from node {src} bounced at node {dst}; "
+                f"the nacked request was retried in the same step)"
+            )
+        if step.error is not None:
+            lines.append(f"          raises {step.error}")
+        elif step.state is not None:
+            lines.append(f"          {format_state(step.state)}")
+    lines.append("  violated:")
+    for problem in violation.problems:
+        lines.append(f"    - {problem}")
+    return "\n".join(lines)

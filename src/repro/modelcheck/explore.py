@@ -1,0 +1,216 @@
+"""Exhaustive (and random-walk) exploration of a protocol model.
+
+The BFS frontier holds *concrete* abstract states while the visited set
+holds their canonical keys, so each symmetry/txn-renumbering equivalence
+class is expanded exactly once — but every trace the explorer can hand to
+the counterexample printer is a genuine concrete execution.
+
+Because the parent of each class is recorded at first discovery, walking
+the parent chain back to the initial state and replaying it through the
+model reproduces the exact witness execution; BFS order makes that trace
+a *shortest* path to the violation.
+
+Violations come in three kinds:
+
+* ``invariant`` — a reachable state fails a predicate from
+  :mod:`repro.verify.predicates` (checked once per equivalence class);
+* ``deadlock`` — a non-quiescent state with nothing in flight, nothing
+  trapped, and therefore no transition that can ever finish the open
+  work; and
+* ``error`` — the production code itself raised (a ProtocolError, a
+  failed internal assertion, an unroutable packet) while applying a
+  transition.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from .model import Action, ProtocolModel
+from .state import MCState, renumber_txns
+
+
+@dataclass
+class Violation:
+    """One property failure plus the shortest action trace reaching it."""
+
+    kind: str  # "invariant" | "deadlock" | "error"
+    problems: list[str]
+    #: actions from the initial state; replay them for the full story
+    actions: list[Action]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one model-checking run."""
+
+    protocol: str
+    n_caches: int
+    mode: str  # "exhaustive" | "walk"
+    states: int
+    transitions: int
+    violation: Optional[Violation]
+    elapsed: float
+    complete: bool = True  # False when max_states truncated the search
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else f"FAIL ({self.violation.kind})"
+        scope = "all reachable states" if self.complete else "TRUNCATED search"
+        return (
+            f"{self.protocol:<18} caches={self.n_caches} {self.mode:<10} "
+            f"{self.states:>7} states {self.transitions:>8} transitions "
+            f"{self.elapsed:6.2f}s  {verdict}  [{scope}]"
+        )
+
+
+Predicates = Optional[Sequence[Callable]]
+
+
+def _trace_to(
+    parents: dict[MCState, Optional[tuple[MCState, Action]]], key: MCState
+) -> list[Action]:
+    actions: list[Action] = []
+    cursor: Optional[MCState] = key
+    while True:
+        link = parents[cursor]
+        if link is None:
+            break
+        cursor, action = link
+        actions.append(action)
+    actions.reverse()
+    return actions
+
+
+def explore(
+    model: ProtocolModel,
+    *,
+    max_states: int = 200_000,
+    predicates: Predicates = None,
+    check_deadlock: bool = True,
+) -> CheckResult:
+    """Breadth-first exhaustive check of every reachable state."""
+    started = time.perf_counter()
+    init = model.initial_state()
+    init_key = model.key(init)
+    parents: dict[MCState, Optional[tuple[MCState, Action]]] = {init_key: None}
+    frontier: deque[tuple[MCState, MCState]] = deque([(init, init_key)])
+    # Independent actions commute, so BFS reaches the same *concrete*
+    # successor along many orders (diamonds); canonicalization is the
+    # hot path, so cache it per concrete state.
+    key_memo: dict[MCState, MCState] = {}
+    states = 0
+    transitions = 0
+    complete = True
+
+    def finish(violation: Optional[Violation]) -> CheckResult:
+        return CheckResult(
+            protocol=model.protocol,
+            n_caches=model.n_nodes,
+            mode="exhaustive",
+            states=states,
+            transitions=transitions,
+            violation=violation,
+            elapsed=time.perf_counter() - started,
+            complete=complete and violation is None,
+        )
+
+    while frontier:
+        state, key = frontier.popleft()
+        states += 1
+        problems = model.state_problems(state, predicates)
+        if problems:
+            return finish(Violation("invariant", problems, _trace_to(parents, key)))
+        if check_deadlock:
+            stuck = model.deadlock_problems(state)
+            if stuck:
+                return finish(Violation("deadlock", stuck, _trace_to(parents, key)))
+        if states >= max_states:
+            complete = False
+            break
+        for action in model.enabled_actions(state):
+            transitions += 1
+            step = model.apply(state, action)
+            if step.error is not None:
+                return finish(
+                    Violation(
+                        "error",
+                        [step.error],
+                        _trace_to(parents, key) + [action],
+                    )
+                )
+            if step.state == state:  # self-loop (stray drop, nack cycle)
+                continue
+            # Renumbering is coordinate-preserving (node ids untouched),
+            # so the frontier can hold the renumbered twin: actions and
+            # trace replay stay valid, canonicalization hits its fast
+            # path, and the model's half-step memos collide more often.
+            succ = renumber_txns(step.state)
+            next_key = key_memo.get(succ)
+            if next_key is None:
+                next_key = model.key(succ)
+                if len(key_memo) > 2_000_000:  # bound the memo's memory
+                    key_memo.clear()
+                key_memo[succ] = next_key
+            if next_key not in parents:
+                parents[next_key] = (key, action)
+                frontier.append((succ, next_key))
+    return finish(None)
+
+
+def random_walk(
+    model: ProtocolModel,
+    *,
+    steps: int = 10_000,
+    seed: int = 0,
+    predicates: Predicates = None,
+    check_deadlock: bool = True,
+) -> CheckResult:
+    """Fallback for configurations too large to enumerate: one long
+    random schedule, invariants checked after every transition."""
+    started = time.perf_counter()
+    rng = random.Random(seed)
+    state = model.initial_state()
+    actions: list[Action] = []
+    seen = {model.key(state)}
+    transitions = 0
+
+    def finish(violation: Optional[Violation]) -> CheckResult:
+        return CheckResult(
+            protocol=model.protocol,
+            n_caches=model.n_nodes,
+            mode="walk",
+            states=len(seen),
+            transitions=transitions,
+            violation=violation,
+            elapsed=time.perf_counter() - started,
+            complete=False,  # a walk never proves exhaustiveness
+        )
+
+    for _ in range(steps):
+        problems = model.state_problems(state, predicates)
+        if problems:
+            return finish(Violation("invariant", problems, actions))
+        if check_deadlock:
+            stuck = model.deadlock_problems(state)
+            if stuck:
+                return finish(Violation("deadlock", stuck, actions))
+        choices = model.enabled_actions(state)
+        if not choices:
+            break
+        action = rng.choice(choices)
+        transitions += 1
+        step = model.apply(state, action)
+        if step.error is not None:
+            return finish(Violation("error", [step.error], actions + [action]))
+        actions.append(action)
+        state = step.state
+        seen.add(model.key(state))
+    return finish(None)

@@ -1,0 +1,281 @@
+"""Abstract protocol states and canonical hashing for the model checker.
+
+One :class:`MCState` captures everything behaviourally relevant about a
+single memory block in a machine of ``home + (N-1)`` caches: the directory
+entry, every cache's line and miss status, the in-flight message channels
+(per-(src, dst) FIFO, matching the network's delivery guarantee), the
+home node's IPI queue of diverted packets, and the protocol-specific
+extras (Dir_iNB FIFO order, broadcast bit, chained walk queue, emulated
+pointer array, software vector).
+
+Everything is stored as plain hashable primitives — enum *names*, ints,
+frozensets, nested tuples — so states can be hashed, compared, and
+serialized without touching simulator objects.  Two concrete-world
+details are deliberately *excluded* because the protocol never reads
+them back: the per-line ``written`` bit (write-only bookkeeping) and the
+MSHR waiter list (always exactly one waiter, fully determined by
+``need_write``, because a node issues no new operation while its miss is
+outstanding).
+
+Two canonicalizations collapse the state space to a finite quotient:
+
+* **Transaction-id renumbering.**  The invalidation-round id is an
+  unbounded counter, but its only semantics is equality against the
+  entry's current round at delivery time.  Renumbering all ids that
+  appear anywhere in a state order-preservingly onto ``0..k-1``
+  preserves every equality/inequality pattern and all future behaviour.
+
+* **Node-symmetry reduction.**  The home node is distinguished (Local
+  Bit, trap locality), but the remote caches are interchangeable for
+  protocols whose transition logic never consults a concrete node id.
+  The canonical key is the minimum over all permutations of the
+  non-home nodes — including the induced permutation of *data values*,
+  which encode the writing node.  Protocols that break node symmetry
+  (``chained`` walks its list in id order; ``limited`` can fall back to
+  a lowest-id victim) are explored without reduction.
+
+The canonical key is itself an :class:`MCState` (a nested tuple of
+primitives, hashable in C), not a serialized string: hashing and
+equality on the tuple are far cheaper than building a textual form for
+every discovered successor, and this is the model checker's hottest
+path.  Permutation candidates are compared with a two-stage schema-aware
+order (:func:`_disc` then :func:`_rest`) because the raw fields mix
+``None``/int/str and are not mutually comparable; fields a node
+permutation cannot change are left out of the order, since candidate
+ranking only ever compares permuted variants of one state.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import NamedTuple, Optional
+
+#: A message on the wire or queued at the directory:
+#: (src, opcode, txn-or-None, data-value-or-None).
+Msg = tuple[int, str, Optional[int], Optional[int]]
+
+#: One cache's view: (line state name, data value, mshr) where the MSHR
+#: slot is None (no outstanding miss) or the ``need_write`` bool.
+CacheView = tuple[str, int, Optional[bool]]
+
+
+class MCState(NamedTuple):
+    """The abstract state of one block under one protocol."""
+
+    dir_state: str
+    sharers: frozenset[int]
+    local_bit: bool
+    requester: Optional[int]
+    ack_waiting: frozenset[int]
+    txn: int
+    meta: str
+    trap_mode: Optional[str]
+    pending: tuple[Msg, ...]          # queued on the TRANS_IN_PROGRESS interlock
+    mem: int                          # abstract memory word (0 or writer id + 1)
+    caches: tuple[CacheView, ...]     # indexed by node id; [0] is the home
+    channels: tuple[tuple[tuple[int, int], tuple[Msg, ...]], ...]
+    ipi: tuple[Msg, ...]              # diverted packets awaiting the trap handler
+    node_sets: tuple[frozenset[int], ...]    # protocol extras holding node sets
+    node_lists: tuple[tuple[int, ...], ...]  # protocol extras holding node orders
+    scalars: tuple                           # protocol extras with no node content
+
+    def channel_map(self) -> dict[tuple[int, int], tuple[Msg, ...]]:
+        return dict(self.channels)
+
+
+def pack_channels(
+    channels: dict[tuple[int, int], list[Msg]]
+) -> tuple[tuple[tuple[int, int], tuple[Msg, ...]], ...]:
+    """Drop empty queues and sort by (src, dst) for a canonical layout."""
+    return tuple(
+        (key, tuple(msgs)) for key, msgs in sorted(channels.items()) if msgs
+    )
+
+
+# ----------------------------------------------------------------------
+# Permutation of non-home nodes
+# ----------------------------------------------------------------------
+
+
+def _permute_value(value: Optional[int], perm: tuple[int, ...]) -> Optional[int]:
+    """Data values encode the writing node (v = writer + 1); 0 is 'never
+    written' and None is 'no data'."""
+    if value is None or value == 0:
+        return value
+    return perm[value - 1] + 1
+
+
+def _permute_msg(msg: Msg, perm: tuple[int, ...]) -> Msg:
+    src, opcode, txn, data = msg
+    return (perm[src], opcode, txn, _permute_value(data, perm))
+
+
+def permute_state(state: MCState, perm: tuple[int, ...]) -> MCState:
+    """Apply a node permutation (``perm[0]`` must be 0) to a state."""
+    caches: list[CacheView] = [state.caches[0]] * len(state.caches)
+    for node, view in enumerate(state.caches):
+        line_state, data, mshr = view
+        caches[perm[node]] = (line_state, _permute_value(data, perm), mshr)
+    channels: dict[tuple[int, int], list[Msg]] = {}
+    for (src, dst), msgs in state.channels:
+        channels[(perm[src], perm[dst])] = [
+            _permute_msg(m, perm) for m in msgs
+        ]
+    return state._replace(
+        sharers=frozenset(perm[n] for n in state.sharers),
+        requester=None if state.requester is None else perm[state.requester],
+        ack_waiting=frozenset(perm[n] for n in state.ack_waiting),
+        pending=tuple(_permute_msg(m, perm) for m in state.pending),
+        mem=_permute_value(state.mem, perm),
+        caches=tuple(caches),
+        channels=pack_channels(channels),
+        ipi=tuple(_permute_msg(m, perm) for m in state.ipi),
+        node_sets=tuple(
+            frozenset(perm[n] for n in s) for s in state.node_sets
+        ),
+        node_lists=tuple(
+            tuple(perm[n] for n in lst) for lst in state.node_lists
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Transaction-id renumbering
+# ----------------------------------------------------------------------
+
+
+def _renumber_msg(msg: Msg, remap: dict[int, int]) -> Msg:
+    src, opcode, txn, data = msg
+    return (src, opcode, None if txn is None else remap[txn], data)
+
+
+def renumber_txns(state: MCState) -> MCState:
+    """Map every transaction id in the state onto ``0..k-1``, preserving
+    order (and therefore every current/stale distinction)."""
+    txns = {state.txn}
+    for msgs in (state.pending, state.ipi):
+        for m in msgs:
+            if m[2] is not None:
+                txns.add(m[2])
+    for _, msgs in state.channels:
+        for m in msgs:
+            if m[2] is not None:
+                txns.add(m[2])
+    # Ids are non-negative, so the set is exactly {0..k-1} iff its max is
+    # k-1 — the common case, worth skipping the remap for.
+    if max(txns) == len(txns) - 1:
+        return state
+    remap = {t: i for i, t in enumerate(sorted(txns))}
+    return state._replace(
+        txn=remap[state.txn],
+        pending=tuple(_renumber_msg(m, remap) for m in state.pending),
+        ipi=tuple(_renumber_msg(m, remap) for m in state.ipi),
+        channels=tuple(
+            (key, tuple(_renumber_msg(m, remap) for m in msgs))
+            for key, msgs in state.channels
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Canonical keys
+# ----------------------------------------------------------------------
+
+
+def _rank_msg_perm(msg: Msg, perm: tuple[int, ...]) -> tuple[int, str, int, int]:
+    src, opcode, txn, data = msg
+    if data is None:
+        data = -1
+    elif data != 0:
+        data = perm[data - 1] + 1
+    return (perm[src], opcode, -1 if txn is None else txn, data)
+
+
+def _disc(state: MCState, perm: tuple[int, ...]) -> tuple:
+    """Stage-1 discriminator: the cheapest permutation-*variant* fields.
+
+    Candidate ranking only ever compares permuted variants of one state,
+    so permutation-invariant fields (``dir_state``, ``local_bit``,
+    ``txn``, ``meta``, ``trap_mode``, ``scalars``) are identical across
+    all candidates and excluded from the order entirely.  The requester
+    id, cache views, sharer set, and memory word resolve almost every
+    comparison, so the expensive encodings in :func:`_rest` are built
+    only to break a stage-1 tie.  Fields mix ``None``/int/str across
+    candidates (e.g. requester), hence the schema-aware -1 encodings.
+    """
+    caches: list = [None] * len(state.caches)
+    for node, (line_state, value, mshr) in enumerate(state.caches):
+        caches[perm[node]] = (
+            line_state,
+            _permute_value(value, perm),
+            -1 if mshr is None else int(mshr),
+        )
+    return (
+        -1 if state.requester is None else perm[state.requester],
+        tuple(caches),
+        tuple(sorted(perm[n] for n in state.sharers)),
+        _permute_value(state.mem, perm),
+    )
+
+
+def _rest(state: MCState, perm: tuple[int, ...]) -> tuple:
+    """Stage-2 tiebreaker: the remaining permutation-variant fields."""
+    return (
+        tuple(sorted(perm[n] for n in state.ack_waiting)),
+        tuple([_rank_msg_perm(m, perm) for m in state.pending]),
+        tuple(
+            sorted(
+                (
+                    (perm[src], perm[dst]),
+                    tuple([_rank_msg_perm(m, perm) for m in msgs]),
+                )
+                for (src, dst), msgs in state.channels
+            )
+        ),
+        tuple([_rank_msg_perm(m, perm) for m in state.ipi]),
+        tuple([tuple(sorted(perm[n] for n in s)) for s in state.node_sets]),
+        tuple([tuple([perm[n] for n in lst]) for lst in state.node_lists]),
+    )
+
+
+_PERMS: dict[int, tuple[tuple[int, ...], ...]] = {}
+
+
+def node_permutations(n_nodes: int) -> tuple[tuple[int, ...], ...]:
+    """All node permutations fixing the home (node 0), identity first."""
+    perms = _PERMS.get(n_nodes)
+    if perms is None:
+        perms = tuple((0, *tail) for tail in permutations(range(1, n_nodes)))
+        _PERMS[n_nodes] = perms
+    return perms
+
+
+def canonical_key(state: MCState, *, symmetric: bool) -> MCState:
+    """The canonical representative of ``state``'s equivalence class.
+
+    Txn-renumbered and, when the protocol is node-symmetric, minimized
+    over all non-home permutations.  The representative is an
+    :class:`MCState` — hashable as-is, so it doubles as the visited-set
+    key.  Renumbering and node permutation touch disjoint fields, so
+    renumbering once up front is equivalent to renumbering every
+    permuted candidate.
+    """
+    base = renumber_txns(state)
+    n_nodes = len(state.caches)
+    if not symmetric or n_nodes <= 2:
+        return base
+    perms = node_permutations(n_nodes)
+    best = [perms[0]]
+    best_d = _disc(base, perms[0])
+    for perm in perms[1:]:
+        d = _disc(base, perm)
+        if d < best_d:
+            best, best_d = [perm], d
+        elif d == best_d:
+            best.append(perm)
+    chosen = (
+        best[0] if len(best) == 1 else min(best, key=lambda p: _rest(base, p))
+    )
+    if chosen is perms[0]:
+        return base
+    return permute_state(base, chosen)

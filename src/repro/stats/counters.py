@@ -26,6 +26,19 @@ class Counters:
     def as_dict(self) -> dict[str, int]:
         return dict(self._values)
 
+    def prefixed(self, prefix: str) -> list[tuple[str, int]]:
+        """All (suffix, count) pairs under ``prefix.``, sorted by name.
+
+        ``prefixed("dir.stray")`` returns e.g. ``[("ACKC", 3), ("REPM", 1)]``
+        for counters named ``dir.stray.ACKC`` / ``dir.stray.REPM``.
+        """
+        dot = prefix + "."
+        return sorted(
+            (name[len(dot):], count)
+            for name, count in self._values.items()
+            if name.startswith(dot)
+        )
+
     def merge(self, other: "Counters") -> None:
         self._values.update(other._values)
 

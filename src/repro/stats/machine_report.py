@@ -58,26 +58,31 @@ def machine_report(stats) -> str:
         ["evictions (clean/dirty)", c.get("cache.evict_ro"), c.get("cache.evict_rw"), "-"]
     )
     rows.append(["busy retries", c.get("cache.busy_retries"), "", "-"])
+    rows.append(["stray BUSY (miss resolved)", c.get("cache.busy_stray"), "", "-"])
     sections.append(format_table(["access", "hits", "misses", "hit rate"], rows))
 
     # -- directory ------------------------------------------------------
-    sections.append(
-        format_table(
-            ["directory event", "count"],
-            [
-                ["protocol packets processed", c.get("dir.packets")],
-                ["invalidations sent", c.get("dir.invalidations")],
-                ["BUSY responses", c.get("dir.busy_sent")],
-                ["pointer evictions (Dir_iNB)", c.get("dir.pointer_evictions")],
-                ["broadcast invalidates (Dir_iB)", c.get("dir.broadcast_invalidates")],
-                ["packets diverted to software", c.get("dir.diverted")],
-                ["packets queued on interlock", c.get("dir.interlocked")],
-                ["stray packets dropped", c.get("dir.stray_dropped")],
-                ["read-overflow traps", c.get("limitless.read_overflow_traps")],
-                ["write-termination traps", c.get("limitless.write_termination_traps")],
-            ],
-        )
-    )
+    dir_rows = [
+        ["protocol packets processed", c.get("dir.packets")],
+        ["invalidations sent", c.get("dir.invalidations")],
+        ["BUSY responses", c.get("dir.busy_sent")],
+        ["pointer evictions (Dir_iNB)", c.get("dir.pointer_evictions")],
+        ["broadcast invalidates (Dir_iB)", c.get("dir.broadcast_invalidates")],
+        ["packets diverted to software", c.get("dir.diverted")],
+        ["packets queued on interlock", c.get("dir.interlocked")],
+        ["stray packets dropped", c.get("dir.stray_dropped")],
+    ]
+    # Per-opcode breakdown of the drops: late ACKCs from eviction
+    # invalidates vs. REPM/UPDATE crossing a completed transaction are
+    # different races, and the split tells them apart at a glance.
+    dir_rows += [
+        [f"  stray {opcode}", count] for opcode, count in c.prefixed("dir.stray")
+    ]
+    dir_rows += [
+        ["read-overflow traps", c.get("limitless.read_overflow_traps")],
+        ["write-termination traps", c.get("limitless.write_termination_traps")],
+    ]
+    sections.append(format_table(["directory event", "count"], dir_rows))
 
     # -- network ---------------------------------------------------------
     net = stats.network

@@ -70,10 +70,20 @@ def comparison_table(stats_list: Sequence, baseline_label: str | None = None) ->
                 f"{s.utilization:.2f}",
                 c.get("dir.pointer_evictions"),
                 s.traps_taken,
+                c.get("dir.stray_dropped") + c.get("cache.busy_stray"),
                 s.network.packets,
             ]
         )
     return format_table(
-        ["scheme", "cycles", "vs base", "util", "evictions", "traps", "packets"],
+        [
+            "scheme",
+            "cycles",
+            "vs base",
+            "util",
+            "evictions",
+            "traps",
+            "strays",
+            "packets",
+        ],
         rows,
     )

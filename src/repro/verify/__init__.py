@@ -2,11 +2,15 @@
 
 from .diagnose import Diagnosis, StuckContext, diagnose
 from .invariants import CoherenceViolation, audit_machine
+from .predicates import BlockView, quiescent_problems, state_problems
 
 __all__ = [
+    "BlockView",
     "CoherenceViolation",
     "Diagnosis",
     "StuckContext",
     "audit_machine",
     "diagnose",
+    "quiescent_problems",
+    "state_problems",
 ]

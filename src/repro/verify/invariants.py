@@ -6,6 +6,12 @@ to provide.  The auditor cross-checks three sources of truth — the
 directory entries, the software-extended vectors, and the actual cache
 arrays — plus the block data itself.
 
+The per-block checks themselves live in :mod:`repro.verify.predicates` as
+pure functions over a :class:`~repro.verify.predicates.BlockView`; the
+exhaustive model checker (:mod:`repro.modelcheck`) applies the same
+predicates to every reachable state, so a property proved there is the
+property audited here.
+
 Allowed asymmetry: a directory (or software vector) may record a *stale*
 sharer whose cache silently replaced its clean copy; the reverse — a cache
 holding a copy the directory does not know about — is a protocol violation.
@@ -13,12 +19,47 @@ holding a copy the directory does not know about — is a protocol violation.
 
 from __future__ import annotations
 
-from ..cache.states import CacheState
-from ..coherence.states import DirState, MetaState
+from .predicates import BlockView, quiescent_problems, state_problems
 
 
 class CoherenceViolation(AssertionError):
     """The memory system ended in an inconsistent state."""
+
+
+def machine_block_view(machine, node, entry, cached_copies) -> BlockView:
+    """Build the auditor's :class:`BlockView` for one directory entry.
+
+    ``cached_copies`` maps node id -> cache line for every valid copy of
+    the entry's block.  Nothing is in flight at audit time, so the
+    in-flight invalidation set is empty and ``awaited`` is whatever the
+    (necessarily broken, if nonempty) entry still records.
+    """
+    controller = node.directory_controller
+    software = node.software
+    recorded = controller.recorded_holders(entry)
+    vector = software.vectors.get(entry.block, set()) if software else set()
+    if recorded is not None:
+        recorded = set(recorded) | vector
+    traps_pending = sum(
+        1 for p in node.nic._ipi_queue if p.address == entry.block
+    )
+    return BlockView(
+        block=entry.block,
+        dir_state=entry.state,
+        meta=entry.meta,
+        trap_mode=entry.trap_mode,
+        recorded=recorded,
+        awaited=set(entry.ack_waiting),
+        requester=entry.requester,
+        cached={
+            holder: (line.state, line.data.words)
+            for holder, line in cached_copies.items()
+        },
+        memory_data=node.memory.block(entry.block).words,
+        pending_packets=len(entry.pending),
+        traps_pending=traps_pending,
+        software_vector=vector,
+    )
 
 
 def audit_machine(machine) -> int:
@@ -42,58 +83,13 @@ def audit_machine(machine) -> int:
             cached.setdefault(line.block, {})[node.node_id] = line
 
     for node in machine.nodes:
-        controller = node.directory_controller
-        software = node.software
-        for entry in controller.directory.entries():
+        for entry in node.directory_controller.directory.entries():
             checked += 1
-            block = entry.block
-            copies = cached.get(block, {})
-            recorded = controller.recorded_holders(entry)
-            if recorded is None:  # broadcast-mode entry: anyone may share
-                recorded = {n.node_id for n in machine.nodes}
-            if software is not None:
-                recorded |= software.vectors.get(block, set())
-
-            if entry.meta is MetaState.TRANS_IN_PROGRESS:
-                problems.append(f"block {block:#x}: interlocked at quiescence")
-            if entry.pending:
-                problems.append(f"block {block:#x}: queued packets at quiescence")
-            if entry.state in (DirState.READ_TRANSACTION, DirState.WRITE_TRANSACTION):
-                problems.append(
-                    f"block {block:#x}: open {entry.state.name} at quiescence"
-                )
-
-            unknown = set(copies) - recorded
-            if unknown:
-                problems.append(
-                    f"block {block:#x}: cached at {sorted(unknown)} "
-                    f"but directory records {sorted(recorded)}"
-                )
-
-            rw_holders = [
-                n for n, line in copies.items()
-                if line.state is CacheState.READ_WRITE
-            ]
-            if entry.state is DirState.READ_WRITE:
-                if len(copies) != 1 or len(rw_holders) != 1:
-                    problems.append(
-                        f"block {block:#x}: READ_WRITE but copies at "
-                        f"{sorted(copies)} (rw={sorted(rw_holders)})"
-                    )
-            else:
-                if rw_holders:
-                    problems.append(
-                        f"block {block:#x}: {entry.state.name} but nodes "
-                        f"{sorted(rw_holders)} hold READ_WRITE copies"
-                    )
-                # Every read-only copy must match memory's data.
-                memory_words = node.memory.block(block).words
-                for holder, line in copies.items():
-                    if line.data.words != memory_words:
-                        problems.append(
-                            f"block {block:#x}: node {holder} caches "
-                            f"{line.data.words} but memory holds {memory_words}"
-                        )
+            view = machine_block_view(
+                machine, node, entry, cached.get(entry.block, {})
+            )
+            problems += quiescent_problems(view)
+            problems += state_problems(view)
 
     if problems:
         summary = "\n  ".join(problems[:20])

@@ -1,0 +1,275 @@
+"""Per-block coherence invariant predicates.
+
+One :class:`BlockView` summarizes everything the invariants need to know
+about a single memory block: the directory's record, the actual cached
+copies, the memory contents, and the in-flight/interlock context.  The
+predicates are pure functions from a view to a list of human-readable
+problems, so the same definitions serve two very different judges:
+
+* the end-of-run auditor (:func:`repro.verify.invariants.audit_machine`),
+  which builds views from a finished machine and additionally applies the
+  quiescence-only checks; and
+* the exhaustive model checker (:mod:`repro.modelcheck`), which builds a
+  view for *every reachable state* and applies the always-true checks.
+
+The always-true invariants are stated over *committed* copies: a cache
+that already has an invalidation on the wire (or queued in a chained
+directory's serial walk) is excluded, because the protocol has committed
+to killing that copy and per-(src, dst) FIFO delivery guarantees the
+kill lands before any later grant to the same node.  At quiescence the
+excluded set is empty, so the auditor's view is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cache.states import CacheState
+from ..coherence.states import DirState, MetaState
+
+
+@dataclass
+class BlockView:
+    """A protocol-neutral snapshot of one block's coherence state.
+
+    ``cached`` maps node id -> (cache state, data); ``data`` values need
+    only support ``==`` against ``memory_data`` (the auditor passes word
+    lists, the model checker passes abstract values).  ``recorded`` is
+    the set of nodes the directory believes may hold a copy — ``None``
+    means "any node" (an armed broadcast entry).  ``awaited`` is every
+    node whose invalidation round is still open: the acknowledgment set
+    plus, for chained directories, the not-yet-walked queue.
+    """
+
+    block: int
+    dir_state: DirState
+    meta: MetaState = MetaState.NORMAL
+    trap_mode: MetaState | None = None
+    recorded: set[int] | None = field(default_factory=set)
+    awaited: set[int] = field(default_factory=set)
+    requester: int | None = None
+    cached: dict[int, tuple[CacheState, Any]] = field(default_factory=dict)
+    memory_data: Any = None
+    pending_packets: int = 0
+    inflight_inv_targets: set[int] = field(default_factory=set)
+    traps_pending: int = 0
+    software_vector: set[int] | None = None
+
+    def committed_copies(self) -> dict[int, tuple[CacheState, Any]]:
+        """Valid copies minus those with an invalidation on the wire."""
+        return {
+            node: copy
+            for node, copy in self.cached.items()
+            if node not in self.inflight_inv_targets
+        }
+
+
+# ----------------------------------------------------------------------
+# Always-true predicates (hold in every reachable state)
+# ----------------------------------------------------------------------
+
+
+def check_single_writer(view: BlockView) -> list[str]:
+    """SWMR: at most one writer, and a writer excludes all other copies."""
+    problems: list[str] = []
+    copies = view.committed_copies()
+    rw_holders = sorted(
+        n for n, (state, _) in copies.items() if state is CacheState.READ_WRITE
+    )
+    if len(rw_holders) > 1:
+        problems.append(
+            f"block {view.block:#x}: nodes {rw_holders} hold READ_WRITE copies"
+        )
+    elif rw_holders:
+        others = sorted(set(copies) - set(rw_holders))
+        if others:
+            problems.append(
+                f"block {view.block:#x}: node {rw_holders[0]} holds a "
+                f"READ_WRITE copy while nodes {others} also hold copies"
+            )
+        if view.dir_state is DirState.READ_ONLY:
+            problems.append(
+                f"block {view.block:#x}: node {rw_holders[0]} holds a "
+                f"READ_WRITE copy but the directory is READ_ONLY"
+            )
+    return problems
+
+
+def check_directory_coverage(view: BlockView) -> list[str]:
+    """Every committed copy is known to the directory (or being killed).
+
+    The converse — a recorded node with no copy — is the allowed stale
+    pointer left by a silent clean replacement.
+
+    The requester of an open transaction counts as covered: an upgrading
+    writer keeps its (clean, memory-equal) READ_ONLY copy while the
+    directory collects acknowledgments — ``begin_transaction`` cleared
+    its pointer, but the entry still knows it as ``requester`` and the
+    eventual data grant overwrites the line.
+    """
+    if view.recorded is None:  # broadcast-mode entry: anyone may share
+        return []
+    covered = view.recorded | view.awaited
+    if view.requester is not None:
+        covered = covered | {view.requester}
+    unknown = sorted(set(view.committed_copies()) - covered)
+    if unknown:
+        return [
+            f"block {view.block:#x}: cached at {unknown} "
+            f"but directory records {sorted(covered)}"
+        ]
+    return []
+
+
+def check_data_value(view: BlockView) -> list[str]:
+    """Every committed READ_ONLY copy holds exactly what memory holds."""
+    problems: list[str] = []
+    for node, (state, data) in sorted(view.committed_copies().items()):
+        if state is CacheState.READ_ONLY and data != view.memory_data:
+            problems.append(
+                f"block {view.block:#x}: node {node} caches "
+                f"{data} but memory holds {view.memory_data}"
+            )
+    return problems
+
+
+def check_transaction_sanity(view: BlockView) -> list[str]:
+    """Requester/AckCtr bookkeeping matches the directory state."""
+    problems: list[str] = []
+    in_transaction = view.dir_state in (
+        DirState.READ_TRANSACTION,
+        DirState.WRITE_TRANSACTION,
+    )
+    if in_transaction:
+        if view.requester is None:
+            problems.append(
+                f"block {view.block:#x}: open {view.dir_state.name} "
+                f"without a requester"
+            )
+        if not view.awaited:
+            problems.append(
+                f"block {view.block:#x}: open {view.dir_state.name} "
+                f"awaiting no acknowledgments"
+            )
+    else:
+        if view.awaited:
+            problems.append(
+                f"block {view.block:#x}: {view.dir_state.name} but "
+                f"acks outstanding from {sorted(view.awaited)}"
+            )
+        if view.requester is not None:
+            problems.append(
+                f"block {view.block:#x}: {view.dir_state.name} but "
+                f"requester {view.requester} still recorded"
+            )
+    return problems
+
+
+def check_meta_state(view: BlockView, *, strict_vector: bool = False) -> list[str]:
+    """LimitLESS meta-state consistency (Table 4 modes).
+
+    ``strict_vector`` additionally demands that a populated software
+    vector only exists while the entry is software-extended — true in
+    every reachable state, but too strict for auditor tests that inject
+    vectors by hand.
+    """
+    problems: list[str] = []
+    if view.meta is MetaState.TRANS_IN_PROGRESS:
+        if view.trap_mode is None:
+            problems.append(
+                f"block {view.block:#x}: interlocked without a recorded "
+                f"trap mode"
+            )
+        if view.traps_pending < 1:
+            problems.append(
+                f"block {view.block:#x}: interlocked but no diverted "
+                f"packet awaits the trap handler"
+            )
+    else:
+        if view.trap_mode is not None:
+            problems.append(
+                f"block {view.block:#x}: stale trap mode "
+                f"{view.trap_mode.name} outside an interlock"
+            )
+        if view.pending_packets:
+            problems.append(
+                f"block {view.block:#x}: {view.pending_packets} packets "
+                f"queued without an interlock"
+            )
+    if view.meta is MetaState.TRAP_ON_WRITE:
+        if view.dir_state is not DirState.READ_ONLY:
+            problems.append(
+                f"block {view.block:#x}: TRAP_ON_WRITE in "
+                f"{view.dir_state.name} (must be READ_ONLY)"
+            )
+        if not view.software_vector:
+            problems.append(
+                f"block {view.block:#x}: TRAP_ON_WRITE with an empty "
+                f"software vector"
+            )
+    if (
+        strict_vector
+        and view.software_vector
+        and view.meta not in (MetaState.TRAP_ON_WRITE, MetaState.TRANS_IN_PROGRESS)
+    ):
+        problems.append(
+            f"block {view.block:#x}: software vector "
+            f"{sorted(view.software_vector)} survives in {view.meta.name} mode"
+        )
+    return problems
+
+
+#: The predicate set that holds in **every** reachable state.
+ALWAYS_PREDICATES = (
+    check_single_writer,
+    check_directory_coverage,
+    check_data_value,
+    check_transaction_sanity,
+    check_meta_state,
+)
+
+
+def state_problems(view: BlockView, *, strict_vector: bool = False) -> list[str]:
+    """Run every always-true predicate against one view."""
+    problems: list[str] = []
+    problems += check_single_writer(view)
+    problems += check_directory_coverage(view)
+    problems += check_data_value(view)
+    problems += check_transaction_sanity(view)
+    problems += check_meta_state(view, strict_vector=strict_vector)
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Quiescence-only predicates (hold once all activity has drained)
+# ----------------------------------------------------------------------
+
+
+def quiescent_problems(view: BlockView) -> list[str]:
+    """Checks valid only when nothing is in flight or interlocked."""
+    problems: list[str] = []
+    if view.meta is MetaState.TRANS_IN_PROGRESS:
+        problems.append(f"block {view.block:#x}: interlocked at quiescence")
+    if view.pending_packets:
+        problems.append(f"block {view.block:#x}: queued packets at quiescence")
+    if view.dir_state in (DirState.READ_TRANSACTION, DirState.WRITE_TRANSACTION):
+        problems.append(
+            f"block {view.block:#x}: open {view.dir_state.name} at quiescence"
+        )
+    copies = view.cached
+    rw_holders = sorted(
+        n for n, (state, _) in copies.items() if state is CacheState.READ_WRITE
+    )
+    if view.dir_state is DirState.READ_WRITE:
+        if len(copies) != 1 or len(rw_holders) != 1:
+            problems.append(
+                f"block {view.block:#x}: READ_WRITE but copies at "
+                f"{sorted(copies)} (rw={rw_holders})"
+            )
+    elif rw_holders:
+        problems.append(
+            f"block {view.block:#x}: {view.dir_state.name} but nodes "
+            f"{rw_holders} hold READ_WRITE copies"
+        )
+    return problems

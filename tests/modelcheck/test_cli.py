@@ -1,0 +1,39 @@
+"""End-to-end tests of the ``repro modelcheck`` subcommand."""
+
+from __future__ import annotations
+
+from repro.modelcheck.cli import main
+
+
+def test_list_protocols(capsys):
+    assert main(["--list-protocols"]) == 0
+    out = capsys.readouterr().out
+    assert "fullmap" in out and "limitless" in out
+    assert "limited_dropinv" in out  # mutants listed, clearly marked
+    assert "broken" in out
+
+
+def test_unknown_protocol_is_a_usage_error(capsys):
+    assert main(["--protocol", "mesi"]) == 2
+    assert "unknown protocol" in capsys.readouterr().out
+
+
+def test_passing_protocol_exits_zero(capsys):
+    assert main(["--protocol", "fullmap", "--caches", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out and "all reachable states" in out
+
+
+def test_failing_mutant_exits_one_and_prints_trace(capsys):
+    code = main(
+        ["--protocol", "limited_lostack", "--max-states", "50000"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "FAIL (deadlock)" in out
+    assert "deadlock" in out and "WREQ" in out  # the full counterexample
+
+
+def test_random_walk_mode(capsys):
+    assert main(["--protocol", "fullmap", "--walk", "400", "--seed", "9"]) == 0
+    assert "walk" in capsys.readouterr().out

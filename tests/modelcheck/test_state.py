@@ -1,0 +1,76 @@
+"""Canonicalization unit tests: renumbering, permutation, key equality."""
+
+from __future__ import annotations
+
+from repro.modelcheck.model import ProtocolModel
+from repro.modelcheck.state import (
+    canonical_key,
+    node_permutations,
+    permute_state,
+    renumber_txns,
+)
+
+
+def _msg(src, opcode, txn=None, data=None):
+    return (src, opcode, txn, data)
+
+
+def test_node_permutations_fix_home():
+    perms = node_permutations(3)
+    assert perms[0] == (0, 1, 2)  # identity first
+    assert all(p[0] == 0 for p in perms)
+    assert len(perms) == 2
+    assert len(node_permutations(4)) == 6
+
+
+def test_renumber_compacts_sparse_ids_order_preservingly():
+    s = ProtocolModel("fullmap", 3).initial_state()
+    sparse = s._replace(
+        txn=7,
+        channels=(((1, 0), (_msg(1, "ACKC", 3), _msg(1, "ACKC", 7))),),
+    )
+    compact = renumber_txns(sparse)
+    assert compact.txn == 1
+    assert compact.channels == (((1, 0), (_msg(1, "ACKC", 0), _msg(1, "ACKC", 1))),)
+
+
+def test_renumber_is_identity_on_compact_states():
+    s = ProtocolModel("fullmap", 3).initial_state()
+    assert renumber_txns(s) is s  # fast path: already 0..k-1
+    mixed = s._replace(channels=(((1, 0), (_msg(1, "ACKC", None),)),))
+    assert renumber_txns(mixed) is mixed  # None is not an id
+
+
+def test_permute_round_trip():
+    model = ProtocolModel("fullmap", 3)
+    s = model.initial_state()
+    step = model.apply(s, ("store", 1))
+    state = step.state
+    perm = (0, 2, 1)
+    assert permute_state(permute_state(state, perm), perm) == state
+
+
+def test_symmetric_successors_share_a_canonical_key():
+    model = ProtocolModel("fullmap", 3)
+    init = model.initial_state()
+    via1 = model.apply(init, ("load", 1)).state
+    via2 = model.apply(init, ("load", 2)).state
+    assert via1 != via2
+    assert model.key(via1) == model.key(via2)
+
+
+def test_asymmetric_protocol_keeps_nodes_distinct():
+    model = ProtocolModel("chained", 3)
+    init = model.initial_state()
+    via1 = model.apply(init, ("load", 1)).state
+    via2 = model.apply(init, ("load", 2)).state
+    assert model.key(via1) != model.key(via2)
+
+
+def test_canonical_key_equal_for_permuted_twin():
+    model = ProtocolModel("fullmap", 3)
+    s = model.apply(model.initial_state(), ("store", 2)).state
+    twin = permute_state(s, (0, 2, 1))
+    assert canonical_key(s, symmetric=True) == canonical_key(twin, symmetric=True)
+    # the key is a representative member of the class itself
+    assert canonical_key(s, symmetric=True) in (s, twin)
