@@ -16,8 +16,14 @@ import os
 
 from repro.machine import AlewifeConfig, MachineStats, run_experiment
 from repro.stats.report import bar_chart, comparison_table
+from repro.sweep import Job, ResultCache, WorkloadSpec, run_jobs
 
 BENCH_PROCS = int(os.environ.get("REPRO_BENCH_PROCS", "64"))
+
+#: Shared result cache: a scheme/workload point already simulated (by a
+#: previous benchmark run or by ``repro sweep``) is reused as long as
+#: ``src/repro`` is unchanged.  Set ``REPRO_BENCH_CACHE=0`` to bypass.
+BENCH_CACHE = ResultCache(enabled=os.environ.get("REPRO_BENCH_CACHE", "1") != "0")
 
 #: scheme rows in the order the paper's figures list them
 SCHEMES = {
@@ -45,7 +51,13 @@ def scheme_config(scheme: str, **overrides) -> AlewifeConfig:
 
 
 def run_scheme(scheme: str, workload, **overrides) -> MachineStats:
-    return run_experiment(scheme_config(scheme, **overrides), workload)
+    """Run one scheme.  ``workload`` may be a live :class:`Workload` (run
+    directly, uncacheable) or a :class:`WorkloadSpec` (routed through the
+    sweep runner's content-addressed cache)."""
+    config = scheme_config(scheme, **overrides)
+    if isinstance(workload, WorkloadSpec):
+        return run_jobs([Job(scheme, config, workload)], cache=BENCH_CACHE)[0].stats
+    return run_experiment(config, workload)
 
 
 def measure(benchmark, scheme: str, workload, **overrides) -> MachineStats:

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Events-per-second microbenchmark for the simulation kernel.
+
+Two scenarios isolate the event-kernel fast path from protocol work:
+
+* ``chains`` — interleaved self-rescheduling callbacks, the pure cost of
+  schedule + heap sift + dispatch (every experiment's inner loop);
+* ``packets`` — protocol-sized packets through a contended 8x8 wormhole
+  mesh, adding the network fast path (memoized routes, argument-carrying
+  delivery events, hoisted link dictionaries).
+
+Simulated results are unaffected by any of those optimizations (see
+tests/network/test_determinism.py); this harness quantifies the
+wall-clock side.  Writes a ``BENCH_kernel.json`` artifact.
+
+Run:  python benchmarks/microbench_kernel.py [--events N] [--repeats R]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.network.fabric import WormholeNetwork
+from repro.network.packet import Packet
+from repro.network.topology import Mesh2D
+from repro.sim.kernel import Simulator
+
+
+def bench_chains(events: int, chains: int = 64) -> tuple[int, float]:
+    """Self-rescheduling callback chains with staggered periods."""
+    sim = Simulator()
+    per_chain = events // chains
+
+    def make(period: int):
+        remaining = [per_chain]
+
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0]:
+                sim.call_after(period, tick)
+
+        return tick
+
+    for i in range(chains):
+        sim.call_at(i % 5, make(1 + i % 3))
+    start = time.perf_counter()
+    sim.run()
+    return sim.events_executed, time.perf_counter() - start
+
+
+def bench_packets(events: int, side: int = 8) -> tuple[int, float]:
+    """Packet storm across a contended mesh: send on every delivery."""
+    sim = Simulator()
+    net = WormholeNetwork(sim, Mesh2D(side, side))
+    n = side * side
+    remaining = [events]
+
+    def make_handler(node: int):
+        def handler(packet: Packet) -> None:
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                # Deterministic all-to-all-ish pattern with hot node 0.
+                dst = (node * 7 + packet.sent_at) % n if node % 3 else 0
+                net.send(Packet(node, dst, "RREQ", address=packet.address))
+
+        return handler
+
+    for node in range(n):
+        net.attach(node, make_handler(node))
+    for node in range(n):
+        net.send(Packet(node, (node + 1) % n, "RREQ", address=node * 16))
+    start = time.perf_counter()
+    sim.run()
+    return sim.events_executed, time.perf_counter() - start
+
+
+SCENARIOS = {"chains": bench_chains, "packets": bench_packets}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--events", type=int, default=400_000, help="events per scenario run"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="runs per scenario (best is kept)"
+    )
+    parser.add_argument("--out", default="BENCH_kernel.json")
+    args = parser.parse_args()
+
+    report = {"events": args.events, "repeats": args.repeats, "scenarios": {}}
+    for name, fn in SCENARIOS.items():
+        best_rate = 0.0
+        executed = 0
+        for _ in range(args.repeats):
+            executed, wall = fn(args.events)
+            best_rate = max(best_rate, executed / wall)
+        report["scenarios"][name] = {
+            "events_executed": executed,
+            "events_per_sec": round(best_rate),
+        }
+        print(f"{name:8s} {executed:>9,} events   {best_rate:>12,.0f} events/sec")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,107 +3,58 @@
 
 This is the standalone harness behind EXPERIMENTS.md: 64 processors, the
 full scheme list of Figures 7-10 plus the §5.2 optimized-Weather claim and
-the approximation ablation.  Takes a few minutes.
+the approximation ablation.  It drives ``repro.sweep``: grid points fan
+out over a worker pool, shared baselines simulate once, and previously
+computed results come from the content-addressed cache (any edit under
+``src/repro`` invalidates them).  Each run writes a ``BENCH_figures.json``
+trajectory artifact recording per-point wall-clock and cache behaviour.
 
-Run:  python benchmarks/run_figures.py [--procs N] [--iters N]
+Run:  python benchmarks/run_figures.py [--procs N] [--iters N] [--workers N]
 """
 
 from __future__ import annotations
 
 import argparse
-import time
+import os
 
-from repro import AlewifeConfig, run_experiment
-from repro.stats.report import bar_chart, format_table
-from repro.workloads import MultigridWorkload, WeatherWorkload
+from repro.sweep import ResultCache, default_cache_dir, run_figure_suite
 
 
-def run(scheme_label, protocol, workload, procs, **extras):
-    config = AlewifeConfig(n_procs=procs, protocol=protocol, **extras)
-    start = time.time()
-    stats = run_experiment(config, workload)
-    wall = time.time() - start
-    print(
-        f"  {scheme_label:24s} {stats.cycles:>12,} cycles  "
-        f"traps={stats.traps_taken:<6d} evictions="
-        f"{stats.counters.get('dir.pointer_evictions'):<6d} [{wall:.1f}s]"
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=int(os.environ.get("REPRO_BENCH_PROCS", "64")),
+        help="simulated processors (default $REPRO_BENCH_PROCS or 64)",
     )
-    return scheme_label, stats
-
-
-def figure(title, rows):
-    print("\n" + bar_chart(title, [(label, s.mcycles()) for label, s in rows]))
-    baseline = dict(rows).get("Full-Map")
-    if baseline:
-        table = [
-            (label, f"{s.cycles:,}", f"{s.cycles / baseline.cycles:.2f}x")
-            for label, s in rows
-        ]
-        print("\n" + format_table(["scheme", "cycles", "vs Full-Map"], table))
-    print()
-
-
-def main() -> None:
-    parser = argparse.ArgumentParser()
-    parser.add_argument("--procs", type=int, default=64)
     parser.add_argument("--iters", type=int, default=8)
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default serial)"
+    )
+    parser.add_argument(
+        "--figures", nargs="+", metavar="MATCH", help="only matching figures"
+    )
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"result cache (default $REPRO_SWEEP_CACHE or {default_cache_dir()})",
+    )
+    parser.add_argument("--out", default="BENCH_figures.json")
     args = parser.parse_args()
-    procs, iters = args.procs, args.iters
 
-    weather = lambda **kw: WeatherWorkload(iterations=iters, **kw)  # noqa: E731
-    multigrid = MultigridWorkload(levels=(3, 3, 2), points_per_proc=48)
-
-    print(f"=== Figure 7: Static Multigrid, {procs} processors ===")
-    rows = [
-        run("Dir4NB", "limited", multigrid, procs, pointers=4),
-        run("LimitLESS4 Ts=100", "limitless", multigrid, procs, pointers=4, ts=100),
-        run("LimitLESS4 Ts=50", "limitless", multigrid, procs, pointers=4, ts=50),
-        run("Full-Map", "fullmap", multigrid, procs),
-    ]
-    figure("Figure 7: Static Multigrid", rows)
-
-    print(f"=== Figure 8: Weather, {procs} processors, limited directories ===")
-    rows = [
-        run("Dir1NB", "limited", weather(), procs, pointers=1),
-        run("Dir2NB", "limited", weather(), procs, pointers=2),
-        run("Dir4NB", "limited", weather(), procs, pointers=4),
-        run("Full-Map", "fullmap", weather(), procs),
-    ]
-    figure("Figure 8: Weather, limited and full-map", rows)
-
-    print(f"=== §5.2: Weather with the variable flagged read-only ===")
-    rows = [
-        run("Dir4NB (optimized)", "limited", weather(optimized=True), procs, pointers=4),
-        run("Full-Map (optimized)", "fullmap", weather(optimized=True), procs),
-    ]
-    figure("§5.2: optimized Weather", rows)
-
-    print(f"=== Figure 9: Weather, LimitLESS emulation latency sweep ===")
-    rows = [run("Dir4NB", "limited", weather(), procs, pointers=4)]
-    for ts in (150, 100, 50, 25):
-        rows.append(
-            run(f"LimitLESS4 Ts={ts}", "limitless", weather(), procs, pointers=4, ts=ts)
-        )
-    rows.append(run("Full-Map", "fullmap", weather(), procs))
-    figure("Figure 9: Weather, LimitLESS Ts sweep", rows)
-
-    print(f"=== Figure 10: Weather, LimitLESS hardware pointer sweep ===")
-    rows = [run("Dir4NB", "limited", weather(), procs, pointers=4)]
-    for p in (1, 2, 4):
-        rows.append(
-            run(f"LimitLESS{p} Ts=50", "limitless", weather(), procs, pointers=p, ts=50)
-        )
-    rows.append(run("Full-Map", "fullmap", weather(), procs))
-    figure("Figure 10: Weather, pointer sweep", rows)
-
-    print("=== Ablation: §5.1 approximation vs message-accurate LimitLESS ===")
-    rows = [
-        run("LimitLESS4 exact", "limitless", weather(), procs, pointers=4, ts=50),
-        run("LimitLESS4 approx", "limitless_approx", weather(), procs, pointers=4, ts=50),
-        run("Full-Map", "fullmap", weather(), procs),
-    ]
-    figure("Ablation: exact vs approximation", rows)
+    cache = ResultCache(args.cache_dir, enabled=not args.no_cache)
+    run_figure_suite(
+        args.procs,
+        args.iters,
+        workers=args.workers,
+        cache=cache,
+        only=args.figures,
+        out=args.out or None,
+    )
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.workloads import MultigridWorkload
+from repro.sweep import WorkloadSpec
 
 from common import FigureCollector, measure, shape_check
 
@@ -20,7 +20,9 @@ collector = FigureCollector("Figure 7: Static Multigrid, 64 Processors")
 
 
 def workload():
-    return MultigridWorkload(levels=(2, 2, 2), points_per_proc=48)
+    # A spec rather than a live workload: runs route through the sweep
+    # runner's result cache (keyed on config + params + source tree).
+    return WorkloadSpec("multigrid", {"levels": (2, 2, 2), "points_per_proc": 48})
 
 
 @pytest.mark.parametrize("scheme", SCHEMES)

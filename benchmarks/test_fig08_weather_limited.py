@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.workloads import WeatherWorkload
+from repro.sweep import WorkloadSpec
 
 from common import FigureCollector, measure, run_scheme, shape_check
 
@@ -25,7 +25,9 @@ collector = FigureCollector(
 
 
 def workload(**kw):
-    return WeatherWorkload(iterations=5, **kw)
+    # A spec rather than a live workload: runs route through the sweep
+    # runner's result cache (keyed on config + params + source tree).
+    return WorkloadSpec("weather", {"iterations": 5, **kw})
 
 
 @pytest.mark.parametrize("scheme", SCHEMES)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.workloads import WeatherWorkload
+from repro.sweep import WorkloadSpec
 
 from common import FigureCollector, measure, shape_check
 
@@ -30,7 +30,9 @@ collector = FigureCollector(
 
 
 def workload():
-    return WeatherWorkload(iterations=5)
+    # A spec rather than a live workload: runs route through the sweep
+    # runner's result cache (keyed on config + params + source tree).
+    return WorkloadSpec("weather", {"iterations": 5})
 
 
 @pytest.mark.parametrize("scheme", SCHEMES)

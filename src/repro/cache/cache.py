@@ -15,7 +15,7 @@ from ..mem.memory import BlockData
 from .states import CacheState
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One resident block."""
 
@@ -38,18 +38,26 @@ class CacheArray:
         self.space = space
         self.n_lines = n_lines
         self._lines: dict[int, CacheLine] = {}
+        # Direct-mapped indexing as shift+mask (both sizes are powers of
+        # two), precomputed because lookup sits on the per-access hot path.
+        self._block_shift = space.block_bytes.bit_length() - 1
+        self._index_mask = n_lines - 1
 
     @property
     def capacity_bytes(self) -> int:
         return self.n_lines * self.space.block_bytes
 
     def index_of(self, block: int) -> int:
-        return (block // self.space.block_bytes) % self.n_lines
+        return (block >> self._block_shift) & self._index_mask
 
     def lookup(self, block: int) -> CacheLine | None:
         """The resident line for ``block`` or None on tag mismatch/invalid."""
-        line = self._lines.get(self.index_of(block))
-        if line is not None and line.valid and line.block == block:
+        line = self._lines.get((block >> self._block_shift) & self._index_mask)
+        if (
+            line is not None
+            and line.block == block
+            and line.state is not CacheState.INVALID
+        ):
             return line
         return None
 

@@ -27,6 +27,11 @@ Callback = Callable[[Optional[int]], None]
 #: access kinds the processor can issue
 KINDS = ("load", "store", "rmw")
 
+#: counter names per access kind, prebuilt so the per-access hot path does
+#: not format a string for every hit and miss
+_HIT_COUNTER = {kind: f"cache.hits.{kind}" for kind in KINDS}
+_MISS_COUNTER = {kind: f"cache.misses.{kind}" for kind in KINDS}
+
 
 @dataclass
 class _Waiter:
@@ -75,6 +80,9 @@ class CacheController(Component):
         self.retry_cap = retry_cap
         self._rng = rng
         self.counters = counters if counters is not None else Counters()
+        # Direct view of the counter bag: a dict item-add beats a method
+        # call on the per-access hot path.
+        self._counts = self.counters._values
         self._mshrs: dict[int, Mshr] = {}
         self.miss_latency_total = 0
         self.miss_latency_count = 0
@@ -102,6 +110,17 @@ class CacheController(Component):
             raise ValueError(f"unknown access kind {kind!r}")
         block = self.space.block_of(addr)
         line = self.array.lookup(block)
+        self._access(kind, addr, payload, callback, block, line)
+
+    def _access(
+        self, kind: str, addr: int, payload, callback: Callback, block: int, line
+    ) -> None:
+        """``access`` with the block/line tag check already performed.
+
+        The processor's issue path does the same lookup to decide its stall
+        accounting and calls this directly so each access costs one tag
+        check; the state cannot change in between (same event, synchronous).
+        """
         if block in self.update_blocks and kind == "rmw":
             # Update-mode blocks never become exclusive, so an atomic
             # would retry its read fill forever; forbid it loudly.
@@ -111,22 +130,22 @@ class CacheController(Component):
         if block in self.update_blocks and kind == "store":
             if line is not None:
                 self._write_through(line, addr, payload)
-                self.schedule(self.hit_latency, lambda: callback(None))
+                self.schedule(self.hit_latency, callback, None)
                 return
             # No copy yet: fetch read-only first, then write through.
             self.counters.bump("cache.misses.store")
             self._enqueue_miss(kind, addr, payload, callback, block)
             return
         if line is not None and self._is_hit(kind, line):
-            self.counters.bump(f"cache.hits.{kind}")
+            self._counts[_HIT_COUNTER[kind]] += 1
             # Commit the operation at tag-check time; only the processor's
             # completion is delayed.  Applying later would open an atomicity
             # window where an INV ships the line away *before* the write or
             # read-modify-write lands, losing the update.
             result = self._apply(kind, line, addr, payload)
-            self.schedule(self.hit_latency, lambda: callback(result))
+            self.schedule(self.hit_latency, callback, result)
             return
-        self.counters.bump(f"cache.misses.{kind}")
+        self._counts[_MISS_COUNTER[kind]] += 1
         if line is not None and kind in ("store", "rmw"):
             self.counters.bump("cache.upgrades")
         self._enqueue_miss(kind, addr, payload, callback, block)

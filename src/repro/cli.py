@@ -1,12 +1,17 @@
-"""Command-line experiment runner.
+"""Command-line entry point: experiments, model checking, sweeps.
+
+One top-level parser hosts every subcommand (``repro --help`` lists them
+all); bare experiment flags still work as an implicit ``run`` for
+backward compatibility.
 
 Examples::
 
     python -m repro --protocol limitless --pointers 4 --ts 50 \
         --workload weather --procs 64
-    python -m repro --workload multigrid --compare fullmap limited limitless
+    python -m repro run --workload multigrid --compare fullmap limited limitless
     python -m repro --list
     python -m repro modelcheck --protocol limitless --caches 3
+    python -m repro sweep --workers 4 --out BENCH_figures.json
 """
 
 from __future__ import annotations
@@ -52,11 +57,7 @@ WORKLOADS: dict[str, Callable[[argparse.Namespace], Workload]] = {
 }
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="LimitLESS directories reproduction: run one experiment.",
-    )
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--list", action="store_true", help="list protocols and workloads")
     parser.add_argument("--protocol", default="limitless", choices=protocol_names())
     parser.add_argument(
@@ -78,6 +79,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--memory-model", default="sc", choices=["sc", "wo"])
     parser.add_argument("--verbose", action="store_true", help="print counters")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The single-experiment (``run``) flag parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LimitLESS directories reproduction: run one experiment.",
+    )
+    _add_run_arguments(parser)
+    return parser
+
+
+#: Subcommands hosted by the top-level parser.
+COMMANDS = ("run", "modelcheck", "sweep")
+
+
+def build_top_parser() -> argparse.ArgumentParser:
+    """Top-level parser: ``repro --help`` lists every subcommand."""
+    from .modelcheck import cli as modelcheck_cli
+    from .sweep import cli as sweep_cli
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "LimitLESS directories reproduction. Bare experiment flags "
+            "(e.g. `repro --protocol limitless`) run as an implicit `run`."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", metavar="{run,modelcheck,sweep}")
+    run_parser = sub.add_parser(
+        "run", help="run one experiment (the default subcommand)"
+    )
+    _add_run_arguments(run_parser)
+    run_parser.set_defaults(func=_run_from_args)
+    mc_parser = sub.add_parser(
+        "modelcheck",
+        help="exhaustively model-check the coherence protocols",
+        description=modelcheck_cli.DESCRIPTION,
+    )
+    modelcheck_cli.add_arguments(mc_parser)
+    mc_parser.set_defaults(func=modelcheck_cli.run_from_args)
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="parallel cached sweep of the paper's figure grids",
+    )
+    sweep_cli.add_arguments(sweep_parser)
+    sweep_parser.set_defaults(func=sweep_cli.run_from_args)
     return parser
 
 
@@ -96,13 +144,14 @@ def _config(args: argparse.Namespace, protocol: str) -> AlewifeConfig:
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "modelcheck":
-        # Exhaustive verification lives in its own subcommand so the
-        # experiment flags above stay untouched.
-        from .modelcheck.cli import main as modelcheck_main
+    if argv and argv[0] in COMMANDS or argv[:1] in (["-h"], ["--help"]):
+        args = build_top_parser().parse_args(argv)
+        return args.func(args)
+    # Bare experiment flags: implicit `run`.
+    return _run_from_args(build_parser().parse_args(argv))
 
-        return modelcheck_main(argv[1:])
-    args = build_parser().parse_args(argv)
+
+def _run_from_args(args: argparse.Namespace) -> int:
     if args.list:
         print("protocols: " + ", ".join(protocol_names()))
         print("workloads: " + ", ".join(sorted(WORKLOADS)))

@@ -70,6 +70,15 @@ class MemoryController(Component):
         #: processor: software emulates a *full-map* directory, so pointer
         #: capacity does not apply during a software pass
         self._software_pass = False
+        #: per-instance state dispatch table, built once so the hot path
+        #: avoids re-creating the dict (and re-binding four methods) per
+        #: packet; binding through ``self`` keeps subclass overrides live
+        self._dispatch_table = {
+            DirState.READ_ONLY: self._in_read_only,
+            DirState.READ_WRITE: self._in_read_write,
+            DirState.READ_TRANSACTION: self._in_read_transaction,
+            DirState.WRITE_TRANSACTION: self._in_write_transaction,
+        }
         nic.set_memory_handler(self.receive)
 
     # ------------------------------------------------------------------
@@ -83,12 +92,12 @@ class MemoryController(Component):
         if packet.address != self.space.block_of(packet.address):
             raise ProtocolError(f"{self.name}: {packet} not block aligned")
         done_at = self.occupancy.acquire(self.dir_occupancy)
-        self.sim.call_at(done_at, lambda: self.process(packet))
+        self.sim.post(done_at, self.process, packet)
 
     def process(self, packet: Packet) -> None:
         """Dispatch a packet once the controller pipeline reaches it."""
         entry = self.directory.entry(packet.address)
-        self.counters.bump("dir.packets")
+        self.counters._values["dir.packets"] += 1
         if self._meta_intercept(entry, packet):
             return
         self.dispatch(entry, packet)
@@ -104,7 +113,7 @@ class MemoryController(Component):
             packet = entry.pending.popleft()
             self.counters.bump("dir.replayed")
             done_at = self.occupancy.acquire(self.dir_occupancy)
-            self.sim.call_at(done_at, lambda p=packet: self.process(p))
+            self.sim.post(done_at, self.process, packet)
 
     # ------------------------------------------------------------------
     # Meta states (LimitLESS modes; NORMAL for pure-hardware protocols)
@@ -140,13 +149,7 @@ class MemoryController(Component):
     # ------------------------------------------------------------------
 
     def dispatch(self, entry: DirectoryEntry, packet: Packet) -> None:
-        handler = {
-            DirState.READ_ONLY: self._in_read_only,
-            DirState.READ_WRITE: self._in_read_write,
-            DirState.READ_TRANSACTION: self._in_read_transaction,
-            DirState.WRITE_TRANSACTION: self._in_write_transaction,
-        }[entry.state]
-        handler(entry, packet)
+        self._dispatch_table[entry.state](entry, packet)
 
     # -- READ_ONLY ------------------------------------------------------
 

@@ -57,7 +57,7 @@ class FreeRunningTrapEngine(TrapEngine):
         self.traps_taken += 1
         self.trap_cycles += cycles
         done_at = self._resource.acquire(cycles)
-        self.sim.call_at(done_at, callback)
+        self.sim.post(done_at, callback)
 
 
 class LimitLessController(MemoryController):
@@ -284,9 +284,7 @@ class LimitLessSoftware:
         if not queue:
             self.fifo_queues.pop(entry.block, None)
         done_at = self.controller.occupancy.acquire(self.controller.dir_occupancy)
-        self.controller.sim.call_at(
-            done_at, lambda: self.controller.process(oldest)
-        )
+        self.controller.sim.post(done_at, self.controller.process, oldest)
 
     def _propagate_update(self, entry: DirectoryEntry, packet: Packet) -> None:
         """Update-mode coherence: write memory, push new data to sharers."""

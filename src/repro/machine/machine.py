@@ -9,7 +9,7 @@ paper's bottom-line metric ("how fast a system can run a program", §5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING
 
 from ..mem.address import AddressSpace, Allocator
@@ -58,6 +58,39 @@ class MachineStats:
             f"{self.label}: {self.cycles} cycles | util {self.utilization:.2f} "
             f"| hit-rate {ratio:.3f} | Th≈{self.mean_miss_latency:.1f} "
             f"| traps {self.traps_taken} | packets {self.network.packets}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable record of the run (the sweep cache format)."""
+        return {
+            "config": asdict(self.config),
+            "cycles": self.cycles,
+            "counters": self.counters.as_dict(),
+            "network": asdict(self.network),
+            "worker_sets": self.worker_sets.as_sorted_items(),
+            "utilization": self.utilization,
+            "mean_miss_latency": self.mean_miss_latency,
+            "traps_taken": self.traps_taken,
+            "trap_cycles": self.trap_cycles,
+            "per_proc_finish": list(self.per_proc_finish),
+            "entries_audited": self.entries_audited,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineStats":
+        """Rebuild stats from :meth:`to_dict` output (e.g. a cache hit)."""
+        return cls(
+            config=AlewifeConfig(**data["config"]),
+            cycles=data["cycles"],
+            counters=Counters.from_dict(data["counters"]),
+            network=NetworkStats(**data["network"]),
+            worker_sets=Histogram.from_items(data["worker_sets"]),
+            utilization=data["utilization"],
+            mean_miss_latency=data["mean_miss_latency"],
+            traps_taken=data["traps_taken"],
+            trap_cycles=data["trap_cycles"],
+            per_proc_finish=list(data["per_proc_finish"]),
+            entries_audited=data.get("entries_audited", 0),
         )
 
 

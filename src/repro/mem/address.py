@@ -42,6 +42,14 @@ class AddressSpace:
             raise ValueError("segment size must be a power of two")
         if self.segment_bytes < self.block_bytes:
             raise ValueError("segment smaller than a block")
+        # Cache the derived geometry: home_of/block_of sit on the
+        # per-memory-access hot path and would otherwise recompute these
+        # property values on every call (object.__setattr__ because the
+        # dataclass is frozen).
+        object.__setattr__(
+            self, "_segment_shift", self.segment_bytes.bit_length() - 1
+        )
+        object.__setattr__(self, "_block_mask", ~(self.block_bytes - 1))
 
     # -- geometry ------------------------------------------------------
 
@@ -51,24 +59,24 @@ class AddressSpace:
 
     @property
     def segment_shift(self) -> int:
-        return self.segment_bytes.bit_length() - 1
+        return self._segment_shift
 
     @property
     def block_mask(self) -> int:
-        return ~(self.block_bytes - 1)
+        return self._block_mask
 
     # -- decomposition -------------------------------------------------
 
     def home_of(self, addr: int) -> int:
         """Node that homes ``addr`` (holds its memory + directory entry)."""
-        home = addr >> self.segment_shift
+        home = addr >> self._segment_shift
         if not 0 <= home < self.n_nodes:
             raise ValueError(f"address {addr:#x} outside shared memory")
         return home
 
     def block_of(self, addr: int) -> int:
         """Block-aligned base address containing ``addr``."""
-        return addr & self.block_mask
+        return addr & self._block_mask
 
     def word_in_block(self, addr: int) -> int:
         """Word index of ``addr`` within its block."""

@@ -19,15 +19,14 @@ from .explore import CheckResult, explore, random_walk
 from .model import ProtocolModel, checkable_protocols
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro modelcheck",
-        description=(
-            "Exhaustively model-check the coherence protocols: explore "
-            "every reachable state of one memory block and verify the "
-            "invariants from repro.verify at each."
-        ),
-    )
+DESCRIPTION = (
+    "Exhaustively model-check the coherence protocols: explore "
+    "every reachable state of one memory block and verify the "
+    "invariants from repro.verify at each."
+)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--protocol",
         help="protocol to check (default: every registered protocol)",
@@ -64,6 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the checkable protocols and exit",
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro modelcheck", description=DESCRIPTION
+    )
+    add_arguments(parser)
     return parser
 
 
@@ -78,7 +84,10 @@ def check_one(args: argparse.Namespace, protocol: str) -> CheckResult:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    return run_from_args(build_parser().parse_args(argv))
+
+
+def run_from_args(args: argparse.Namespace) -> int:
     if args.list_protocols:
         mutants = sorted(set(checkable_protocols()) - set(protocol_names()))
         print("protocols: " + ", ".join(protocol_names()))

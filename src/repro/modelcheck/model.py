@@ -105,9 +105,27 @@ class _StepFault(Exception):
     """Carrier for a (possibly memoized) protocol failure, pre-formatted."""
 
 
+class _NullCounter(dict):
+    """A dict that swallows writes: ``c[k] += n`` reads 0 and stores
+    nothing, so hot-path direct bumps cost almost nothing here."""
+
+    def __missing__(self, key):
+        return 0
+
+    def __setitem__(self, key, value) -> None:
+        pass
+
+
 class _NullCounters:
     """Counter sink for model runs: statistics are meaningless across
-    restored worlds, and the bump-per-event cost is pure overhead."""
+    restored worlds, and the bump-per-event cost is pure overhead.
+
+    ``_values`` mirrors :class:`repro.stats.counters.Counters`, which the
+    controllers' hot paths bump directly.
+    """
+
+    def __init__(self) -> None:
+        self._values = _NullCounter()
 
     def bump(self, name: str, amount: int = 1) -> None:
         pass

@@ -35,9 +35,18 @@ class NetworkStats:
     contention_cycles: int = 0
     per_opcode: dict[str, int] = field(default_factory=dict)
 
-    def record(self, packet: Packet, hops: int, latency: int, waited: int) -> None:
+    def record(
+        self,
+        packet: Packet,
+        hops: int,
+        latency: int,
+        waited: int,
+        words: int | None = None,
+    ) -> None:
         self.packets += 1
-        self.words += packet.length_words
+        # Senders that already computed the packet length (for serialization
+        # timing) pass it in so the property is not evaluated twice.
+        self.words += packet.length_words if words is None else words
         self.hops += hops
         self.total_latency += latency
         self.contention_cycles += waited
@@ -54,13 +63,18 @@ class Network:
     def __init__(self, sim: Simulator, n_nodes: int) -> None:
         self.sim = sim
         self.n_nodes = n_nodes
-        self._handlers: dict[int, Handler] = {}
+        # Indexed by node id: a list beats a dict lookup on the per-packet
+        # delivery path, and node ids are dense by construction.
+        self._handlers: list[Handler | None] = [None] * n_nodes
         self.stats = NetworkStats()
         self.in_flight = 0
+        # Bind once: delivery schedules this method with the packet as the
+        # event argument, so the hot path allocates no lambda per packet.
+        self._on_deliver = self._deliver
 
     def attach(self, node_id: int, handler: Handler) -> None:
         """Register the receive handler for ``node_id``."""
-        if node_id in self._handlers:
+        if self._handlers[node_id] is not None:
             raise ValueError(f"node {node_id} already attached")
         self._handlers[node_id] = handler
 
@@ -69,11 +83,11 @@ class Network:
 
     def _deliver_at(self, time: int, packet: Packet) -> None:
         self.in_flight += 1
-        self.sim.call_at(time, lambda: self._deliver(packet))
+        self.sim.post(time, self._on_deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
         self.in_flight -= 1
-        handler = self._handlers.get(packet.dst)
+        handler = self._handlers[packet.dst]
         if handler is None:
             raise KeyError(f"no handler attached for node {packet.dst}")
         handler(packet)
@@ -98,31 +112,53 @@ class WormholeNetwork(Network):
         self.injection_latency = injection_latency
         self._link_free_at: dict[LinkId, int] = {}
         self.link_busy_cycles: dict[LinkId, int] = {}
+        # Routes are a pure function of the (static) topology; memoize them
+        # per (src, dst) so steady-state sends never re-walk the route.
+        self._route_cache: dict[tuple[int, int], list[LinkId]] = {}
 
     def send(self, packet: Packet) -> None:
-        packet.sent_at = self.sim.now
-        if packet.src == packet.dst:
+        now = self.sim.now
+        packet.sent_at = now
+        src = packet.src
+        dst = packet.dst
+        if src == dst:
             # Local traffic stays inside the node (cache <-> memory
             # controller over the node bus) and never enters the mesh.
-            arrival = self.sim.now + 2
             self.stats.record(packet, 0, 2, 0)
-            self._deliver_at(arrival, packet)
+            self._deliver_at(now + 2, packet)
             return
-        path = self.topology.route(packet.src, packet.dst)
-        serialization = packet.length_words * self.cycles_per_word
-        head = self.sim.now + self.injection_latency
+        path = self._route_cache.get((src, dst))
+        if path is None:
+            path = self.topology.route(src, dst)
+            self._route_cache[(src, dst)] = path
+        words = packet.length_words
+        serialization = words * self.cycles_per_word
+        head = now + self.injection_latency
         waited = 0
+        link_free_at = self._link_free_at
+        link_busy = self.link_busy_cycles
+        hop_latency = self.hop_latency
         for link in path:
-            free_at = self._link_free_at.get(link, 0)
-            start = max(head, free_at)
-            waited += start - head
-            self._link_free_at[link] = start + serialization
-            self.link_busy_cycles[link] = (
-                self.link_busy_cycles.get(link, 0) + serialization
-            )
-            head = start + self.hop_latency
+            start = link_free_at.get(link, 0)
+            if start < head:
+                start = head
+            else:
+                waited += start - head
+            link_free_at[link] = start + serialization
+            link_busy[link] = link_busy.get(link, 0) + serialization
+            head = start + hop_latency
         arrival = head + serialization  # tail drains into the destination
-        self.stats.record(packet, len(path), arrival - self.sim.now, waited)
+        # stats.record, inlined: one packet per call makes the method
+        # dispatch and re-derived packet length measurable at 64 procs.
+        stats = self.stats
+        stats.packets += 1
+        stats.words += words
+        stats.hops += len(path)
+        stats.total_latency += arrival - now
+        stats.contention_cycles += waited
+        per_opcode = stats.per_opcode
+        opcode = packet.opcode
+        per_opcode[opcode] = per_opcode.get(opcode, 0) + 1
         self._deliver_at(arrival, packet)
 
     def hottest_links(self, top: int = 5) -> list[tuple[LinkId, int]]:
@@ -156,17 +192,27 @@ class IdealNetwork(Network):
         self._pair_last: dict[tuple[int, int], int] = {}
 
     def send(self, packet: Packet) -> None:
-        packet.sent_at = self.sim.now
+        now = self.sim.now
+        packet.sent_at = now
+        words = packet.length_words
         if packet.src == packet.dst:
-            arrival = self.sim.now + 1
+            # Local traffic never enters the network: zero hops, matching
+            # WormholeNetwork so mean-hop stats are comparable across
+            # fabrics in the network ablations.
+            arrival = now + 1
+            hops = 0
         else:
-            arrival = (
-                self.sim.now
-                + self.latency
-                + packet.length_words * self.cycles_per_word
-            )
+            arrival = now + self.latency + words * self.cycles_per_word
+            hops = 1
         key = (packet.src, packet.dst)
         arrival = max(arrival, self._pair_last.get(key, 0))
         self._pair_last[key] = arrival
-        self.stats.record(packet, 1, arrival - self.sim.now, 0)
+        stats = self.stats
+        stats.packets += 1
+        stats.words += words
+        stats.hops += hops
+        stats.total_latency += arrival - now
+        per_opcode = stats.per_opcode
+        opcode = packet.opcode
+        per_opcode[opcode] = per_opcode.get(opcode, 0) + 1
         self._deliver_at(arrival, packet)

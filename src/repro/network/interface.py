@@ -25,6 +25,11 @@ from .packet import CACHE_TO_MEMORY, MEMORY_TO_CACHE, Packet
 TrapHandler = Callable[[], None]
 PacketHandler = Callable[[Packet], None]
 
+#: Frozen-set views of the opcode direction tables: ``_receive`` classifies
+#: every delivered packet, so membership tests must hash, not scan.
+_CACHE_TO_MEMORY = frozenset(CACHE_TO_MEMORY)
+_MEMORY_TO_CACHE = frozenset(MEMORY_TO_CACHE)
+
 
 class IpiQueueOverflow(RuntimeError):
     """IPI input queue exceeded its backing capacity."""
@@ -86,19 +91,19 @@ class NetworkInterface(Component):
 
     def _receive(self, packet: Packet) -> None:
         self.packets_received += 1
-        if packet.is_interrupt:
-            self.divert_to_ipi(packet)
-            return
-        if packet.opcode in CACHE_TO_MEMORY:
+        op = packet.opcode
+        if op in _CACHE_TO_MEMORY:
             if self._memory_handler is None:
                 raise RuntimeError(f"{self.name}: no memory handler")
             self._memory_handler(packet)
-        elif packet.opcode in MEMORY_TO_CACHE:
+        elif op in _MEMORY_TO_CACHE:
             if self._cache_handler is None:
                 raise RuntimeError(f"{self.name}: no cache handler")
             self._cache_handler(packet)
-        else:  # pragma: no cover - opcode sets are exhaustive
-            raise RuntimeError(f"unroutable packet {packet}")
+        else:
+            # Not a protocol opcode: interrupt-class packets always enter
+            # the IPI queue (is_interrupt is exactly "not protocol").
+            self.divert_to_ipi(packet)
 
     def divert_to_ipi(self, packet: Packet) -> None:
         """Place a packet in the IPI input queue and raise the interrupt.

@@ -39,7 +39,7 @@ PROTOCOL_OPCODES = frozenset(CACHE_TO_MEMORY) | frozenset(MEMORY_TO_CACHE)
 INTERRUPT_OPCODES = frozenset({"IPI", "PROFILE", "LOCK_GRANT"})
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network packet in the uniform Alewife format.
 

@@ -87,6 +87,9 @@ class Processor(Component, TrapEngine):
         self.memory_model = memory_model
         self.store_buffer = store_buffer
         self.counters = counters if counters is not None else Counters()
+        # Direct view of the counter bag for per-op bump sites: a dict
+        # item-add beats a method call on the instruction-issue hot path.
+        self._counts = self.counters._values
         self.on_done = on_done
         self.contexts: list[Context] = []
         self._running: Context | None = None
@@ -133,7 +136,7 @@ class Processor(Component, TrapEngine):
         self.trap_free_at = start + cycles
         self.trap_cycles += cycles
         self.traps_taken += 1
-        self.sim.call_at(self.trap_free_at, callback)
+        self.sim.post(self.trap_free_at, callback)
 
     # ------------------------------------------------------------------
     # Execution engine
@@ -143,14 +146,14 @@ class Processor(Component, TrapEngine):
         self._running = ctx
         self._last_on_pipeline = ctx
         ctx.state = ContextState.RUNNING
-        self.schedule(delay, lambda: self._step(ctx))
+        self.schedule(delay, self._step, ctx)
 
     def _step(self, ctx: Context) -> None:
         if ctx.state is ContextState.DONE:  # pragma: no cover - safety net
             return
         if self.now < self.trap_free_at:
             # A LimitLESS trap owns the pipeline; resume when it returns.
-            self.sim.call_at(self.trap_free_at, lambda: self._step(ctx))
+            self.sim.post(self.trap_free_at, self._step, ctx)
             return
         ctx.state = ContextState.RUNNING
         if ctx.pending_op is not None:
@@ -180,8 +183,8 @@ class Processor(Component, TrapEngine):
         if kind == ops.THINK:
             cycles = op[1]
             self.busy_cycles += cycles
-            self.counters.bump("cpu.think_cycles", cycles)
-            self.schedule(cycles, lambda: self._step(ctx))
+            self._counts["cpu.think_cycles"] += cycles
+            self.schedule(cycles, self._step, ctx)
         elif kind == ops.LOAD:
             block = self.space.block_of(op[1])
             if ctx.pending_store_blocks.get(block):
@@ -206,7 +209,7 @@ class Processor(Component, TrapEngine):
                 self._park(ctx, op, "all")
                 return
             self.busy_cycles += 1
-            self.schedule(1, lambda: self._step(ctx))
+            self.schedule(1, self._step, ctx)
         elif kind == ops.SWITCH_HINT:
             self._switch_hint(ctx)
         elif kind == "__retire__":
@@ -227,7 +230,7 @@ class Processor(Component, TrapEngine):
                 return
         # nobody else is ready: continue after one cycle
         self.busy_cycles += 1
-        self.schedule(1, lambda: self._step(ctx))
+        self.schedule(1, self._step, ctx)
 
     # ------------------------------------------------------------------
     # Weakly-ordered stores (memory_model="wo")
@@ -250,7 +253,7 @@ class Processor(Component, TrapEngine):
         )
         # The processor moves on: one cycle to issue into the buffer.
         self.busy_cycles += 1
-        self.schedule(1, lambda: self._step(ctx))
+        self.schedule(1, self._step, ctx)
 
     def _store_done(self, ctx: Context, block: int) -> None:
         ctx.outstanding_stores -= 1
@@ -299,11 +302,15 @@ class Processor(Component, TrapEngine):
             self.busy_cycles += self.cache.hit_latency
         elif remote:
             # Remote request: release the pipeline and switch if possible.
-            self.counters.bump("cpu.remote_stalls")
+            self._counts["cpu.remote_stalls"] += 1
             self._running = None
         else:
-            self.counters.bump("cpu.local_stalls")
-        self.cache.access(kind, addr, payload, lambda v: self._mem_done(ctx, v))
+            self._counts["cpu.local_stalls"] += 1
+        # _access: the tag check above doubles as the controller's lookup
+        # (same event, synchronous — the line state cannot change between).
+        self.cache._access(
+            kind, addr, payload, lambda v: self._mem_done(ctx, v), block, line
+        )
         if self._running is None:
             self._find_work()
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from .kernel import Simulator
+from .kernel import _NO_ARG, Simulator
 
 
 class Component:
@@ -21,9 +21,17 @@ class Component:
         """Current simulation cycle."""
         return self.sim.now
 
-    def schedule(self, delay: int, callback) -> None:
-        """Schedule ``callback`` after ``delay`` cycles."""
-        self.sim.call_after(delay, callback)
+    def schedule(self, delay: int, callback, arg=_NO_ARG) -> None:
+        """Schedule ``callback`` after ``delay`` cycles.
+
+        ``arg``, when given, is passed to the callback at execution time
+        (see :meth:`Simulator.post`) — hot paths use it to avoid
+        allocating a closure per scheduled event.  Component schedules are
+        fire-and-forget, so this takes the handle-free ``post`` path
+        directly (``post`` rejects the past, which covers negative delays).
+        """
+        sim = self.sim
+        sim.post(sim.now + delay, callback, arg)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"

@@ -6,13 +6,28 @@ callbacks at absolute cycle times, and the kernel executes them in
 deterministic (time, sequence) order.  Determinism matters because the
 reproduction's experiments compare protocols on *absolute execution cycles*;
 two runs of the same configuration must produce identical cycle counts.
+
+The kernel is the innermost loop of every experiment, so its data layout is
+chosen for speed: the heap holds plain ``(time, seq, callback, arg, event)``
+tuples so that sift operations compare tuples in C instead of calling a
+Python ``__lt__`` (``seq`` is unique, so comparison never reaches the
+callback), ``Event`` uses ``__slots__``, and callbacks may carry one
+pre-bound argument (``call_at(t, handler, packet)``) so hot paths schedule
+without allocating a closure per event.  ``post``/``post_after`` skip the
+:class:`Event` cancel handle entirely — the last tuple slot is None — for
+schedulers that never cancel.  Live events are counted incrementally —
+scheduling increments, cancellation and execution decrement — so
+``pending_events`` is O(1) instead of an O(n) queue scan.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from heapq import heappush as _heappush
 from typing import Any, Callable
+
+#: Sentinel distinguishing "no argument" from "argument is None".
+_NO_ARG = object()
 
 
 class SimulationError(RuntimeError):
@@ -23,22 +38,40 @@ class DeadlockError(SimulationError):
     """Raised when the event queue drains while agents are still blocked."""
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     Events order by (time, seq): ties at the same cycle execute in the order
-    they were scheduled, which keeps runs deterministic.
+    they were scheduled, which keeps runs deterministic.  The ordering lives
+    in the simulator's heap tuples; the Event object itself is the cancel
+    handle (and carries the optional pre-bound callback argument).
     """
 
-    time: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "arg", "cancelled", "_sim", "_done")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[..., None],
+        arg: Any = _NO_ARG,
+        sim: "Simulator | None" = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.arg = arg
+        self.cancelled = False
+        self._sim = sim
+        self._done = False
 
     def cancel(self) -> None:
         """Prevent the callback from running when its time arrives."""
+        if self.cancelled or self._done:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._live -= 1
 
 
 class Simulator:
@@ -52,8 +85,9 @@ class Simulator:
     """
 
     def __init__(self, *, max_cycles: int | None = None) -> None:
-        self._queue: list[Event] = []
+        self._queue: list[tuple] = []
         self._seq = 0
+        self._live = 0
         self.now = 0
         self.max_cycles = max_cycles
         self.events_executed = 0
@@ -63,22 +97,62 @@ class Simulator:
     # Scheduling
     # ------------------------------------------------------------------
 
-    def call_at(self, time: int, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` at absolute cycle ``time``."""
+    def call_at(
+        self, time: int, callback: Callable[..., None], arg: Any = _NO_ARG
+    ) -> Event:
+        """Schedule ``callback`` at absolute cycle ``time``.
+
+        ``arg``, when given, is passed to the callback at execution time —
+        the allocation-free alternative to ``lambda: callback(arg)`` on hot
+        paths like packet delivery.
+        """
+        time = int(time)
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event at {time}, now is {self.now}"
             )
-        event = Event(int(time), self._seq, callback)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, arg, self)
+        _heappush(self._queue, (time, seq, callback, arg, event))
+        self._live += 1
         return event
 
-    def call_after(self, delay: int, callback: Callable[[], None]) -> Event:
+    def call_after(
+        self, delay: int, callback: Callable[..., None], arg: Any = _NO_ARG
+    ) -> Event:
         """Schedule ``callback`` ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.call_at(self.now + int(delay), callback)
+        return self.call_at(self.now + int(delay), callback, arg)
+
+    def post(
+        self, time: int, callback: Callable[..., None], arg: Any = _NO_ARG
+    ) -> None:
+        """Schedule without a cancel handle.
+
+        The hot-path twin of :meth:`call_at`: no :class:`Event` is
+        allocated, so the caller cannot cancel the callback.  Every
+        steady-state scheduler in the machine model (packet delivery,
+        pipeline steps, directory occupancy) uses this.
+        """
+        time = int(time)
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time}, now is {self.now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._queue, (time, seq, callback, arg, None))
+        self._live += 1
+
+    def post_after(
+        self, delay: int, callback: Callable[..., None], arg: Any = _NO_ARG
+    ) -> None:
+        """Schedule ``delay`` cycles from now without a cancel handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.post(self.now + int(delay), callback, arg)
 
     # ------------------------------------------------------------------
     # Execution
@@ -86,15 +160,22 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False when drained."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if event.time < self.now:
+        queue = self._queue
+        while queue:
+            time, _seq, callback, arg, event = heapq.heappop(queue)
+            if event is not None:
+                if event.cancelled:
+                    continue
+                event._done = True
+            if time < self.now:
                 raise SimulationError("event queue time went backwards")
-            self.now = event.time
+            self.now = time
             self.events_executed += 1
-            event.callback()
+            self._live -= 1
+            if arg is _NO_ARG:
+                callback()
+            else:
+                callback(arg)
             return True
         return False
 
@@ -104,22 +185,52 @@ class Simulator:
         Returns the cycle count at which the run stopped.
         """
         limit = self.max_cycles if until is None else until
+        queue = self._queue
+        pop = heapq.heappop
+        no_arg = _NO_ARG
         self._running = True
         try:
-            while self._queue:
-                if limit is not None and self._queue[0].time > limit:
-                    self.now = limit
-                    break
-                if not self.step():
-                    break
+            # ``call_at`` refuses past times, so queue times are monotone and
+            # the loop needs no went-backwards check.
+            if limit is None:
+                while queue:
+                    time, _seq, callback, arg, event = pop(queue)
+                    if event is not None:
+                        if event.cancelled:
+                            continue
+                        event._done = True
+                    self.now = time
+                    self.events_executed += 1
+                    self._live -= 1
+                    if arg is no_arg:
+                        callback()
+                    else:
+                        callback(arg)
+            else:
+                while queue:
+                    if queue[0][0] > limit:
+                        self.now = limit
+                        break
+                    time, _seq, callback, arg, event = pop(queue)
+                    if event is not None:
+                        if event.cancelled:
+                            continue
+                        event._done = True
+                    self.now = time
+                    self.events_executed += 1
+                    self._live -= 1
+                    if arg is no_arg:
+                        callback()
+                    else:
+                        callback(arg)
         finally:
             self._running = False
         return self.now
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
 
     def drain_check(self, describe_blocked: Callable[[], str] | None = None) -> None:
         """Raise :class:`DeadlockError` if live events remain queued."""

@@ -26,6 +26,13 @@ class Counters:
     def as_dict(self) -> dict[str, int]:
         return dict(self._values)
 
+    @classmethod
+    def from_dict(cls, values: dict[str, int]) -> "Counters":
+        """Rebuild a counter bag from :meth:`as_dict` output."""
+        counters = cls()
+        counters._values.update(values)
+        return counters
+
     def prefixed(self, prefix: str) -> list[tuple[str, int]]:
         """All (suffix, count) pairs under ``prefix.``, sorted by name.
 
@@ -75,3 +82,12 @@ class Histogram:
 
     def as_sorted_items(self) -> list[tuple[int, int]]:
         return sorted(self.counts.items())
+
+    @classmethod
+    def from_items(cls, items) -> "Histogram":
+        """Rebuild from (value, count) pairs; values coerced back to int
+        (JSON object keys arrive as strings)."""
+        hist = cls()
+        for value, count in items:
+            hist.counts[int(value)] = count
+        return hist

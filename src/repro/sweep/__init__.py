@@ -1,0 +1,28 @@
+"""Parallel sweep runner with content-addressed result caching.
+
+The paper's evaluation is a grid of scheme x workload x parameter
+experiments; this package runs such grids over a process pool, caches
+every deterministic result on disk keyed by (config, workload spec,
+source fingerprint), and reproduces the figure reports.  See
+``repro sweep --help`` for the CLI.
+"""
+
+from .cache import ResultCache, default_cache_dir, source_fingerprint
+from .grids import figure_grids, run_figure_suite
+from .runner import JobResult, ProgressPrinter, run_jobs
+from .spec import WORKLOAD_REGISTRY, Job, WorkloadSpec, job_key
+
+__all__ = [
+    "Job",
+    "JobResult",
+    "ProgressPrinter",
+    "ResultCache",
+    "WORKLOAD_REGISTRY",
+    "WorkloadSpec",
+    "default_cache_dir",
+    "figure_grids",
+    "job_key",
+    "run_figure_suite",
+    "run_jobs",
+    "source_fingerprint",
+]

@@ -1,0 +1,119 @@
+"""Content-addressed on-disk cache of experiment results.
+
+Every simulation is deterministic — same config, same workload, same
+source tree means bit-identical :class:`MachineStats` — so results can be
+cached forever under a key that hashes all three (see
+:func:`repro.sweep.spec.job_key`).  Entries are one JSON file per key in
+``$REPRO_SWEEP_CACHE`` (default ``~/.cache/repro-sweep``); editing
+anything under ``src/repro`` changes the source fingerprint and therefore
+misses cleanly, no manual invalidation needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+from ..machine import MachineStats
+
+#: Cache format version; bump when the entry schema changes.
+CACHE_VERSION = 1
+
+_fingerprint_cache: str | None = None
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_SWEEP_CACHE`` or ``~/.cache/repro-sweep``."""
+    env = os.environ.get("REPRO_SWEEP_CACHE")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-sweep"
+
+
+def source_fingerprint() -> str:
+    """SHA-256 over every ``.py`` file of the installed ``repro`` package.
+
+    Computed once per process; the simulator's source *is* part of every
+    result's identity, since timing-model changes alter cycle counts.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(path.read_bytes())
+        _fingerprint_cache = digest.hexdigest()
+    return _fingerprint_cache
+
+
+class ResultCache:
+    """Keyed MachineStats store with hit/miss accounting.
+
+    ``enabled=False`` turns every operation into a no-op, so callers can
+    thread one object through unconditionally (the ``--no-cache`` path).
+    """
+
+    def __init__(self, directory: Path | str | None = None, *, enabled: bool = True):
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def lookup(self, key: str) -> MachineStats | None:
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return MachineStats.from_dict(entry["stats"])
+
+    def store(self, key: str, stats: MachineStats, *, wall_seconds: float, label: str = "") -> None:
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": CACHE_VERSION,
+            "label": label,
+            "created": time.time(),
+            "wall_seconds": wall_seconds,
+            "stats": stats.to_dict(),
+        }
+        path = self._path(key)
+        # Write-then-rename so a crashed run never leaves a torn entry.
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry))
+        tmp.replace(path)
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def summary(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"cache {state} at {self.directory} "
+            f"(hits {self.hits}, misses {self.misses}, stores {self.stores})"
+        )

@@ -1,0 +1,151 @@
+"""Parallel, cached execution of experiment grids.
+
+``run_jobs`` is the engine behind ``repro sweep`` and
+``benchmarks/run_figures.py``: it deduplicates identical grid points (the
+paper's figures share several baselines, e.g. Full-Map/Weather appears in
+Figures 8, 9 and 10), satisfies what it can from the on-disk result cache,
+and fans the remainder out over a ``multiprocessing`` pool.  Each job
+builds a fresh machine in its worker process, so parallelism cannot
+perturb simulated cycle counts — determinism is the contract, wall-clock
+is the only thing that changes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence, TextIO
+
+from ..machine import MachineStats, run_experiment
+from .cache import ResultCache, source_fingerprint
+from .spec import Job, job_key
+
+
+@dataclass
+class JobResult:
+    """Outcome of one grid point."""
+
+    job: Job
+    stats: MachineStats
+    cached: bool
+    wall_seconds: float
+    key: str
+
+
+ProgressFn = Callable[[JobResult, int, int], None]
+
+
+def _execute(payload: tuple[int, Job]) -> tuple[int, MachineStats, float]:
+    """Worker-process entry point: run one job, return its stats."""
+    index, job = payload
+    start = time.perf_counter()
+    stats = run_experiment(job.config, job.workload.build())
+    return index, stats, time.perf_counter() - start
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork keeps worker start cheap (no re-import); fall back where absent.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: ProgressFn | None = None,
+) -> list[JobResult]:
+    """Run every job, in the order given, returning one result per job.
+
+    Identical jobs (same config + workload + source) run once and share
+    their stats; cached jobs never run at all.  ``progress`` fires once
+    per job as its result becomes available (cache hits first).
+    """
+    if cache is None:
+        cache = ResultCache(enabled=False)
+    fingerprint = source_fingerprint()
+    keys = [job_key(job.config, job.workload, fingerprint) for job in jobs]
+    total = len(jobs)
+    results: list[JobResult | None] = [None] * total
+    done = 0
+
+    # First occurrence of each key runs (or hits the cache); duplicates
+    # share its stats without re-simulating.
+    primary: dict[str, int] = {}
+    pending: list[tuple[int, Job]] = []
+    for index, (job, key) in enumerate(zip(jobs, keys)):
+        if key in primary:
+            continue
+        primary[key] = index
+        stats = cache.lookup(key)
+        if stats is not None:
+            results[index] = JobResult(job, stats, True, 0.0, key)
+            done += 1
+            if progress is not None:
+                progress(results[index], done, total)
+        else:
+            pending.append((index, job))
+
+    def record(index: int, stats: MachineStats, wall: float) -> None:
+        nonlocal done
+        job = jobs[index]
+        key = keys[index]
+        cache.store(key, stats, wall_seconds=wall, label=job.label)
+        results[index] = JobResult(job, stats, False, wall, key)
+        done += 1
+        if progress is not None:
+            progress(results[index], done, total)
+
+    if pending:
+        if workers > 1 and len(pending) > 1:
+            ctx = _pool_context()
+            with ctx.Pool(min(workers, len(pending))) as pool:
+                for index, stats, wall in pool.imap_unordered(
+                    _execute, pending, chunksize=1
+                ):
+                    record(index, stats, wall)
+        else:
+            for payload in pending:
+                index, stats, wall = _execute(payload)
+                record(index, stats, wall)
+
+    # Fill duplicates from their primary's stats.
+    for index, key in enumerate(keys):
+        if results[index] is None:
+            origin = results[primary[key]]
+            assert origin is not None
+            results[index] = JobResult(jobs[index], origin.stats, True, 0.0, key)
+            done += 1
+            if progress is not None:
+                progress(results[index], done, total)
+    return [r for r in results if r is not None]
+
+
+class ProgressPrinter:
+    """Live per-job progress with a wall-clock ETA for the remainder."""
+
+    def __init__(self, stream: TextIO | None = None):
+        self.stream = stream or sys.stderr
+        self.start = time.perf_counter()
+        self.executed_wall = 0.0
+        self.executed = 0
+
+    def __call__(self, result: JobResult, done: int, total: int) -> None:
+        if not result.cached:
+            self.executed += 1
+            self.executed_wall += result.wall_seconds
+        remaining = total - done
+        if self.executed and remaining:
+            eta = f"  ETA {self.executed_wall / self.executed * remaining:.0f}s"
+        else:
+            eta = ""
+        source = "cached" if result.cached else f"{result.wall_seconds:.1f}s"
+        print(
+            f"  [{done}/{total}] {result.job.label:28s} "
+            f"{result.stats.cycles:>12,} cycles  ({source}){eta}",
+            file=self.stream,
+            flush=True,
+        )

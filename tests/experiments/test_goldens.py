@@ -1,0 +1,55 @@
+"""Golden-cycle determinism contract.
+
+The cycle counts below were recorded with the *pre-optimization* event
+kernel and network fabric (PR 2's seed), and the optimized hot paths must
+reproduce them bit-for-bit: tuple-based heap entries, the O(1) live-event
+counter, allocation-free packet delivery, and memoized routes are all
+wall-clock changes, never timing-model changes.  A mismatch here means an
+optimization altered simulated behaviour — exactly the regression the
+sweep result cache cannot tolerate, since it assumes (config, workload,
+source) fully determines the result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AlewifeConfig, run_experiment
+from repro.workloads import MultigridWorkload, WeatherWorkload
+
+#: (config, workload factory, expected cycles / traps / packets) — values
+#: recorded from the unoptimized kernel at seed commit 5fcbdfc.
+GOLDENS = {
+    "weather-limitless4-ts50-p64": (
+        dict(n_procs=64, protocol="limitless", pointers=4, ts=50),
+        lambda: WeatherWorkload(iterations=5),
+        dict(cycles=6068, traps=52, packets=8626),
+    ),
+    "weather-dir4nb-p16": (
+        dict(n_procs=16, protocol="limited", pointers=4),
+        lambda: WeatherWorkload(iterations=3),
+        dict(cycles=2595, traps=0, packets=1746),
+    ),
+    "weather-fullmap-p16": (
+        dict(n_procs=16, protocol="fullmap"),
+        lambda: WeatherWorkload(iterations=3),
+        dict(cycles=2097, traps=0, packets=1292),
+    ),
+    "multigrid-limitless4-ts50-p16": (
+        dict(n_procs=16, protocol="limitless", pointers=4, ts=50),
+        lambda: MultigridWorkload(levels=(2, 2), points_per_proc=16),
+        dict(cycles=2432, traps=6, packets=1818),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS))
+def test_golden_cycle_counts(name):
+    config_kw, workload_factory, expected = GOLDENS[name]
+    stats = run_experiment(AlewifeConfig(**config_kw), workload_factory())
+    assert stats.cycles == expected["cycles"], (
+        f"{name}: simulated {stats.cycles} cycles, golden "
+        f"{expected['cycles']} — a kernel/network change altered timing"
+    )
+    assert stats.traps_taken == expected["traps"]
+    assert stats.network.packets == expected["packets"]

@@ -1,0 +1,158 @@
+"""Network ordering and run-to-run determinism.
+
+Two contracts the experiment pipeline (and its result cache) depend on:
+
+* identical runs produce identical simulated cycle counts *and* identical
+  event counts — no hidden iteration-order or allocation dependence;
+* both fabrics deliver per-(src, dst) FIFO even under contention, the
+  property the coherence protocols assume of the Alewife mesh.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AlewifeConfig, run_experiment
+from repro.machine import AlewifeMachine
+from repro.network.fabric import IdealNetwork, WormholeNetwork
+from repro.network.packet import Packet
+from repro.network.topology import Mesh2D
+from repro.sim.kernel import Simulator
+from repro.workloads import HotSpotWorkload, WeatherWorkload
+
+
+def small_config(**overrides):
+    params = dict(
+        n_procs=16,
+        cache_lines=512,
+        segment_bytes=1 << 18,
+        max_cycles=5_000_000,
+    )
+    params.update(overrides)
+    return AlewifeConfig(**params)
+
+
+class TestRunToRunDeterminism:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(protocol="limitless", pointers=4, ts=50),
+            dict(protocol="limited", pointers=2),
+            dict(protocol="fullmap", topology="ideal"),
+        ],
+    )
+    def test_identical_runs_identical_cycles_and_events(self, overrides):
+        def one_run():
+            machine = AlewifeMachine(small_config(**overrides))
+            stats = machine.run(WeatherWorkload(iterations=3))
+            return (
+                stats.cycles,
+                machine.sim.events_executed,
+                stats.network.packets,
+                stats.traps_taken,
+            )
+
+        assert one_run() == one_run()
+
+    def test_contended_workload_deterministic(self):
+        runs = [
+            run_experiment(
+                small_config(protocol="limited", pointers=1),
+                HotSpotWorkload(rounds=3),
+            ).cycles
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+def fifo_pairs(net, sim, n_nodes):
+    """Blast interleaved packets at every pair and record arrival order."""
+    arrived: dict[int, list[int]] = {node: [] for node in range(n_nodes)}
+    for node in range(n_nodes):
+        net.attach(node, lambda p, log=arrived: log[p.dst].append(p.meta["tag"]))
+    tag = 0
+    # Three waves so later sends contend with earlier in-flight traffic.
+    for wave in range(3):
+        for src in range(n_nodes):
+            dst = (src + 1 + wave) % n_nodes
+            net.send(Packet(src, 0, "RREQ", address=src * 16, meta={"tag": tag}))
+            net.send(Packet(src, dst, "RREQ", address=src * 16, meta={"tag": tag + 1}))
+            tag += 2
+    sim.run()
+    return arrived
+
+
+class TestFifoDelivery:
+    def test_wormhole_preserves_pair_fifo_under_contention(self):
+        sim = Simulator()
+        net = WormholeNetwork(sim, Mesh2D(4, 4))
+        order: list[tuple[int, int, int]] = []
+        for node in range(16):
+            net.attach(node, lambda p: order.append((p.src, p.dst, p.meta["seq"])))
+        seq = 0
+        for wave in range(4):  # node 0 is a hot spot: heavy link contention
+            for src in range(1, 16):
+                net.send(Packet(src, 0, "RREQ", address=src * 16, meta={"seq": seq}))
+                seq += 1
+        sim.run()
+        per_pair: dict[tuple[int, int], list[int]] = {}
+        for src, dst, s in order:
+            per_pair.setdefault((src, dst), []).append(s)
+        assert sum(len(v) for v in per_pair.values()) == seq
+        for pair, seqs in per_pair.items():
+            assert seqs == sorted(seqs), f"pair {pair} reordered: {seqs}"
+
+    def test_ideal_preserves_pair_fifo_under_contention(self):
+        sim = Simulator()
+        net = IdealNetwork(sim, 8, latency=8)
+        arrived = fifo_pairs(net, sim, 8)
+        total = sum(len(v) for v in arrived.values())
+        assert total == 48
+        # Reconstruct per-pair order from tags (tags increase per send).
+        # Same-pair packets must arrive in tag order.
+        seen: dict[tuple[int, int], int] = {}
+        sim2 = Simulator()
+        net2 = IdealNetwork(sim2, 8, latency=8)
+
+        def check(p):
+            key = (p.src, p.dst)
+            assert seen.get(key, -1) < p.meta["tag"], f"pair {key} reordered"
+            seen[key] = p.meta["tag"]
+
+        for node in range(8):
+            net2.attach(node, check)
+        tag = 0
+        for wave in range(3):
+            for src in range(8):
+                dst = (src + 1 + wave) % 8
+                net2.send(Packet(src, 0, "RREQ", address=src * 16, meta={"tag": tag}))
+                net2.send(
+                    Packet(src, dst, "RREQ", address=src * 16, meta={"tag": tag + 1})
+                )
+                tag += 2
+        sim2.run()
+        assert seen  # the checker actually observed deliveries
+
+
+class TestIdealHopAccounting:
+    def test_local_traffic_records_zero_hops(self):
+        """src==dst traffic never enters the network: hops must be 0,
+        matching WormholeNetwork, so mean-hop stats compare cleanly."""
+        sim = Simulator()
+        net = IdealNetwork(sim, 4)
+        got = []
+        for node in range(4):
+            net.attach(node, got.append)
+        net.send(Packet(1, 1, "RREQ", address=16))
+        sim.run()
+        assert len(got) == 1
+        assert net.stats.hops == 0
+
+    def test_remote_traffic_records_one_hop(self):
+        sim = Simulator()
+        net = IdealNetwork(sim, 4)
+        for node in range(4):
+            net.attach(node, lambda p: None)
+        net.send(Packet(0, 2, "RREQ", address=16))
+        sim.run()
+        assert net.stats.hops == 1

@@ -106,6 +106,101 @@ class TestRunLimits:
         sim.drain_check()
 
 
+class TestArgCarryingEvents:
+    def test_call_at_passes_argument(self, sim):
+        seen = []
+        sim.call_at(5, seen.append, "payload")
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_call_after_passes_argument(self, sim):
+        seen = []
+        sim.call_after(3, seen.append, None)  # None is a legal argument
+        sim.run()
+        assert seen == [None]
+
+    def test_arg_events_interleave_deterministically(self, sim):
+        log = []
+        sim.call_at(7, log.append, "a")
+        sim.call_at(7, lambda: log.append("b"))
+        sim.call_at(7, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+
+class TestPost:
+    def test_post_schedules_without_a_handle(self, sim):
+        log = []
+        assert sim.post(5, log.append, "x") is None
+        assert sim.pending_events == 1
+        sim.run()
+        assert log == ["x"]
+        assert sim.pending_events == 0
+
+    def test_post_after_is_relative(self, sim):
+        seen = []
+        sim.call_at(10, lambda: sim.post_after(5, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [15]
+
+    def test_post_in_the_past_raises(self, sim):
+        sim.call_at(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.post(5, lambda: None)
+
+    def test_post_negative_delay_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.post_after(-1, lambda: None)
+
+    def test_posts_and_events_share_one_time_order(self, sim):
+        log = []
+        sim.call_at(7, log.append, "event")
+        sim.post(7, log.append, "post")
+        cancelled = sim.call_at(7, lambda: log.append("cancelled"))
+        sim.post(7, log.append, "tail")
+        cancelled.cancel()
+        sim.run()
+        assert log == ["event", "post", "tail"]
+
+
+class TestLiveEventCounter:
+    def test_counter_tracks_schedule_cancel_execute(self, sim):
+        first = sim.call_at(10, lambda: None)
+        second = sim.call_at(20, lambda: None)
+        assert sim.pending_events == 2
+        second.cancel()
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+        assert first.cancelled is False
+
+    def test_double_cancel_decrements_once(self, sim):
+        event = sim.call_at(10, lambda: None)
+        sim.call_at(11, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_execution_is_a_noop(self, sim):
+        log = []
+        event = sim.call_at(10, lambda: log.append("ran"))
+        sim.call_at(20, lambda: None)
+        sim.run(until=15)
+        assert log == ["ran"]
+        event.cancel()
+        assert sim.pending_events == 1  # the cycle-20 event is still live
+
+    def test_counter_matches_queue_scan(self, sim):
+        events = [sim.call_at(t, lambda: None) for t in range(5, 25, 5)]
+        events[1].cancel()
+        events[3].cancel()
+        live_scan = sum(
+            1 for *_, e in sim._queue if e is None or not e.cancelled
+        )
+        assert sim.pending_events == live_scan == 2
+
+
 class TestStallableResource:
     def test_serializes_requests(self, sim):
         res = StallableResource(sim, "dir")

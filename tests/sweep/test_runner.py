@@ -1,0 +1,142 @@
+"""Tests for the parallel cached sweep runner and the figure grids."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.machine import AlewifeConfig
+from repro.sweep import (
+    Job,
+    ResultCache,
+    WorkloadSpec,
+    figure_grids,
+    run_figure_suite,
+    run_jobs,
+)
+from repro.sweep.cli import main as sweep_main
+
+
+def small_job(label="full", protocol="fullmap", rounds=2, **overrides) -> Job:
+    config = AlewifeConfig(
+        n_procs=4, protocol=protocol, max_cycles=2_000_000, **overrides
+    )
+    return Job(label, config, WorkloadSpec("hotspot", {"rounds": rounds}))
+
+
+class TestRunJobs:
+    def test_runs_jobs_in_order(self):
+        jobs = [small_job("a"), small_job("b", protocol="limited", pointers=1)]
+        results = run_jobs(jobs)
+        assert [r.job.label for r in results] == ["a", "b"]
+        assert all(r.stats.cycles > 0 for r in results)
+        assert not any(r.cached for r in results)
+
+    def test_identical_jobs_simulate_once(self):
+        jobs = [small_job("first"), small_job("duplicate")]
+        results = run_jobs(jobs)
+        assert results[0].cached is False
+        assert results[1].cached is True
+        assert results[1].stats.cycles == results[0].stats.cycles
+
+    def test_cache_hit_on_second_call(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_jobs([small_job()], cache=cache)
+        assert not first[0].cached
+        second = run_jobs([small_job()], cache=cache)
+        assert second[0].cached
+        assert second[0].stats.cycles == first[0].stats.cycles
+
+    def test_parallel_matches_serial(self, tmp_path):
+        jobs = [
+            small_job("full"),
+            small_job("dir1", protocol="limited", pointers=1),
+            small_job("dir2", protocol="limited", pointers=2),
+            small_job("ll", protocol="limitless", pointers=1, ts=25),
+        ]
+        serial = run_jobs(jobs)
+        parallel = run_jobs(jobs, workers=2)
+        assert [r.stats.cycles for r in serial] == [r.stats.cycles for r in parallel]
+        assert [r.stats.network.packets for r in serial] == (
+            [r.stats.network.packets for r in parallel]
+        )
+
+    def test_progress_fires_once_per_job(self):
+        seen = []
+        jobs = [small_job("a"), small_job("a-dup")]
+        run_jobs(jobs, progress=lambda r, done, total: seen.append((done, total)))
+        assert sorted(seen) == [(1, 2), (2, 2)]
+
+
+class TestFigureGrids:
+    def test_grid_titles_cover_the_evaluation(self):
+        grids = figure_grids(8, 2)
+        titles = " ".join(grids)
+        for fragment in ("Figure 7", "Figure 8", "Figure 9", "Figure 10", "5.2"):
+            assert fragment in titles
+
+    def test_shared_baselines_dedupe(self):
+        from repro.sweep import job_key
+
+        grids = figure_grids(8, 2)
+        jobs = [job for js in grids.values() for job in js]
+        keys = {job_key(j.config, j.workload, "fp") for j in jobs}
+        # Full-Map/Weather and Dir4NB/Weather repeat across figures.
+        assert len(keys) < len(jobs)
+
+    def test_run_figure_suite_writes_artifact(self, tmp_path):
+        out = tmp_path / "BENCH_figures.json"
+        artifact = run_figure_suite(
+            4,
+            2,
+            cache=ResultCache(tmp_path / "cache"),
+            only=["Figure 7"],
+            out=out,
+            echo=lambda line: None,
+        )
+        assert out.is_file()
+        on_disk = json.loads(out.read_text())
+        assert on_disk["figures"][0]["title"].startswith("Figure 7")
+        rows = on_disk["figures"][0]["rows"]
+        assert len(rows) == 4
+        assert all(row["cycles"] > 0 for row in rows)
+        assert artifact["simulated"] + artifact["reused"] == len(rows)
+
+    def test_unknown_figure_filter_raises(self):
+        with pytest.raises(ValueError, match="no figure matches"):
+            run_figure_suite(4, 2, only=["Figure 99"], echo=lambda line: None)
+
+
+class TestSweepCli:
+    def test_list_prints_grids(self, capsys):
+        assert sweep_main(["--list", "--procs", "4", "--iters", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "multigrid" in out
+
+    def test_small_run_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_figures.json"
+        code = sweep_main(
+            [
+                "--procs", "4",
+                "--iters", "2",
+                "--figures", "5.2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.is_file()
+        assert "optimized Weather" in capsys.readouterr().out
+
+    def test_unknown_figure_errors(self, tmp_path, capsys):
+        code = sweep_main(
+            ["--figures", "nope", "--cache-dir", str(tmp_path), "--out", ""]
+        )
+        assert code == 2
+
+    def test_clear_cache(self, tmp_path, capsys):
+        code = sweep_main(["--clear-cache", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "removed" in capsys.readouterr().out

@@ -1,0 +1,126 @@
+"""Tests for workload specs, cache keys, and the on-disk result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AlewifeConfig, MachineStats, run_experiment
+from repro.sweep import (
+    WORKLOAD_REGISTRY,
+    ResultCache,
+    WorkloadSpec,
+    job_key,
+    source_fingerprint,
+)
+from repro.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def small_stats() -> MachineStats:
+    config = AlewifeConfig(n_procs=4, protocol="fullmap", max_cycles=2_000_000)
+    return run_experiment(config, WorkloadSpec("hotspot", {"rounds": 2}).build())
+
+
+class TestWorkloadSpec:
+    def test_registry_builds_real_workloads(self):
+        spec = WorkloadSpec("weather", {"iterations": 2})
+        workload = spec.build()
+        assert isinstance(workload, Workload)
+        # A spec builds a *fresh* instance each time.
+        assert spec.build() is not workload
+
+    def test_every_registered_name_is_a_workload_class(self):
+        for cls in WORKLOAD_REGISTRY.values():
+            assert issubclass(cls, Workload)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            WorkloadSpec("linpack")
+
+    def test_key_dict_normalizes_tuples(self):
+        a = WorkloadSpec("multigrid", {"levels": (2, 2)})
+        b = WorkloadSpec("multigrid", {"levels": [2, 2]})
+        assert a.key_dict() == b.key_dict()
+
+
+class TestJobKey:
+    def test_stable_for_identical_inputs(self):
+        config = AlewifeConfig(n_procs=8)
+        spec = WorkloadSpec("weather", {"iterations": 3})
+        assert job_key(config, spec, "fp") == job_key(config, spec, "fp")
+
+    def test_changes_with_config_workload_and_source(self):
+        config = AlewifeConfig(n_procs=8)
+        spec = WorkloadSpec("weather", {"iterations": 3})
+        base = job_key(config, spec, "fp")
+        assert job_key(config.with_(ts=100), spec, "fp") != base
+        assert job_key(config, WorkloadSpec("weather", {"iterations": 4}), "fp") != base
+        assert job_key(config, spec, "other-source") != base
+
+    def test_source_fingerprint_is_stable_hex(self):
+        fp = source_fingerprint()
+        assert fp == source_fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)
+
+
+class TestMachineStatsRoundTrip:
+    def test_to_dict_from_dict_preserves_results(self, small_stats):
+        clone = MachineStats.from_dict(small_stats.to_dict())
+        assert clone.cycles == small_stats.cycles
+        assert clone.config == small_stats.config
+        assert clone.counters.as_dict() == small_stats.counters.as_dict()
+        assert clone.network.packets == small_stats.network.packets
+        assert clone.network.per_opcode == small_stats.network.per_opcode
+        assert clone.worker_sets.as_sorted_items() == (
+            small_stats.worker_sets.as_sorted_items()
+        )
+        assert clone.per_proc_finish == small_stats.per_proc_finish
+        assert clone.summary() == small_stats.summary()
+
+    def test_survives_json_round_trip(self, small_stats):
+        import json
+
+        clone = MachineStats.from_dict(json.loads(json.dumps(small_stats.to_dict())))
+        assert clone.cycles == small_stats.cycles
+        assert clone.worker_sets.mean() == small_stats.worker_sets.mean()
+
+
+class TestResultCache:
+    def test_store_then_lookup(self, tmp_path, small_stats):
+        cache = ResultCache(tmp_path)
+        assert cache.lookup("k1") is None
+        cache.store("k1", small_stats, wall_seconds=0.5, label="t")
+        found = cache.lookup("k1")
+        assert found is not None
+        assert found.cycles == small_stats.cycles
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_disabled_cache_is_inert(self, tmp_path, small_stats):
+        cache = ResultCache(tmp_path, enabled=False)
+        cache.store("k1", small_stats, wall_seconds=0.1)
+        assert cache.lookup("k1") is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_corrupt_entry_misses_cleanly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "bad.json").write_text("{not json")
+        assert cache.lookup("bad") is None
+
+    def test_version_mismatch_misses(self, tmp_path, small_stats):
+        cache = ResultCache(tmp_path)
+        cache.store("k1", small_stats, wall_seconds=0.1)
+        import json
+
+        path = tmp_path / "k1.json"
+        entry = json.loads(path.read_text())
+        entry["version"] = -1
+        path.write_text(json.dumps(entry))
+        assert cache.lookup("k1") is None
+
+    def test_clear_removes_entries(self, tmp_path, small_stats):
+        cache = ResultCache(tmp_path)
+        cache.store("k1", small_stats, wall_seconds=0.1)
+        cache.store("k2", small_stats, wall_seconds=0.1)
+        assert cache.clear() == 2
+        assert cache.lookup("k1") is None
