@@ -6,6 +6,23 @@ transaction with the block's home directory (RREQ/WREQ), retries on BUSY
 with exponential backoff, answers invalidations (UPDATE with data when the
 copy is dirty-exclusive, ACKC otherwise — including for blocks it silently
 replaced), and writes back replaced read-write lines with REPM.
+
+Fault tolerance (``fault_tolerant=True``) adds the recovery half of the
+protocol, designed around the fabric's per-(src, dst) FIFO guarantee:
+
+* outstanding requests carry an *epoch* and a timeout; an un-answered
+  RREQ/WREQ is retransmitted with seeded exponential backoff, and any
+  reply/BUSY bumps the epoch so stale timers die silently;
+* duplicate or superseded data replies (a retransmission raced the
+  original, or a read fill arrived for what is now an upgrade miss) are
+  discarded instead of being fatal — FIFO guarantees the genuine reply is
+  ordered behind them on the home→cache channel;
+* dirty data leaving the cache (REPM on eviction, UPDATE answering an
+  invalidation) is held in a write-back buffer until the home directory
+  acknowledges it with DACK; the buffered copy is retransmitted on
+  timeout, re-answers any INV that arrives meanwhile (echoing the new
+  transaction id), and blocks re-requesting the same block — a refill
+  granted from not-yet-written-back memory would resurrect stale data.
 """
 
 from __future__ import annotations
@@ -51,6 +68,31 @@ class Mshr:
     opened_at: int
     waiters: list[_Waiter] = field(default_factory=list)
     retries: int = 0
+    #: bumped on every (re)send and every reply; a pending timeout timer
+    #: whose epoch no longer matches is stale and does nothing
+    epoch: int = 0
+    #: request timeouts taken so far (drives retransmission backoff)
+    timeouts: int = 0
+    #: True while the request is held because the block's dirty data sits
+    #: un-acknowledged in the write-back buffer (see _WbEntry)
+    wb_blocked: bool = False
+
+
+@dataclass
+class _WbEntry:
+    """Dirty data in flight to home, held until the directory's DACK.
+
+    Created when a READ_WRITE copy leaves the cache (REPM eviction or
+    UPDATE invalidation answer) under ``fault_tolerant``; the buffered
+    words are immutable for the entry's lifetime, so any DACK for the
+    block acknowledges exactly this datum.
+    """
+
+    data: object  # BlockData
+    opcode: str  # "REPM" | "UPDATE"
+    txn: Optional[int]
+    epoch: int = 0
+    retries: int = 0
 
 
 class CacheController(Component):
@@ -69,6 +111,8 @@ class CacheController(Component):
         retry_cap: int = 400,
         rng=None,
         counters: Counters | None = None,
+        fault_tolerant: bool = False,
+        request_timeout: int = 0,
     ) -> None:
         super().__init__(sim, f"cache{node_id}")
         self.node_id = node_id
@@ -84,6 +128,13 @@ class CacheController(Component):
         # call on the per-access hot path.
         self._counts = self.counters._values
         self._mshrs: dict[int, Mshr] = {}
+        #: survive dropped/duplicated/delayed packets (see module docstring)
+        self.fault_tolerant = fault_tolerant
+        #: cycles before an outstanding request or write-back is resent;
+        #: 0 disables timers (the model checker drives retransmission as
+        #: explicit transitions instead)
+        self.request_timeout = request_timeout
+        self._wb_buffer: dict[int, _WbEntry] = {}
         self.miss_latency_total = 0
         self.miss_latency_count = 0
         #: miss latencies binned to 8-cycle buckets (distribution reporting)
@@ -191,6 +242,14 @@ class CacheController(Component):
         self._send_request(mshr)
 
     def _send_request(self, mshr: Mshr) -> None:
+        if mshr.block in self._wb_buffer:
+            # Our dirty copy of this block has not been acknowledged by
+            # home yet; a request now could be granted from stale memory.
+            # Hold the request — the DACK releases it.
+            mshr.wb_blocked = True
+            self.counters.bump("cache.wb_held_requests")
+            return
+        mshr.wb_blocked = False
         home = self.space.home_of(mshr.block)
         opcode = "WREQ" if mshr.need_write else "RREQ"
         if home == self.node_id:
@@ -198,6 +257,54 @@ class CacheController(Component):
         else:
             self.counters.bump("cache.remote_requests")
         self.nic.send(protocol_packet(self.node_id, home, opcode, mshr.block))
+        self._arm_request_timer(mshr)
+
+    # ------------------------------------------------------------------
+    # Timeout and retransmission (fault tolerance)
+    # ------------------------------------------------------------------
+
+    def _retx_delay(self, attempts: int) -> int:
+        delay = self.request_timeout * (2 ** min(attempts, 4))
+        if self._rng is not None:
+            # A dedicated substream: fault-free runs never draw from it,
+            # so arming retransmission does not perturb "cache.retry".
+            delay += self._rng.randint("cache.retx", 0, self.retry_base)
+        return delay
+
+    def _arm_request_timer(self, mshr: Mshr) -> None:
+        if not self.request_timeout:
+            return
+        mshr.epoch += 1
+        epoch = mshr.epoch
+        self.schedule(
+            self._retx_delay(mshr.timeouts),
+            lambda: self._request_timer_fired(mshr, epoch),
+        )
+
+    def _request_timer_fired(self, mshr: Mshr, epoch: int) -> None:
+        if (
+            self._mshrs.get(mshr.block) is not mshr
+            or mshr.epoch != epoch
+            or mshr.wb_blocked
+        ):
+            return
+        mshr.timeouts += 1
+        self.counters.bump("cache.request_retx")
+        self._send_request(mshr)
+
+    def retransmit_request(self, block: int) -> bool:
+        """Resend the outstanding request for ``block`` (no timer).
+
+        The model checker's fault transitions call this directly; the
+        runtime path goes through the timeout timer instead.
+        """
+        mshr = self._mshrs.get(block)
+        if mshr is None or mshr.wb_blocked:
+            return False
+        mshr.timeouts += 1
+        self.counters.bump("cache.request_retx")
+        self._send_request(mshr)
+        return True
 
     # ------------------------------------------------------------------
     # Network interface
@@ -215,16 +322,43 @@ class CacheController(Component):
             self._busy(packet)
         elif op == "UPDATE_DATA":
             self._absorb_update(packet)
+        elif op == "DACK":
+            self._dack(packet)
         else:  # pragma: no cover - opcode routing is exhaustive
             raise RuntimeError(f"{self.name}: unexpected packet {packet}")
 
     def _fill(self, packet: Packet, state: CacheState) -> None:
         block = packet.address
-        mshr = self._mshrs.pop(block, None)
+        mshr = self._mshrs.get(block)
         if mshr is None:
+            if self.fault_tolerant:
+                # A duplicate of a fill we already consumed, or a reply to
+                # a retransmitted request whose original got through.  The
+                # copy it grants is FIFO-ordered before anything else home
+                # sends us, so discarding is safe.
+                self.counters.bump("cache.stray_fills")
+                self.counters.bump(f"cache.stray_fills.{packet.opcode}")
+                return
             # A data reply for a transaction we no longer track would break
             # the directory's view of our copy; fail loudly.
             raise RuntimeError(f"{self.name}: fill without MSHR: {packet}")
+        if self.fault_tolerant and mshr.wb_blocked:
+            # The request for this miss has not even been sent yet (it is
+            # held until home DACKs our buffered write-back), so this fill
+            # is a duplicate answering an older, superseded transaction.
+            # The genuine reply can only follow the released request.
+            self.counters.bump("cache.stray_fills")
+            self.counters.bump(f"cache.stray_fills.{packet.opcode}")
+            return
+        if self.fault_tolerant and mshr.need_write != (state is CacheState.READ_WRITE):
+            # A read fill for what is now an upgrade miss (the waiters of
+            # an earlier read fill re-issued as writers), or a write grant
+            # for a re-opened read miss.  The reply matching the current
+            # request is FIFO-ordered behind this stale one; drop it.
+            self.counters.bump("cache.stray_fills")
+            self.counters.bump(f"cache.stray_fills.{packet.opcode}")
+            return
+        del self._mshrs[block]
         victim = self.array.install(block, state, packet.data.copy())
         if victim is not None:
             self._evict(victim)
@@ -243,6 +377,13 @@ class CacheController(Component):
         if victim.state is CacheState.READ_WRITE:
             # Replace-modified: the only copy travels home with the data.
             self.counters.bump("cache.evict_rw")
+            if self.fault_tolerant:
+                self._wb_buffer[victim.block] = _WbEntry(
+                    victim.data.copy(), "REPM", None
+                )
+                self._send_writeback(victim.block)
+                victim.state = CacheState.INVALID
+                return
             self.nic.send(
                 protocol_packet(
                     self.node_id, home, "REPM", victim.block, data=victim.data.copy()
@@ -261,6 +402,11 @@ class CacheController(Component):
         self.counters.bump("cache.inv_received")
         if line is not None and line.state is CacheState.READ_WRITE:
             # Dirty-exclusive copy: answer with the data (UPDATE).
+            line.state = CacheState.INVALID
+            if self.fault_tolerant:
+                self._wb_buffer[block] = _WbEntry(line.data.copy(), "UPDATE", txn)
+                self._send_writeback(block)
+                return
             self.nic.send(
                 protocol_packet(
                     self.node_id,
@@ -271,7 +417,17 @@ class CacheController(Component):
                     txn=txn,
                 )
             )
-            line.state = CacheState.INVALID
+            return
+        wb = self._wb_buffer.get(block)
+        if wb is not None:
+            # Home is invalidating a copy whose dirty data is still in our
+            # write-back buffer — the earlier UPDATE/REPM (or its DACK) was
+            # lost.  Re-answer from the buffer, echoing the new transaction
+            # id so the directory's acknowledgment counter matches.
+            self.counters.bump("cache.wb_reanswers")
+            wb.opcode = "UPDATE"
+            wb.txn = txn
+            self._send_writeback(block)
             return
         if line is not None:
             line.state = CacheState.INVALID
@@ -286,6 +442,10 @@ class CacheController(Component):
             self.counters.bump("cache.busy_stray")
             return
         mshr.retries += 1
+        # The directory answered, so the request was not lost: kill any
+        # pending retransmission timer (the backoff retry below resends
+        # and re-arms) by advancing the epoch.
+        mshr.epoch += 1
         self.counters.bump("cache.busy_retries")
         delay = min(self.retry_cap, self.retry_base * (2 ** min(mshr.retries - 1, 5)))
         if self._rng is not None:
@@ -294,6 +454,59 @@ class CacheController(Component):
 
     def _retry(self, mshr: Mshr) -> None:
         if self._mshrs.get(mshr.block) is mshr:
+            self._send_request(mshr)
+
+    # ------------------------------------------------------------------
+    # Write-back buffer (fault tolerance)
+    # ------------------------------------------------------------------
+
+    def _send_writeback(self, block: int) -> None:
+        entry = self._wb_buffer[block]
+        home = self.space.home_of(block)
+        meta = {} if entry.txn is None else {"txn": entry.txn}
+        self.nic.send(
+            Packet(self.node_id, home, entry.opcode, block, data=entry.data.copy(),
+                   meta=meta)
+        )
+        if not self.request_timeout:
+            return
+        entry.epoch += 1
+        epoch = entry.epoch
+        self.schedule(
+            self._retx_delay(entry.retries),
+            lambda: self._writeback_timer_fired(block, entry, epoch),
+        )
+
+    def _writeback_timer_fired(self, block: int, entry: _WbEntry, epoch: int) -> None:
+        if self._wb_buffer.get(block) is not entry or entry.epoch != epoch:
+            return
+        entry.retries += 1
+        self.counters.bump("cache.writeback_retx")
+        self._send_writeback(block)
+
+    def retransmit_writeback(self, block: int) -> bool:
+        """Resend the buffered write-back for ``block`` (no timer).
+
+        Model-checker entry point, mirroring :meth:`retransmit_request`.
+        """
+        if block not in self._wb_buffer:
+            return False
+        self._wb_buffer[block].retries += 1
+        self.counters.bump("cache.writeback_retx")
+        self._send_writeback(block)
+        return True
+
+    def _dack(self, packet: Packet) -> None:
+        """Home acknowledged our write-back: retire the buffered data."""
+        block = packet.address
+        entry = self._wb_buffer.pop(block, None)
+        if entry is None:
+            self.counters.bump("cache.stray_dacks")
+            return
+        self.counters.bump("cache.dacks")
+        mshr = self._mshrs.get(block)
+        if mshr is not None and mshr.wb_blocked:
+            # The held re-request can go out now that memory is current.
             self._send_request(mshr)
 
     def _write_through(self, line: CacheLine, addr: int, value: int) -> None:
@@ -325,7 +538,7 @@ class CacheController(Component):
     # ------------------------------------------------------------------
 
     def idle(self) -> bool:
-        return not self._mshrs
+        return not self._mshrs and not self._wb_buffer
 
     def mean_miss_latency(self) -> float:
         if not self.miss_latency_count:

@@ -12,6 +12,7 @@ Examples::
     python -m repro --list
     python -m repro modelcheck --protocol limitless --caches 3
     python -m repro sweep --workers 4 --out BENCH_figures.json
+    python -m repro faults --rates 1e-3 --seeds 0 1 2 3 4
 """
 
 from __future__ import annotations
@@ -92,11 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 #: Subcommands hosted by the top-level parser.
-COMMANDS = ("run", "modelcheck", "sweep")
+COMMANDS = ("run", "modelcheck", "sweep", "faults")
 
 
 def build_top_parser() -> argparse.ArgumentParser:
     """Top-level parser: ``repro --help`` lists every subcommand."""
+    from .faults import cli as faults_cli
     from .modelcheck import cli as modelcheck_cli
     from .sweep import cli as sweep_cli
 
@@ -107,7 +109,7 @@ def build_top_parser() -> argparse.ArgumentParser:
             "(e.g. `repro --protocol limitless`) run as an implicit `run`."
         ),
     )
-    sub = parser.add_subparsers(dest="command", metavar="{run,modelcheck,sweep}")
+    sub = parser.add_subparsers(dest="command", metavar="{run,modelcheck,sweep,faults}")
     run_parser = sub.add_parser(
         "run", help="run one experiment (the default subcommand)"
     )
@@ -126,6 +128,13 @@ def build_top_parser() -> argparse.ArgumentParser:
     )
     sweep_cli.add_arguments(sweep_parser)
     sweep_parser.set_defaults(func=sweep_cli.run_from_args)
+    faults_parser = sub.add_parser(
+        "faults",
+        help="seeded chaos campaigns with the invariant auditor as oracle",
+        description=faults_cli.DESCRIPTION,
+    )
+    faults_cli.add_arguments(faults_parser)
+    faults_parser.set_defaults(func=faults_cli.run_from_args)
     return parser
 
 

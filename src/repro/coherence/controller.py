@@ -17,6 +17,24 @@ Race handling (beyond the paper's table, which assumes idealized delivery):
   superseded rounds) are counted and dropped.
 * A cache that receives INV for a block it silently replaced acknowledges
   anyway; a REPM that crosses an in-flight INV counts as that node's ack.
+
+Fault tolerance (``fault_tolerant=True``) extends the table for lossy
+delivery:
+
+* every UPDATE/REPM receipt is acknowledged with DACK at the network entry
+  point (exactly once per delivery), so the sending cache can retire its
+  write-back buffer; duplicates of already-consumed write-backs become
+  counted strays rather than protocol errors;
+* an invalidation round that stops making progress is retransmitted to the
+  still-awaited nodes with backoff; after ``inv_retx_broadcast`` fruitless
+  rounds a write transaction falls back to *broadcast reconstruction* —
+  INV to every node except the requester under the *same* transaction id
+  (a new id would orphan a dirty owner's in-flight UPDATE), rebuilding the
+  entry from universal acknowledgment;
+* a dataless ACKC matching a read transaction's awaited owner means the
+  owner lost its grant (the WDATA was dropped before it ever held data) or
+  already wrote back — either way memory is current, so the read completes
+  from memory instead of raising.
 """
 
 from __future__ import annotations
@@ -54,6 +72,9 @@ class MemoryController(Component):
         pointer_capacity: int | None = None,
         dir_occupancy: int = 3,
         counters: Counters | None = None,
+        fault_tolerant: bool = False,
+        inv_timeout: int = 0,
+        inv_retx_broadcast: int = 3,
     ) -> None:
         super().__init__(sim, f"dir{node_id}")
         self.node_id = node_id
@@ -65,6 +86,22 @@ class MemoryController(Component):
         self.directory = Directory(node_id)
         self.occupancy = StallableResource(sim, f"dirres{node_id}")
         self.counters = counters if counters is not None else Counters()
+        #: survive dropped/duplicated packets (see module docstring)
+        self.fault_tolerant = fault_tolerant
+        #: cycles before an unacknowledged invalidation round is resent;
+        #: 0 disables timers (the model checker drives retransmission as
+        #: explicit transitions instead)
+        self.inv_timeout = inv_timeout
+        self.inv_retx_broadcast = inv_retx_broadcast
+        #: block -> completed retransmission rounds for the open round
+        self._inv_rounds: dict[int, int] = {}
+        #: block -> nodes sent a fire-and-forget eviction INV that has not
+        #: been acknowledged yet (limited-directory pointer replacement
+        #: under fault_tolerant).  Until a node acks *some* INV for the
+        #: block its stale read-only copy may still be live, so these
+        #: nodes join every subsequent invalidation round and count as
+        #: recorded holders for auditing.
+        self._pending_evictions: dict[int, set[int]] = {}
         self.worker_sets = Histogram()
         #: set while the software trap handler executes the FSM on the
         #: processor: software emulates a *full-map* directory, so pointer
@@ -91,6 +128,15 @@ class MemoryController(Component):
             raise ProtocolError(f"{self.name}: {packet} not homed here")
         if packet.address != self.space.block_of(packet.address):
             raise ProtocolError(f"{self.name}: {packet} not block aligned")
+        if self.fault_tolerant and packet.opcode in ("UPDATE", "REPM"):
+            # Acknowledge dirty data at the network entry point — exactly
+            # once per delivery, whether the packet is then consumed,
+            # interlocked and replayed, or dropped as stray.  The sending
+            # cache retires its write-back buffer on the DACK.
+            self.counters.bump("dir.dacks_sent")
+            self.nic.send(
+                protocol_packet(self.node_id, packet.src, "DACK", packet.address)
+            )
         done_at = self.occupancy.acquire(self.dir_occupancy)
         self.sim.post(done_at, self.process, packet)
 
@@ -98,6 +144,15 @@ class MemoryController(Component):
         """Dispatch a packet once the controller pipeline reaches it."""
         entry = self.directory.entry(packet.address)
         self.counters._values["dir.packets"] += 1
+        if self.fault_tolerant and packet.opcode == "ACKC":
+            # Any acknowledgment from a node proves its copy is gone (a
+            # cache only ACKCs after invalidating), so it settles any
+            # outstanding fire-and-forget eviction too.
+            pending = self._pending_evictions.get(entry.block)
+            if pending is not None:
+                pending.discard(packet.src)
+                if not pending:
+                    del self._pending_evictions[entry.block]
         if self._meta_intercept(entry, packet):
             return
         self.dispatch(entry, packet)
@@ -166,6 +221,10 @@ class MemoryController(Component):
                 self._read_overflow(entry, packet)
         elif op == "WREQ":
             others = entry.all_copy_holders() - {src}
+            if self.fault_tolerant:
+                # Nodes with an unacknowledged eviction INV may still hold
+                # a stale read-only copy; the write round must cover them.
+                others |= self._pending_evictions.get(entry.block, set()) - {src}
             if not others:
                 # Transition 2: P = {i}; WDATA -> i
                 entry.clear_sharers()
@@ -179,6 +238,12 @@ class MemoryController(Component):
             self._stray(entry, packet)  # late ack from an eviction INV
         elif op == "REPM":
             self._stray(entry, packet)  # superseded by a completed transaction
+        elif op == "UPDATE" and self.fault_tolerant:
+            # A duplicate or retransmission of an invalidation answer whose
+            # original was already consumed (the transaction completed, or
+            # this state could not have been reached); its data is already
+            # home or superseded.
+            self._stray(entry, packet)
         else:
             raise ProtocolError(f"{self.name}: {op} in READ_ONLY for {packet}")
 
@@ -192,11 +257,21 @@ class MemoryController(Component):
             raise ProtocolError(f"{self.name}: READ_WRITE with holders={holders}")
         owner = next(iter(holders))
         if op == "RREQ":
+            if self.fault_tolerant and src == owner:
+                # Always a stale duplicate: a live read miss from the
+                # recorded owner is impossible (a lost WDATA leaves a
+                # write MSHR that retransmits WREQ, and an evicted copy
+                # holds re-requests until the REPM is acknowledged), and
+                # tearing the owner down through a read transaction for a
+                # duplicate would thrash a healthy exclusive copy.
+                self._stray(entry, packet)
+                return
             # Transition 5: INV -> owner, enter READ_TRANSACTION
             txn = entry.begin_transaction(src, {owner})
             entry.state = DirState.READ_TRANSACTION
             entry.clear_sharers()
             self._send_inv(owner, entry.block, txn)
+            self._arm_inv_timer(entry)
         elif op == "WREQ":
             if src == owner:
                 # Owner already exclusive; re-grant (lost-WDATA retry path).
@@ -208,6 +283,7 @@ class MemoryController(Component):
                 entry.state = DirState.WRITE_TRANSACTION
                 entry.clear_sharers()
                 self._send_inv(owner, entry.block, txn)
+                self._arm_inv_timer(entry)
         elif op == "REPM":
             if src == owner:
                 # Transition 6: owner replaced its modified copy
@@ -217,6 +293,11 @@ class MemoryController(Component):
             else:
                 self._stray(entry, packet)
         elif op == "ACKC":
+            self._stray(entry, packet)
+        elif op == "UPDATE" and self.fault_tolerant:
+            # The invalidation round this answered already completed (via
+            # a duplicate of this answer, a write-back-buffer re-answer,
+            # or the REPM wildcard) with identical data; drop the echo.
             self._stray(entry, packet)
         else:
             raise ProtocolError(f"{self.name}: {op} in READ_WRITE for {packet}")
@@ -267,6 +348,7 @@ class MemoryController(Component):
         entry.add_sharer(requester)
         entry.state = DirState.READ_WRITE
         entry.requester = None
+        self._inv_rounds.pop(entry.block, None)
         self._send_wdata(entry, requester)
         self.counters.bump("dir.write_transactions_done")
 
@@ -298,6 +380,17 @@ class MemoryController(Component):
             # even one that has since become the owner — so it is stray.
             txn = packet.meta.get("txn")
             if txn is not None and entry.ack_from(src, txn):
+                if self.fault_tolerant:
+                    # "Ownerless" acknowledgment: the awaited owner answered
+                    # without data, so it holds no modified copy — its WDATA
+                    # grant was lost before it ever filled, or its dirty
+                    # data already came home (write-backs are buffered and
+                    # retransmitted until DACKed, and the buffer re-answers
+                    # INV in our place).  Either way memory is current;
+                    # complete the read from it.
+                    self.counters.bump("dir.ownerless_reads")
+                    self._complete_read(entry)
+                    return
                 raise ProtocolError(
                     f"{self.name}: dataless ACKC from owner in READ_TRANSACTION"
                 )
@@ -313,6 +406,7 @@ class MemoryController(Component):
         entry.add_sharer(requester)
         entry.state = DirState.READ_ONLY
         entry.requester = None
+        self._inv_rounds.pop(entry.block, None)
         self._send_rdata(entry, requester)
         self.counters.bump("dir.read_transactions_done")
 
@@ -345,6 +439,70 @@ class MemoryController(Component):
         self.worker_sets.add(len(targets) + 1)
         for node in sorted(targets):
             self._send_inv(node, entry.block, txn)
+        self.counters.bump("dir.invalidations", len(targets))
+        self._arm_inv_timer(entry)
+
+    # ------------------------------------------------------------------
+    # Invalidation-round recovery (fault tolerance)
+    # ------------------------------------------------------------------
+
+    def _arm_inv_timer(self, entry: DirectoryEntry) -> None:
+        """Watch the open invalidation round; resend if it stalls."""
+        if not self.inv_timeout:
+            return
+        txn = entry.txn
+        rounds = self._inv_rounds.get(entry.block, 0)
+        delay = self.inv_timeout * (2 ** min(rounds, 4))
+        self.schedule(delay, lambda: self._inv_timer_fired(entry, txn))
+
+    def _inv_timer_fired(self, entry: DirectoryEntry, txn: int) -> None:
+        if (
+            entry.txn != txn
+            or not entry.ack_waiting
+            or entry.state
+            not in (DirState.READ_TRANSACTION, DirState.WRITE_TRANSACTION)
+        ):
+            return  # the round completed or was superseded
+        if entry.meta is MetaState.TRANS_IN_PROGRESS:
+            # Interlocked in software; check again later.
+            self._arm_inv_timer(entry)
+            return
+        rounds = self._inv_rounds.get(entry.block, 0) + 1
+        self._inv_rounds[entry.block] = rounds
+        if (
+            entry.state is DirState.WRITE_TRANSACTION
+            and rounds >= self.inv_retx_broadcast
+        ):
+            self.broadcast_reconstruct(entry)
+        else:
+            self.retransmit_invalidations(entry)
+        self._arm_inv_timer(entry)
+
+    def retransmit_invalidations(self, entry: DirectoryEntry) -> int:
+        """Resend INV to every still-awaited node (same transaction id)."""
+        targets = sorted(entry.ack_waiting)
+        for node in targets:
+            self._send_inv(node, entry.block, entry.txn)
+        self.counters.bump("dir.inv_retx", len(targets))
+        return len(targets)
+
+    def broadcast_reconstruct(self, entry: DirectoryEntry) -> None:
+        """Rebuild an unrecoverable write transaction by broadcast.
+
+        When targeted retransmission keeps failing, the entry's record of
+        who owes an acknowledgment can no longer be trusted.  Invalidate
+        *every* node except the requester under the **same** transaction
+        id — a fresh id would turn a dirty owner's in-flight UPDATE into a
+        stray and lose its data — and require universal acknowledgment.
+        Any node holding dirty data answers UPDATE (possibly from its
+        write-back buffer); everyone else answers ACKC; the last ack
+        releases the requester's WDATA exactly as in transition 8.
+        """
+        targets = set(range(self.space.n_nodes)) - {entry.requester}
+        entry.ack_waiting |= targets
+        for node in sorted(targets):
+            self._send_inv(node, entry.block, entry.txn)
+        self.counters.bump("dir.broadcast_reconstructs")
         self.counters.bump("dir.invalidations", len(targets))
 
     def _send_rdata(self, entry: DirectoryEntry, dst: int) -> None:
@@ -397,7 +555,11 @@ class MemoryController(Component):
         ``None`` means "any node" (a broadcast-mode entry deliberately
         stops recording individual sharers).
         """
-        return entry.all_copy_holders()
+        holders = entry.all_copy_holders()
+        pending = self._pending_evictions.get(entry.block)
+        if pending:
+            holders = holders | pending
+        return holders
 
     def busiest_blocks(self, top: int = 5) -> list[tuple[int, int]]:
         ranked = sorted(

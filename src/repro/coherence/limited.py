@@ -55,7 +55,12 @@ class LimitedController(MemoryController):
         victim = self._choose_victim(entry, packet.src)
         self.counters.bump("dir.pointer_evictions")
         # Eviction invalidate carries no transaction id: the resulting ACKC
-        # is dropped as stray (the pointer is already reassigned).
+        # is dropped as stray (the pointer is already reassigned).  Under
+        # fault injection the INV (or its ACKC) can be lost, so remember
+        # the victim until *some* ack from it arrives — it stays a target
+        # of future invalidation rounds and a recorded holder meanwhile.
+        if self.fault_tolerant:
+            self._pending_evictions.setdefault(entry.block, set()).add(victim)
         self._send_inv(victim, entry.block, None)
         entry.drop_sharer(victim)
         order = self._fifo_order.get(entry.block, [])

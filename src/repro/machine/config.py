@@ -59,10 +59,47 @@ class AlewifeConfig:
     #: outstanding-store capacity per context under "wo"
     store_buffer: int = 8
 
+    # Fault injection (per-packet probabilities; all zero = faults off and
+    # the machine is wired exactly as before, bit-identical to the goldens)
+    fault_drop_rate: float = 0.0
+    fault_dup_rate: float = 0.0
+    fault_delay_rate: float = 0.0
+    #: extra delivery delay drawn uniformly from [1, fault_delay_max] cycles
+    fault_delay_max: int = 64
+    fault_corrupt_rate: float = 0.0
+    #: probability a LimitLESS trap-handler invocation is stalled
+    fault_stall_rate: float = 0.0
+    #: extra cycles added to a stalled trap invocation
+    fault_stall_cycles: int = 500
+
+    # Protocol fault tolerance (0 = derive a default when faults are on)
+    #: cycles a cache waits on an outstanding RREQ/WREQ (or buffered
+    #: writeback) before retransmitting
+    request_timeout: int = 0
+    #: cycles the directory waits on outstanding invalidation acks before
+    #: retransmitting the INV round
+    inv_timeout: int = 0
+    #: invalidation retransmission rounds before a write transaction falls
+    #: back to broadcast-invalidate directory reconstruction
+    inv_retx_broadcast: int = 3
+    #: liveness watchdog check period (0 = derive when faults are on)
+    watchdog_interval: int = 0
+
     # Simulation
     seed: int = 42
     max_cycles: int = 50_000_000
     ipi_capacity: int = 4096
+
+    @property
+    def faults_enabled(self) -> bool:
+        """True when any fault-injection rate is non-zero."""
+        return (
+            self.fault_drop_rate > 0
+            or self.fault_dup_rate > 0
+            or self.fault_delay_rate > 0
+            or self.fault_corrupt_rate > 0
+            or self.fault_stall_rate > 0
+        )
 
     def __post_init__(self) -> None:
         if self.n_procs < 1:
@@ -77,6 +114,20 @@ class AlewifeConfig:
             raise ValueError("limited directories need at least one pointer")
         if self.memory_model not in ("sc", "wo"):
             raise ValueError("memory_model must be 'sc' or 'wo'")
+        for rate_field in (
+            "fault_drop_rate",
+            "fault_dup_rate",
+            "fault_delay_rate",
+            "fault_corrupt_rate",
+            "fault_stall_rate",
+        ):
+            rate = getattr(self, rate_field)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{rate_field} must be in [0, 1], got {rate}")
+        if self.fault_delay_max < 1:
+            raise ValueError("fault_delay_max must be >= 1")
+        if self.inv_retx_broadcast < 1:
+            raise ValueError("inv_retx_broadcast must be >= 1")
 
     def with_(self, **changes: Any) -> "AlewifeConfig":
         """A copy with the given fields replaced."""

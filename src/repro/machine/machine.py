@@ -12,12 +12,14 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING
 
+from ..faults import FaultInjector, LivenessWatchdog
 from ..mem.address import AddressSpace, Allocator
 from ..network.fabric import IdealNetwork, Network, NetworkStats, WormholeNetwork
 from ..network.topology import make_topology
 from ..sim.kernel import SimulationError, Simulator
 from ..sim.rng import DeterministicRng
 from ..stats.counters import Counters, Histogram
+from ..verify.diagnose import LivenessError, diagnose
 from ..verify.invariants import audit_machine
 from .config import AlewifeConfig
 from .node import Node
@@ -108,6 +110,11 @@ class AlewifeMachine:
         )
         self.allocator = Allocator(self.space)
         self.network = self._build_network()
+        if config.faults_enabled:
+            # The injector installs itself as network.fault_injector and
+            # takes over delivery scheduling; zero-rate configs skip it
+            # entirely so the fast path (and the goldens) are untouched.
+            FaultInjector(self.network, self.rng, config)
         self._finished = 0
         self.nodes = [
             Node(
@@ -158,15 +165,15 @@ class AlewifeMachine:
             raise SimulationError("workload produced no programs")
         for node in self.nodes:
             node.start()
+        if self.config.faults_enabled:
+            LivenessWatchdog(self, self.config.watchdog_interval or 25_000)
         self.sim.run()
         laggards = [n.node_id for n in self.nodes if not n.processor.done]
         if laggards:
-            from ..verify.diagnose import diagnose
-
-            raise SimulationError(
+            raise LivenessError(
                 f"simulation stopped at {self.sim.now} cycles with processors "
-                f"{laggards[:8]} unfinished (deadlock or max_cycles too small)\n"
-                + diagnose(self).report()
+                f"{laggards[:8]} unfinished (deadlock or max_cycles too small)",
+                diagnose(self),
             )
         entries = audit_machine(self) if audit else 0
         return self._collect(entries)
@@ -187,6 +194,8 @@ class AlewifeMachine:
             traps += node.processor.traps_taken
             trap_cycles += node.processor.trap_cycles
             finishes.append(node.processor.finish_time or 0)
+        if self.network.fault_injector is not None:
+            counters.merge(self.network.fault_injector.counters)
         cycles = max(finishes) if finishes else self.sim.now
         busy = sum(n.processor.busy_cycles for n in self.nodes)
         denom = cycles * len(self.nodes)

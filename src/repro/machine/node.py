@@ -42,10 +42,18 @@ class Node:
         self.config = config
         self.counters = Counters()
 
+        fault_tolerant = config.faults_enabled
         self.memory = MainMemory(space, node_id)
         self.nic = NetworkInterface(
-            sim, node_id, network, ipi_capacity=config.ipi_capacity
+            sim,
+            node_id,
+            network,
+            ipi_capacity=config.ipi_capacity,
+            counters=self.counters,
         )
+        # Payload CRCs are stamped/verified only under fault injection, so
+        # fault-free runs never pay for (or are perturbed by) checksums.
+        self.nic.crc_enabled = fault_tolerant
         self.directory_controller = self._build_directory_controller(
             sim, space, rng
         )
@@ -61,6 +69,10 @@ class Node:
             retry_cap=config.retry_cap,
             rng=rng,
             counters=self.counters,
+            fault_tolerant=fault_tolerant,
+            request_timeout=(
+                (config.request_timeout or 2000) if fault_tolerant else 0
+            ),
         )
         self.processor = Processor(
             sim,
@@ -95,6 +107,10 @@ class Node:
             dir_occupancy=self.config.dir_occupancy,
             counters=self.counters,
         )
+        if self.config.faults_enabled:
+            kwargs["fault_tolerant"] = True
+            kwargs["inv_timeout"] = self.config.inv_timeout or 3000
+            kwargs["inv_retx_broadcast"] = self.config.inv_retx_broadcast
         if self.config.protocol in (
             "limited",
             "limited_broadcast",

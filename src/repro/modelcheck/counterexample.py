@@ -36,6 +36,20 @@ def describe_action(action: Action, step: StepResult | None = None) -> str:
         return f"processor {action[1]} issues a store"
     if kind == "evict":
         return f"cache {action[1]} replaces (evicts) its copy"
+    if kind in ("drop", "dup"):
+        _, src, dst = action
+        verb = "drops" if kind == "drop" else "duplicates"
+        if step is not None and step.delivered is not None:
+            _, _, opcode, txn, value = step.delivered
+            detail = _describe_msg(opcode, txn, value)
+            return f"the network {verb} {detail} on channel {src}->{dst}"
+        return f"the network {verb} the head of channel {src}->{dst}"
+    if kind == "retx_req":
+        return f"cache {action[1]} times out and resends its request"
+    if kind == "retx_wb":
+        return f"cache {action[1]} times out and resends its write-back"
+    if kind == "retx_dir":
+        return "the directory times out and resends its invalidations"
     return repr(action)
 
 
@@ -62,10 +76,15 @@ def format_state(state: MCState) -> str:
     if state.pending:
         dir_bits.append(f"pending={len(state.pending)}")
     caches = " ".join(
-        f"{node}={_CACHE_ABBREV[line_state]}"
-        + (f"({value})" if line_state != "INVALID" else "")
-        + ("*" if mshr is not None else "")
-        for node, (line_state, value, mshr) in enumerate(state.caches)
+        f"{node}={_CACHE_ABBREV[view[0]]}"
+        + (f"({view[1]})" if view[0] != "INVALID" else "")
+        + ("*" if view[2] is not None else "")
+        + (
+            f"+wb:{view[3][0]}({view[3][2]})"
+            if len(view) > 3 and view[3] is not None
+            else ""
+        )
+        for node, view in enumerate(state.caches)
     )
     wires = " ".join(
         f"{src}->{dst}:" + ",".join(_describe_msg(*m[1:]) for m in msgs)

@@ -1,0 +1,256 @@
+"""Model checking under message faults: drop/duplicate + recovery actions.
+
+:class:`FaultyProtocolModel` extends the concrete-execution model with a
+bounded *fault budget*: at any point where a channel is non-empty the
+adversary may spend one unit to **drop** the channel head or **duplicate**
+it (the copy is inserted right behind the original, matching what a
+duplicating fabric that preserves per-(src, dst) FIFO order can do).  The
+budget rides along in the abstract state (the last ``scalars`` slot) and
+is stripped before any concrete half-step, so the memoization and the
+snapshot/restore machinery stay exactly as budget-free as the base model.
+
+Two modes:
+
+* ``hardened=True`` (default) builds the production controllers with
+  ``fault_tolerant=True`` — the configuration the runtime fault-injection
+  campaigns use.  Timers stay off (``request_timeout=0``/``inv_timeout=0``
+  — real timers would post events the drain step cannot absorb); instead
+  each timeout the runtime would take becomes an explicit *recovery
+  action* calling the same public entry points the timers call:
+
+  - ``("retx_req", node)``  → :meth:`CacheController.retransmit_request`
+  - ``("retx_wb", node)``   → :meth:`CacheController.retransmit_writeback`
+  - ``("retx_dir",)``       → :meth:`MemoryController.retransmit_invalidations`
+
+  Recovery actions are enabled only when nothing is in flight (all
+  channels and the IPI queue empty): a retransmission while the original
+  is still travelling is behaviourally a duplicate, which the ``dup``
+  action already explores, and the quiesce gate is exactly the situation
+  where a timeout is *needed* for liveness.  A state whose open work has
+  an enabled recovery action is not a deadlock — the runtime timer would
+  fire — so :meth:`deadlock_problems` reports only states that recovery
+  cannot help.
+
+  Hardened cache views grow a fourth slot for the write-back buffer
+  (``None`` or ``(opcode, txn, value)``), because buffered dirty data is
+  protocol state that must survive snapshot/restore.  Node-symmetry
+  reduction is disabled (the wb slot is not wired into the permutation
+  code); fault budgets are small enough that the raw space stays
+  tractable.
+
+* ``hardened=False`` leaves the controllers exactly as shipped before
+  fault tolerance.  One dropped or duplicated packet then demonstrably
+  kills the baseline protocol (a deadlock or a fatal stray), which is
+  the checker's proof that the hardening is load-bearing.
+
+``limitless_approx`` is not supported: its emulated-pointer scalars are
+read positionally from the *end* of ``scalars``, where the budget lives.
+"""
+
+from __future__ import annotations
+
+from ..cache.controller import _WbEntry
+from .model import Action, ModelInternalError, ProtocolModel, StepResult
+from .state import MCState
+
+
+class FaultyProtocolModel(ProtocolModel):
+    """A protocol model with a bounded drop/duplicate fault adversary."""
+
+    def __init__(
+        self,
+        protocol: str,
+        n_caches: int = 3,
+        *,
+        pointers: int = 1,
+        faults: int = 1,
+        hardened: bool = True,
+    ):
+        if protocol == "limitless_approx":
+            raise ValueError(
+                "fault checking does not support limitless_approx "
+                "(its emulated-pointer scalars clash with the budget slot)"
+            )
+        if faults < 0:
+            raise ValueError("fault budget must be >= 0")
+        self.hardened = hardened
+        super().__init__(protocol, n_caches, pointers=pointers)
+        # The wb slot in cache views is not wired into permute_state.
+        self.symmetric = False
+        self.faults = faults
+        self._initial = self._with_budget(self._initial, faults)
+
+    # -- controller construction ---------------------------------------
+
+    def _controller_extra_kwargs(self) -> dict:
+        if not self.hardened:
+            return {}
+        # inv_timeout stays 0: retransmission is an explicit action.
+        return {"fault_tolerant": True}
+
+    def _cache_extra_kwargs(self) -> dict:
+        if not self.hardened:
+            return {}
+        return {"fault_tolerant": True}
+
+    # -- budget plumbing ------------------------------------------------
+
+    @staticmethod
+    def _strip(s: MCState) -> tuple[MCState, int]:
+        return s._replace(scalars=s.scalars[:-1]), s.scalars[-1]
+
+    @staticmethod
+    def _with_budget(s: MCState, budget: int) -> MCState:
+        return s._replace(scalars=s.scalars + (budget,))
+
+    # -- abstraction of the hardened extras -----------------------------
+
+    def _snapshot_cache(self, node: int) -> tuple:
+        view = super()._snapshot_cache(node)
+        if not self.hardened:
+            return view
+        wb = self.caches[node]._wb_buffer.get(self.block)
+        if wb is None:
+            return view + (None,)
+        return view + ((wb.opcode, wb.txn, self._abstract_data(wb.data)),)
+
+    def _restore_cache_view(self, node: int, view: tuple) -> None:
+        super()._restore_cache_view(node, view)
+        if not self.hardened:
+            return
+        cc = self.caches[node]
+        cc._wb_buffer.clear()
+        wb = view[3]
+        if wb is not None:
+            opcode, txn, value = wb
+            cc._wb_buffer[self.block] = _WbEntry(
+                self._block_data(value), opcode, txn
+            )
+            mshr = cc._mshrs.get(self.block)
+            if mshr is not None:
+                # A request opened while the buffer holds the block is
+                # always held (re-requesting before the DACK could be
+                # granted from stale memory), so the flag is derived.
+                mshr.wb_blocked = True
+
+    def _snapshot_extras(self):
+        node_sets, node_lists, scalars = super()._snapshot_extras()
+        if self.hardened:
+            pend = self.controller._pending_evictions.get(self.block, ())
+            node_sets = node_sets + (frozenset(pend),)
+        return node_sets, node_lists, scalars
+
+    def _restore_extras(self, s: MCState) -> None:
+        super()._restore_extras(s)
+        if self.hardened:
+            c = self.controller
+            c._pending_evictions.clear()
+            pend = s.node_sets[-1]
+            if pend:
+                c._pending_evictions[self.block] = set(pend)
+
+    # -- transitions -----------------------------------------------------
+
+    def enabled_actions(self, s: MCState) -> list[Action]:
+        base, budget = self._strip(s)
+        actions = super().enabled_actions(base)
+        if budget > 0:
+            for (src, dst), msgs in base.channels:
+                if msgs:
+                    actions.append(("drop", src, dst))
+                    actions.append(("dup", src, dst))
+        if self.hardened and not base.channels and not base.ipi:
+            actions.extend(self._recovery_actions(base))
+        return actions
+
+    def _recovery_actions(self, s: MCState) -> list[Action]:
+        """Timeout-driven retransmissions available in a drained state."""
+        acts: list[Action] = []
+        for node, view in enumerate(s.caches):
+            wb = view[3]
+            if wb is not None:
+                acts.append(("retx_wb", node))
+            elif view[2] is not None:
+                acts.append(("retx_req", node))
+        if (
+            s.ack_waiting
+            and s.meta != "TRANS_IN_PROGRESS"
+            and s.dir_state in ("READ_TRANSACTION", "WRITE_TRANSACTION")
+        ):
+            acts.append(("retx_dir",))
+        return acts
+
+    def apply(self, s: MCState, action: Action) -> StepResult:
+        base, budget = self._strip(s)
+        kind = action[0]
+        if kind in ("drop", "dup"):
+            if budget <= 0:
+                raise ModelInternalError("fault action with no budget left")
+            result = StepResult(action=action, state=None)
+            chan = dict(base.channels)
+            msg = self._pop_head(chan, (action[1], action[2]))
+            result.delivered = (action[1], action[2], *msg[1:])
+            if kind == "dup":
+                key = (action[1], action[2])
+                queue = chan.get(key)
+                # The copy lands right behind the original: FIFO order
+                # between distinct messages is never perturbed.
+                chan[key] = (msg, msg) if queue is None else (msg, msg) + queue
+            result.state = self._with_budget(
+                base._replace(channels=tuple(sorted(chan.items()))), budget - 1
+            )
+            return result
+        result = super().apply(base, action)
+        if result.state is not None:
+            result.state = self._with_budget(result.state, budget)
+        return result
+
+    def _apply_extra(self, home: tuple, caches: list, action: Action) -> tuple:
+        kind = action[0]
+        if kind == "retx_dir":
+            return self._home_step(home, caches, ("retx_dir", None))
+        if kind in ("retx_req", "retx_wb"):
+            node = action[1]
+            caches[node], sends = self._cache_step(
+                home, caches, node, (kind, None)
+            )
+            return home, sends
+        return super()._apply_extra(home, caches, action)
+
+    # -- judgement --------------------------------------------------------
+
+    def view_of(self, s: MCState):
+        view = super().view_of(s)
+        if self.hardened and view.recorded is not None:
+            # Un-acked pointer evictions may still hold stale read-only
+            # copies; the directory tracks them as possible holders.
+            view.recorded |= set(s.node_sets[-1])
+        return view
+
+    def _is_busy(self, s: MCState) -> bool:
+        if super()._is_busy(s):
+            return True
+        if self.hardened:
+            for view in s.caches:
+                if view[3] is not None:
+                    return True
+        return False
+
+    def _busy_reasons(self, s: MCState) -> list[str]:
+        reasons = super()._busy_reasons(s)
+        if self.hardened:
+            for node, view in enumerate(s.caches):
+                if view[3] is not None:
+                    reasons.append(
+                        f"cache {node} holds un-acknowledged dirty data "
+                        f"in its write-back buffer"
+                    )
+        return reasons
+
+    def deadlock_problems(self, s: MCState) -> list[str]:
+        problems = super().deadlock_problems(s)
+        if problems and self.hardened:
+            base, _ = self._strip(s)
+            if self._recovery_actions(base):
+                return []  # a runtime timeout would fire and recover
+        return problems

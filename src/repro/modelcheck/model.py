@@ -283,7 +283,7 @@ class ProtocolModel:
             self.nics[0],
             dir_occupancy=1,
             counters=null_counters,
-            **self.spec.kwargs(pointers),
+            **{**self.spec.kwargs(pointers), **self._controller_extra_kwargs()},
         )
         self.engine: ManualTrapEngine | None = None
         self.software: LimitLessSoftware | None = None
@@ -303,6 +303,7 @@ class ProtocolModel:
                 retry_base=1,
                 retry_cap=1,
                 counters=null_counters,
+                **self._cache_extra_kwargs(),
             )
             for i in range(n_caches)
         ]
@@ -322,6 +323,14 @@ class ProtocolModel:
         # (and mutated) by every apply(), so this cannot be recomputed.
         self._initial = self._snapshot({})
         self._world = self._initial
+
+    def _controller_extra_kwargs(self) -> dict:
+        """Extra directory-controller kwargs (hook for fault models)."""
+        return {}
+
+    def _cache_extra_kwargs(self) -> dict:
+        """Extra cache-controller kwargs (hook for fault models)."""
+        return {}
 
     # ------------------------------------------------------------------
     # Abstraction helpers
@@ -497,26 +506,7 @@ class ProtocolModel:
         for node, view in enumerate(s.caches):
             if world is not None and world.caches[node] == view:
                 continue
-            line_state, value, need_write = view
-            cc = self.caches[node]
-            cc._mshrs.clear()
-            cc.array._lines.clear()
-            if line_state != "INVALID":
-                # written is write-only bookkeeping (nothing reads it
-                # back), so the restored world may leave it stale
-                cc.array._lines[cc.array.index_of(self.block)] = CacheLine(
-                    self.block,
-                    CacheState[line_state],
-                    self._block_data(value),
-                )
-            if need_write is not None:
-                kind = "store" if need_write else "load"
-                cc._mshrs[self.block] = Mshr(
-                    self.block,
-                    need_write,
-                    self.sim.now,
-                    [self._waiter(node, kind)],
-                )
+            self._restore_cache_view(node, view)
         if world is None or world.ipi != s.ipi:
             nic0 = self.nics[0]
             nic0._ipi_queue.clear()
@@ -527,6 +517,31 @@ class ProtocolModel:
                 # handler, so the manual engine holds one pending trap
                 # per queued packet.
                 nic0.divert_to_ipi(self._packet(msg, 0))
+
+    def _restore_cache_view(self, node: int, view: tuple) -> None:
+        """Make one live cache embody its abstract view (first 3 fields:
+        line state name, data value, MSHR need_write-or-None; fault
+        models append more)."""
+        line_state, value, need_write = view[0], view[1], view[2]
+        cc = self.caches[node]
+        cc._mshrs.clear()
+        cc.array._lines.clear()
+        if line_state != "INVALID":
+            # written is write-only bookkeeping (nothing reads it
+            # back), so the restored world may leave it stale
+            cc.array._lines[cc.array.index_of(self.block)] = CacheLine(
+                self.block,
+                CacheState[line_state],
+                self._block_data(value),
+            )
+        if need_write is not None:
+            kind = "store" if need_write else "load"
+            cc._mshrs[self.block] = Mshr(
+                self.block,
+                need_write,
+                self.sim.now,
+                [self._waiter(node, kind)],
+            )
 
     def _restore_extras(self, s: MCState) -> None:
         c = self.controller
@@ -567,7 +582,8 @@ class ProtocolModel:
         ]
         if s.ipi:
             actions.append(("trap",))
-        for node, (line_state, value, mshr) in enumerate(s.caches):
+        for node, view in enumerate(s.caches):
+            line_state, value, mshr = view[0], view[1], view[2]
             if mshr is None:
                 if line_state == "INVALID":
                     actions.append(("load", node))
@@ -627,7 +643,7 @@ class ProtocolModel:
                     home, caches, node, (kind, None)
                 )
             else:
-                raise ModelInternalError(f"unknown action {action!r}")
+                home, sends = self._apply_extra(home, caches, action)
             self._merge_sends(chan, sends, result.sent)
             # Collapse BUSY/retry ping-pong: deliver any BUSY that sits
             # at the head of a channel inside this same step (sound —
@@ -657,6 +673,11 @@ class ProtocolModel:
         except (ProtocolError, RuntimeError, AssertionError) as exc:
             result.error = f"{type(exc).__name__}: {exc}"
         return result
+
+    def _apply_extra(self, home: tuple, caches: list, action: Action) -> tuple:
+        """Hook for subclass-specific actions; returns (home, sends) and
+        may update ``caches`` in place."""
+        raise ModelInternalError(f"unknown action {action!r}")
 
     def _home_step(self, home: tuple, caches: list, op: tuple) -> tuple:
         memo = self._home_memo
@@ -705,6 +726,18 @@ class ProtocolModel:
                 if line is None:
                     raise ModelInternalError(f"evict at {node} with no line")
                 self.caches[node]._evict(line)
+            elif kind == "retx_req":
+                if not self.caches[node].retransmit_request(self.block):
+                    raise ModelInternalError(
+                        f"retx_req at {node} with nothing to resend"
+                    )
+            elif kind == "retx_wb":
+                if not self.caches[node].retransmit_writeback(self.block):
+                    raise ModelInternalError(
+                        f"retx_wb at {node} with an empty write-back buffer"
+                    )
+            elif kind == "retx_dir":
+                self.controller.retransmit_invalidations(self.entry)
             else:
                 raise ModelInternalError(f"unknown sub-step {kind!r}")
             self._drain()
@@ -759,9 +792,9 @@ class ProtocolModel:
             awaited=set(s.ack_waiting) | extras.get("chained_queue", set()),
             requester=s.requester,
             cached={
-                node: (CacheState[line_state], value)
-                for node, (line_state, value, _) in enumerate(s.caches)
-                if line_state != "INVALID"
+                node: (CacheState[view[0]], view[1])
+                for node, view in enumerate(s.caches)
+                if view[0] != "INVALID"
             },
             memory_data=s.mem,
             pending_packets=len(s.pending),
@@ -806,8 +839,8 @@ class ProtocolModel:
             or s.meta == "TRANS_IN_PROGRESS"
         ):
             return True
-        for _, _, mshr in s.caches:
-            if mshr is not None:
+        for view in s.caches:
+            if view[2] is not None:
                 return True
         if isinstance(self.controller, ChainedController) and s.node_lists[-1]:
             return True
@@ -815,8 +848,8 @@ class ProtocolModel:
 
     def _busy_reasons(self, s: MCState) -> list[str]:
         reasons = []
-        for node, (_, _, mshr) in enumerate(s.caches):
-            if mshr is not None:
+        for node, view in enumerate(s.caches):
+            if view[2] is not None:
                 reasons.append(f"cache {node} has an open miss")
         if s.dir_state not in _IDLE_DIR_STATES:
             reasons.append(f"directory stuck in {s.dir_state}")

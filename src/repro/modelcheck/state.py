@@ -149,6 +149,22 @@ def _renumber_msg(msg: Msg, remap: dict[int, int]) -> Msg:
     return (src, opcode, None if txn is None else remap[txn], data)
 
 
+def _view_wb_txn(view: tuple) -> Optional[int]:
+    """The transaction id buried in a fault-model cache view's write-back
+    slot (``(opcode, txn, value)`` at index 3), if any."""
+    if len(view) > 3 and view[3] is not None:
+        return view[3][1]
+    return None
+
+
+def _renumber_view(view: tuple, remap: dict[int, int]) -> tuple:
+    txn = _view_wb_txn(view)
+    if txn is None:
+        return view
+    opcode, _, value = view[3]
+    return view[:3] + ((opcode, remap[txn], value),) + view[4:]
+
+
 def renumber_txns(state: MCState) -> MCState:
     """Map every transaction id in the state onto ``0..k-1``, preserving
     order (and therefore every current/stale distinction)."""
@@ -161,6 +177,10 @@ def renumber_txns(state: MCState) -> MCState:
         for m in msgs:
             if m[2] is not None:
                 txns.add(m[2])
+    for view in state.caches:
+        wb_txn = _view_wb_txn(view)
+        if wb_txn is not None:
+            txns.add(wb_txn)
     # Ids are non-negative, so the set is exactly {0..k-1} iff its max is
     # k-1 — the common case, worth skipping the remap for.
     if max(txns) == len(txns) - 1:
@@ -174,6 +194,7 @@ def renumber_txns(state: MCState) -> MCState:
             (key, tuple(_renumber_msg(m, remap) for m in msgs))
             for key, msgs in state.channels
         ),
+        caches=tuple(_renumber_view(v, remap) for v in state.caches),
     )
 
 

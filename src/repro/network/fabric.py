@@ -68,6 +68,9 @@ class Network:
         self._handlers: list[Handler | None] = [None] * n_nodes
         self.stats = NetworkStats()
         self.in_flight = 0
+        # Installed by repro.faults.FaultInjector when any fault rate is
+        # non-zero; None keeps delivery on the zero-overhead direct path.
+        self.fault_injector = None
         # Bind once: delivery schedules this method with the packet as the
         # event argument, so the hot path allocates no lambda per packet.
         self._on_deliver = self._deliver
@@ -82,6 +85,9 @@ class Network:
         raise NotImplementedError
 
     def _deliver_at(self, time: int, packet: Packet) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.admit(time, packet)
+            return
         self.in_flight += 1
         self.sim.post(time, self._on_deliver, packet)
 

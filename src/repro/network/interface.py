@@ -19,8 +19,9 @@ from typing import Callable
 
 from ..sim.component import Component
 from ..sim.kernel import Simulator
+from ..stats.counters import Counters
 from .fabric import Network
-from .packet import CACHE_TO_MEMORY, MEMORY_TO_CACHE, Packet
+from .packet import CACHE_TO_MEMORY, MEMORY_TO_CACHE, Packet, packet_crc
 
 TrapHandler = Callable[[], None]
 PacketHandler = Callable[[Packet], None]
@@ -45,11 +46,16 @@ class NetworkInterface(Component):
         network: Network,
         *,
         ipi_capacity: int = 64,
+        counters: Counters | None = None,
     ) -> None:
         super().__init__(sim, f"nic{node_id}")
         self.node_id = node_id
         self.network = network
         self.ipi_capacity = ipi_capacity
+        #: stamp/verify payload CRCs (enabled with fault injection; off by
+        #: default so fault-free runs skip the checksum entirely)
+        self.crc_enabled = False
+        self.counters = counters if counters is not None else Counters()
         self._ipi_queue: deque[Packet] = deque()
         self._memory_handler: PacketHandler | None = None
         self._cache_handler: PacketHandler | None = None
@@ -83,6 +89,8 @@ class NetworkInterface(Component):
     def send(self, packet: Packet) -> None:
         """Launch a packet into the network."""
         self.packets_sent += 1
+        if self.crc_enabled and packet.data is not None:
+            packet.crc = packet_crc(packet)
         self.network.send(packet)
 
     # ------------------------------------------------------------------
@@ -91,6 +99,17 @@ class NetworkInterface(Component):
 
     def _receive(self, packet: Packet) -> None:
         self.packets_received += 1
+        if (
+            self.crc_enabled
+            and packet.crc is not None
+            and packet_crc(packet) != packet.crc
+        ):
+            # Corrupted in flight: discard as a detected loss.  The
+            # protocol's timeout/retransmission machinery recovers exactly
+            # as it would from a drop.
+            self.counters.bump("nic.crc_drops")
+            self.counters.bump(f"nic.crc_drops.{packet.opcode}")
+            return
         op = packet.opcode
         if op in _CACHE_TO_MEMORY:
             if self._memory_handler is None:

@@ -17,6 +17,7 @@ fan-out cheap and data fan-out expensive.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -30,8 +31,10 @@ DATA_BEARING_OPCODES = frozenset({"RDATA", "WDATA", "UPDATE", "REPM", "UPDATE_DA
 #: Protocol opcodes sent from caches to memory controllers (Table 3).
 CACHE_TO_MEMORY = ("RREQ", "WREQ", "REPM", "UPDATE", "ACKC")
 
-#: Protocol opcodes sent from memory controllers to caches (Table 3).
-MEMORY_TO_CACHE = ("RDATA", "WDATA", "INV", "BUSY", "UPDATE_DATA")
+#: Protocol opcodes sent from memory controllers to caches (Table 3, plus
+#: DACK — the fault-tolerant extension's acknowledgment that a writeback
+#: [REPM or UPDATE] reached memory, letting the cache retire its copy).
+MEMORY_TO_CACHE = ("RDATA", "WDATA", "INV", "BUSY", "UPDATE_DATA", "DACK")
 
 PROTOCOL_OPCODES = frozenset(CACHE_TO_MEMORY) | frozenset(MEMORY_TO_CACHE)
 
@@ -57,6 +60,10 @@ class Packet:
     data: Optional[BlockData] = None
     meta: dict[str, Any] = field(default_factory=dict)
     sent_at: int = -1
+    #: payload checksum stamped by the sending NIC when fault injection is
+    #: active; None otherwise.  A hardware sideband, not an operand — it
+    #: never contributes to length_words, so stamping costs no cycles.
+    crc: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.opcode in DATA_BEARING_OPCODES and self.data is None:
@@ -85,6 +92,19 @@ class Packet:
             f"Packet({self.opcode} {self.src}->{self.dst} "
             f"addr={self.address:#x} len={self.length_words})"
         )
+
+
+def packet_crc(packet: Packet) -> int:
+    """Checksum of a packet's payload (data words only).
+
+    Stamped by the sending NIC and verified on receipt when fault
+    injection is active.  Only the payload is covered: the injector only
+    corrupts data words, and header/operand integrity would be a routing
+    concern, not a coherence one.
+    """
+    if packet.data is None:
+        return 0
+    return zlib.crc32(repr(packet.data.words).encode())
 
 
 def protocol_packet(

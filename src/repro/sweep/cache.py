@@ -15,6 +15,7 @@ import hashlib
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 
 from ..machine import MachineStats
@@ -87,7 +88,6 @@ class ResultCache:
     def store(self, key: str, stats: MachineStats, *, wall_seconds: float, label: str = "") -> None:
         if not self.enabled:
             return
-        self.directory.mkdir(parents=True, exist_ok=True)
         entry = {
             "version": CACHE_VERSION,
             "label": label,
@@ -96,19 +96,34 @@ class ResultCache:
             "stats": stats.to_dict(),
         }
         path = self._path(key)
-        # Write-then-rename so a crashed run never leaves a torn entry.
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(entry))
-        tmp.replace(path)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # Write-then-rename so a crashed run never leaves a torn entry.
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(entry))
+            tmp.replace(path)
+        except OSError as exc:
+            # A read-only or full cache directory must not kill a sweep
+            # that already computed its results; degrade to cacheless.
+            self.enabled = False
+            warnings.warn(
+                f"result cache disabled: cannot write {path} ({exc})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
         self.stores += 1
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (and any orphaned temp file from a crashed
+        write); returns the number of entries removed."""
         removed = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.json"):
                 path.unlink(missing_ok=True)
                 removed += 1
+            for path in self.directory.glob("*.tmp"):
+                path.unlink(missing_ok=True)
         return removed
 
     def summary(self) -> str:

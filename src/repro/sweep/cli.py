@@ -30,6 +30,13 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="only figures whose title contains MATCH (case-insensitive)",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per grid point (default: unlimited)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true", help="ignore and bypass the result cache"
     )
     parser.add_argument(
@@ -82,6 +89,7 @@ def run_from_args(args: argparse.Namespace) -> int:
             cache=cache,
             only=args.figures,
             out=args.out or None,
+            timeout=args.timeout,
         )
     except ValueError as exc:
         print(f"error: {exc}")

@@ -97,12 +97,15 @@ def run_figure_suite(
     only: list[str] | None = None,
     out: Path | str | None = None,
     echo: Callable[[str], None] = print,
+    timeout: float | None = None,
 ) -> dict:
     """Run the figure grids and return the ``BENCH_figures.json`` record.
 
     ``only`` filters figures by substring match on their titles (e.g.
-    ``["Figure 9"]``).  The artifact records per-job wall-clock, cache
-    hits, and cycle counts — the trajectory of the whole run.
+    ``["Figure 9"]``).  ``timeout`` bounds each grid point's wall clock
+    (a hung point fails loudly instead of wedging the sweep).  The
+    artifact records per-job wall-clock, cache hits, and cycle counts —
+    the trajectory of the whole run.
     """
     grids = figure_grids(procs, iters)
     if only:
@@ -126,7 +129,11 @@ def run_figure_suite(
     )
     start = time.perf_counter()
     results = run_jobs(
-        flat, workers=workers, cache=cache, progress=ProgressPrinter()
+        flat,
+        workers=workers,
+        cache=cache,
+        progress=ProgressPrinter(),
+        timeout=timeout,
     )
     wall = time.perf_counter() - start
 

@@ -13,36 +13,77 @@ is the only thing that changes.
 from __future__ import annotations
 
 import multiprocessing
+import signal
 import sys
 import time
 from dataclasses import dataclass
-from typing import Callable, Sequence, TextIO
+from typing import Callable, Optional, Sequence, TextIO
 
 from ..machine import MachineStats, run_experiment
 from .cache import ResultCache, source_fingerprint
 from .spec import Job, job_key
 
 
+class JobTimeout(Exception):
+    """A grid point exceeded its wall-clock budget."""
+
+
 @dataclass
 class JobResult:
-    """Outcome of one grid point."""
+    """Outcome of one grid point.
+
+    ``stats`` is None — and ``error`` holds the rendered exception — when
+    the job failed or timed out under ``on_error="record"``.
+    """
 
     job: Job
-    stats: MachineStats
+    stats: Optional[MachineStats]
     cached: bool
     wall_seconds: float
     key: str
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 ProgressFn = Callable[[JobResult, int, int], None]
 
 
-def _execute(payload: tuple[int, Job]) -> tuple[int, MachineStats, float]:
-    """Worker-process entry point: run one job, return its stats."""
-    index, job = payload
+def _on_alarm(signum, frame):  # pragma: no cover - fires inside workers
+    raise JobTimeout("wall-clock budget exceeded")
+
+
+def _execute(
+    payload: tuple[int, Job, Optional[float]]
+) -> tuple[int, Optional[MachineStats], float, Optional[str]]:
+    """Worker-process entry point: run one job, return its stats.
+
+    Failures (including the SIGALRM wall-clock timeout) come back as a
+    rendered error string instead of poisoning the whole pool; the parent
+    decides whether to raise or record them.
+    """
+    index, job, timeout = payload
     start = time.perf_counter()
-    stats = run_experiment(job.config, job.workload.build())
-    return index, stats, time.perf_counter() - start
+    armed = timeout is not None and hasattr(signal, "SIGALRM")
+    old_handler = None
+    try:
+        if armed:
+            old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.alarm(max(1, int(timeout)))
+        stats = run_experiment(job.config, job.workload.build())
+        return index, stats, time.perf_counter() - start, None
+    except JobTimeout:
+        wall = time.perf_counter() - start
+        return index, None, wall, f"JobTimeout: exceeded {timeout:g}s wall clock"
+    except Exception as exc:
+        wall = time.perf_counter() - start
+        return index, None, wall, f"{type(exc).__name__}: {exc}"
+    finally:
+        if armed:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, old_handler)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -57,13 +98,23 @@ def run_jobs(
     workers: int = 1,
     cache: ResultCache | None = None,
     progress: ProgressFn | None = None,
+    timeout: float | None = None,
+    on_error: str = "raise",
 ) -> list[JobResult]:
     """Run every job, in the order given, returning one result per job.
 
     Identical jobs (same config + workload + source) run once and share
     their stats; cached jobs never run at all.  ``progress`` fires once
     per job as its result becomes available (cache hits first).
+
+    ``timeout`` bounds each grid point's wall-clock seconds (SIGALRM in
+    the worker, so even a hung simulation is reclaimed).  A failed or
+    timed-out point raises by default; ``on_error="record"`` instead
+    returns it as a ``JobResult`` with ``stats=None`` and the error
+    string — the fault-campaign oracle treats those as survival failures.
     """
+    if on_error not in ("raise", "record"):
+        raise ValueError(f"on_error must be 'raise' or 'record', not {on_error!r}")
     if cache is None:
         cache = ResultCache(enabled=False)
     fingerprint = source_fingerprint()
@@ -75,7 +126,7 @@ def run_jobs(
     # First occurrence of each key runs (or hits the cache); duplicates
     # share its stats without re-simulating.
     primary: dict[str, int] = {}
-    pending: list[tuple[int, Job]] = []
+    pending: list[tuple[int, Job, Optional[float]]] = []
     for index, (job, key) in enumerate(zip(jobs, keys)):
         if key in primary:
             continue
@@ -87,14 +138,21 @@ def run_jobs(
             if progress is not None:
                 progress(results[index], done, total)
         else:
-            pending.append((index, job))
+            pending.append((index, job, timeout))
 
-    def record(index: int, stats: MachineStats, wall: float) -> None:
+    def record(
+        index: int, stats: Optional[MachineStats], wall: float, error: Optional[str]
+    ) -> None:
         nonlocal done
         job = jobs[index]
         key = keys[index]
-        cache.store(key, stats, wall_seconds=wall, label=job.label)
-        results[index] = JobResult(job, stats, False, wall, key)
+        if error is not None and on_error == "raise":
+            raise RuntimeError(f"grid point {job.label!r} failed: {error}")
+        if stats is not None:
+            # Failed points are never cached: a transient failure must not
+            # satisfy a future lookup.
+            cache.store(key, stats, wall_seconds=wall, label=job.label)
+        results[index] = JobResult(job, stats, False, wall, key, error=error)
         done += 1
         if progress is not None:
             progress(results[index], done, total)
@@ -103,21 +161,23 @@ def run_jobs(
         if workers > 1 and len(pending) > 1:
             ctx = _pool_context()
             with ctx.Pool(min(workers, len(pending))) as pool:
-                for index, stats, wall in pool.imap_unordered(
+                for index, stats, wall, error in pool.imap_unordered(
                     _execute, pending, chunksize=1
                 ):
-                    record(index, stats, wall)
+                    record(index, stats, wall, error)
         else:
             for payload in pending:
-                index, stats, wall = _execute(payload)
-                record(index, stats, wall)
+                index, stats, wall, error = _execute(payload)
+                record(index, stats, wall, error)
 
-    # Fill duplicates from their primary's stats.
+    # Fill duplicates from their primary's stats (or error).
     for index, key in enumerate(keys):
         if results[index] is None:
             origin = results[primary[key]]
             assert origin is not None
-            results[index] = JobResult(jobs[index], origin.stats, True, 0.0, key)
+            results[index] = JobResult(
+                jobs[index], origin.stats, True, 0.0, key, error=origin.error
+            )
             done += 1
             if progress is not None:
                 progress(results[index], done, total)
@@ -143,9 +203,13 @@ class ProgressPrinter:
         else:
             eta = ""
         source = "cached" if result.cached else f"{result.wall_seconds:.1f}s"
+        if result.stats is None:
+            outcome = f"FAILED: {result.error}"
+        else:
+            outcome = f"{result.stats.cycles:>12,} cycles"
         print(
             f"  [{done}/{total}] {result.job.label:28s} "
-            f"{result.stats.cycles:>12,} cycles  ({source}){eta}",
+            f"{outcome}  ({source}){eta}",
             file=self.stream,
             flush=True,
         )

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..proc.processor import ContextState
+from ..sim.kernel import SimulationError
 
 
 @dataclass
@@ -37,6 +38,9 @@ class Diagnosis:
     busy_entries: list[str] = field(default_factory=list)
     ipi_backlogs: list[tuple[int, int]] = field(default_factory=list)
     packets_in_flight: int = 0
+    #: description of the oldest undelivered packet (fault-injection runs
+    #: track deliveries; None when no injector is installed)
+    oldest_packet: str | None = None
 
     @property
     def is_quiescent(self) -> bool:
@@ -67,9 +71,24 @@ class Diagnosis:
         lines.extend(f"  {entry}" for entry in self.busy_entries[:16])
         for node, depth in self.ipi_backlogs:
             lines.append(f"  node {node}: {depth} packets in the IPI queue")
+        if self.oldest_packet is not None:
+            lines.append(f"  oldest pending packet: {self.oldest_packet}")
         if self.is_quiescent:
             lines.append("  (machine is quiescent)")
         return "\n".join(lines)
+
+
+class LivenessError(SimulationError):
+    """A run stalled (or stopped at max_cycles) with work still open.
+
+    Carries the structured :class:`Diagnosis` so campaign harnesses and
+    tests can inspect *what* was stuck, not just parse a message.
+    """
+
+    def __init__(self, reason: str, diagnosis: Diagnosis) -> None:
+        super().__init__(f"{reason}\n{diagnosis.report()}")
+        self.reason = reason
+        self.diagnosis = diagnosis
 
 
 def _frame_info(ctx) -> str:
@@ -93,11 +112,13 @@ def _frame_info(ctx) -> str:
 
 def diagnose(machine) -> Diagnosis:
     """Inspect a machine (typically after a max_cycles stop)."""
+    injector = getattr(machine.network, "fault_injector", None)
     diagnosis = Diagnosis(
         cycle=machine.sim.now,
         finished_processors=sum(1 for n in machine.nodes if n.processor.done),
         total_processors=len(machine.nodes),
         packets_in_flight=machine.network.in_flight,
+        oldest_packet=injector.oldest_pending() if injector is not None else None,
     )
     for node in machine.nodes:
         for ctx in node.processor.contexts:

@@ -1,0 +1,45 @@
+"""The liveness watchdog must convert silent wedges into diagnoses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AlewifeConfig, run_experiment
+from repro.sim.kernel import SimulationError
+from repro.verify.diagnose import LivenessError
+from repro.workloads import WeatherWorkload
+
+
+def wedged_config(**overrides) -> AlewifeConfig:
+    """Drop every protocol packet: no miss can ever complete."""
+    defaults = dict(
+        n_procs=4,
+        protocol="fullmap",
+        fault_drop_rate=1.0,
+        watchdog_interval=2_000,
+        max_cycles=10_000_000,
+    )
+    defaults.update(overrides)
+    return AlewifeConfig(**defaults)
+
+
+def test_watchdog_flags_a_wedged_machine_with_a_diagnosis():
+    with pytest.raises(LivenessError) as excinfo:
+        run_experiment(wedged_config(), WeatherWorkload(iterations=1))
+    err = excinfo.value
+    assert "no forward progress" in err.reason
+    diagnosis = err.diagnosis
+    assert diagnosis.finished_processors < diagnosis.total_processors
+    assert diagnosis.cycle < 100_000  # caught long before max_cycles
+    assert diagnosis.stuck_contexts
+    assert diagnosis.open_mshrs
+    assert not diagnosis.is_quiescent
+    # The structured report is also the exception message.
+    assert "open MSHR" in str(err)
+
+
+def test_liveness_error_is_a_simulation_error():
+    # Existing harnesses catch SimulationError; the watchdog must not
+    # escape them.
+    with pytest.raises(SimulationError):
+        run_experiment(wedged_config(), WeatherWorkload(iterations=1))

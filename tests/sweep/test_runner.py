@@ -69,6 +69,83 @@ class TestRunJobs:
         assert sorted(seen) == [(1, 2), (2, 2)]
 
 
+class TestFailuresAndTimeouts:
+    def test_worker_exception_raises_by_default(self, monkeypatch):
+        import repro.sweep.runner as runner
+
+        def boom(config, workload):
+            raise ValueError("injected failure")
+
+        monkeypatch.setattr(runner, "run_experiment", boom)
+        with pytest.raises(RuntimeError, match="grid point 'a' failed.*injected"):
+            run_jobs([small_job("a")])
+
+    def test_on_error_record_returns_failed_result(self, monkeypatch, tmp_path):
+        import repro.sweep.runner as runner
+
+        def boom(config, workload):
+            raise ValueError("injected failure")
+
+        monkeypatch.setattr(runner, "run_experiment", boom)
+        cache = ResultCache(tmp_path)
+        (result,) = run_jobs([small_job()], cache=cache, on_error="record")
+        assert not result.ok
+        assert result.stats is None
+        assert result.error == "ValueError: injected failure"
+        # Failed points must never poison the cache.
+        assert cache.stores == 0
+
+    def test_duplicates_inherit_their_primary_error(self, monkeypatch):
+        import repro.sweep.runner as runner
+
+        monkeypatch.setattr(
+            runner,
+            "run_experiment",
+            lambda c, w: (_ for _ in ()).throw(ValueError("nope")),
+        )
+        results = run_jobs(
+            [small_job("first"), small_job("dup")], on_error="record"
+        )
+        assert [r.ok for r in results] == [False, False]
+        assert results[1].cached and results[1].error == results[0].error
+
+    def test_timeout_reclaims_a_hung_point(self, monkeypatch):
+        import time as time_module
+
+        import repro.sweep.runner as runner
+
+        def hang(config, workload):
+            time_module.sleep(10)
+
+        monkeypatch.setattr(runner, "run_experiment", hang)
+        (result,) = run_jobs([small_job()], timeout=1, on_error="record")
+        assert not result.ok
+        assert "JobTimeout" in result.error
+        assert result.wall_seconds < 5
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_jobs([small_job()], on_error="ignore")
+
+    def test_progress_printer_reports_failures(self, monkeypatch):
+        import io
+
+        import repro.sweep.runner as runner
+
+        monkeypatch.setattr(
+            runner,
+            "run_experiment",
+            lambda c, w: (_ for _ in ()).throw(ValueError("boom")),
+        )
+        stream = io.StringIO()
+        run_jobs(
+            [small_job()],
+            on_error="record",
+            progress=runner.ProgressPrinter(stream),
+        )
+        assert "FAILED: ValueError: boom" in stream.getvalue()
+
+
 class TestFigureGrids:
     def test_grid_titles_cover_the_evaluation(self):
         grids = figure_grids(8, 2)

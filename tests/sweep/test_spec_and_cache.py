@@ -124,3 +124,28 @@ class TestResultCache:
         cache.store("k2", small_stats, wall_seconds=0.1)
         assert cache.clear() == 2
         assert cache.lookup("k1") is None
+
+    def test_clear_sweeps_orphaned_temp_files(self, tmp_path, small_stats):
+        cache = ResultCache(tmp_path)
+        cache.store("k1", small_stats, wall_seconds=0.1)
+        # A crashed run can leave the write-then-rename temp file behind.
+        (tmp_path / "k2.tmp").write_text("{partial")
+        assert cache.clear() == 1
+        assert list(tmp_path.iterdir()) == []
+
+    def test_unwritable_directory_degrades_to_cacheless(
+        self, tmp_path, small_stats
+    ):
+        # Pointing the cache at a path whose parent is a *file* makes every
+        # write fail; the sweep must keep its results and merely lose
+        # caching.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        cache = ResultCache(blocker / "cache")
+        with pytest.warns(RuntimeWarning, match="result cache disabled"):
+            cache.store("k1", small_stats, wall_seconds=0.1)
+        assert not cache.enabled
+        assert cache.stores == 0
+        # Subsequent operations are inert, not fatal.
+        cache.store("k2", small_stats, wall_seconds=0.1)
+        assert cache.lookup("k1") is None
