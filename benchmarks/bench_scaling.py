@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Sharded-vs-serial scaling benchmark for one large machine.
+
+Runs a 64-processor figure point (Weather and Multigrid under LimitLESS)
+serially and partitioned into K shards, asserts the determinism contract
+— identical cycles, traps, packets, and per-processor finish times — and
+records the wall-clock ratio.  Equivalence is the oracle; speed is the
+payoff, and it only materializes when the host actually has K free cores
+(on a single-core container the forked driver *loses* to serial, which
+the report records honestly).
+
+The workloads are scaled up (more iterations/sweeps than the paper's
+figure defaults) so each run is seconds long and per-window
+synchronization overhead is amortized; simulated results remain exact.
+
+Writes a ``BENCH_scaling.json`` artifact.
+
+Run:  python benchmarks/bench_scaling.py [--procs N] [--shards 2,4] ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.machine import AlewifeConfig, run_experiment
+from repro.workloads import MultigridWorkload, WeatherWorkload
+
+
+def _fingerprint(stats) -> tuple:
+    return (
+        stats.cycles,
+        stats.traps_taken,
+        stats.network.packets,
+        stats.network.total_latency,
+        tuple(stats.per_proc_finish),
+        tuple(sorted(stats.counters.as_dict().items())),
+    )
+
+
+def _workloads(scale: int) -> dict:
+    return {
+        "weather": lambda: WeatherWorkload(iterations=6 * scale),
+        "multigrid": lambda: MultigridWorkload(levels=(2, 2, 2) * scale),
+    }
+
+
+def _run(config, make_workload, repeats: int, **kwargs):
+    best = None
+    stats = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        stats = run_experiment(config, make_workload(), **kwargs)
+        wall = time.perf_counter() - start
+        best = wall if best is None else min(best, wall)
+    return stats, best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--procs", type=int, default=64)
+    parser.add_argument(
+        "--shards",
+        default="2,4",
+        help="comma-separated shard counts to benchmark against serial",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=6,
+        help="workload scale factor (iterations multiplier)",
+    )
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument(
+        "--in-process",
+        action="store_true",
+        help="step shards in one interpreter (no fork; overhead baseline)",
+    )
+    parser.add_argument("--out", default="BENCH_scaling.json")
+    args = parser.parse_args()
+    shard_counts = [int(x) for x in args.shards.split(",") if x]
+
+    report = {
+        "procs": args.procs,
+        "scale": args.scale,
+        "cpus": os.cpu_count(),
+        "driver": "in-process" if args.in_process else "forked",
+        "workloads": {},
+    }
+    exit_code = 0
+    for name, make_workload in _workloads(args.scale).items():
+        serial_config = AlewifeConfig(
+            n_procs=args.procs, protocol="limitless", fabric="staged"
+        )
+        serial_stats, serial_wall = _run(
+            serial_config, make_workload, args.repeats
+        )
+        serial_fp = _fingerprint(serial_stats)
+        entry = {
+            "cycles": serial_stats.cycles,
+            "serial_seconds": round(serial_wall, 3),
+            "sharded": {},
+        }
+        print(
+            f"{name:10s} serial   {serial_stats.cycles:>9,} cycles   "
+            f"{serial_wall:6.2f}s"
+        )
+        for k in shard_counts:
+            config = AlewifeConfig(
+                n_procs=args.procs, protocol="limitless", shards=k
+            )
+            stats, wall = _run(
+                config,
+                make_workload,
+                args.repeats,
+                shard_workers=1 if args.in_process else None,
+            )
+            if _fingerprint(stats) != serial_fp:
+                print(f"{name:10s} K={k}: EQUIVALENCE VIOLATED")
+                exit_code = 1
+                entry["sharded"][str(k)] = {"equivalent": False}
+                continue
+            speedup = serial_wall / wall if wall else 0.0
+            entry["sharded"][str(k)] = {
+                "equivalent": True,
+                "seconds": round(wall, 3),
+                "speedup": round(speedup, 2),
+                "windows": stats.shard_meta["windows"],
+                "handoffs": stats.shard_meta["handoffs"],
+            }
+            print(
+                f"{name:10s} shards={k} {stats.cycles:>9,} cycles   "
+                f"{wall:6.2f}s   {speedup:4.2f}x  "
+                f"({stats.shard_meta['windows']} windows, "
+                f"{stats.shard_meta['handoffs']} handoffs)"
+            )
+        report["workloads"][name] = entry
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.out}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

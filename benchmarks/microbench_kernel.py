@@ -7,7 +7,11 @@ Two scenarios isolate the event-kernel fast path from protocol work:
   schedule + heap sift + dispatch (every experiment's inner loop);
 * ``packets`` — protocol-sized packets through a contended 8x8 wormhole
   mesh, adding the network fast path (memoized routes, argument-carrying
-  delivery events, hoisted link dictionaries).
+  delivery events, hoisted link dictionaries);
+* ``samecycle`` — bursts of events scheduled *for the current cycle during
+  the current cycle* (co-located component handoffs: cache -> directory ->
+  network interface), the case served by the kernel's same-cycle FIFO fast
+  lane instead of a heap push/pop round-trip.
 
 Simulated results are unaffected by any of those optimizations (see
 tests/network/test_determinism.py); this harness quantifies the
@@ -76,7 +80,33 @@ def bench_packets(events: int, side: int = 8) -> tuple[int, float]:
     return sim.events_executed, time.perf_counter() - start
 
 
-SCENARIOS = {"chains": bench_chains, "packets": bench_packets}
+def bench_samecycle(events: int, burst: int = 8) -> tuple[int, float]:
+    """Per-cycle bursts of same-cycle handoffs through the fast lane."""
+    sim = Simulator()
+    cycles = events // (burst + 1)
+    remaining = [cycles]
+
+    def hop(depth: int) -> None:
+        if depth:
+            sim.post(sim.now, hop, depth - 1)
+
+    def tick() -> None:
+        sim.post(sim.now, hop, burst - 1)
+        remaining[0] -= 1
+        if remaining[0]:
+            sim.call_after(1, tick)
+
+    sim.call_at(0, tick)
+    start = time.perf_counter()
+    sim.run()
+    return sim.events_executed, time.perf_counter() - start
+
+
+SCENARIOS = {
+    "chains": bench_chains,
+    "packets": bench_packets,
+    "samecycle": bench_samecycle,
+}
 
 
 def main() -> int:

@@ -79,6 +79,27 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         choices=["mesh", "torus", "omega", "crossbar", "ideal"],
     )
     parser.add_argument("--memory-model", default="sc", choices=["sc", "wo"])
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the machine into N lock-step shards (1 = serial)",
+    )
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for a sharded run (1 = step all shards "
+        "in-process; default: one process per shard)",
+    )
+    parser.add_argument(
+        "--fabric",
+        default="auto",
+        choices=["auto", "atomic", "staged"],
+        help="network arbitration model (auto: atomic when serial, "
+        "staged when sharded)",
+    )
     parser.add_argument("--verbose", action="store_true", help="print counters")
 
 
@@ -147,6 +168,8 @@ def _config(args: argparse.Namespace, protocol: str) -> AlewifeConfig:
         topology=args.topology,
         memory_model=args.memory_model,
         seed=args.seed,
+        shards=args.shards,
+        fabric=args.fabric,
     )
 
 
@@ -175,9 +198,17 @@ def _run_from_args(args: argparse.Namespace) -> int:
 
     runs = []
     for name in protocols:
-        stats = run_experiment(_config(args, name), workload)
+        stats = run_experiment(
+            _config(args, name), workload, shard_workers=args.shard_workers
+        )
         runs.append(stats)
         print(stats.summary())
+        if stats.shard_meta:
+            m = stats.shard_meta
+            print(
+                f"  shards: {m['shards']} x {m['workers']} worker(s), "
+                f"{m['windows']} windows, {m['handoffs']} handoffs"
+            )
         if args.verbose:
             print()
             print(machine_report(stats))

@@ -147,12 +147,10 @@ class LimitLessSoftware:
         if packet is not None and packet.opcode == "WREQ":
             vector = self.vectors.get(packet.address, set())
             cost += self.ts_per_invalidation * len(vector)
-        injector = self.nic.network.fault_injector
-        if injector is not None:
-            # Injected trap-handler stall/overrun: the handler still runs
-            # to completion, just late — modeling a software handler that
-            # took an unrelated interrupt or a TLB miss mid-trap.
-            cost += injector.trap_stall()
+        # Injected trap-handler stall/overrun: the handler still runs
+        # to completion, just late — modeling a software handler that
+        # took an unrelated interrupt or a TLB miss mid-trap.
+        cost += self.nic.trap_stall()
         self.counters.bump("limitless.traps")
         self.engine.request_trap(cost, self._run_handler)
 

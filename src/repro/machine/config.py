@@ -90,6 +90,24 @@ class AlewifeConfig:
     max_cycles: int = 50_000_000
     ipi_capacity: int = 4096
 
+    # Sharded (parallel single-run) simulation
+    #: number of machine shards simulated in lock-step windows; 1 = the
+    #: classic serial path
+    shards: int = 1
+    #: network arbitration model: "atomic" reserves a packet's whole path
+    #: at send time (the historical serial fabric, golden-compatible);
+    #: "staged" arbitrates each link at head arrival, which is the
+    #: shard-invariant model sharded runs require; "auto" picks atomic
+    #: for shards=1 and staged otherwise
+    fabric: str = "auto"
+
+    @property
+    def resolved_fabric(self) -> str:
+        """The fabric actually built: "atomic" or "staged"."""
+        if self.fabric == "auto":
+            return "staged" if self.shards > 1 else "atomic"
+        return self.fabric
+
     @property
     def faults_enabled(self) -> bool:
         """True when any fault-injection rate is non-zero."""
@@ -128,6 +146,28 @@ class AlewifeConfig:
             raise ValueError("fault_delay_max must be >= 1")
         if self.inv_retx_broadcast < 1:
             raise ValueError("inv_retx_broadcast must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.fabric not in ("auto", "atomic", "staged"):
+            raise ValueError("fabric must be 'auto', 'atomic' or 'staged'")
+        if self.shards > 1:
+            if self.fabric == "atomic":
+                raise ValueError(
+                    "the atomic fabric reserves whole paths at send time and "
+                    "cannot be sharded; use fabric='auto' or 'staged'"
+                )
+            if self.topology == "omega":
+                raise ValueError(
+                    "omega stage links are shared by many sources and cannot "
+                    "be partitioned into shards"
+                )
+        if self.resolved_fabric == "staged" and (
+            self.hop_latency < 1 or self.injection_latency < 1
+        ):
+            raise ValueError(
+                "the staged fabric requires hop_latency and "
+                "injection_latency >= 1"
+            )
 
     def with_(self, **changes: Any) -> "AlewifeConfig":
         """A copy with the given fields replaced."""

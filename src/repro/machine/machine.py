@@ -12,9 +12,16 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING
 
-from ..faults import FaultInjector, LivenessWatchdog
+from ..faults import FaultInjector, LivenessWatchdog, StagedFaultGate
 from ..mem.address import AddressSpace, Allocator
-from ..network.fabric import IdealNetwork, Network, NetworkStats, WormholeNetwork
+from ..network.fabric import (
+    IdealNetwork,
+    Network,
+    NetworkStats,
+    StagedIdealNetwork,
+    StagedWormholeNetwork,
+    WormholeNetwork,
+)
 from ..network.topology import make_topology
 from ..sim.kernel import SimulationError, Simulator
 from ..sim.rng import DeterministicRng
@@ -43,6 +50,8 @@ class MachineStats:
     trap_cycles: int
     per_proc_finish: list[int] = field(default_factory=list)
     entries_audited: int = 0
+    #: populated by sharded runs: shards, workers, windows, handoff counts
+    shard_meta: dict | None = None
 
     @property
     def label(self) -> str:
@@ -76,6 +85,7 @@ class MachineStats:
             "trap_cycles": self.trap_cycles,
             "per_proc_finish": list(self.per_proc_finish),
             "entries_audited": self.entries_audited,
+            "shard_meta": self.shard_meta,
         }
 
     @classmethod
@@ -93,14 +103,30 @@ class MachineStats:
             trap_cycles=data["trap_cycles"],
             per_proc_finish=list(data["per_proc_finish"]),
             entries_audited=data.get("entries_audited", 0),
+            shard_meta=data.get("shard_meta"),
         )
 
 
 class AlewifeMachine:
-    """A configured machine instance, ready to run one workload."""
+    """A configured machine instance, ready to run one workload.
 
-    def __init__(self, config: AlewifeConfig) -> None:
+    A shard worker builds a *partitioned* machine — ``owned`` restricts
+    which node ids get Node objects, while ``shard_id``/``shard_of`` teach
+    the (necessarily staged) fabric which traffic leaves the shard.  The
+    default builds every node and a self-contained fabric, exactly as
+    before.
+    """
+
+    def __init__(
+        self,
+        config: AlewifeConfig,
+        *,
+        shard_id: int = 0,
+        shard_of=None,
+        owned=None,
+    ) -> None:
         self.config = config
+        self.shard_id = shard_id
         self.sim = Simulator(max_cycles=config.max_cycles)
         self.rng = DeterministicRng(config.seed)
         self.space = AddressSpace(
@@ -109,13 +135,18 @@ class AlewifeMachine:
             segment_bytes=config.segment_bytes,
         )
         self.allocator = Allocator(self.space)
-        self.network = self._build_network()
+        self.network = self._build_network(shard_id, shard_of)
         if config.faults_enabled:
             # The injector installs itself as network.fault_injector and
             # takes over delivery scheduling; zero-rate configs skip it
             # entirely so the fast path (and the goldens) are untouched.
-            FaultInjector(self.network, self.rng, config)
+            if config.resolved_fabric == "staged":
+                StagedFaultGate(self.network, config)
+            else:
+                FaultInjector(self.network, self.rng, config)
         self._finished = 0
+        self.owned = list(range(config.n_procs)) if owned is None else list(owned)
+        self.partitioned = len(self.owned) != config.n_procs
         self.nodes = [
             Node(
                 self.sim,
@@ -126,24 +157,47 @@ class AlewifeMachine:
                 self.rng,
                 on_proc_done=self._proc_done,
             )
-            for node_id in range(config.n_procs)
+            for node_id in self.owned
         ]
+        #: node id -> Node for the nodes this instance actually built
+        self.node_map = {node.node_id: node for node in self.nodes}
 
-    def _build_network(self) -> Network:
-        if self.config.topology == "ideal":
+    def _build_network(self, shard_id: int, shard_of) -> Network:
+        cfg = self.config
+        staged = cfg.resolved_fabric == "staged"
+        if cfg.topology == "ideal":
+            if staged:
+                return StagedIdealNetwork(
+                    self.sim,
+                    cfg.n_procs,
+                    latency=cfg.ideal_latency,
+                    cycles_per_word=cfg.cycles_per_word,
+                    shard_id=shard_id,
+                    shard_of=shard_of,
+                )
             return IdealNetwork(
                 self.sim,
-                self.config.n_procs,
-                latency=self.config.ideal_latency,
-                cycles_per_word=self.config.cycles_per_word,
+                cfg.n_procs,
+                latency=cfg.ideal_latency,
+                cycles_per_word=cfg.cycles_per_word,
             )
-        topology = make_topology(self.config.topology, self.config.n_procs)
+        topology = make_topology(cfg.topology, cfg.n_procs)
+        if staged:
+            return StagedWormholeNetwork(
+                self.sim,
+                topology,
+                hop_latency=cfg.hop_latency,
+                cycles_per_word=cfg.cycles_per_word,
+                injection_latency=cfg.injection_latency,
+                shard_id=shard_id,
+                shard_of=shard_of,
+            )
         return WormholeNetwork(
             self.sim,
             topology,
-            hop_latency=self.config.hop_latency,
-            cycles_per_word=self.config.cycles_per_word,
-            injection_latency=self.config.injection_latency,
+            hop_latency=cfg.hop_latency,
+            cycles_per_word=cfg.cycles_per_word,
+            injection_latency=cfg.injection_latency,
         )
 
     def _proc_done(self, _proc) -> None:
@@ -155,11 +209,16 @@ class AlewifeMachine:
 
     def run(self, workload: "Workload", *, audit: bool = True) -> MachineStats:
         """Build the workload's programs, simulate to completion, audit."""
+        if self.partitioned:
+            raise SimulationError(
+                "a partitioned shard machine is driven by repro.sim.shard, "
+                "not run() — it cannot complete a workload alone"
+            )
         programs = workload.build(self)
         threads = 0
         for proc_id, generators in programs.items():
             for gen in generators:
-                self.nodes[proc_id].processor.add_thread(gen)
+                self.node_map[proc_id].processor.add_thread(gen)
                 threads += 1
         if not threads:
             raise SimulationError("workload produced no programs")
@@ -178,42 +237,103 @@ class AlewifeMachine:
         entries = audit_machine(self) if audit else 0
         return self._collect(entries)
 
-    def _collect(self, entries_audited: int) -> MachineStats:
-        counters = Counters()
-        worker_sets = Histogram()
-        miss_total = 0
-        miss_count = 0
-        traps = 0
-        trap_cycles = 0
-        finishes = []
+    def harvest(self) -> "Harvest":
+        """Aggregate this instance's nodes + network into a mergeable blob."""
+        h = Harvest()
         for node in self.nodes:
-            counters.merge(node.counters)
-            worker_sets.counts.update(node.directory_controller.worker_sets.counts)
-            miss_total += node.cache_controller.miss_latency_total
-            miss_count += node.cache_controller.miss_latency_count
-            traps += node.processor.traps_taken
-            trap_cycles += node.processor.trap_cycles
-            finishes.append(node.processor.finish_time or 0)
+            h.counters.merge(node.counters)
+            h.worker_sets.counts.update(
+                node.directory_controller.worker_sets.counts
+            )
+            h.miss_total += node.cache_controller.miss_latency_total
+            h.miss_count += node.cache_controller.miss_latency_count
+            h.traps += node.processor.traps_taken
+            h.trap_cycles += node.processor.trap_cycles
+            h.busy += node.processor.busy_cycles
+            h.finishes[node.node_id] = node.processor.finish_time or 0
         if self.network.fault_injector is not None:
-            counters.merge(self.network.fault_injector.counters)
-        cycles = max(finishes) if finishes else self.sim.now
-        busy = sum(n.processor.busy_cycles for n in self.nodes)
-        denom = cycles * len(self.nodes)
-        return MachineStats(
-            config=self.config,
-            cycles=cycles,
-            counters=counters,
-            network=self.network.stats,
-            worker_sets=worker_sets,
-            utilization=busy / denom if denom else 0.0,
-            mean_miss_latency=miss_total / miss_count if miss_count else 0.0,
-            traps_taken=traps,
-            trap_cycles=trap_cycles,
-            per_proc_finish=finishes,
-            entries_audited=entries_audited,
+            h.counters.merge(self.network.fault_injector.counters)
+        h.network = self.network.stats
+        return h
+
+    def _collect(self, entries_audited: int) -> MachineStats:
+        return self.harvest().finalize(
+            self.config, entries_audited=entries_audited
         )
 
 
-def run_experiment(config: AlewifeConfig, workload: "Workload") -> MachineStats:
-    """Convenience one-shot: build a machine, run, return stats."""
+@dataclass
+class Harvest:
+    """Per-shard aggregation of run results, mergeable across shards.
+
+    The serial path harvests one machine and finalizes; the sharded driver
+    merges one harvest per worker first.  Either way the same arithmetic
+    produces the :class:`MachineStats`, so the two paths cannot diverge.
+    """
+
+    counters: Counters = field(default_factory=Counters)
+    worker_sets: Histogram = field(default_factory=Histogram)
+    miss_total: int = 0
+    miss_count: int = 0
+    traps: int = 0
+    trap_cycles: int = 0
+    busy: int = 0
+    finishes: dict[int, int] = field(default_factory=dict)
+    network: NetworkStats = field(default_factory=NetworkStats)
+
+    def merge(self, other: "Harvest") -> None:
+        self.counters.merge(other.counters)
+        self.worker_sets.counts.update(other.worker_sets.counts)
+        self.miss_total += other.miss_total
+        self.miss_count += other.miss_count
+        self.traps += other.traps
+        self.trap_cycles += other.trap_cycles
+        self.busy += other.busy
+        self.finishes.update(other.finishes)
+        self.network.merge(other.network)
+
+    def finalize(
+        self,
+        config: AlewifeConfig,
+        *,
+        entries_audited: int = 0,
+        shard_meta: dict | None = None,
+    ) -> MachineStats:
+        finishes = [self.finishes[n] for n in sorted(self.finishes)]
+        cycles = max(finishes) if finishes else 0
+        denom = cycles * len(finishes)
+        return MachineStats(
+            config=config,
+            cycles=cycles,
+            counters=self.counters,
+            network=self.network,
+            worker_sets=self.worker_sets,
+            utilization=self.busy / denom if denom else 0.0,
+            mean_miss_latency=(
+                self.miss_total / self.miss_count if self.miss_count else 0.0
+            ),
+            traps_taken=self.traps,
+            trap_cycles=self.trap_cycles,
+            per_proc_finish=finishes,
+            entries_audited=entries_audited,
+            shard_meta=shard_meta,
+        )
+
+
+def run_experiment(
+    config: AlewifeConfig,
+    workload: "Workload",
+    *,
+    shard_workers: int | None = None,
+) -> MachineStats:
+    """Convenience one-shot: build a machine, run, return stats.
+
+    ``config.shards > 1`` dispatches to the windowed shard driver in
+    :mod:`repro.sim.shard` (``shard_workers=1`` keeps every shard in this
+    process); the classic serial machine runs otherwise.
+    """
+    if config.shards > 1:
+        from ..sim.shard import run_sharded
+
+        return run_sharded(config, workload, workers=shard_workers)
     return AlewifeMachine(config).run(workload)

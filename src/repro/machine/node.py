@@ -19,7 +19,7 @@ from ..network.fabric import Network
 from ..network.interface import NetworkInterface
 from ..proc.processor import Processor
 from ..sim.kernel import Simulator
-from ..sim.rng import DeterministicRng
+from ..sim.rng import DeterministicRng, ScopedRng
 from ..stats.counters import Counters
 from .config import AlewifeConfig
 
@@ -41,6 +41,11 @@ class Node:
         self.node_id = node_id
         self.config = config
         self.counters = Counters()
+        if config.resolved_fabric == "staged":
+            # Runtime draws (retry jitter, victim choice) must come from
+            # per-node streams: a shared stream's draw order depends on how
+            # nodes interleave globally, which a sharded run cannot replay.
+            rng = ScopedRng(rng, f"n{node_id}")
 
         fault_tolerant = config.faults_enabled
         self.memory = MainMemory(space, node_id)

@@ -1,0 +1,512 @@
+"""Sharded, window-stepped parallel simulation of one machine.
+
+The machine's mesh is partitioned into K contiguous bands of rows, one
+shard each.  Every shard runs its own serial :class:`Simulator` over its
+own nodes, and the shards advance in lock-step *windows*: conservative
+(Chandy-Misra style) synchronization where each round
+
+1. runs every shard up to the current window end ``S`` (exclusive),
+2. exchanges the cross-shard handoffs the window produced,
+3. inserts inbound handoffs, then computes each shard's *bound* — the
+   earliest future cycle at which it could next affect another shard,
+4. sets the next window end to the minimum bound.
+
+Because the staged fabric (:mod:`repro.network.fabric`) arbitrates every
+link in canonical ``(src, send-seq)`` order and every node's runtime
+randomness is scoped to that node, the simulated outcome is a function of
+the configuration only — the same cycle counts, traps, and packet totals
+for any shard count, and for the in-process driver and the forked
+multi-process driver alike.  The bound is computed *after* inbound
+handoffs land (a handoff can shorten it), and windows strictly advance
+because every fabric's minimum cross-shard latency is positive.
+
+The forked driver synchronizes workers through shared memory: per-round
+control words (published bound, round counters) plus one pickle slab per
+directed shard pair.  Workers spin-then-yield on the control words —
+windows are a few cycles wide, so rounds are far too frequent for pipe
+round-trips — and poison their control word on any exception so peers
+and the parent unwind instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import pickle
+import time
+import traceback
+from multiprocessing import get_all_start_methods, get_context
+from multiprocessing.sharedctypes import RawArray
+from typing import TYPE_CHECKING
+
+from ..machine.machine import AlewifeMachine, Harvest, MachineStats
+from ..network.topology import make_topology
+from ..verify.diagnose import Diagnosis, LivenessError, diagnose
+from ..verify.invariants import (
+    audit_entries,
+    cache_holdings,
+    local_quiesce_problems,
+    raise_on_problems,
+)
+from .kernel import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machine.config import AlewifeConfig
+    from ..workloads.base import Workload
+
+#: "this shard can never again affect another shard" (drained)
+_INF = 2**62
+#: a worker hit an exception; peers unwind instead of waiting forever
+_POISON = -2
+#: per directed shard pair, per round, pickled handoff capacity
+_SLAB_BYTES = 1 << 20
+#: seconds a worker will wait on a peer before declaring the sync dead
+_SYNC_TIMEOUT = 120.0
+
+
+class ShardPlan:
+    """Contiguous partition of the machine's nodes into shards.
+
+    Mesh and torus machines split into bands of whole rows, so the only
+    cross-shard links are the vertical ones at band boundaries (X-then-Y
+    routing keeps the X phase inside a band).  Link-free topologies
+    (ideal, crossbar) split into contiguous id ranges.  The shard count
+    is clamped to what the topology can support; ``omega`` is rejected at
+    config validation.
+    """
+
+    def __init__(self, config: "AlewifeConfig") -> None:
+        n = config.n_procs
+        k = max(1, config.shards)
+        if config.topology in ("mesh", "torus"):
+            geometry = make_topology(config.topology, n).geometry
+            rows = geometry.height
+            k = min(k, rows)
+            width = geometry.width
+            assign = [(node // width) * k // rows for node in range(n)]
+        else:
+            k = min(k, n)
+            assign = [node * k // n for node in range(n)]
+        self.n_shards = k
+        self._assign = assign
+        self._owned: list[list[int]] = [[] for _ in range(k)]
+        for node, shard in enumerate(assign):
+            self._owned[shard].append(node)
+
+    def shard_of(self, node: int) -> int:
+        return self._assign[node]
+
+    def owned(self, shard_id: int) -> list[int]:
+        return self._owned[shard_id]
+
+
+class _ShardSim:
+    """One shard: a partitioned machine plus its window-stepping state."""
+
+    def __init__(
+        self,
+        config: "AlewifeConfig",
+        workload: "Workload",
+        plan: ShardPlan,
+        shard_id: int,
+    ) -> None:
+        self.shard_id = shard_id
+        self.machine = AlewifeMachine(
+            config,
+            shard_id=shard_id,
+            shard_of=plan.shard_of,
+            owned=plan.owned(shard_id),
+        )
+        # Every shard replays the whole (deterministic) workload build so
+        # allocations land at identical addresses everywhere, then installs
+        # only the programs of the processors it owns.
+        programs = workload.build(self.machine)
+        total = 0
+        node_map = self.machine.node_map
+        for proc_id, generators in programs.items():
+            total += len(generators)
+            if proc_id in node_map:
+                for gen in generators:
+                    node_map[proc_id].processor.add_thread(gen)
+        if not total:
+            raise SimulationError("workload produced no programs")
+        for node in self.machine.nodes:
+            node.start()
+        self.windows = 0
+
+    def bound(self) -> int:
+        b = self.machine.network.cross_bound()
+        return _INF if b is None else b
+
+    def step_window(self, limit: int) -> list[tuple[int, tuple]]:
+        """Run [now, limit), return the (dest_shard, handoff) traffic."""
+        self.machine.sim.run_until(limit)
+        self.windows += 1
+        return self.machine.network.take_outbox()
+
+    def absorb(self, handoffs: list[tuple]) -> None:
+        network = self.machine.network
+        for handoff in handoffs:
+            network.receive_handoff(handoff)
+
+    def laggards(self) -> list[int]:
+        return [
+            n.node_id for n in self.machine.nodes if not n.processor.done
+        ]
+
+
+def _merge_diagnoses(parts: list[Diagnosis], cycle: int) -> Diagnosis:
+    merged = Diagnosis(
+        cycle=cycle,
+        finished_processors=sum(p.finished_processors for p in parts),
+        total_processors=sum(p.total_processors for p in parts),
+        packets_in_flight=sum(p.packets_in_flight for p in parts),
+        oldest_packet=next(
+            (p.oldest_packet for p in parts if p.oldest_packet), None
+        ),
+    )
+    for part in parts:
+        merged.stuck_contexts += part.stuck_contexts
+        merged.open_mshrs += part.open_mshrs
+        merged.busy_entries += part.busy_entries
+        merged.ipi_backlogs += part.ipi_backlogs
+    return merged
+
+
+def _merge_holdings(slices: list[dict]) -> dict:
+    merged: dict[int, dict[int, tuple]] = {}
+    for piece in slices:
+        for block, holders in piece.items():
+            merged.setdefault(block, {}).update(holders)
+    return merged
+
+
+def _finalize(
+    config: "AlewifeConfig",
+    harvest: Harvest,
+    *,
+    entries_audited: int,
+    meta: dict,
+) -> MachineStats:
+    return harvest.finalize(
+        config, entries_audited=entries_audited, shard_meta=meta
+    )
+
+
+# ----------------------------------------------------------------------
+# In-process driver (workers=1): every shard in one interpreter
+# ----------------------------------------------------------------------
+
+
+def _run_inprocess(
+    config: "AlewifeConfig", workload: "Workload", plan: ShardPlan
+) -> MachineStats:
+    k = plan.n_shards
+    shards = [_ShardSim(config, workload, plan, i) for i in range(k)]
+    bounds = [s.bound() for s in shards]
+    handoffs = 0
+    while True:
+        limit = min(bounds)
+        if limit >= _INF or limit > config.max_cycles:
+            break
+        inboxes: list[list[tuple]] = [[] for _ in range(k)]
+        for shard in shards:
+            for dest, handoff in shard.step_window(limit):
+                inboxes[dest].append(handoff)
+                handoffs += 1
+        for shard in shards:
+            shard.absorb(inboxes[shard.shard_id])
+        bounds = [s.bound() for s in shards]
+
+    laggards = sorted(x for s in shards for x in s.laggards())
+    cycle = max(s.machine.sim.now for s in shards)
+    if laggards:
+        raise LivenessError(
+            f"sharded simulation stopped at {cycle} cycles with processors "
+            f"{laggards[:8]} unfinished (deadlock or max_cycles too small)",
+            _merge_diagnoses([diagnose(s.machine) for s in shards], cycle),
+        )
+
+    problems: list[str] = []
+    for shard in shards:
+        problems += local_quiesce_problems(
+            shard.machine.nodes, shard.machine.network
+        )
+    cached = _merge_holdings([cache_holdings(s.machine.nodes) for s in shards])
+    checked = 0
+    for shard in shards:
+        part_checked, part_problems = audit_entries(shard.machine.nodes, cached)
+        checked += part_checked
+        problems += part_problems
+    raise_on_problems(problems)
+
+    harvest = Harvest()
+    for shard in shards:
+        harvest.merge(shard.machine.harvest())
+    meta = {
+        "shards": k,
+        "workers": 1,
+        "windows": shards[0].windows,
+        "handoffs": handoffs,
+    }
+    return _finalize(config, harvest, entries_audited=checked, meta=meta)
+
+
+# ----------------------------------------------------------------------
+# Forked driver: one worker process per shard, shared-memory rounds
+# ----------------------------------------------------------------------
+
+
+class _SharedRound:
+    """Fork-inherited shared state for the window protocol.
+
+    Per worker: ``done[i]`` (last round whose bound is published),
+    ``ready[i]`` (last round whose outbound slabs are written) and
+    ``bounds[i]``.  Per directed pair (i, j): a pickle slab and its
+    length.  A worker that fails writes ``_POISON`` into its bound and
+    pushes its counters to infinity so nobody blocks on it.
+    """
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        # -1 = "round 0 not yet published": zero-filled arrays would let
+        # the first wait(…, 0) pass before any peer published its bound.
+        self.done = RawArray(ctypes.c_longlong, [-1] * k)
+        self.ready = RawArray(ctypes.c_longlong, [-1] * k)
+        self.bounds = RawArray(ctypes.c_longlong, [_INF] * k)
+        self.lens = RawArray(ctypes.c_longlong, k * k)
+        self.slabs = [
+            [
+                RawArray(ctypes.c_char, _SLAB_BYTES) if i != j else None
+                for j in range(k)
+            ]
+            for i in range(k)
+        ]
+
+    def wait(self, array, target: int) -> None:
+        """Spin-then-yield until every counter reaches ``target``."""
+        deadline = None
+        for idx in range(self.k):
+            spins = 0
+            while array[idx] < target:
+                spins += 1
+                if spins & 0xFF == 0:
+                    # Yield the core: single-core containers never make
+                    # progress under a pure spin.
+                    time.sleep(0)
+                    if spins & 0x3FFF == 0:
+                        if deadline is None:
+                            deadline = time.monotonic() + _SYNC_TIMEOUT
+                        elif time.monotonic() > deadline:
+                            raise SimulationError(
+                                f"shard sync timed out waiting for worker {idx}"
+                            )
+
+    def poison(self, shard_id: int) -> None:
+        self.bounds[shard_id] = _POISON
+        self.done[shard_id] = _INF
+        self.ready[shard_id] = _INF
+
+
+class _PeerFailure(Exception):
+    """Another worker poisoned the round; unwind quietly."""
+
+
+def _safe_send(conn, message) -> None:
+    """Send, ignoring a parent that already closed its end of the pipe."""
+    try:
+        conn.send(message)
+    except (BrokenPipeError, EOFError, OSError):
+        pass
+
+
+def _shard_worker(
+    shard_id: int,
+    config: "AlewifeConfig",
+    workload: "Workload",
+    plan: ShardPlan,
+    shared: _SharedRound,
+    conn,
+) -> None:
+    k = plan.n_shards
+    try:
+        shard = _ShardSim(config, workload, plan, shard_id)
+        rounds = 0
+        shared.bounds[shard_id] = shard.bound()
+        shared.done[shard_id] = 0
+        while True:
+            shared.wait(shared.done, rounds)
+            bounds = shared.bounds[:]
+            if _POISON in bounds:
+                raise _PeerFailure
+            limit = min(bounds)
+            if limit >= _INF or limit > config.max_cycles:
+                break
+            rounds += 1
+            outboxes: list[list[tuple]] = [[] for _ in range(k)]
+            for dest, handoff in shard.step_window(limit):
+                outboxes[dest].append(handoff)
+            for dest in range(k):
+                if dest == shard_id:
+                    continue
+                if outboxes[dest]:
+                    blob = pickle.dumps(
+                        outboxes[dest], protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                    if len(blob) > _SLAB_BYTES:
+                        raise SimulationError(
+                            f"cross-shard window traffic ({len(blob)} bytes) "
+                            f"overflowed the {_SLAB_BYTES}-byte slab"
+                        )
+                    shared.slabs[shard_id][dest][: len(blob)] = blob
+                    shared.lens[shard_id * k + dest] = len(blob)
+                else:
+                    shared.lens[shard_id * k + dest] = 0
+            shared.ready[shard_id] = rounds
+            shared.wait(shared.ready, rounds)
+            for src in range(k):
+                if src == shard_id:
+                    continue
+                length = shared.lens[src * k + shard_id]
+                if length:
+                    shard.absorb(
+                        pickle.loads(shared.slabs[src][shard_id][:length])
+                    )
+            shared.bounds[shard_id] = shard.bound()
+            shared.done[shard_id] = rounds
+
+        laggards = shard.laggards()
+        conn.send(
+            (
+                "quiesced",
+                laggards,
+                diagnose(shard.machine) if laggards else None,
+                local_quiesce_problems(
+                    shard.machine.nodes, shard.machine.network
+                ),
+                cache_holdings(shard.machine.nodes),
+                shard.machine.sim.now,
+                rounds,
+            )
+        )
+        command = conn.recv()
+        if command[0] == "audit":
+            checked, problems = audit_entries(shard.machine.nodes, command[1])
+            conn.send(
+                (
+                    "audited",
+                    checked,
+                    problems,
+                    shard.machine.harvest(),
+                    shard.machine.network.handoffs_out,
+                )
+            )
+    except _PeerFailure:
+        _safe_send(conn, ("peer_abort",))
+    except BaseException:
+        shared.poison(shard_id)
+        _safe_send(conn, ("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def _recv(conn, proc):
+    """Receive one message, raising if the worker process died."""
+    while not conn.poll(0.2):
+        if not proc.is_alive():
+            raise SimulationError(
+                f"shard worker pid {proc.pid} died (exit {proc.exitcode})"
+            )
+    return conn.recv()
+
+
+def _run_forked(
+    config: "AlewifeConfig", workload: "Workload", plan: ShardPlan
+) -> MachineStats:
+    k = plan.n_shards
+    ctx = get_context("fork")
+    shared = _SharedRound(k)
+    pipes = [ctx.Pipe() for _ in range(k)]
+    procs = [
+        ctx.Process(
+            target=_shard_worker,
+            args=(i, config, workload, plan, shared, pipes[i][1]),
+            daemon=True,
+        )
+        for i in range(k)
+    ]
+    for proc in procs:
+        proc.start()
+    for _parent, child in pipes:
+        child.close()
+    conns = [parent for parent, _child in pipes]
+
+    try:
+        replies = [_recv(conns[i], procs[i]) for i in range(k)]
+        errors = [r[1] for r in replies if r[0] == "error"]
+        if errors:
+            raise SimulationError(
+                "shard worker failed:\n" + "\n".join(errors)
+            )
+        cycle = max(r[5] for r in replies)
+        laggards = sorted(x for r in replies for x in r[1])
+        if laggards:
+            for conn in conns:
+                conn.send(("abort",))
+            raise LivenessError(
+                f"sharded simulation stopped at {cycle} cycles with "
+                f"processors {laggards[:8]} unfinished (deadlock or "
+                f"max_cycles too small)",
+                _merge_diagnoses(
+                    [r[2] for r in replies if r[2] is not None], cycle
+                ),
+            )
+        problems = [p for r in replies for p in r[3]]
+        cached = _merge_holdings([r[4] for r in replies])
+        for conn in conns:
+            conn.send(("audit", cached))
+        harvest = Harvest()
+        checked = 0
+        handoffs = 0
+        for i in range(k):
+            reply = _recv(conns[i], procs[i])
+            if reply[0] != "audited":
+                raise SimulationError(f"shard worker {i} failed during audit")
+            checked += reply[1]
+            problems += reply[2]
+            harvest.merge(reply[3])
+            handoffs += reply[4]
+        raise_on_problems(problems)
+        meta = {
+            "shards": k,
+            "workers": k,
+            "windows": replies[0][6],
+            "handoffs": handoffs,
+        }
+        return _finalize(config, harvest, entries_audited=checked, meta=meta)
+    finally:
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+        for conn in conns:
+            conn.close()
+
+
+def run_sharded(
+    config: "AlewifeConfig",
+    workload: "Workload",
+    *,
+    workers: int | None = None,
+) -> MachineStats:
+    """Run one machine partitioned into ``config.shards`` shards.
+
+    ``workers=1`` forces the in-process driver (all shards stepped by one
+    interpreter — useful for tests and for sweeps that already saturate
+    their cores); any other value runs one forked worker per shard.  Both
+    drivers produce identical results; platforms without ``fork`` fall
+    back to the in-process driver.
+    """
+    plan = ShardPlan(config)
+    if plan.n_shards == 1 or workers == 1 or "fork" not in get_all_start_methods():
+        return _run_inprocess(config, workload, plan)
+    return _run_forked(config, workload, plan)

@@ -56,7 +56,7 @@ def _on_alarm(signum, frame):  # pragma: no cover - fires inside workers
 
 
 def _execute(
-    payload: tuple[int, Job, Optional[float]]
+    payload: tuple[int, Job, Optional[float], Optional[int]]
 ) -> tuple[int, Optional[MachineStats], float, Optional[str]]:
     """Worker-process entry point: run one job, return its stats.
 
@@ -64,7 +64,7 @@ def _execute(
     rendered error string instead of poisoning the whole pool; the parent
     decides whether to raise or record them.
     """
-    index, job, timeout = payload
+    index, job, timeout, shard_workers = payload
     start = time.perf_counter()
     armed = timeout is not None and hasattr(signal, "SIGALRM")
     old_handler = None
@@ -72,7 +72,12 @@ def _execute(
         if armed:
             old_handler = signal.signal(signal.SIGALRM, _on_alarm)
             signal.alarm(max(1, int(timeout)))
-        stats = run_experiment(job.config, job.workload.build())
+        if shard_workers is None:
+            stats = run_experiment(job.config, job.workload.build())
+        else:
+            stats = run_experiment(
+                job.config, job.workload.build(), shard_workers=shard_workers
+            )
         return index, stats, time.perf_counter() - start, None
     except JobTimeout:
         wall = time.perf_counter() - start
@@ -126,7 +131,7 @@ def run_jobs(
     # First occurrence of each key runs (or hits the cache); duplicates
     # share its stats without re-simulating.
     primary: dict[str, int] = {}
-    pending: list[tuple[int, Job, Optional[float]]] = []
+    pending: list[tuple[int, Job, Optional[float], Optional[int]]] = []
     for index, (job, key) in enumerate(zip(jobs, keys)):
         if key in primary:
             continue
@@ -138,7 +143,7 @@ def run_jobs(
             if progress is not None:
                 progress(results[index], done, total)
         else:
-            pending.append((index, job, timeout))
+            pending.append((index, job, timeout, None))
 
     def record(
         index: int, stats: Optional[MachineStats], wall: float, error: Optional[str]
@@ -157,18 +162,33 @@ def run_jobs(
         if progress is not None:
             progress(results[index], done, total)
 
-    if pending:
-        if workers > 1 and len(pending) > 1:
+    # Sharded grid points fork their own worker processes, so handing them
+    # to the pool would oversubscribe the core budget K-fold.  They run
+    # one at a time in this process instead, with the whole budget as
+    # their internal workers (in-process stepping when the budget is one
+    # core); serial points fan out over the pool as before.
+    serial_pending = [p for p in pending if p[1].config.shards <= 1]
+    sharded_pending = [p for p in pending if p[1].config.shards > 1]
+
+    if serial_pending:
+        if workers > 1 and len(serial_pending) > 1:
             ctx = _pool_context()
-            with ctx.Pool(min(workers, len(pending))) as pool:
+            with ctx.Pool(min(workers, len(serial_pending))) as pool:
                 for index, stats, wall, error in pool.imap_unordered(
-                    _execute, pending, chunksize=1
+                    _execute, serial_pending, chunksize=1
                 ):
                     record(index, stats, wall, error)
         else:
-            for payload in pending:
+            for payload in serial_pending:
                 index, stats, wall, error = _execute(payload)
                 record(index, stats, wall, error)
+
+    for index, job, job_timeout, _ in sharded_pending:
+        shard_workers = 1 if workers <= 1 else None
+        index, stats, wall, error = _execute(
+            (index, job, job_timeout, shard_workers)
+        )
+        record(index, stats, wall, error)
 
     # Fill duplicates from their primary's stats (or error).
     for index, key in enumerate(keys):

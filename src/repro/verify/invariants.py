@@ -26,13 +26,15 @@ class CoherenceViolation(AssertionError):
     """The memory system ended in an inconsistent state."""
 
 
-def machine_block_view(machine, node, entry, cached_copies) -> BlockView:
+def machine_block_view(node, entry, cached_copies) -> BlockView:
     """Build the auditor's :class:`BlockView` for one directory entry.
 
-    ``cached_copies`` maps node id -> cache line for every valid copy of
-    the entry's block.  Nothing is in flight at audit time, so the
-    in-flight invalidation set is empty and ``awaited`` is whatever the
-    (necessarily broken, if nonempty) entry still records.
+    ``cached_copies`` maps node id -> ``(state, words)`` for every valid
+    copy of the entry's block, machine-wide.  The tuple form (rather than
+    live cache-line objects) is deliberate: a sharded audit exchanges
+    exactly these holdings between workers.  Nothing is in flight at audit
+    time, so the in-flight invalidation set is empty and ``awaited`` is
+    whatever the (necessarily broken, if nonempty) entry still records.
     """
     controller = node.directory_controller
     software = node.software
@@ -51,10 +53,7 @@ def machine_block_view(machine, node, entry, cached_copies) -> BlockView:
         recorded=recorded,
         awaited=set(entry.ack_waiting),
         requester=entry.requester,
-        cached={
-            holder: (line.state, line.data.words)
-            for holder, line in cached_copies.items()
-        },
+        cached=dict(cached_copies),
         memory_data=node.memory.block(entry.block).words,
         pending_packets=len(entry.pending),
         traps_pending=traps_pending,
@@ -62,39 +61,65 @@ def machine_block_view(machine, node, entry, cached_copies) -> BlockView:
     )
 
 
-def audit_machine(machine) -> int:
-    """Audit a finished machine; returns the number of entries checked."""
+def cache_holdings(nodes) -> dict[int, dict[int, tuple]]:
+    """Map block -> {node: (state, words)} for every valid cached copy.
+
+    Picklable, so a shard worker can ship its slice to the parent, which
+    unions the slices into the machine-wide map every shard audits against.
+    """
+    cached: dict[int, dict[int, tuple]] = {}
+    for node in nodes:
+        for line in node.cache_array.valid_lines():
+            cached.setdefault(line.block, {})[node.node_id] = (
+                line.state,
+                line.data.words,
+            )
+    return cached
+
+
+def local_quiesce_problems(nodes, network) -> list[str]:
+    """Shard-local quiescence checks (in-flight, MSHRs, IPI queues)."""
     problems: list[str] = []
-    checked = 0
-
-    if machine.network.in_flight:
-        problems.append(f"{machine.network.in_flight} packets still in flight")
-
-    for node in machine.nodes:
+    if network.in_flight:
+        problems.append(f"{network.in_flight} packets still in flight")
+    for node in nodes:
         if not node.cache_controller.idle():
             problems.append(f"node {node.node_id}: open MSHRs at quiescence")
         if node.nic.ipi_pending():
             problems.append(f"node {node.node_id}: IPI queue not drained")
+    return problems
 
-    # Map: block -> {node: cache line} for every valid cached copy.
-    cached: dict[int, dict[int, object]] = {}
-    for node in machine.nodes:
-        for line in node.cache_array.valid_lines():
-            cached.setdefault(line.block, {})[node.node_id] = line
 
-    for node in machine.nodes:
+def audit_entries(nodes, cached) -> tuple[int, list[str]]:
+    """Audit the directory entries homed on ``nodes`` against the
+    machine-wide ``cached`` holdings map; returns (entries checked,
+    problems found)."""
+    problems: list[str] = []
+    checked = 0
+    for node in nodes:
         for entry in node.directory_controller.directory.entries():
             checked += 1
-            view = machine_block_view(
-                machine, node, entry, cached.get(entry.block, {})
-            )
+            view = machine_block_view(node, entry, cached.get(entry.block, {}))
             problems += quiescent_problems(view)
             problems += state_problems(view)
+    return checked, problems
 
-    if problems:
-        summary = "\n  ".join(problems[:20])
-        more = f"\n  (+{len(problems) - 20} more)" if len(problems) > 20 else ""
-        raise CoherenceViolation(
-            f"{len(problems)} coherence violations:\n  {summary}{more}"
-        )
+
+def raise_on_problems(problems: list[str]) -> None:
+    """Raise :class:`CoherenceViolation` summarizing a nonempty list."""
+    if not problems:
+        return
+    summary = "\n  ".join(problems[:20])
+    more = f"\n  (+{len(problems) - 20} more)" if len(problems) > 20 else ""
+    raise CoherenceViolation(
+        f"{len(problems)} coherence violations:\n  {summary}{more}"
+    )
+
+
+def audit_machine(machine) -> int:
+    """Audit a finished machine; returns the number of entries checked."""
+    problems = local_quiesce_problems(machine.nodes, machine.network)
+    cached = cache_holdings(machine.nodes)
+    checked, entry_problems = audit_entries(machine.nodes, cached)
+    raise_on_problems(problems + entry_problems)
     return checked

@@ -1,0 +1,146 @@
+"""Shard-equivalence goldens: the determinism contract of `--shards`.
+
+A staged-fabric machine must produce bit-identical results no matter how
+it is partitioned: serial (one machine, no shard driver), the in-process
+window driver at K=2 and K=4, and the forked multi-process driver.  The
+pinned golden numbers also protect the staged fabric itself from
+accidental drift — they play the same role the atomic-fabric goldens in
+``tests/experiments`` play for `--shards 1`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AlewifeConfig
+from repro.machine.machine import AlewifeMachine
+from repro.sim.shard import ShardPlan, _run_forked, _run_inprocess
+from repro.workloads import MultigridWorkload, WeatherWorkload
+
+#: staged-fabric goldens at 16 processors (cycles, traps, packets)
+GOLDENS = {
+    ("weather", "limitless"): (4273, 13, 2466),
+    ("weather", "fullmap"): (4004, 0, 2480),
+    ("weather", "limited"): (5105, 0, 3496),
+    ("multigrid", "limitless"): (3859, 10, 2728),
+    ("multigrid", "fullmap"): (3566, 0, 2700),
+    ("multigrid", "limited"): (3500, 0, 2712),
+}
+
+_WORKLOADS = {
+    "weather": WeatherWorkload,
+    "multigrid": MultigridWorkload,
+}
+
+_serial_cache: dict[tuple, tuple] = {}
+
+
+def _config(workload, protocol, **overrides):
+    kwargs = dict(n_procs=16, protocol=protocol, fabric="staged")
+    if protocol in ("limitless", "limited"):
+        kwargs["pointers"] = 4
+    if protocol == "limitless":
+        kwargs["ts"] = 50
+    kwargs.update(overrides)
+    return AlewifeConfig(**kwargs)
+
+
+def _fingerprint(stats):
+    """Everything a run reports, minus wall-clock artifacts."""
+    return (
+        stats.cycles,
+        stats.traps_taken,
+        stats.trap_cycles,
+        stats.utilization,
+        stats.mean_miss_latency,
+        tuple(stats.per_proc_finish),
+        stats.network.packets,
+        stats.network.words,
+        stats.network.hops,
+        stats.network.total_latency,
+        stats.network.contention_cycles,
+        tuple(sorted(stats.network.per_opcode.items())),
+        tuple(sorted(stats.counters.as_dict().items())),
+        tuple(stats.worker_sets.as_sorted_items()),
+    )
+
+
+def _serial_fingerprint(workload, protocol, **overrides):
+    key = (workload, protocol, tuple(sorted(overrides.items())))
+    if key not in _serial_cache:
+        config = _config(workload, protocol, **overrides)
+        stats = AlewifeMachine(config).run(_WORKLOADS[workload]())
+        _serial_cache[key] = _fingerprint(stats)
+    return _serial_cache[key]
+
+
+class TestStagedGoldens:
+    @pytest.mark.parametrize("workload,protocol", sorted(GOLDENS))
+    def test_staged_serial_matches_golden(self, workload, protocol):
+        fp = _serial_fingerprint(workload, protocol)
+        assert (fp[0], fp[1], fp[6]) == GOLDENS[(workload, protocol)]
+
+
+class TestShardEquivalence:
+    @pytest.mark.parametrize("workload,protocol", sorted(GOLDENS))
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_sharded_run_is_bit_identical_to_serial(
+        self, workload, protocol, shards
+    ):
+        config = _config(workload, protocol, shards=shards)
+        stats = _run_inprocess(config, _WORKLOADS[workload](), ShardPlan(config))
+        assert _fingerprint(stats) == _serial_fingerprint(workload, protocol)
+        assert stats.shard_meta["shards"] == shards
+
+    def test_forked_driver_matches_in_process_driver(self):
+        config = _config("weather", "limitless", shards=2)
+        forked = _run_forked(config, WeatherWorkload(), ShardPlan(config))
+        assert _fingerprint(forked) == _serial_fingerprint("weather", "limitless")
+        assert forked.shard_meta["workers"] == 2
+
+    def test_run_experiment_dispatches_to_shard_driver(self):
+        from repro.machine import run_experiment
+
+        config = _config("weather", "fullmap", shards=4)
+        stats = run_experiment(config, WeatherWorkload(), shard_workers=1)
+        assert _fingerprint(stats) == _serial_fingerprint("weather", "fullmap")
+        assert stats.shard_meta == {
+            "shards": 4,
+            "workers": 1,
+            "windows": stats.shard_meta["windows"],
+            "handoffs": stats.shard_meta["handoffs"],
+        }
+
+
+class TestShardEquivalenceUnderFaults:
+    """The staged fault gate must also be partition-invariant."""
+
+    FAULTS = dict(
+        fault_drop_rate=0.005,
+        fault_delay_rate=0.01,
+        fault_stall_rate=0.02,
+    )
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_faulty_run_is_bit_identical_to_serial(self, shards):
+        config = _config("weather", "limitless", shards=shards, **self.FAULTS)
+        stats = _run_inprocess(config, WeatherWorkload(), ShardPlan(config))
+        assert _fingerprint(stats) == _serial_fingerprint(
+            "weather", "limitless", **self.FAULTS
+        )
+
+    def test_faulty_forked_driver_matches_serial(self):
+        config = _config("weather", "limitless", shards=2, **self.FAULTS)
+        stats = _run_forked(config, WeatherWorkload(), ShardPlan(config))
+        assert _fingerprint(stats) == _serial_fingerprint(
+            "weather", "limitless", **self.FAULTS
+        )
+
+
+class TestIdealTopologyEquivalence:
+    def test_ideal_network_shards_by_id_range(self):
+        config = _config("weather", "limitless", shards=4, topology="ideal")
+        stats = _run_inprocess(config, WeatherWorkload(), ShardPlan(config))
+        assert _fingerprint(stats) == _serial_fingerprint(
+            "weather", "limitless", topology="ideal"
+        )

@@ -253,3 +253,159 @@ class TestSimulateAll:
 
         simulate_all(sim, [Comp(1), Comp(2), object()])
         assert started == [1, 2]
+
+
+class TestSameCycleFastLane:
+    """Events scheduled for the current cycle during the current cycle."""
+
+    def test_same_cycle_posts_run_fifo(self, sim):
+        log = []
+
+        def root():
+            sim.post(sim.now, lambda: log.append("a"))
+            sim.post(sim.now, lambda: log.append("b"))
+            sim.post(sim.now, lambda: log.append("c"))
+
+        sim.call_at(5, root)
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 5
+
+    def test_lane_events_chain_within_one_cycle(self, sim):
+        log = []
+
+        def chain(depth):
+            log.append(depth)
+            if depth < 4:
+                sim.post(sim.now, chain, depth + 1)
+
+        sim.call_at(3, chain, 0)
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+        assert sim.now == 3
+
+    def test_earlier_heap_event_beats_later_lane_entry(self, sim):
+        # An event scheduled for cycle 10 in an earlier cycle has a smaller
+        # seq than anything scheduled *during* cycle 10, so it must run
+        # before lane entries created by cycle-10 callbacks.
+        log = []
+        sim.call_at(10, lambda: log.append("pending"))
+
+        def first():
+            log.append("first")
+            sim.post(sim.now, lambda: log.append("lane"))
+
+        sim.call_at(9, lambda: sim.post(10, first))
+        sim.run()
+        assert log == ["pending", "first", "lane"]
+
+    def test_heap_event_with_smaller_seq_beats_lane_head(self, sim):
+        # A and B are both pre-scheduled for cycle 10.  A's callback posts
+        # lane entry L.  B's seq is smaller than L's, so the order must be
+        # A, B, L — the kernel compares the heap top's seq against the
+        # lane head instead of blindly draining the lane.
+        log = []
+
+        def a():
+            log.append("A")
+            sim.post(sim.now, lambda: log.append("L"))
+
+        sim.call_at(10, a)
+        sim.call_at(10, lambda: log.append("B"))
+        sim.run()
+        assert log == ["A", "B", "L"]
+
+    def test_cancelled_lane_event_does_not_run(self, sim):
+        log = []
+
+        def root():
+            handle = sim.call_at(sim.now, lambda: log.append("dead"))
+            sim.call_at(sim.now, lambda: log.append("live"))
+            handle.cancel()
+
+        sim.call_at(2, root)
+        sim.run()
+        assert log == ["live"]
+
+    def test_pending_events_counts_lane_entries(self, sim):
+        seen = []
+
+        def root():
+            sim.post(sim.now, lambda: None)
+            sim.post(sim.now + 1, lambda: None)
+            seen.append(sim.pending_events)
+
+        sim.call_at(1, root)
+        sim.run()
+        assert seen == [2]
+        assert sim.pending_events == 0
+
+    def test_exception_spills_lane_back_to_heap(self, sim):
+        log = []
+
+        def root():
+            sim.post(sim.now, lambda: log.append("after"))
+            raise RuntimeError("boom")
+
+        sim.call_at(4, root)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        # The lane entry survived the exception and runs on resume, in
+        # its original position.
+        sim.run()
+        assert log == ["after"]
+
+
+class TestPostFront:
+    def test_front_events_run_before_normal_events(self, sim):
+        log = []
+        sim.call_at(10, lambda: log.append("normal"))
+        sim.post_front(10, lambda: log.append("front"))
+        sim.run()
+        assert log == ["front", "normal"]
+
+    def test_front_scheduling_now_while_running_raises(self, sim):
+        def root():
+            sim.post_front(sim.now, lambda: None)
+
+        sim.call_at(5, root)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_front_scheduling_in_the_past_raises(self, sim):
+        sim.call_at(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.post_front(5, lambda: None)
+
+
+class TestRunUntilWindow:
+    def test_executes_strictly_before_limit(self, sim):
+        log = []
+        sim.call_at(5, lambda: log.append(5))
+        sim.call_at(10, lambda: log.append(10))
+        sim.call_at(15, lambda: log.append(15))
+        sim.run_until(10)
+        assert log == [5]
+        assert sim.now == 10
+        sim.run_until(11)
+        assert log == [5, 10]
+        sim.run()
+        assert log == [5, 10, 15]
+
+    def test_advances_now_with_no_events(self, sim):
+        sim.run_until(100)
+        assert sim.now == 100
+
+    def test_window_below_now_raises(self, sim):
+        sim.run_until(50)
+        with pytest.raises(SimulationError):
+            sim.run_until(49)
+
+    def test_next_event_time_skips_cancelled(self, sim):
+        dead = sim.call_at(5, lambda: None)
+        sim.call_at(9, lambda: None)
+        dead.cancel()
+        assert sim.next_event_time() == 9
+        sim.run()
+        assert sim.next_event_time() is None

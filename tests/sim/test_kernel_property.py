@@ -1,0 +1,105 @@
+"""Property test: the kernel executes in exact (time, seq) order.
+
+A reference executor keeps every scheduled callback in a plain list and
+repeatedly runs the live minimum by ``(time, seq)`` — the definitionally
+correct order, with none of the kernel's machinery (heap, same-cycle fast
+lane, cancel handles).  The property drives both with the same randomly
+generated program of interleaved ``call_at(now)``/``post``/``cancel``
+actions and demands identical execution logs, so the fast lane cannot
+reorder anything relative to the specification.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import Simulator
+
+#: one root: (start time, child delays, cancel target, whether to cancel)
+_root = st.tuples(
+    st.integers(0, 4),
+    st.lists(st.integers(0, 3), max_size=3),
+    st.integers(0, 10),
+    st.booleans(),
+)
+
+
+class _RefEvent:
+    __slots__ = ("time", "seq", "action", "done", "cancelled")
+
+    def __init__(self, time, seq, action):
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.done = False
+        self.cancelled = False
+
+    def cancel(self):
+        if not self.done:
+            self.cancelled = True
+
+
+class _RefSim:
+    """List-based (time, seq) executor: the ordering specification."""
+
+    def __init__(self):
+        self.events: list[_RefEvent] = []
+        self.seq = 0
+        self.now = 0
+
+    def schedule(self, time, action):
+        event = _RefEvent(time, self.seq, action)
+        self.seq += 1
+        self.events.append(event)
+        return event
+
+    def run(self):
+        while True:
+            live = [e for e in self.events if not e.done and not e.cancelled]
+            if not live:
+                return
+            event = min(live, key=lambda e: (e.time, e.seq))
+            event.done = True
+            self.now = event.time
+            event.action()
+
+
+def _drive(sim, schedule, roots):
+    """Run ``roots`` on either simulator; returns the execution log.
+
+    Root i runs at its start time; it logs itself, schedules a child at
+    ``now + d`` for each delay (children log and schedule nothing), and
+    optionally cancels another root through its handle — exercising the
+    same-cycle path (d == 0), the heap path (d > 0), and cancellation of
+    both pending and already-run events.
+    """
+    log = []
+    handles = []
+
+    def make_root(i, delays, target, do_cancel):
+        def run_root():
+            log.append(("r", i, sim.now))
+            for k, d in enumerate(delays):
+                child_time = sim.now + d
+                schedule(child_time, lambda i=i, k=k: log.append(("c", i, k, sim.now)))
+            if do_cancel and handles:
+                handles[target % len(handles)].cancel()
+
+        return run_root
+
+    for i, (start, delays, target, do_cancel) in enumerate(roots):
+        handles.append(schedule(start, make_root(i, delays, target, do_cancel)))
+    sim.run()
+    return log
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_root, min_size=1, max_size=12))
+def test_kernel_matches_reference_order(roots):
+    ref = _RefSim()
+    ref_log = _drive(ref, ref.schedule, roots)
+
+    sim = Simulator()
+    sim_log = _drive(sim, sim.call_at, roots)
+
+    assert sim_log == ref_log
