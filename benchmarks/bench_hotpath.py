@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Steady-state hot-path benchmark: protocol stack events per second.
+
+Where ``microbench_kernel.py`` isolates the event kernel, this harness
+measures the full protocol steady state — the code the zero-allocation
+work targets:
+
+* ``packetstorm`` — protocol-packet churn through a contended 8x8
+  wormhole mesh where every delivery immediately constructs (or, with
+  pooling, recycles) the next packet: the packet allocation + fabric
+  send fast path;
+* ``dirping``   — 16 caches hammering one home directory with
+  read/write misses through real cache and memory controllers: the
+  dispatch-table, counter, and message-helper fast path;
+* ``weather64`` — the paper's 64-processor weather/limitless figure
+  configuration (scaled iteration count): the end-to-end number the
+  ISSUE's >=1.5x wall-clock target is pinned to.
+
+Writes a ``BENCH_hotpath.json`` artifact.  ``--baseline FILE`` embeds a
+previously captured report under ``"before"`` and records per-scenario
+speedups, so the artifact carries the pre/post evidence for the PR.
+
+Run:  python benchmarks/bench_hotpath.py [--repeats R] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.machine import AlewifeConfig, AlewifeMachine
+from repro.network.fabric import WormholeNetwork
+from repro.network.packet import Packet
+from repro.network.topology import Mesh2D
+from repro.sim.kernel import Simulator
+from repro.workloads import WeatherWorkload
+
+
+def bench_packetstorm(events: int = 300_000, side: int = 8) -> tuple[int, float]:
+    """Protocol packets through a contended mesh; send-per-delivery."""
+    sim = Simulator()
+    net = WormholeNetwork(sim, Mesh2D(side, side))
+    try:  # packet pool + interned opcodes only after the zero-allocation PR
+        from repro.network.packet import Op, PacketPool
+
+        pool = PacketPool(enabled=True)
+        rreq = Op.RREQ  # what controller-generated traffic actually carries
+    except ImportError:  # pragma: no cover - baseline capture path
+        pool = None
+        rreq = "RREQ"
+    n = side * side
+    remaining = [events]
+
+    def make_handler(node: int):
+        def handler(packet: Packet) -> None:
+            address = packet.address
+            if pool is not None:
+                pool.release(packet)
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                dst = (node * 7 + sim.now) % n if node % 3 else 0
+                if pool is not None:
+                    net.send(pool.protocol(node, dst, rreq, address))
+                else:
+                    net.send(Packet(node, dst, rreq, address=address))
+
+        return handler
+
+    for node in range(n):
+        net.attach(node, make_handler(node))
+    for node in range(n):
+        net.send(Packet(node, (node + 1) % n, rreq, address=node * 16))
+    start = time.perf_counter()
+    sim.run()
+    return sim.events_executed, time.perf_counter() - start
+
+
+def bench_dirping(rounds: int = 2_000, n_procs: int = 16) -> tuple[int, float]:
+    """Many caches ping one home block: controller dispatch steady state.
+
+    Built as a real (single-node-homed) machine so the full stack runs:
+    processor issue, cache controller, NIC, fabric, directory dispatch.
+    """
+    config = AlewifeConfig(
+        n_procs=n_procs,
+        protocol="fullmap",
+        topology="mesh",
+        max_cycles=200_000_000,
+    )
+    machine = AlewifeMachine(config)
+
+    from repro.proc import ops
+    from repro.workloads.base import Workload
+
+    class PingWorkload(Workload):
+        name = "dirping"
+
+        def describe(self) -> str:
+            return "dirping"
+
+        def build(self, machine) -> dict:
+            hot = machine.allocator.alloc_scalar("ping.hot", home=0)
+            slots = [
+                machine.allocator.alloc_scalar(f"ping.s{p}", home=0)
+                for p in range(machine.config.n_procs)
+            ]
+
+            def program(p: int):
+                mine = slots[p].base
+                for _ in range(rounds):
+                    yield ops.load(hot.base)
+                    yield ops.store(mine, p)
+                    yield ops.load(hot.base)
+
+            return {p: [program(p)] for p in range(machine.config.n_procs)}
+
+    start = time.perf_counter()
+    machine.run(PingWorkload(), audit=False)
+    return machine.sim.events_executed, time.perf_counter() - start
+
+
+def bench_weather64(iterations: int = 20) -> tuple[int, float]:
+    """The 64-proc weather/limitless figure configuration, end to end."""
+    config = AlewifeConfig(
+        n_procs=64,
+        protocol="limitless",
+        pointers=4,
+        ts=50,
+        max_cycles=200_000_000,
+    )
+    machine = AlewifeMachine(config)
+    workload = WeatherWorkload(iterations=iterations)
+    start = time.perf_counter()
+    machine.run(workload, audit=False)
+    return machine.sim.events_executed, time.perf_counter() - start
+
+
+SCENARIOS = {
+    "packetstorm": bench_packetstorm,
+    "dirping": bench_dirping,
+    "weather64": bench_weather64,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="runs per scenario (best kept)"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="earlier BENCH_hotpath.json to embed as the 'before' numbers",
+    )
+    parser.add_argument("--out", default="BENCH_hotpath.json")
+    args = parser.parse_args()
+
+    report: dict = {"repeats": args.repeats, "scenarios": {}}
+    for name, fn in SCENARIOS.items():
+        best_rate = 0.0
+        best_wall = float("inf")
+        executed = 0
+        for _ in range(args.repeats):
+            executed, wall = fn()
+            best_wall = min(best_wall, wall)
+            best_rate = max(best_rate, executed / wall)
+        report["scenarios"][name] = {
+            "events_executed": executed,
+            "events_per_sec": round(best_rate),
+            "wall_seconds": round(best_wall, 4),
+        }
+        print(
+            f"{name:12s} {executed:>10,} events   {best_rate:>12,.0f} events/sec"
+            f"   {best_wall:8.3f}s"
+        )
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            before = json.load(fh)
+        report["before"] = before.get("scenarios", before)
+        report["speedup"] = {}
+        for name, result in report["scenarios"].items():
+            base = report["before"].get(name, {}).get("events_per_sec")
+            if base:
+                speedup = result["events_per_sec"] / base
+                report["speedup"][name] = round(speedup, 3)
+                print(f"{name:12s} speedup {speedup:.2f}x over baseline")
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

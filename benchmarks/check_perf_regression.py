@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: fail when a fresh benchmark run regresses.
+
+Compares a freshly measured benchmark report against the committed
+baseline (same JSON shape: ``{"scenarios": {name: {"events_per_sec"}}}``,
+as written by ``microbench_kernel.py`` and ``bench_hotpath.py``) and exits
+nonzero when any scenario's events/s falls more than ``--tolerance`` below
+the baseline.  CI runs this after each microbench so a hot-path regression
+fails the perf-smoke job instead of merely shipping a slower artifact.
+
+The tolerance band absorbs runner-to-runner jitter; it can be widened for
+noisy environments via ``--tolerance`` or ``REPRO_PERF_TOLERANCE``.
+
+Run:  python benchmarks/check_perf_regression.py \
+          --fresh BENCH_kernel.json --baseline benchmarks/BENCH_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_scenarios(path: str) -> dict[str, dict]:
+    with open(path) as fh:
+        report = json.load(fh)
+    return report.get("scenarios", report)
+
+
+def check(
+    fresh: dict[str, dict], baseline: dict[str, dict], tolerance: float
+) -> list[str]:
+    """Regression messages (empty when the fresh run passes the gate)."""
+    problems = []
+    for name, base in sorted(baseline.items()):
+        base_rate = base.get("events_per_sec")
+        if not base_rate:
+            continue
+        if name not in fresh:
+            problems.append(f"{name}: scenario missing from fresh run")
+            continue
+        rate = fresh[name].get("events_per_sec", 0)
+        floor = base_rate * (1.0 - tolerance)
+        verdict = "ok" if rate >= floor else "REGRESSION"
+        print(
+            f"{name:14s} fresh {rate:>12,.0f} ev/s   baseline {base_rate:>12,.0f}"
+            f"   floor {floor:>12,.0f}   {verdict}"
+        )
+        if rate < floor:
+            problems.append(
+                f"{name}: {rate:,.0f} events/s is "
+                f"{1 - rate / base_rate:.1%} below the committed baseline "
+                f"{base_rate:,.0f} (tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True, help="just-measured report")
+    parser.add_argument(
+        "--baseline", required=True, help="committed baseline report"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_PERF_TOLERANCE", "0.20")),
+        help="allowed fractional slowdown before failing (default: 0.20)",
+    )
+    args = parser.parse_args()
+
+    problems = check(
+        load_scenarios(args.fresh), load_scenarios(args.baseline), args.tolerance
+    )
+    if problems:
+        print(f"\nperf gate FAILED ({len(problems)} regression(s)):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

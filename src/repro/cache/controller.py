@@ -32,10 +32,10 @@ from typing import Callable, Optional
 
 from ..mem.address import AddressSpace
 from ..network.interface import NetworkInterface
-from ..network.packet import Packet, protocol_packet
+from ..network.packet import DISABLED_POOL, N_OPS, Op, Packet, PacketPool
 from ..sim.component import Component
 from ..sim.kernel import Simulator
-from ..stats.counters import Counters, Histogram
+from ..stats.counters import Counters, Histogram, counter_slot
 from .cache import CacheArray, CacheLine
 from .states import CacheState
 
@@ -46,8 +46,10 @@ KINDS = ("load", "store", "rmw")
 
 #: counter names per access kind, prebuilt so the per-access hot path does
 #: not format a string for every hit and miss
-_HIT_COUNTER = {kind: f"cache.hits.{kind}" for kind in KINDS}
-_MISS_COUNTER = {kind: f"cache.misses.{kind}" for kind in KINDS}
+_HIT_SLOT = {kind: counter_slot(f"cache.hits.{kind}") for kind in KINDS}
+_MISS_SLOT = {kind: counter_slot(f"cache.misses.{kind}") for kind in KINDS}
+_LOCAL_REQ_SLOT = counter_slot("cache.local_requests")
+_REMOTE_REQ_SLOT = counter_slot("cache.remote_requests")
 
 
 @dataclass
@@ -89,7 +91,7 @@ class _WbEntry:
     """
 
     data: object  # BlockData
-    opcode: str  # "REPM" | "UPDATE"
+    opcode: Op  # Op.REPM | Op.UPDATE
     txn: Optional[int]
     epoch: int = 0
     retries: int = 0
@@ -113,6 +115,7 @@ class CacheController(Component):
         counters: Counters | None = None,
         fault_tolerant: bool = False,
         request_timeout: int = 0,
+        pool: PacketPool | None = None,
     ) -> None:
         super().__init__(sim, f"cache{node_id}")
         self.node_id = node_id
@@ -126,7 +129,7 @@ class CacheController(Component):
         self.counters = counters if counters is not None else Counters()
         # Direct view of the counter bag: a dict item-add beats a method
         # call on the per-access hot path.
-        self._counts = self.counters._values
+        self._slots = self.counters.slot_view()
         self._mshrs: dict[int, Mshr] = {}
         #: survive dropped/duplicated/delayed packets (see module docstring)
         self.fault_tolerant = fault_tolerant
@@ -143,6 +146,19 @@ class CacheController(Component):
         #: to the local read-only copy and write through to the home, which
         #: pushes the new data to the other sharers
         self.update_blocks: set[int] = set()
+        #: allocates outgoing protocol packets (disabled pool = plain news)
+        self.pool = pool if pool is not None else DISABLED_POOL
+        #: per-opcode receive dispatch, indexed by interned Op value; the
+        #: cache only ever sees memory→cache opcodes, so the cache→memory
+        #: rows hold the loud-failure handler.
+        rx: list[Callable[[Packet], None]] = [self._rx_unexpected] * N_OPS
+        rx[Op.RDATA] = self._rdata
+        rx[Op.WDATA] = self._wdata
+        rx[Op.INV] = self._invalidate
+        rx[Op.BUSY] = self._busy
+        rx[Op.UPDATE_DATA] = self._absorb_update
+        rx[Op.DACK] = self._dack
+        self._rx = rx
         nic.set_cache_handler(self.receive)
 
     # ------------------------------------------------------------------
@@ -162,6 +178,33 @@ class CacheController(Component):
         block = self.space.block_of(addr)
         line = self.array.lookup(block)
         self._access(kind, addr, payload, callback, block, line)
+
+    def hit(self, kind: str, line, addr: int, payload, callback: Callback) -> None:
+        """Complete an access the caller already tag-checked as a hit.
+
+        The processor's issue path performs the lookup for its stall
+        accounting and calls this directly, skipping the miss/update-mode
+        triage of :meth:`_access`.  Safe because update-mode blocks never
+        become exclusive, so an update-mode store can never tag-check as
+        a hit and always takes the full path.
+        """
+        self._slots[_HIT_SLOT[kind]] += 1
+        # _apply, inlined: this is the per-access steady state for every
+        # workload with cache locality.
+        word = self.space.word_in_block(addr)
+        words = line.data.words
+        if kind == "load":
+            result = words[word]
+        elif kind == "store":
+            words[word] = payload
+            line.written = True
+            result = None
+        else:
+            result = words[word]
+            words[word] = payload(result)
+            line.written = True
+        sim = self.sim
+        sim.post(sim.now + self.hit_latency, callback, result)
 
     def _access(
         self, kind: str, addr: int, payload, callback: Callback, block: int, line
@@ -188,7 +231,7 @@ class CacheController(Component):
             self._enqueue_miss(kind, addr, payload, callback, block)
             return
         if line is not None and self._is_hit(kind, line):
-            self._counts[_HIT_COUNTER[kind]] += 1
+            self._slots[_HIT_SLOT[kind]] += 1
             # Commit the operation at tag-check time; only the processor's
             # completion is delayed.  Applying later would open an atomicity
             # window where an INV ships the line away *before* the write or
@@ -196,7 +239,7 @@ class CacheController(Component):
             result = self._apply(kind, line, addr, payload)
             self.schedule(self.hit_latency, callback, result)
             return
-        self._counts[_MISS_COUNTER[kind]] += 1
+        self._slots[_MISS_SLOT[kind]] += 1
         if line is not None and kind in ("store", "rmw"):
             self.counters.bump("cache.upgrades")
         self._enqueue_miss(kind, addr, payload, callback, block)
@@ -251,12 +294,12 @@ class CacheController(Component):
             return
         mshr.wb_blocked = False
         home = self.space.home_of(mshr.block)
-        opcode = "WREQ" if mshr.need_write else "RREQ"
+        opcode = Op.WREQ if mshr.need_write else Op.RREQ
         if home == self.node_id:
-            self.counters.bump("cache.local_requests")
+            self._slots[_LOCAL_REQ_SLOT] += 1
         else:
-            self.counters.bump("cache.remote_requests")
-        self.nic.send(protocol_packet(self.node_id, home, opcode, mshr.block))
+            self._slots[_REMOTE_REQ_SLOT] += 1
+        self.nic.send(self.pool.protocol(self.node_id, home, opcode, mshr.block))
         self._arm_request_timer(mshr)
 
     # ------------------------------------------------------------------
@@ -311,21 +354,16 @@ class CacheController(Component):
     # ------------------------------------------------------------------
 
     def receive(self, packet: Packet) -> None:
-        op = packet.opcode
-        if op == "RDATA":
-            self._fill(packet, CacheState.READ_ONLY)
-        elif op == "WDATA":
-            self._fill(packet, CacheState.READ_WRITE)
-        elif op == "INV":
-            self._invalidate(packet)
-        elif op == "BUSY":
-            self._busy(packet)
-        elif op == "UPDATE_DATA":
-            self._absorb_update(packet)
-        elif op == "DACK":
-            self._dack(packet)
-        else:  # pragma: no cover - opcode routing is exhaustive
-            raise RuntimeError(f"{self.name}: unexpected packet {packet}")
+        self._rx[packet.opcode](packet)
+
+    def _rx_unexpected(self, packet: Packet) -> None:  # pragma: no cover
+        raise RuntimeError(f"{self.name}: unexpected packet {packet}")
+
+    def _rdata(self, packet: Packet) -> None:
+        self._fill(packet, CacheState.READ_ONLY)
+
+    def _wdata(self, packet: Packet) -> None:
+        self._fill(packet, CacheState.READ_WRITE)
 
     def _fill(self, packet: Packet, state: CacheState) -> None:
         block = packet.address
@@ -379,14 +417,15 @@ class CacheController(Component):
             self.counters.bump("cache.evict_rw")
             if self.fault_tolerant:
                 self._wb_buffer[victim.block] = _WbEntry(
-                    victim.data.copy(), "REPM", None
+                    victim.data.copy(), Op.REPM, None
                 )
                 self._send_writeback(victim.block)
                 victim.state = CacheState.INVALID
                 return
             self.nic.send(
-                protocol_packet(
-                    self.node_id, home, "REPM", victim.block, data=victim.data.copy()
+                self.pool.protocol(
+                    self.node_id, home, Op.REPM, victim.block,
+                    data=victim.data.copy(),
                 )
             )
         else:
@@ -404,14 +443,14 @@ class CacheController(Component):
             # Dirty-exclusive copy: answer with the data (UPDATE).
             line.state = CacheState.INVALID
             if self.fault_tolerant:
-                self._wb_buffer[block] = _WbEntry(line.data.copy(), "UPDATE", txn)
+                self._wb_buffer[block] = _WbEntry(line.data.copy(), Op.UPDATE, txn)
                 self._send_writeback(block)
                 return
             self.nic.send(
-                protocol_packet(
+                self.pool.protocol(
                     self.node_id,
                     packet.src,
-                    "UPDATE",
+                    Op.UPDATE,
                     block,
                     data=line.data.copy(),
                     txn=txn,
@@ -425,14 +464,14 @@ class CacheController(Component):
             # lost.  Re-answer from the buffer, echoing the new transaction
             # id so the directory's acknowledgment counter matches.
             self.counters.bump("cache.wb_reanswers")
-            wb.opcode = "UPDATE"
+            wb.opcode = Op.UPDATE
             wb.txn = txn
             self._send_writeback(block)
             return
         if line is not None:
             line.state = CacheState.INVALID
         self.nic.send(
-            protocol_packet(self.node_id, packet.src, "ACKC", block, txn=txn)
+            self.pool.protocol(self.node_id, packet.src, Op.ACKC, block, txn=txn)
         )
 
     def _busy(self, packet: Packet) -> None:
@@ -463,11 +502,16 @@ class CacheController(Component):
     def _send_writeback(self, block: int) -> None:
         entry = self._wb_buffer[block]
         home = self.space.home_of(block)
-        meta = {} if entry.txn is None else {"txn": entry.txn}
-        self.nic.send(
-            Packet(self.node_id, home, entry.opcode, block, data=entry.data.copy(),
-                   meta=meta)
-        )
+        if entry.txn is None:
+            packet = self.pool.protocol(
+                self.node_id, home, entry.opcode, block, data=entry.data.copy()
+            )
+        else:
+            packet = self.pool.protocol(
+                self.node_id, home, entry.opcode, block, data=entry.data.copy(),
+                txn=entry.txn,
+            )
+        self.nic.send(packet)
         if not self.request_timeout:
             return
         entry.epoch += 1
@@ -516,8 +560,8 @@ class CacheController(Component):
         home = self.space.home_of(line.block)
         self.counters.bump("cache.write_throughs")
         self.nic.send(
-            protocol_packet(
-                self.node_id, home, "UPDATE", line.block, data=line.data.copy()
+            self.pool.protocol(
+                self.node_id, home, Op.UPDATE, line.block, data=line.data.copy()
             )
         )
 

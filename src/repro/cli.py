@@ -114,13 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 #: Subcommands hosted by the top-level parser.
-COMMANDS = ("run", "modelcheck", "sweep", "faults")
+COMMANDS = ("run", "modelcheck", "sweep", "faults", "profile")
 
 
 def build_top_parser() -> argparse.ArgumentParser:
     """Top-level parser: ``repro --help`` lists every subcommand."""
     from .faults import cli as faults_cli
     from .modelcheck import cli as modelcheck_cli
+    from .profiling import cli as profiling_cli
     from .sweep import cli as sweep_cli
 
     parser = argparse.ArgumentParser(
@@ -130,7 +131,9 @@ def build_top_parser() -> argparse.ArgumentParser:
             "(e.g. `repro --protocol limitless`) run as an implicit `run`."
         ),
     )
-    sub = parser.add_subparsers(dest="command", metavar="{run,modelcheck,sweep,faults}")
+    sub = parser.add_subparsers(
+        dest="command", metavar="{run,modelcheck,sweep,faults,profile}"
+    )
     run_parser = sub.add_parser(
         "run", help="run one experiment (the default subcommand)"
     )
@@ -156,6 +159,13 @@ def build_top_parser() -> argparse.ArgumentParser:
     )
     faults_cli.add_arguments(faults_parser)
     faults_parser.set_defaults(func=faults_cli.run_from_args)
+    profile_parser = sub.add_parser(
+        "profile",
+        help="profile one run: hot functions, allocations, cycle attribution",
+        description=profiling_cli.DESCRIPTION,
+    )
+    profiling_cli.add_arguments(profile_parser)
+    profile_parser.set_defaults(func=profiling_cli.run_from_args)
     return parser
 
 

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..network.packet import Packet
+from ..network.packet import Op, Packet
+from .controller import MemoryController
 from .entry import DirectoryEntry
 from .fullmap import FullMapController
 from .limitless import TrapEngine
-from .states import DirState, MetaState
+from .states import DirState
 
 
 @dataclass
@@ -65,27 +66,37 @@ class ApproxLimitLessController(FullMapController):
         stall = self._account(entry, packet)
         if stall:
             # Stall the memory controller and the local processor for Ts,
-            # then service the packet with ordinary full-map logic.
+            # then service the packet with ordinary full-map logic.  The
+            # packet stays live across the stall, so keep it out of the
+            # pool until the deferred dispatch consumes it.
             self.counters.bump("limitless.traps")
             self.occupancy.stall(self.ts)
             if self.trap_engine is not None:
                 self.trap_engine.request_trap(self.ts, lambda: None)
-            self.sim.call_after(self.ts, lambda: super(
-                ApproxLimitLessController, self
-            ).dispatch(entry, packet))
+            self._retained = True
+            self.sim.call_after(
+                self.ts, lambda: self._resume_dispatch(entry, packet)
+            )
             return
         super().dispatch(entry, packet)
 
+    def _resume_dispatch(self, entry: DirectoryEntry, packet: Packet) -> None:
+        """Service a stalled packet with ordinary full-map logic."""
+        self._retained = False
+        MemoryController.dispatch(self, entry, packet)
+        if not self._retained:
+            self.pool.release(packet)
+
     def _account(self, entry: DirectoryEntry, packet: Packet) -> bool:
         """Update the emulated pointer array; True => take an overflow stall."""
-        if entry.meta is not MetaState.NORMAL:
+        if entry.meta:  # any mode but NORMAL
             return False
         emu = self._emu(entry.block)
         src = packet.src
         op = packet.opcode
         if entry.state in (DirState.READ_TRANSACTION, DirState.WRITE_TRANSACTION):
             return False  # request will get BUSY; no pointer activity
-        if op == "RREQ" and entry.state is DirState.READ_ONLY:
+        if op is Op.RREQ and entry.state is DirState.READ_ONLY:
             if src == entry.home or entry.holds(src):
                 return False
             if emu.hw_count >= self.hw_pointers:
@@ -97,17 +108,17 @@ class ApproxLimitLessController(FullMapController):
                 return True
             emu.hw_count += 1
             return False
-        if op == "RREQ" and entry.state is DirState.READ_WRITE:
+        if op is Op.RREQ and entry.state is DirState.READ_WRITE:
             emu.hw_count = 0 if src == entry.home else 1
             return False
-        if op == "WREQ":
+        if op is Op.WREQ:
             trapped = emu.trap_on_write
             emu.trap_on_write = False
             emu.hw_count = 0 if src == entry.home else 1
             if trapped:
                 self.counters.bump("limitless.write_termination_traps")
             return trapped
-        if op == "REPM" and entry.state is DirState.READ_WRITE:
+        if op is Op.REPM and entry.state is DirState.READ_WRITE:
             emu.hw_count = 0
             return False
         return False

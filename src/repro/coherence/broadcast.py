@@ -38,11 +38,11 @@ class BroadcastController(MemoryController):
         self.counters.bump("dir.unrecorded_grants")
         self._send_rdata(entry, packet.src)
 
-    def _in_read_only(self, entry: DirectoryEntry, packet: Packet) -> None:
-        if packet.opcode == "WREQ" and entry.block in self._broadcast:
+    def _ro_wreq(self, entry: DirectoryEntry, packet: Packet) -> None:
+        if entry.block in self._broadcast:
             self._broadcast_invalidate(entry, packet)
             return
-        super()._in_read_only(entry, packet)
+        super()._ro_wreq(entry, packet)
 
     def _broadcast_invalidate(self, entry: DirectoryEntry, packet: Packet) -> None:
         """The broadcast write: invalidate every cache, await every ack."""

@@ -7,6 +7,14 @@ popular home node even when the network itself has spare bandwidth.
 
 Transition numbers in comments refer to Table 2 of the paper.
 
+The state machine is compiled, once per controller at construction, into a
+dense per-(state, opcode) dispatch table: ``_table[DirState][Op]`` holds the
+bound handler for that cell, so the steady state is two list indexes and a
+call — no string compares, no if/elif chains, and fault-tolerance variants
+are chosen at build time instead of branching per packet.  Subclasses
+specialize cells by overriding the per-cell hook methods (``_ro_rreq`` and
+friends); the table binds through ``self`` so overrides are live.
+
 Race handling (beyond the paper's table, which assumes idealized delivery):
 
 * Both networks preserve per-(src, dst) FIFO order, like a deterministic
@@ -39,15 +47,24 @@ delivery:
 
 from __future__ import annotations
 
+from typing import Callable
+
 from ..mem.address import AddressSpace
 from ..mem.memory import MainMemory
 from ..network.interface import NetworkInterface
-from ..network.packet import Packet, protocol_packet
+from ..network.packet import DISABLED_POOL, N_OPS, Op, Packet, PacketPool
 from ..sim.component import Component
 from ..sim.kernel import Simulator, StallableResource
-from ..stats.counters import Counters, Histogram
+from ..stats.counters import Counters, Histogram, counter_slot
 from .entry import Directory, DirectoryEntry
-from .states import DirState, MetaState, ProtocolError
+from .states import N_DIR_STATES, DirState, MetaState, ProtocolError
+
+Handler = Callable[[DirectoryEntry, Packet], None]
+
+#: Opcodes that trap in TRAP_ON_WRITE mode (Table 4's write class).
+_WRITE_CLASS = (Op.WREQ, Op.UPDATE, Op.REPM)
+
+_DIR_PACKETS_SLOT = counter_slot("dir.packets")
 
 
 class MemoryController(Component):
@@ -75,6 +92,7 @@ class MemoryController(Component):
         fault_tolerant: bool = False,
         inv_timeout: int = 0,
         inv_retx_broadcast: int = 3,
+        pool: PacketPool | None = None,
     ) -> None:
         super().__init__(sim, f"dir{node_id}")
         self.node_id = node_id
@@ -86,8 +104,15 @@ class MemoryController(Component):
         self.directory = Directory(node_id)
         self.occupancy = StallableResource(sim, f"dirres{node_id}")
         self.counters = counters if counters is not None else Counters()
+        self._slots = self.counters.slot_view()
         #: survive dropped/duplicated packets (see module docstring)
         self.fault_tolerant = fault_tolerant
+        #: recycle terminally consumed packets (a disabled pool no-ops)
+        self.pool = pool if pool is not None else DISABLED_POOL
+        #: set by any cell that keeps the current packet alive past its
+        #: dispatch (interlock queue, IPI divert, deferred dispatch) so
+        #: ``process`` knows not to release it to the pool
+        self._retained = False
         #: cycles before an unacknowledged invalidation round is resent;
         #: 0 disables timers (the model checker drives retransmission as
         #: explicit transitions instead)
@@ -107,16 +132,95 @@ class MemoryController(Component):
         #: processor: software emulates a *full-map* directory, so pointer
         #: capacity does not apply during a software pass
         self._software_pass = False
-        #: per-instance state dispatch table, built once so the hot path
-        #: avoids re-creating the dict (and re-binding four methods) per
-        #: packet; binding through ``self`` keeps subclass overrides live
-        self._dispatch_table = {
-            DirState.READ_ONLY: self._in_read_only,
-            DirState.READ_WRITE: self._in_read_write,
-            DirState.READ_TRANSACTION: self._in_read_transaction,
-            DirState.WRITE_TRANSACTION: self._in_write_transaction,
-        }
+        self._table = self._build_dispatch_table()
         nic.set_memory_handler(self.receive)
+
+    # ------------------------------------------------------------------
+    # Dispatch-table construction
+    # ------------------------------------------------------------------
+
+    def _build_dispatch_table(self) -> list[list[Handler]]:
+        """Compile Table 2 into a dense ``[DirState][Op] -> handler`` grid.
+
+        Binding happens through ``self`` so a subclass override of any
+        cell hook lands in the table; fault-tolerance cell variants are
+        resolved here, once, instead of per packet.
+        """
+        ft = self.fault_tolerant
+        table: list[list[Handler]] = [[None] * N_OPS for _ in range(N_DIR_STATES)]  # type: ignore[list-item]
+
+        def fill(
+            state: DirState,
+            cells: dict[Op, Handler],
+            *,
+            packet_in_error: bool,
+        ) -> None:
+            unexpected = self._make_unexpected(state, packet_in_error)
+            row = table[state]
+            for op in Op:
+                row[op] = cells.get(op, unexpected)
+
+        ro: dict[Op, Handler] = {
+            Op.RREQ: self._ro_rreq,
+            Op.WREQ: self._ro_wreq,
+            Op.ACKC: self._stray,  # late ack from an eviction INV
+            Op.REPM: self._stray,  # superseded by a completed transaction
+        }
+        if ft:
+            # A duplicate or retransmission of an invalidation answer whose
+            # original was already consumed (the transaction completed, or
+            # this state could not have been reached); its data is already
+            # home or superseded.
+            ro[Op.UPDATE] = self._stray
+        fill(DirState.READ_ONLY, ro, packet_in_error=True)
+
+        rw: dict[Op, Handler] = {
+            Op.RREQ: self._rw_rreq_ft if ft else self._rw_rreq,
+            Op.WREQ: self._rw_wreq,
+            Op.REPM: self._rw_repm,
+            Op.ACKC: self._rw_stray,
+        }
+        if ft:
+            # The invalidation round this answered already completed (via
+            # a duplicate of this answer, a write-back-buffer re-answer,
+            # or the REPM wildcard) with identical data; drop the echo.
+            rw[Op.UPDATE] = self._rw_stray
+        fill(DirState.READ_WRITE, rw, packet_in_error=True)
+
+        fill(
+            DirState.WRITE_TRANSACTION,
+            {
+                Op.RREQ: self._txn_busy,  # Transition 7: BUSY -> j
+                Op.WREQ: self._txn_busy,
+                Op.ACKC: self._wt_ackc,
+                Op.UPDATE: self._wt_update,
+                Op.REPM: self._wt_repm,
+            },
+            packet_in_error=False,
+        )
+        fill(
+            DirState.READ_TRANSACTION,
+            {
+                Op.RREQ: self._txn_busy,  # Transition 9: BUSY -> j
+                Op.WREQ: self._txn_busy,
+                Op.UPDATE: self._rt_update,
+                Op.REPM: self._rt_repm,
+                Op.ACKC: self._rt_ackc,
+            },
+            packet_in_error=False,
+        )
+        return table
+
+    def _make_unexpected(self, state: DirState, packet_in_error: bool) -> Handler:
+        label = state.name
+
+        def unexpected(entry: DirectoryEntry, packet: Packet) -> None:
+            tail = f" for {packet}" if packet_in_error else ""
+            raise ProtocolError(
+                f"{self.name}: {packet.opcode} in {label}{tail}"
+            )
+
+        return unexpected
 
     # ------------------------------------------------------------------
     # Entry points
@@ -128,14 +232,16 @@ class MemoryController(Component):
             raise ProtocolError(f"{self.name}: {packet} not homed here")
         if packet.address != self.space.block_of(packet.address):
             raise ProtocolError(f"{self.name}: {packet} not block aligned")
-        if self.fault_tolerant and packet.opcode in ("UPDATE", "REPM"):
+        if self.fault_tolerant and (
+            packet.opcode is Op.UPDATE or packet.opcode is Op.REPM
+        ):
             # Acknowledge dirty data at the network entry point — exactly
             # once per delivery, whether the packet is then consumed,
             # interlocked and replayed, or dropped as stray.  The sending
             # cache retires its write-back buffer on the DACK.
             self.counters.bump("dir.dacks_sent")
             self.nic.send(
-                protocol_packet(self.node_id, packet.src, "DACK", packet.address)
+                self.pool.protocol(self.node_id, packet.src, Op.DACK, packet.address)
             )
         done_at = self.occupancy.acquire(self.dir_occupancy)
         self.sim.post(done_at, self.process, packet)
@@ -143,8 +249,8 @@ class MemoryController(Component):
     def process(self, packet: Packet) -> None:
         """Dispatch a packet once the controller pipeline reaches it."""
         entry = self.directory.entry(packet.address)
-        self.counters._values["dir.packets"] += 1
-        if self.fault_tolerant and packet.opcode == "ACKC":
+        self._slots[_DIR_PACKETS_SLOT] += 1
+        if self.fault_tolerant and packet.opcode is Op.ACKC:
             # Any acknowledgment from a node proves its copy is gone (a
             # cache only ACKCs after invalidating), so it settles any
             # outstanding fire-and-forget eviction too.
@@ -153,9 +259,11 @@ class MemoryController(Component):
                 pending.discard(packet.src)
                 if not pending:
                     del self._pending_evictions[entry.block]
-        if self._meta_intercept(entry, packet):
-            return
-        self.dispatch(entry, packet)
+        self._retained = False
+        if not self._meta_intercept(entry, packet):
+            self.dispatch(entry, packet)
+        if not self._retained:
+            self.pool.release(packet)
 
     def replay_pending(self, entry: DirectoryEntry) -> None:
         """Re-inject packets queued while the entry was interlocked.
@@ -176,18 +284,18 @@ class MemoryController(Component):
 
     def _meta_intercept(self, entry: DirectoryEntry, packet: Packet) -> bool:
         """Returns True when the packet was queued or diverted to software."""
-        if entry.meta is MetaState.TRANS_IN_PROGRESS:
+        meta = entry.meta
+        if not meta:  # NORMAL == 0: the overwhelmingly common case
+            return False
+        if meta is MetaState.TRANS_IN_PROGRESS:
             entry.pending.append(packet)
+            self._retained = True
             self.counters.bump("dir.interlocked")
             return True
-        if entry.meta is MetaState.TRAP_ALWAYS:
+        if meta is MetaState.TRAP_ALWAYS:
             self.divert(entry, packet)
             return True
-        if entry.meta is MetaState.TRAP_ON_WRITE and packet.opcode in (
-            "WREQ",
-            "UPDATE",
-            "REPM",
-        ):
+        if meta is MetaState.TRAP_ON_WRITE and packet.opcode in _WRITE_CLASS:
             self.divert(entry, packet)
             return True
         return False
@@ -196,6 +304,7 @@ class MemoryController(Component):
         """Forward a packet to the IPI input queue for software handling."""
         entry.trap_mode = entry.meta
         entry.meta = MetaState.TRANS_IN_PROGRESS
+        self._retained = True
         self.counters.bump("dir.diverted")
         self.nic.divert_to_ipi(packet)
 
@@ -204,139 +313,127 @@ class MemoryController(Component):
     # ------------------------------------------------------------------
 
     def dispatch(self, entry: DirectoryEntry, packet: Packet) -> None:
-        self._dispatch_table[entry.state](entry, packet)
+        self._table[entry.state][packet.opcode](entry, packet)
 
     # -- READ_ONLY ------------------------------------------------------
 
-    def _in_read_only(self, entry: DirectoryEntry, packet: Packet) -> None:
+    def _ro_rreq(self, entry: DirectoryEntry, packet: Packet) -> None:
+        # Transition 1: P = P + {i}; RDATA -> i
         src = packet.src
-        op = packet.opcode
-        if op == "RREQ":
-            # Transition 1: P = P + {i}; RDATA -> i
-            if entry.holds(src) or self._pointer_available(entry, src):
-                entry.add_sharer(src)
-                self._send_rdata(entry, src)
-            else:
-                self.counters.bump("dir.read_overflow")
-                self._read_overflow(entry, packet)
-        elif op == "WREQ":
-            others = entry.all_copy_holders() - {src}
-            if self.fault_tolerant:
-                # Nodes with an unacknowledged eviction INV may still hold
-                # a stale read-only copy; the write round must cover them.
-                others |= self._pending_evictions.get(entry.block, set()) - {src}
-            if not others:
-                # Transition 2: P = {i}; WDATA -> i
-                entry.clear_sharers()
-                entry.add_sharer(src)
-                entry.state = DirState.READ_WRITE
-                self._send_wdata(entry, src)
-            else:
-                # Transition 3: AckCtr = |P - {i}|; INV -> each k
-                self._begin_write_transaction(entry, src, others)
-        elif op == "ACKC":
-            self._stray(entry, packet)  # late ack from an eviction INV
-        elif op == "REPM":
-            self._stray(entry, packet)  # superseded by a completed transaction
-        elif op == "UPDATE" and self.fault_tolerant:
-            # A duplicate or retransmission of an invalidation answer whose
-            # original was already consumed (the transaction completed, or
-            # this state could not have been reached); its data is already
-            # home or superseded.
-            self._stray(entry, packet)
+        if entry.holds(src) or self._pointer_available(entry, src):
+            entry.add_sharer(src)
+            self._send_rdata(entry, src)
         else:
-            raise ProtocolError(f"{self.name}: {op} in READ_ONLY for {packet}")
+            self.counters.bump("dir.read_overflow")
+            self._read_overflow(entry, packet)
+
+    def _ro_wreq(self, entry: DirectoryEntry, packet: Packet) -> None:
+        src = packet.src
+        others = entry.all_copy_holders() - {src}
+        if self.fault_tolerant:
+            # Nodes with an unacknowledged eviction INV may still hold
+            # a stale read-only copy; the write round must cover them.
+            others |= self._pending_evictions.get(entry.block, set()) - {src}
+        if not others:
+            # Transition 2: P = {i}; WDATA -> i
+            entry.clear_sharers()
+            entry.add_sharer(src)
+            entry.state = DirState.READ_WRITE
+            self._send_wdata(entry, src)
+        else:
+            # Transition 3: AckCtr = |P - {i}|; INV -> each k
+            self._begin_write_transaction(entry, src, others)
 
     # -- READ_WRITE -----------------------------------------------------
 
-    def _in_read_write(self, entry: DirectoryEntry, packet: Packet) -> None:
-        src = packet.src
-        op = packet.opcode
+    def _rw_owner(self, entry: DirectoryEntry) -> int:
         holders = entry.all_copy_holders()
         if len(holders) != 1:
             raise ProtocolError(f"{self.name}: READ_WRITE with holders={holders}")
-        owner = next(iter(holders))
-        if op == "RREQ":
-            if self.fault_tolerant and src == owner:
-                # Always a stale duplicate: a live read miss from the
-                # recorded owner is impossible (a lost WDATA leaves a
-                # write MSHR that retransmits WREQ, and an evicted copy
-                # holds re-requests until the REPM is acknowledged), and
-                # tearing the owner down through a read transaction for a
-                # duplicate would thrash a healthy exclusive copy.
-                self._stray(entry, packet)
-                return
-            # Transition 5: INV -> owner, enter READ_TRANSACTION
+        return next(iter(holders))
+
+    def _rw_rreq(self, entry: DirectoryEntry, packet: Packet) -> None:
+        # Transition 5: INV -> owner, enter READ_TRANSACTION
+        owner = self._rw_owner(entry)
+        txn = entry.begin_transaction(packet.src, {owner})
+        entry.state = DirState.READ_TRANSACTION
+        entry.clear_sharers()
+        self._send_inv(owner, entry.block, txn)
+        self._arm_inv_timer(entry)
+
+    def _rw_rreq_ft(self, entry: DirectoryEntry, packet: Packet) -> None:
+        if packet.src == self._rw_owner(entry):
+            # Always a stale duplicate: a live read miss from the
+            # recorded owner is impossible (a lost WDATA leaves a
+            # write MSHR that retransmits WREQ, and an evicted copy
+            # holds re-requests until the REPM is acknowledged), and
+            # tearing the owner down through a read transaction for a
+            # duplicate would thrash a healthy exclusive copy.
+            self._stray(entry, packet)
+            return
+        self._rw_rreq(entry, packet)
+
+    def _rw_wreq(self, entry: DirectoryEntry, packet: Packet) -> None:
+        src = packet.src
+        owner = self._rw_owner(entry)
+        if src == owner:
+            # Owner already exclusive; re-grant (lost-WDATA retry path).
+            self._send_wdata(entry, src)
+            self.counters.bump("dir.regrant")
+        else:
+            # Transition 4: INV -> owner, enter WRITE_TRANSACTION
             txn = entry.begin_transaction(src, {owner})
-            entry.state = DirState.READ_TRANSACTION
+            entry.state = DirState.WRITE_TRANSACTION
             entry.clear_sharers()
             self._send_inv(owner, entry.block, txn)
             self._arm_inv_timer(entry)
-        elif op == "WREQ":
-            if src == owner:
-                # Owner already exclusive; re-grant (lost-WDATA retry path).
-                self._send_wdata(entry, src)
-                self.counters.bump("dir.regrant")
-            else:
-                # Transition 4: INV -> owner, enter WRITE_TRANSACTION
-                txn = entry.begin_transaction(src, {owner})
-                entry.state = DirState.WRITE_TRANSACTION
-                entry.clear_sharers()
-                self._send_inv(owner, entry.block, txn)
-                self._arm_inv_timer(entry)
-        elif op == "REPM":
-            if src == owner:
-                # Transition 6: owner replaced its modified copy
-                self.memory.write_block(entry.block, packet.data)
-                entry.clear_sharers()
-                entry.state = DirState.READ_ONLY
-            else:
-                self._stray(entry, packet)
-        elif op == "ACKC":
-            self._stray(entry, packet)
-        elif op == "UPDATE" and self.fault_tolerant:
-            # The invalidation round this answered already completed (via
-            # a duplicate of this answer, a write-back-buffer re-answer,
-            # or the REPM wildcard) with identical data; drop the echo.
-            self._stray(entry, packet)
+
+    def _rw_repm(self, entry: DirectoryEntry, packet: Packet) -> None:
+        if packet.src == self._rw_owner(entry):
+            # Transition 6: owner replaced its modified copy
+            self.memory.write_block(entry.block, packet.data)
+            entry.clear_sharers()
+            entry.state = DirState.READ_ONLY
         else:
-            raise ProtocolError(f"{self.name}: {op} in READ_WRITE for {packet}")
+            self._stray(entry, packet)
+
+    def _rw_stray(self, entry: DirectoryEntry, packet: Packet) -> None:
+        self._rw_owner(entry)  # preserve the holders invariant check
+        self._stray(entry, packet)
 
     # -- WRITE_TRANSACTION ------------------------------------------------
 
-    def _in_write_transaction(self, entry: DirectoryEntry, packet: Packet) -> None:
-        src = packet.src
-        op = packet.opcode
-        if op in ("RREQ", "WREQ"):
-            # Transition 7: BUSY -> j
-            self._send_busy(src, entry.block)
-        elif op == "ACKC":
-            # Transitions 7/8: count the ack; last one releases WDATA.
-            # An ACKC without a txn answers an *eviction* INV, never this
-            # round's transactional INV (those always echo the id), so it
-            # must not wildcard-match — the evictee may since have
-            # re-entered the pointer set and owe a real ack.
-            txn = packet.meta.get("txn")
-            if txn is not None and entry.ack_from(src, txn):
-                self._maybe_complete_write(entry)
-            else:
-                self._stray(entry, packet)
-        elif op == "UPDATE":
-            # A dirty owner answered INV with its data (transition 8).
-            if entry.ack_from(src, packet.meta.get("txn")):
-                self.memory.write_block(entry.block, packet.data)
-                self._maybe_complete_write(entry)
-            else:
-                self._stray(entry, packet)
-        elif op == "REPM":
-            # Transition 7: a replacement crossing our INV counts as its ack.
-            if entry.ack_from(src, None):
-                self.memory.write_block(entry.block, packet.data)
-                self._maybe_complete_write(entry)
-            else:
-                self._stray(entry, packet)
+    def _txn_busy(self, entry: DirectoryEntry, packet: Packet) -> None:
+        # Transitions 7/9: a request during a transaction bounces BUSY.
+        self._send_busy(packet.src, entry.block)
+
+    def _wt_ackc(self, entry: DirectoryEntry, packet: Packet) -> None:
+        # Transitions 7/8: count the ack; last one releases WDATA.
+        # An ACKC without a txn answers an *eviction* INV, never this
+        # round's transactional INV (those always echo the id), so it
+        # must not wildcard-match — the evictee may since have
+        # re-entered the pointer set and owe a real ack.
+        txn = packet.meta.get("txn")
+        if txn is not None and entry.ack_from(packet.src, txn):
+            self._maybe_complete_write(entry)
         else:
-            raise ProtocolError(f"{self.name}: {op} in WRITE_TRANSACTION")
+            self._stray(entry, packet)
+
+    def _wt_update(self, entry: DirectoryEntry, packet: Packet) -> None:
+        # A dirty owner answered INV with its data (transition 8).
+        if entry.ack_from(packet.src, packet.meta.get("txn")):
+            self.memory.write_block(entry.block, packet.data)
+            self._maybe_complete_write(entry)
+        else:
+            self._stray(entry, packet)
+
+    def _wt_repm(self, entry: DirectoryEntry, packet: Packet) -> None:
+        # Transition 7: a replacement crossing our INV counts as its ack.
+        if entry.ack_from(packet.src, None):
+            self.memory.write_block(entry.block, packet.data)
+            self._maybe_complete_write(entry)
+        else:
+            self._stray(entry, packet)
 
     def _maybe_complete_write(self, entry: DirectoryEntry) -> None:
         if entry.acks_outstanding:
@@ -354,49 +451,43 @@ class MemoryController(Component):
 
     # -- READ_TRANSACTION -------------------------------------------------
 
-    def _in_read_transaction(self, entry: DirectoryEntry, packet: Packet) -> None:
-        src = packet.src
-        op = packet.opcode
-        if op in ("RREQ", "WREQ"):
-            # Transition 9: BUSY -> j
-            self._send_busy(src, entry.block)
-        elif op == "UPDATE":
-            # Transition 10: data comes back; RDATA -> requester
-            if entry.ack_from(src, packet.meta.get("txn")):
-                self.memory.write_block(entry.block, packet.data)
-                self._complete_read(entry)
-            else:
-                self._stray(entry, packet)
-        elif op == "REPM":
-            if entry.ack_from(src, None):
-                self.memory.write_block(entry.block, packet.data)
-                self._complete_read(entry)
-            else:
-                self._stray(entry, packet)
-        elif op == "ACKC":
-            # The awaited owner must answer with data (UPDATE/REPM); a
-            # matching ACKC here indicates a protocol bug.  A txn-less
-            # ACKC is a late eviction ack and may arrive from any node —
-            # even one that has since become the owner — so it is stray.
-            txn = packet.meta.get("txn")
-            if txn is not None and entry.ack_from(src, txn):
-                if self.fault_tolerant:
-                    # "Ownerless" acknowledgment: the awaited owner answered
-                    # without data, so it holds no modified copy — its WDATA
-                    # grant was lost before it ever filled, or its dirty
-                    # data already came home (write-backs are buffered and
-                    # retransmitted until DACKed, and the buffer re-answers
-                    # INV in our place).  Either way memory is current;
-                    # complete the read from it.
-                    self.counters.bump("dir.ownerless_reads")
-                    self._complete_read(entry)
-                    return
-                raise ProtocolError(
-                    f"{self.name}: dataless ACKC from owner in READ_TRANSACTION"
-                )
-            self._stray(entry, packet)
+    def _rt_update(self, entry: DirectoryEntry, packet: Packet) -> None:
+        # Transition 10: data comes back; RDATA -> requester
+        if entry.ack_from(packet.src, packet.meta.get("txn")):
+            self.memory.write_block(entry.block, packet.data)
+            self._complete_read(entry)
         else:
-            raise ProtocolError(f"{self.name}: {op} in READ_TRANSACTION")
+            self._stray(entry, packet)
+
+    def _rt_repm(self, entry: DirectoryEntry, packet: Packet) -> None:
+        if entry.ack_from(packet.src, None):
+            self.memory.write_block(entry.block, packet.data)
+            self._complete_read(entry)
+        else:
+            self._stray(entry, packet)
+
+    def _rt_ackc(self, entry: DirectoryEntry, packet: Packet) -> None:
+        # The awaited owner must answer with data (UPDATE/REPM); a
+        # matching ACKC here indicates a protocol bug.  A txn-less
+        # ACKC is a late eviction ack and may arrive from any node —
+        # even one that has since become the owner — so it is stray.
+        txn = packet.meta.get("txn")
+        if txn is not None and entry.ack_from(packet.src, txn):
+            if self.fault_tolerant:
+                # "Ownerless" acknowledgment: the awaited owner answered
+                # without data, so it holds no modified copy — its WDATA
+                # grant was lost before it ever filled, or its dirty
+                # data already came home (write-backs are buffered and
+                # retransmitted until DACKed, and the buffer re-answers
+                # INV in our place).  Either way memory is current;
+                # complete the read from it.
+                self.counters.bump("dir.ownerless_reads")
+                self._complete_read(entry)
+                return
+            raise ProtocolError(
+                f"{self.name}: dataless ACKC from owner in READ_TRANSACTION"
+            )
+        self._stray(entry, packet)
 
     def _complete_read(self, entry: DirectoryEntry) -> None:
         requester = entry.requester
@@ -507,10 +598,10 @@ class MemoryController(Component):
 
     def _send_rdata(self, entry: DirectoryEntry, dst: int) -> None:
         self.nic.send(
-            protocol_packet(
+            self.pool.protocol(
                 self.node_id,
                 dst,
-                "RDATA",
+                Op.RDATA,
                 entry.block,
                 data=self.memory.read_block(entry.block),
             )
@@ -518,23 +609,21 @@ class MemoryController(Component):
 
     def _send_wdata(self, entry: DirectoryEntry, dst: int) -> None:
         self.nic.send(
-            protocol_packet(
+            self.pool.protocol(
                 self.node_id,
                 dst,
-                "WDATA",
+                Op.WDATA,
                 entry.block,
                 data=self.memory.read_block(entry.block),
             )
         )
 
     def _send_inv(self, dst: int, block: int, txn: int | None) -> None:
-        self.nic.send(
-            protocol_packet(self.node_id, dst, "INV", block, txn=txn)
-        )
+        self.nic.send(self.pool.protocol(self.node_id, dst, Op.INV, block, txn=txn))
 
     def _send_busy(self, dst: int, block: int) -> None:
         self.counters.bump("dir.busy_sent")
-        self.nic.send(protocol_packet(self.node_id, dst, "BUSY", block))
+        self.nic.send(self.pool.protocol(self.node_id, dst, Op.BUSY, block))
 
     def _stray(self, entry: DirectoryEntry, packet: Packet) -> None:
         """Count and drop a packet made irrelevant by a race."""

@@ -38,15 +38,13 @@ class LimitedController(MemoryController):
 
     # ------------------------------------------------------------------
 
-    def _in_read_only(self, entry: DirectoryEntry, packet: Packet) -> None:
+    def _ro_rreq(self, entry: DirectoryEntry, packet: Packet) -> None:
         # Track insertion order for FIFO victim selection.
-        if packet.opcode == "RREQ":
-            order = self._fifo_order.setdefault(entry.block, [])
-            if packet.src in order:
-                order.remove(packet.src)
-        super()._in_read_only(entry, packet)
-        if packet.opcode == "RREQ" and entry.holds(packet.src):
-            order = self._fifo_order.setdefault(entry.block, [])
+        order = self._fifo_order.setdefault(entry.block, [])
+        if packet.src in order:
+            order.remove(packet.src)
+        super()._ro_rreq(entry, packet)
+        if entry.holds(packet.src):
             if packet.src != entry.home and packet.src not in order:
                 order.append(packet.src)
 

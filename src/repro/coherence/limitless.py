@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..network.interface import NetworkInterface
-from ..network.packet import Packet
+from ..network.packet import Op, Packet
 from ..sim.kernel import Simulator, StallableResource
 from .controller import MemoryController
 from .entry import DirectoryEntry
@@ -85,6 +85,7 @@ class TrapAlwaysController(LimitLessController):
     def _meta_intercept(self, entry: DirectoryEntry, packet: Packet) -> bool:
         if entry.meta is MetaState.TRANS_IN_PROGRESS:
             entry.pending.append(packet)
+            self._retained = True
             self.counters.bump("dir.interlocked")
             return True
         # Force every block into Trap-Always mode on first touch.
@@ -144,7 +145,7 @@ class LimitLessSoftware:
         """A packet entered the IPI queue; schedule one trap per packet."""
         packet = self.nic.ipi_head()
         cost = self.ts
-        if packet is not None and packet.opcode == "WREQ":
+        if packet is not None and packet.opcode is Op.WREQ:
             vector = self.vectors.get(packet.address, set())
             cost += self.ts_per_invalidation * len(vector)
         # Injected trap-handler stall/overrun: the handler still runs
@@ -164,23 +165,27 @@ class LimitLessSoftware:
             else:
                 self.counters.bump("limitless.interrupts_dropped")
             return
-        entry = self.controller.directory.entry(packet.address)
+        controller = self.controller
+        entry = controller.directory.entry(packet.address)
         if entry.meta is not MetaState.TRANS_IN_PROGRESS:
             raise ProtocolError("trap handler ran on a non-interlocked entry")
         mode = entry.trap_mode or MetaState.NORMAL
         entry.trap_mode = None
+        controller._retained = False
         if mode is MetaState.TRAP_ALWAYS:
             self._software_fullmap(entry, packet)
-        elif packet.opcode == "RREQ":
+        elif packet.opcode is Op.RREQ:
             self._handle_read_overflow(entry, packet)
-        elif packet.opcode == "WREQ":
+        elif packet.opcode is Op.WREQ:
             self._handle_write_termination(entry, packet)
         else:
             # UPDATE/REPM trapped in Trap-On-Write: made irrelevant by an
             # earlier software transition; drop and restore the mode.
             self.counters.bump("limitless.sw_stray")
             entry.meta = mode
-        self.controller.replay_pending(entry)
+        controller.replay_pending(entry)
+        if not controller._retained:
+            controller.pool.release(packet)
 
     # ------------------------------------------------------------------
     # §4.4 trap handler proper
@@ -253,13 +258,13 @@ class LimitLessSoftware:
         entry.meta = MetaState.TRAP_ALWAYS
         if self.profile_hook is not None:
             self.profile_hook(packet)
-        if packet.address in self.update_blocks and packet.opcode == "UPDATE":
+        if packet.address in self.update_blocks and packet.opcode is Op.UPDATE:
             self._propagate_update(entry, packet)
             self.counters.bump("limitless.software_fsm")
             return
         if (
             packet.address in self.fifo_blocks
-            and packet.opcode in ("RREQ", "WREQ")
+            and (packet.opcode is Op.RREQ or packet.opcode is Op.WREQ)
             and entry.state
             in (DirState.READ_TRANSACTION, DirState.WRITE_TRANSACTION)
         ):
@@ -268,6 +273,7 @@ class LimitLessSoftware:
             # spin it through a trap per replay) until the open transaction
             # completes, then is granted in arrival order.
             self.fifo_queues.setdefault(packet.address, []).append(packet)
+            self.controller._retained = True
             self.counters.bump("limitless.fifo_buffered")
             return
         self.controller._software_pass = True
@@ -293,17 +299,15 @@ class LimitLessSoftware:
 
     def _propagate_update(self, entry: DirectoryEntry, packet: Packet) -> None:
         """Update-mode coherence: write memory, push new data to sharers."""
-        from ..network.packet import protocol_packet
-
         self.controller.memory.write_block(entry.block, packet.data)
         entry.add_sharer(packet.src)
         targets = entry.all_copy_holders() - {packet.src}
         for node in sorted(targets):
             self.nic.send(
-                protocol_packet(
+                self.controller.pool.protocol(
                     self.controller.node_id,
                     node,
-                    "UPDATE_DATA",
+                    Op.UPDATE_DATA,
                     entry.block,
                     data=packet.data.copy(),
                 )

@@ -5,37 +5,56 @@ the READ_ONLY state with an empty pointer set, as in the paper's
 specification.  Meta states are the LimitLESS directory *modes* layered on
 top of the base states (Table 4): they decide whether the hardware
 controller or the software trap handler services each incoming packet.
+
+All three are interned as dense ``IntEnum``\\ s: directory states index the
+controllers' per-(state, opcode) dispatch tables, and the zero values are
+chosen so the common cases (``MetaState.NORMAL``, ``CacheState.INVALID``)
+are falsy — the hot paths test them with a truthiness check instead of an
+identity compare.
 """
 
 from __future__ import annotations
 
-from enum import Enum, auto
+from enum import IntEnum
 
 
-class DirState(Enum):
+class _NamedIntEnum(IntEnum):
+    """IntEnum that still prints its member name (reports, error text)."""
+
+    def __str__(self) -> str:
+        return self._name_
+
+    def __format__(self, spec: str) -> str:
+        return format(self._name_, spec)
+
+
+class DirState(_NamedIntEnum):
     """Memory-side directory state for one block (Table 1)."""
 
-    READ_ONLY = auto()        # some number of caches hold read-only copies
-    READ_WRITE = auto()       # exactly one cache holds a read-write copy
-    READ_TRANSACTION = auto() # holding a read request, update in progress
-    WRITE_TRANSACTION = auto()# holding a write request, invalidation in progress
+    READ_ONLY = 0         # some number of caches hold read-only copies
+    READ_WRITE = 1        # exactly one cache holds a read-write copy
+    READ_TRANSACTION = 2  # holding a read request, update in progress
+    WRITE_TRANSACTION = 3 # holding a write request, invalidation in progress
 
 
-class CacheState(Enum):
+N_DIR_STATES = len(DirState)
+
+
+class CacheState(_NamedIntEnum):
     """Cache-side state for one block (Table 1)."""
 
-    INVALID = auto()
-    READ_ONLY = auto()
-    READ_WRITE = auto()
+    INVALID = 0
+    READ_ONLY = 1
+    READ_WRITE = 2
 
 
-class MetaState(Enum):
+class MetaState(_NamedIntEnum):
     """LimitLESS directory modes (Table 4)."""
 
-    NORMAL = auto()            # handled entirely by hardware
-    TRANS_IN_PROGRESS = auto() # interlock: software processing in progress
-    TRAP_ON_WRITE = auto()     # trap for WREQ, UPDATE and REPM
-    TRAP_ALWAYS = auto()       # trap for all incoming protocol packets
+    NORMAL = 0             # handled entirely by hardware
+    TRANS_IN_PROGRESS = 1  # interlock: software processing in progress
+    TRAP_ON_WRITE = 2      # trap for WREQ, UPDATE and REPM
+    TRAP_ALWAYS = 3        # trap for all incoming protocol packets
 
 
 class ProtocolError(RuntimeError):

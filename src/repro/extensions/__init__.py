@@ -3,7 +3,8 @@
 
 from .fifolock import fifo_grants, make_fifo_block
 from .messaging import Mailbox, ReceivedMessage, open_mailboxes, send_message
-from .profiling import MemoryProfiler, overflow_worker_sets, profile_blocks
+# canonical home is repro.profiling now; .profiling here is a warning shim
+from ..profiling.memory import MemoryProfiler, overflow_worker_sets, profile_blocks
 from .update import make_update_block, updates_propagated
 
 __all__ = [

@@ -82,6 +82,7 @@ class FaultInjector:
         if self.drop_rate and self.rng.stream("faults.drop").random() < self.drop_rate:
             self.counters.bump("faults.dropped")
             self.counters.bump(f"faults.dropped.{packet.opcode}")
+            self.network.pool.release(packet)
             return
         if (
             self.corrupt_rate
@@ -99,8 +100,10 @@ class FaultInjector:
             self.counters.bump("faults.duplicated")
             self.counters.bump(f"faults.duplicated.{packet.opcode}")
             # Back-to-back with the original; the pair floor serializes it
-            # immediately behind, preserving FIFO.
-            self._schedule(time + 1, packet)
+            # immediately behind, preserving FIFO.  An independent clone:
+            # under pooling the original may be scrubbed and reissued
+            # before this copy arrives.
+            self._schedule(time + 1, self.network.pool.clone(packet))
 
     def _corrupt(self, packet: Packet) -> None:
         """Flip one payload bit in a *copy* of the block data.
@@ -242,6 +245,7 @@ class StagedFaultGate:
         ):
             self.counters.bump("faults.dropped")
             self.counters.bump(f"faults.dropped.{packet.opcode}")
+            self.network.pool.release(packet)
             return []
         if self.corrupt_rate and packet.data is not None:
             stream = self._class_stream("corrupt", key)
@@ -264,8 +268,10 @@ class StagedFaultGate:
         if self.dup_rate and self._class_stream("dup", key).random() < self.dup_rate:
             self.counters.bump("faults.duplicated")
             self.counters.bump(f"faults.duplicated.{packet.opcode}")
-            # Back-to-back behind the original; the floor keeps FIFO.
-            out.append((self._floor(packet, time + 1), key + (1,), packet))
+            # Back-to-back behind the original; the floor keeps FIFO.  The
+            # copy is an independent clone so pooling cannot alias the two.
+            dup = self.network.pool.clone(packet)
+            out.append((self._floor(packet, time + 1), key + (1,), dup))
         return out
 
     def trap_stall(self, node_id: int | None = None) -> int:

@@ -89,6 +89,10 @@ class AlewifeConfig:
     seed: int = 42
     max_cycles: int = 50_000_000
     ipi_capacity: int = 4096
+    #: recycle protocol packets through a machine-wide free list.  An
+    #: allocator choice only — results are bit-identical either way; the
+    #: off switch exists for debugging packet-lifetime bugs.
+    packet_pool: bool = True
 
     # Sharded (parallel single-run) simulation
     #: number of machine shards simulated in lock-step windows; 1 = the

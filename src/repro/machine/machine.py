@@ -22,6 +22,7 @@ from ..network.fabric import (
     StagedWormholeNetwork,
     WormholeNetwork,
 )
+from ..network.packet import PacketPool
 from ..network.topology import make_topology
 from ..sim.kernel import SimulationError, Simulator
 from ..sim.rng import DeterministicRng
@@ -136,6 +137,10 @@ class AlewifeMachine:
         )
         self.allocator = Allocator(self.space)
         self.network = self._build_network(shard_id, shard_of)
+        # One free list per machine instance (per shard when sharded);
+        # every component reaches it through the network.
+        self.pool = PacketPool(enabled=config.packet_pool)
+        self.network.pool = self.pool
         if config.faults_enabled:
             # The injector installs itself as network.fault_injector and
             # takes over delivery scheduling; zero-rate configs skip it

@@ -49,12 +49,16 @@ class Node:
 
         fault_tolerant = config.faults_enabled
         self.memory = MainMemory(space, node_id)
+        # One machine-wide (per-shard, when sharded) free list, installed
+        # on the network by the machine before nodes are built.
+        self.pool = network.pool
         self.nic = NetworkInterface(
             sim,
             node_id,
             network,
             ipi_capacity=config.ipi_capacity,
             counters=self.counters,
+            pool=self.pool,
         )
         # Payload CRCs are stamped/verified only under fault injection, so
         # fault-free runs never pay for (or are perturbed by) checksums.
@@ -78,6 +82,7 @@ class Node:
             request_timeout=(
                 (config.request_timeout or 2000) if fault_tolerant else 0
             ),
+            pool=self.pool,
         )
         self.processor = Processor(
             sim,
@@ -111,6 +116,7 @@ class Node:
         kwargs: dict = dict(
             dir_occupancy=self.config.dir_occupancy,
             counters=self.counters,
+            pool=self.pool,
         )
         if self.config.faults_enabled:
             kwargs["fault_tolerant"] = True

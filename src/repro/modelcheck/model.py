@@ -116,16 +116,32 @@ class _NullCounter(dict):
         pass
 
 
+class _NullSlots(list):
+    """A slot array that swallows writes (``slots[i] += 1`` is a no-op)
+    and never runs out of cells, whatever the global registry grows to."""
+
+    def __getitem__(self, idx):
+        return 0
+
+    def __setitem__(self, idx, value) -> None:
+        pass
+
+
 class _NullCounters:
     """Counter sink for model runs: statistics are meaningless across
     restored worlds, and the bump-per-event cost is pure overhead.
 
-    ``_values`` mirrors :class:`repro.stats.counters.Counters`, which the
-    controllers' hot paths bump directly.
+    ``_values`` and ``slot_view`` mirror
+    :class:`repro.stats.counters.Counters`, which the controllers' hot
+    paths bump directly.
     """
 
     def __init__(self) -> None:
         self._values = _NullCounter()
+        self._slots = _NullSlots()
+
+    def slot_view(self) -> list:
+        return self._slots
 
     def bump(self, name: str, amount: int = 1) -> None:
         pass
@@ -354,7 +370,7 @@ class ProtocolModel:
             raise ModelInternalError(f"unmodelled packet meta {extra}")
         return (
             packet.src,
-            packet.opcode,
+            str(packet.opcode),  # canonical states spell opcodes as names
             packet.meta.get("txn"),
             self._abstract_data(packet.data),
         )
@@ -417,7 +433,7 @@ class ProtocolModel:
             frozenset(entry.ack_waiting),
             entry.txn,
             entry.meta.name,
-            entry.trap_mode.name if entry.trap_mode else None,
+            entry.trap_mode.name if entry.trap_mode is not None else None,
             tuple(self._msg(p) for p in entry.pending),
             self._abstract_data(self.memory.block(self.block)),
             ipi,
@@ -494,7 +510,9 @@ class ProtocolModel:
         if world is None or world.meta != s.meta:
             entry.meta = MetaState[s.meta]
         if world is None or world.trap_mode != s.trap_mode:
-            entry.trap_mode = MetaState[s.trap_mode] if s.trap_mode else None
+            entry.trap_mode = (
+                MetaState[s.trap_mode] if s.trap_mode is not None else None
+            )
         if world is None or world.pending != s.pending:
             entry.pending = deque(self._packet(m, 0) for m in s.pending)
         entry.peak_sharers = 0
@@ -787,7 +805,7 @@ class ProtocolModel:
             block=self.block,
             dir_state=DirState[s.dir_state],
             meta=MetaState[s.meta],
-            trap_mode=MetaState[s.trap_mode] if s.trap_mode else None,
+            trap_mode=MetaState[s.trap_mode] if s.trap_mode is not None else None,
             recorded=recorded,
             awaited=set(s.ack_waiting) | extras.get("chained_queue", set()),
             requester=s.requester,

@@ -20,13 +20,13 @@ from operator import itemgetter
 from typing import Callable
 
 from ..sim.kernel import Simulator
-from .packet import Packet
+from .packet import DISABLED_POOL, OP_NAMES, Op, Packet
 from .topology import LinkId, Topology
 
 Handler = Callable[[Packet], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Aggregate traffic accounting."""
 
@@ -52,7 +52,11 @@ class NetworkStats:
         self.hops += hops
         self.total_latency += latency
         self.contention_cycles += waited
-        self.per_opcode[packet.opcode] = self.per_opcode.get(packet.opcode, 0) + 1
+        # per_opcode keys stay *names* (interned opcodes map back through
+        # OP_NAMES) so harvested stats and their JSON form are unchanged.
+        opcode = packet.opcode
+        key = OP_NAMES[opcode] if opcode.__class__ is Op else opcode
+        self.per_opcode[key] = self.per_opcode.get(key, 0) + 1
 
     @property
     def mean_latency(self) -> float:
@@ -88,6 +92,9 @@ class Network:
         # Installed by repro.faults.FaultInjector when any fault rate is
         # non-zero; None keeps delivery on the zero-overhead direct path.
         self.fault_injector = None
+        # Replaced by the machine when packet pooling is enabled; fault
+        # paths that drop or duplicate packets go through it.
+        self.pool = DISABLED_POOL
         # Bind once: delivery schedules this method with the packet as the
         # event argument, so the hot path allocates no lambda per packet.
         self._on_deliver = self._deliver
@@ -133,42 +140,89 @@ class WormholeNetwork(Network):
         self.hop_latency = hop_latency
         self.cycles_per_word = cycles_per_word
         self.injection_latency = injection_latency
-        self._link_free_at: dict[LinkId, int] = {}
-        self.link_busy_cycles: dict[LinkId, int] = {}
+        # Links are interned to dense integers the first time a route
+        # touches them, so the per-hop reservation loop indexes flat lists
+        # instead of hashing (node, direction) tuples.
+        self._link_ids: dict[LinkId, int] = {}
+        self._link_names: list[LinkId] = []
+        self._link_free_at: list[int] = []
+        self._link_busy: list[int] = []
         # Routes are a pure function of the (static) topology; memoize them
-        # per (src, dst) so steady-state sends never re-walk the route.
-        self._route_cache: dict[tuple[int, int], list[LinkId]] = {}
+        # per (src, dst) — as interned link indices — so steady-state sends
+        # never re-walk the route.
+        self._route_cache: dict[tuple[int, int], list[int]] = {}
+
+    def _intern_route(self, src: int, dst: int) -> list[int]:
+        link_ids = self._link_ids
+        path: list[int] = []
+        for link in self.topology.route(src, dst):
+            idx = link_ids.get(link)
+            if idx is None:
+                idx = len(self._link_names)
+                link_ids[link] = idx
+                self._link_names.append(link)
+                self._link_free_at.append(0)
+                self._link_busy.append(0)
+            path.append(idx)
+        self._route_cache[(src, dst)] = path
+        return path
+
+    @property
+    def link_busy_cycles(self) -> dict[LinkId, int]:
+        """Cumulative busy cycles per link (reporting view)."""
+        names = self._link_names
+        return {
+            names[idx]: busy
+            for idx, busy in enumerate(self._link_busy)
+            if busy
+        }
 
     def send(self, packet: Packet) -> None:
         now = self.sim.now
         packet.sent_at = now
         src = packet.src
         dst = packet.dst
+        # length_words, inlined (header + address operand = 2): the
+        # property call is measurable at steady-state send rates.
+        data = packet.data
+        words = 2 + len(packet.meta) + (len(data.words) if data is not None else 0)
         if src == dst:
             # Local traffic stays inside the node (cache <-> memory
             # controller over the node bus) and never enters the mesh.
-            self.stats.record(packet, 0, 2, 0)
-            self._deliver_at(now + 2, packet)
+            # stats.record, inlined: single-node-homed workloads make this
+            # the fabric's hottest branch.
+            stats = self.stats
+            stats.packets += 1
+            stats.words += words
+            stats.total_latency += 2
+            per_opcode = stats.per_opcode
+            opcode = packet.opcode
+            key = OP_NAMES[opcode] if opcode.__class__ is Op else opcode
+            per_opcode[key] = per_opcode.get(key, 0) + 1
+            # _deliver_at, inlined for the same reason.
+            if self.fault_injector is not None:
+                self.fault_injector.admit(now + 2, packet)
+                return
+            self.in_flight += 1
+            self.sim.post(now + 2, self._on_deliver, packet)
             return
         path = self._route_cache.get((src, dst))
         if path is None:
-            path = self.topology.route(src, dst)
-            self._route_cache[(src, dst)] = path
-        words = packet.length_words
+            path = self._intern_route(src, dst)
         serialization = words * self.cycles_per_word
         head = now + self.injection_latency
         waited = 0
         link_free_at = self._link_free_at
-        link_busy = self.link_busy_cycles
+        link_busy = self._link_busy
         hop_latency = self.hop_latency
         for link in path:
-            start = link_free_at.get(link, 0)
+            start = link_free_at[link]
             if start < head:
                 start = head
             else:
                 waited += start - head
             link_free_at[link] = start + serialization
-            link_busy[link] = link_busy.get(link, 0) + serialization
+            link_busy[link] += serialization
             head = start + hop_latency
         arrival = head + serialization  # tail drains into the destination
         # stats.record, inlined: one packet per call makes the method
@@ -181,7 +235,8 @@ class WormholeNetwork(Network):
         stats.contention_cycles += waited
         per_opcode = stats.per_opcode
         opcode = packet.opcode
-        per_opcode[opcode] = per_opcode.get(opcode, 0) + 1
+        key = OP_NAMES[opcode] if opcode.__class__ is Op else opcode
+        per_opcode[key] = per_opcode.get(key, 0) + 1
         self._deliver_at(arrival, packet)
 
     def hottest_links(self, top: int = 5) -> list[tuple[LinkId, int]]:
@@ -237,7 +292,8 @@ class IdealNetwork(Network):
         stats.total_latency += arrival - now
         per_opcode = stats.per_opcode
         opcode = packet.opcode
-        per_opcode[opcode] = per_opcode.get(opcode, 0) + 1
+        key = OP_NAMES[opcode] if opcode.__class__ is Op else opcode
+        per_opcode[key] = per_opcode.get(key, 0) + 1
         self._deliver_at(arrival, packet)
 
 
@@ -389,7 +445,8 @@ class StagedWormholeNetwork(_ShardedDeliveryMixin, Network):
         stats.words += words
         per_opcode = stats.per_opcode
         opcode = packet.opcode
-        per_opcode[opcode] = per_opcode.get(opcode, 0) + 1
+        key = OP_NAMES[opcode] if opcode.__class__ is Op else opcode
+        per_opcode[key] = per_opcode.get(key, 0) + 1
         if src == dst:
             stats.total_latency += 2
             self._inbox(src, now + 2, (src, sseq), packet)
@@ -556,7 +613,8 @@ class StagedIdealNetwork(_ShardedDeliveryMixin, Network):
         stats.total_latency += arrival - now
         per_opcode = stats.per_opcode
         opcode = packet.opcode
-        per_opcode[opcode] = per_opcode.get(opcode, 0) + 1
+        key = OP_NAMES[opcode] if opcode.__class__ is Op else opcode
+        per_opcode[key] = per_opcode.get(key, 0) + 1
         dst_shard = self._shard_of(dst)
         if dst_shard != self.shard_id:
             self.outbox.append(

@@ -21,15 +21,17 @@ from ..sim.component import Component
 from ..sim.kernel import Simulator
 from ..stats.counters import Counters
 from .fabric import Network
-from .packet import CACHE_TO_MEMORY, MEMORY_TO_CACHE, Packet, packet_crc
+from .packet import (
+    _LAST_CACHE_TO_MEMORY,
+    DISABLED_POOL,
+    Op,
+    Packet,
+    PacketPool,
+    packet_crc,
+)
 
 TrapHandler = Callable[[], None]
 PacketHandler = Callable[[Packet], None]
-
-#: Frozen-set views of the opcode direction tables: ``_receive`` classifies
-#: every delivered packet, so membership tests must hash, not scan.
-_CACHE_TO_MEMORY = frozenset(CACHE_TO_MEMORY)
-_MEMORY_TO_CACHE = frozenset(MEMORY_TO_CACHE)
 
 
 class IpiQueueOverflow(RuntimeError):
@@ -47,11 +49,14 @@ class NetworkInterface(Component):
         *,
         ipi_capacity: int = 64,
         counters: Counters | None = None,
+        pool: PacketPool | None = None,
     ) -> None:
         super().__init__(sim, f"nic{node_id}")
         self.node_id = node_id
         self.network = network
         self.ipi_capacity = ipi_capacity
+        #: recycles cache-bound packets once their handler returns
+        self.pool = pool if pool is not None else DISABLED_POOL
         #: stamp/verify payload CRCs (enabled with fault injection; off by
         #: default so fault-free runs skip the checksum entirely)
         self.crc_enabled = False
@@ -122,16 +127,24 @@ class NetworkInterface(Component):
             # as it would from a drop.
             self.counters.bump("nic.crc_drops")
             self.counters.bump(f"nic.crc_drops.{packet.opcode}")
+            self.pool.release(packet)
             return
         op = packet.opcode
-        if op in _CACHE_TO_MEMORY:
-            if self._memory_handler is None:
-                raise RuntimeError(f"{self.name}: no memory handler")
-            self._memory_handler(packet)
-        elif op in _MEMORY_TO_CACHE:
-            if self._cache_handler is None:
-                raise RuntimeError(f"{self.name}: no cache handler")
-            self._cache_handler(packet)
+        if op.__class__ is Op:
+            # Protocol packet: classify by direction (Op is ordered with
+            # every cache→memory opcode before every memory→cache one).
+            if op <= _LAST_CACHE_TO_MEMORY:
+                if self._memory_handler is None:
+                    raise RuntimeError(f"{self.name}: no memory handler")
+                # Ownership passes to the directory pipeline; it releases
+                # after dispatch.
+                self._memory_handler(packet)
+            else:
+                if self._cache_handler is None:
+                    raise RuntimeError(f"{self.name}: no cache handler")
+                self._cache_handler(packet)
+                # Cache handlers copy what they keep; the packet is spent.
+                self.pool.release(packet)
         else:
             # Not a protocol opcode: interrupt-class packets always enter
             # the IPI queue (is_interrupt is exactly "not protocol").

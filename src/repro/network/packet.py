@@ -13,20 +13,72 @@ The packet's length in words determines its serialization cost on the
 network, so data-carrying messages (RDATA, WDATA, UPDATE, REPM) cost more
 than control messages — exactly the asymmetry that makes invalidation
 fan-out cheap and data fan-out expensive.
+
+Protocol opcodes are interned as :class:`Op`, an ``IntEnum`` whose dense
+values index the controllers' per-(state, opcode) dispatch tables and the
+direction tables in the NIC — string compares and dict lookups stay out of
+the steady state.  Packets may still be *constructed* with the string
+spelling (``Packet(0, 1, "RREQ", ...)``); ``__post_init__`` interns it.
+Interrupt opcodes remain free-form strings.
+
+:class:`PacketPool` recycles protocol packets through a free list so
+steady-state traffic allocates nothing.  Pooling is an allocator choice,
+not a semantic one: simulated results are bit-identical with the pool
+disabled (see tests/network/test_packet_pool.py).
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from enum import IntEnum
+from typing import Any, Optional, Union
 
 from ..mem.memory import BlockData
 
 HEADER_WORDS = 1
 
+
+class Op(IntEnum):
+    """Interned protocol opcodes (Table 3).
+
+    Values are dense and ordered cache→memory first, memory→cache second,
+    so ``op <= Op.ACKC`` classifies direction and ``table[op]`` indexes
+    per-opcode dispatch rows without hashing.
+    """
+
+    RREQ = 0
+    WREQ = 1
+    REPM = 2
+    UPDATE = 3
+    ACKC = 4
+    RDATA = 5
+    WDATA = 6
+    INV = 7
+    BUSY = 8
+    UPDATE_DATA = 9
+    DACK = 10
+
+    def __str__(self) -> str:
+        return self._name_
+
+    def __format__(self, spec: str) -> str:
+        return format(self._name_, spec)
+
+
+#: Opcode spelling -> member, for interning string-built packets.
+OP_BY_NAME: dict[str, Op] = dict(Op.__members__)
+
+#: Member value -> spelling, for stats keys and reports.
+OP_NAMES: tuple[str, ...] = tuple(op._name_ for op in Op)
+
+N_OPS = len(OP_NAMES)
+
 #: Opcodes whose packets carry a data block (Table 3's "Data?" column).
 DATA_BEARING_OPCODES = frozenset({"RDATA", "WDATA", "UPDATE", "REPM", "UPDATE_DATA"})
+
+#: ``_DATA_BEARING[op]`` — the same fact, indexed by interned value.
+_DATA_BEARING = tuple(name in DATA_BEARING_OPCODES for name in OP_NAMES)
 
 #: Protocol opcodes sent from caches to memory controllers (Table 3).
 CACHE_TO_MEMORY = ("RREQ", "WREQ", "REPM", "UPDATE", "ACKC")
@@ -36,10 +88,15 @@ CACHE_TO_MEMORY = ("RREQ", "WREQ", "REPM", "UPDATE", "ACKC")
 #: [REPM or UPDATE] reached memory, letting the cache retire its copy).
 MEMORY_TO_CACHE = ("RDATA", "WDATA", "INV", "BUSY", "UPDATE_DATA", "DACK")
 
+#: Every cache→memory opcode precedes every memory→cache opcode in Op.
+_LAST_CACHE_TO_MEMORY = Op.ACKC
+
 PROTOCOL_OPCODES = frozenset(CACHE_TO_MEMORY) | frozenset(MEMORY_TO_CACHE)
 
 #: Interrupt-class opcodes (software-defined interprocessor messages).
 INTERRUPT_OPCODES = frozenset({"IPI", "PROFILE", "LOCK_GRANT"})
+
+Opcode = Union[Op, str]
 
 
 @dataclass(slots=True)
@@ -55,7 +112,7 @@ class Packet:
 
     src: int
     dst: int
-    opcode: str
+    opcode: Opcode
     address: int = 0
     data: Optional[BlockData] = None
     meta: dict[str, Any] = field(default_factory=dict)
@@ -64,18 +121,25 @@ class Packet:
     #: active; None otherwise.  A hardware sideband, not an operand — it
     #: never contributes to length_words, so stamping costs no cycles.
     crc: Optional[int] = None
+    #: True while the packet sits on a pool free list (double-use guard).
+    _free: bool = field(default=False, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        if self.opcode in DATA_BEARING_OPCODES and self.data is None:
-            raise ValueError(f"{self.opcode} packet requires data")
+        op = self.opcode
+        if op.__class__ is not Op:
+            interned = OP_BY_NAME.get(op)
+            if interned is not None:
+                self.opcode = op = interned
+        if op.__class__ is Op and _DATA_BEARING[op] and self.data is None:
+            raise ValueError(f"{op} packet requires data")
 
     @property
     def is_protocol(self) -> bool:
-        return self.opcode in PROTOCOL_OPCODES
+        return self.opcode.__class__ is Op
 
     @property
     def is_interrupt(self) -> bool:
-        return not self.is_protocol
+        return self.opcode.__class__ is not Op
 
     @property
     def data_words(self) -> int:
@@ -83,9 +147,18 @@ class Packet:
 
     @property
     def length_words(self) -> int:
-        """Total packet length: header + operands + data words."""
-        operands = 1 + len(self.meta)  # address + encoded bookkeeping
-        return HEADER_WORDS + operands + self.data_words
+        """Total packet length: header + operands + data words.
+
+        Inlined arithmetic (header + address operand = 2) rather than
+        composing ``data_words``: this property runs once per fabric send.
+        """
+        data = self.data
+        return (
+            HEADER_WORDS
+            + 1
+            + len(self.meta)
+            + (len(data.words) if data is not None else 0)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -110,14 +183,14 @@ def packet_crc(packet: Packet) -> int:
 def protocol_packet(
     src: int,
     dst: int,
-    opcode: str,
+    opcode: Opcode,
     address: int,
     *,
     data: Optional[BlockData] = None,
     **meta: Any,
 ) -> Packet:
     """Build a protocol-class packet, validating the opcode."""
-    if opcode not in PROTOCOL_OPCODES:
+    if opcode.__class__ is not Op and opcode not in PROTOCOL_OPCODES:
         raise ValueError(f"unknown protocol opcode {opcode!r}")
     return Packet(src, dst, opcode, address, data=data, meta=dict(meta))
 
@@ -136,3 +209,102 @@ def interrupt_packet(
     by the IPI interface's message-passing and block-transfer modes.
     """
     return Packet(src, dst, opcode, 0, data=data, meta=dict(meta))
+
+
+class PacketPool:
+    """Free-list allocator for protocol packets.
+
+    Components acquire through :meth:`protocol` and hand the packet to the
+    fabric; whoever *terminally consumes* a packet (the receiving NIC after
+    its handler returns, the directory after dispatch, the fault injector's
+    drop path) releases it back.  A released packet is scrubbed — payload
+    reference dropped, meta emptied, CRC cleared — so no state can leak
+    into its next transaction, and a ``_free`` flag catches double release
+    or use-after-release in tests.
+
+    Interrupt packets are never pooled (software owns their lifetime), and
+    a disabled pool degrades to plain construction with no-op releases, so
+    every call site can stay unconditional.
+    """
+
+    __slots__ = ("enabled", "_free_list", "allocated", "recycled")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._free_list: list[Packet] = []
+        #: fresh constructions and free-list reuses, for `repro profile`.
+        self.allocated = 0
+        self.recycled = 0
+
+    def __len__(self) -> int:
+        return len(self._free_list)
+
+    def protocol(
+        self,
+        src: int,
+        dst: int,
+        opcode: Opcode,
+        address: int,
+        *,
+        data: Optional[BlockData] = None,
+        **meta: Any,
+    ) -> Packet:
+        """Acquire a protocol packet (recycled when the free list allows)."""
+        free_list = self._free_list
+        if not free_list:
+            self.allocated += 1
+            return protocol_packet(src, dst, opcode, address, data=data, **meta)
+        self.recycled += 1
+        packet = free_list.pop()
+        packet._free = False
+        if opcode.__class__ is not Op:
+            opcode = OP_BY_NAME[opcode]
+        if data is None and _DATA_BEARING[opcode]:
+            raise ValueError(f"{opcode} packet requires data")
+        packet.src = src
+        packet.dst = dst
+        packet.opcode = opcode
+        packet.address = address
+        packet.data = data
+        if meta:
+            packet.meta.update(meta)
+        return packet
+
+    def clone(self, packet: Packet) -> Packet:
+        """Duplicate a packet (fault-injector dup path).
+
+        The duplicate must not alias the original: both will be delivered,
+        and under pooling the original may be scrubbed and reissued before
+        the duplicate arrives.  The CRC and send stamp carry over, so a
+        corrupted original's duplicate is caught on receipt too.
+        """
+        dup = self.protocol(
+            packet.src,
+            packet.dst,
+            packet.opcode,
+            packet.address,
+            data=packet.data.copy() if packet.data is not None else None,
+            **packet.meta,
+        )
+        dup.sent_at = packet.sent_at
+        dup.crc = packet.crc
+        return dup
+
+    def release(self, packet: Packet) -> None:
+        """Scrub a terminally consumed packet and return it to the pool."""
+        if not self.enabled or packet.opcode.__class__ is not Op:
+            return
+        if packet._free:
+            raise RuntimeError(f"double release of {packet!r}")
+        packet._free = True
+        packet.data = None
+        packet.crc = None
+        packet.sent_at = -1
+        if packet.meta:
+            packet.meta.clear()
+        self._free_list.append(packet)
+
+
+#: Shared no-op pool: standalone components built outside a machine (unit
+#: tests, rigs) construct packets normally and release() does nothing.
+DISABLED_POOL = PacketPool(enabled=False)

@@ -19,6 +19,7 @@ STORE = "store"
 RMW = "rmw"
 FENCE = "fence"
 SWITCH_HINT = "switch_hint"
+BURST = "burst"
 
 
 def think(cycles: int) -> tuple:
@@ -62,6 +63,29 @@ def switch_hint() -> tuple:
     otherwise.  Spin loops in :mod:`repro.sync` emit this between polls.
     """
     return (SWITCH_HINT,)
+
+
+def burst(*operations: tuple) -> tuple:
+    """Precompile a run of *value-independent* operations into one yield.
+
+    The processor executes the operations back to back with identical
+    timing to yielding them one at a time, but without resuming the
+    program generator in between — the per-op generator round trip is
+    the dominant interpreter cost of long straight-line access runs.
+    Use only where no operation's result feeds a branch or a later
+    operand: every intermediate result is discarded (the ``yield``
+    expression evaluates to the final operation's result).  Nested
+    bursts flatten.
+    """
+    flat: list[tuple] = []
+    for op in operations:
+        if op[0] == BURST:
+            flat.extend(op[1])
+        else:
+            flat.append(op)
+    if not flat:
+        raise ValueError("burst needs at least one operation")
+    return (BURST, tuple(flat))
 
 
 def fence() -> tuple:

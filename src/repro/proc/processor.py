@@ -18,15 +18,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, auto
+from functools import partial
 from typing import Callable, Generator, Optional
 
 from ..cache.controller import CacheController
+from ..cache.states import CacheState
 from ..coherence.limitless import TrapEngine
 from ..mem.address import AddressSpace
 from ..sim.component import Component
 from ..sim.kernel import SimulationError, Simulator
-from ..stats.counters import Counters
+from ..stats.counters import Counters, counter_slot
 from . import ops
+
+# Interned hot-counter slots (see repro.stats.counters): bumping a list
+# cell beats hashing a dotted name on the instruction-issue path.
+_THINK_SLOT = counter_slot("cpu.think_cycles")
+_REMOTE_STALL_SLOT = counter_slot("cpu.remote_stalls")
+_LOCAL_STALL_SLOT = counter_slot("cpu.local_stalls")
 
 
 class ContextState(Enum):
@@ -57,6 +65,12 @@ class Context:
     pending_op: tuple | None = None
     #: what the pending op waits for: "slot" | "all" | a block address
     pending_needs: object = None
+    #: remaining ops of an :func:`repro.proc.ops.burst` being executed
+    burst_ops: tuple | None = None
+    burst_pos: int = 0
+    #: completion callback pre-bound to this context (avoids allocating a
+    #: closure per memory access in Processor._issue)
+    mem_done: Callable[[Optional[int]], None] | None = None
 
 
 class Processor(Component, TrapEngine):
@@ -87,9 +101,9 @@ class Processor(Component, TrapEngine):
         self.memory_model = memory_model
         self.store_buffer = store_buffer
         self.counters = counters if counters is not None else Counters()
-        # Direct view of the counter bag for per-op bump sites: a dict
-        # item-add beats a method call on the instruction-issue hot path.
-        self._counts = self.counters._values
+        # Slot view of the counter bag for per-op bump sites: a list
+        # item-add beats hashing a name on the instruction-issue hot path.
+        self._slots = self.counters.slot_view()
         self.on_done = on_done
         self.contexts: list[Context] = []
         self._running: Context | None = None
@@ -117,6 +131,7 @@ class Processor(Component, TrapEngine):
                 f"{self.name}: programs must be generators (got {type(gen).__name__})"
             )
         ctx = Context(len(self.contexts), gen)
+        ctx.mem_done = partial(self._mem_done, ctx)
         self.contexts.append(ctx)
         return ctx
 
@@ -151,7 +166,7 @@ class Processor(Component, TrapEngine):
     def _step(self, ctx: Context) -> None:
         if ctx.state is ContextState.DONE:  # pragma: no cover - safety net
             return
-        if self.now < self.trap_free_at:
+        if self.sim.now < self.trap_free_at:
             # A LimitLESS trap owns the pipeline; resume when it returns.
             self.sim.post(self.trap_free_at, self._step, ctx)
             return
@@ -159,6 +174,20 @@ class Processor(Component, TrapEngine):
         if ctx.pending_op is not None:
             # Resume an op that was parked on a store-buffer drain.
             op, ctx.pending_op, ctx.pending_needs = ctx.pending_op, None, None
+        elif ctx.burst_ops is not None:
+            # Mid-burst: pull the next precompiled op without resuming the
+            # generator (its results are discarded by construction).
+            ctx.resume_value = None
+            burst = ctx.burst_ops
+            pos = ctx.burst_pos
+            op = burst[pos]
+            pos += 1
+            if pos == len(burst):
+                ctx.burst_ops = None
+                ctx.burst_pos = 0
+            else:
+                ctx.burst_pos = pos
+            ctx.ops_executed += 1
         else:
             value, ctx.resume_value = ctx.resume_value, None
             try:
@@ -176,6 +205,25 @@ class Processor(Component, TrapEngine):
                 return
             ctx.ops_executed += 1
         ctx.last_op = op
+        # The two dominant op kinds are dispatched here rather than in
+        # _execute_op, saving a call frame per instruction; _execute_op
+        # keeps its own copies for the burst re-entry path.
+        kind = op[0]
+        if kind == ops.THINK:
+            cycles = op[1]
+            self.busy_cycles += cycles
+            self._slots[_THINK_SLOT] += cycles
+            sim = self.sim
+            sim.post(sim.now + cycles, self._step, ctx)
+            return
+        if kind == ops.LOAD:
+            addr = op[1]
+            block = self.space.block_of(addr)
+            if ctx.pending_store_blocks and ctx.pending_store_blocks.get(block):
+                self._park(ctx, op, block)
+                return
+            self._issue(ctx, "load", addr, None, block)
+            return
         self._execute_op(ctx, op)
 
     def _execute_op(self, ctx: Context, op: tuple) -> None:
@@ -183,26 +231,30 @@ class Processor(Component, TrapEngine):
         if kind == ops.THINK:
             cycles = op[1]
             self.busy_cycles += cycles
-            self._counts["cpu.think_cycles"] += cycles
-            self.schedule(cycles, self._step, ctx)
+            self._slots[_THINK_SLOT] += cycles
+            sim = self.sim
+            sim.post(sim.now + cycles, self._step, ctx)
         elif kind == ops.LOAD:
-            block = self.space.block_of(op[1])
-            if ctx.pending_store_blocks.get(block):
+            addr = op[1]
+            block = self.space.block_of(addr)
+            if ctx.pending_store_blocks and ctx.pending_store_blocks.get(block):
                 # Self-consistency: a load must see this context's own
                 # buffered store; wait for it to land.
                 self._park(ctx, op, block)
                 return
-            self._issue(ctx, "load", op[1], None)
+            self._issue(ctx, "load", addr, None, block)
         elif kind == ops.STORE:
             if self.memory_model == "wo":
                 self._issue_buffered_store(ctx, op)
             else:
-                self._issue(ctx, "store", op[1], op[2])
+                addr = op[1]
+                self._issue(ctx, "store", addr, op[2], self.space.block_of(addr))
         elif kind == ops.RMW:
             if ctx.outstanding_stores:
                 self._park(ctx, op, "all")  # atomics fence implicitly
                 return
-            self._issue(ctx, "rmw", op[1], op[2])
+            addr = op[1]
+            self._issue(ctx, "rmw", addr, op[2], self.space.block_of(addr))
         elif kind == ops.FENCE:
             if ctx.outstanding_stores:
                 self.counters.bump("cpu.fence_stalls")
@@ -212,6 +264,15 @@ class Processor(Component, TrapEngine):
             self.schedule(1, self._step, ctx)
         elif kind == ops.SWITCH_HINT:
             self._switch_hint(ctx)
+        elif kind == ops.BURST:
+            # Install the precompiled run and execute its first op now;
+            # _step pulls the rest without generator round trips.
+            sub = op[1]
+            if len(sub) > 1:
+                ctx.burst_ops = sub
+                ctx.burst_pos = 1
+            ctx.last_op = sub[0]
+            self._execute_op(ctx, sub[0])
         elif kind == "__retire__":
             self._retire(ctx)
         else:
@@ -219,18 +280,21 @@ class Processor(Component, TrapEngine):
 
     def _switch_hint(self, ctx: Context) -> None:
         """Synchronization-fault switch: yield to a ready context, if any."""
-        n = len(self.contexts)
-        for offset in range(1, n):
-            candidate = self.contexts[(ctx.index + offset) % n]
-            if candidate.state is ContextState.READY:
-                ctx.state = ContextState.READY
-                self.counters.bump("cpu.sync_switches")
-                self.switch_charged += self.switch_cycles
-                self._dispatch(candidate, self.switch_cycles)
-                return
+        contexts = self.contexts
+        n = len(contexts)
+        if n > 1:
+            for offset in range(1, n):
+                candidate = contexts[(ctx.index + offset) % n]
+                if candidate.state is ContextState.READY:
+                    ctx.state = ContextState.READY
+                    self.counters.bump("cpu.sync_switches")
+                    self.switch_charged += self.switch_cycles
+                    self._dispatch(candidate, self.switch_cycles)
+                    return
         # nobody else is ready: continue after one cycle
         self.busy_cycles += 1
-        self.schedule(1, self._step, ctx)
+        sim = self.sim
+        sim.post(sim.now + 1, self._step, ctx)
 
     # ------------------------------------------------------------------
     # Weakly-ordered stores (memory_model="wo")
@@ -292,25 +356,29 @@ class Processor(Component, TrapEngine):
             self._running = None
             self._find_work()
 
-    def _issue(self, ctx: Context, kind: str, addr: int, payload) -> None:
-        block = self.space.block_of(addr)
-        line = self.cache.array.lookup(block)
-        will_hit = line is not None and CacheController._is_hit(kind, line)
-        remote = self.space.home_of(block) != self.node_id
+    def _issue(self, ctx: Context, kind: str, addr: int, payload, block: int) -> None:
+        cache = self.cache
+        line = cache.array.lookup(block)
         ctx.state = ContextState.BLOCKED
-        if will_hit:
-            self.busy_cycles += self.cache.hit_latency
-        elif remote:
+        # _is_hit, inlined: loads hit on any valid copy, stores/rmws only
+        # on an exclusive one.
+        if line is not None and (
+            line.state is CacheState.READ_WRITE
+            or (kind == "load" and line.state is CacheState.READ_ONLY)
+        ):
+            # Hit: the pipeline is held; the tag check above doubles as
+            # the controller's (same event, synchronous — the line state
+            # cannot change in between).
+            self.busy_cycles += cache.hit_latency
+            cache.hit(kind, line, addr, payload, ctx.mem_done)
+            return
+        if self.space.home_of(block) != self.node_id:
             # Remote request: release the pipeline and switch if possible.
-            self._counts["cpu.remote_stalls"] += 1
+            self._slots[_REMOTE_STALL_SLOT] += 1
             self._running = None
         else:
-            self._counts["cpu.local_stalls"] += 1
-        # _access: the tag check above doubles as the controller's lookup
-        # (same event, synchronous — the line state cannot change between).
-        self.cache._access(
-            kind, addr, payload, lambda v: self._mem_done(ctx, v), block, line
-        )
+            self._slots[_LOCAL_STALL_SLOT] += 1
+        cache._access(kind, addr, payload, ctx.mem_done, block, line)
         if self._running is None:
             self._find_work()
 

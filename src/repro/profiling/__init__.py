@@ -1,0 +1,21 @@
+"""One profiling layer: host-side (cProfile/tracemalloc) and simulated
+(§6 trap-handler memory profiling), both behind ``repro profile``."""
+
+from .harness import ProfileReport, folded_stacks, hot_functions, profile_run
+from .memory import (
+    MemoryProfiler,
+    TransactionRecord,
+    overflow_worker_sets,
+    profile_blocks,
+)
+
+__all__ = [
+    "MemoryProfiler",
+    "ProfileReport",
+    "TransactionRecord",
+    "folded_stacks",
+    "hot_functions",
+    "overflow_worker_sets",
+    "profile_blocks",
+    "profile_run",
+]

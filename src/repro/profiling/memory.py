@@ -1,0 +1,101 @@
+"""§6 memory-transaction profiling through the trap handler.
+
+"A number of locations can be placed in the Trap-Always directory mode, so
+that they are handled entirely in software.  This scheme permits complete
+profiling of memory transactions to these locations without degrading
+performance of non-profiled locations."  The handler can also "record the
+worker-set of each variable that overflows its hardware directory" and feed
+it back to the programmer or compiler.
+
+This is the *simulated-machine* side of the profiling layer; the host-side
+(wall-clock, allocation) instrumentation lives in
+:mod:`repro.profiling.harness` and both are exposed by ``repro profile``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..coherence.states import MetaState
+from ..network.packet import Op
+
+
+@dataclass
+class TransactionRecord:
+    """One profiled protocol packet."""
+
+    cycle: int
+    opcode: str
+    src: int
+    block: int
+
+
+@dataclass
+class MemoryProfiler:
+    """Collects every software-handled transaction for selected blocks."""
+
+    records: list[TransactionRecord] = field(default_factory=list)
+    per_block: Counter = field(default_factory=Counter)
+    readers: dict[int, set[int]] = field(default_factory=dict)
+
+    def observe(self, sim, packet) -> None:
+        self.records.append(
+            TransactionRecord(sim.now, str(packet.opcode), packet.src, packet.address)
+        )
+        self.per_block[packet.address] += 1
+        if packet.opcode is Op.RREQ:
+            self.readers.setdefault(packet.address, set()).add(packet.src)
+
+    def worker_set(self, block: int) -> set[int]:
+        return self.readers.get(block, set())
+
+
+def profile_blocks(machine, addresses) -> MemoryProfiler:
+    """Place ``addresses`` in Trap-Always mode and return the profiler.
+
+    Requires a software-extended protocol (``limitless`` or
+    ``trap_always``); call before ``machine.run``.
+    """
+    profiler = MemoryProfiler()
+    blocks = {machine.space.block_of(a) for a in addresses}
+    for block in blocks:
+        home = machine.space.home_of(block)
+        node = machine.nodes[home]
+        if node.software is None:
+            raise ValueError(
+                "profiling needs a software-extended protocol "
+                "(limitless or trap_always)"
+            )
+        entry = node.directory_controller.directory.entry(block)
+        entry.meta = MetaState.TRAP_ALWAYS
+        previous = node.software.profile_hook
+
+        def hook(packet, _prev=previous, _node=node):
+            if _prev is not None:
+                _prev(packet)
+            if packet.address in blocks:
+                profiler.observe(_node.directory_controller.sim, packet)
+
+        node.software.profile_hook = hook
+    return profiler
+
+
+def overflow_worker_sets(machine) -> dict[int, int]:
+    """Peak worker-set per block that ever overflowed into software.
+
+    This is the §6 feedback loop: the report a programmer or compiler
+    would use "to recognize and minimize the use of such variables".
+    """
+    result: dict[int, int] = {}
+    for node in machine.nodes:
+        if node.software is None:
+            continue
+        for block, vector in node.software.vectors.items():
+            result[block] = max(result.get(block, 0), len(vector))
+        for entry in node.directory_controller.directory.entries():
+            if entry.peak_sharers > machine.config.pointers:
+                result[entry.block] = max(
+                    result.get(entry.block, 0), entry.peak_sharers
+                )
+    return result

@@ -142,11 +142,12 @@ class Simulator:
         """Schedule without a cancel handle.
 
         The hot-path twin of :meth:`call_at`: no :class:`Event` is
-        allocated, so the caller cannot cancel the callback.  Every
-        steady-state scheduler in the machine model (packet delivery,
-        pipeline steps, directory occupancy) uses this.
+        allocated, so the caller cannot cancel the callback, and times are
+        trusted to be integers (every internal scheduler computes them
+        with integer arithmetic).  Every steady-state scheduler in the
+        machine model (packet delivery, pipeline steps, directory
+        occupancy) uses this.
         """
-        time = int(time)
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event at {time}, now is {self.now}"

@@ -1,9 +1,35 @@
-"""Lightweight named counters and histograms shared by all components."""
+"""Lightweight named counters and histograms shared by all components.
+
+Two tiers share one namespace:
+
+* **Named bumps** — ``counters.bump("dir.stray.ACKC")`` — hash a string per
+  update.  Fine for cold paths (errors, faults, reports).
+* **Slot counters** — a component interns a name once with
+  :func:`counter_slot` and then increments a plain list cell on the hot
+  path.  Slots are process-global (the registry only grows, and the same
+  construction order reproduces the same ids in every shard worker), and
+  they fold back into the named bag whenever anything *reads* the
+  counters, so reports, merges, and serialized results are unchanged.
+"""
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+
+#: process-global slot registry: name -> dense id, id -> name
+_SLOT_IDS: dict[str, int] = {}
+_SLOT_NAMES: list[str] = []
+
+
+def counter_slot(name: str) -> int:
+    """Intern ``name`` and return its dense slot id (stable per process)."""
+    idx = _SLOT_IDS.get(name)
+    if idx is None:
+        idx = len(_SLOT_NAMES)
+        _SLOT_IDS[name] = idx
+        _SLOT_NAMES.append(name)
+    return idx
 
 
 class Counters:
@@ -16,14 +42,60 @@ class Counters:
 
     def __init__(self) -> None:
         self._values: Counter[str] = Counter()
+        self._slots: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Slot tier (hot paths)
+    # ------------------------------------------------------------------
+
+    def slot_view(self) -> list[int]:
+        """The slot array, grown to cover every registered slot.
+
+        Hot components capture this list once at construction and bump
+        ``view[slot] += 1`` directly.  The list grows in place, so views
+        captured before later registrations stay valid.
+        """
+        slots = self._slots
+        grow = len(_SLOT_NAMES) - len(slots)
+        if grow > 0:
+            slots.extend([0] * grow)
+        return slots
+
+    def _fold(self) -> None:
+        """Fold slot counts into the named bag (idempotent)."""
+        slots = self._slots
+        if not slots:
+            return
+        values = self._values
+        names = _SLOT_NAMES
+        for idx, count in enumerate(slots):
+            if count:
+                values[names[idx]] += count
+                slots[idx] = 0
+
+    def __getstate__(self) -> dict:
+        # Serialize by name only: slot ids are process-local, and a pickle
+        # may be merged in a process with a different registry order.
+        self._fold()
+        return {"_values": self._values, "_slots": []}
+
+    def __setstate__(self, state: dict) -> None:
+        self._values = state["_values"]
+        self._slots = []
+
+    # ------------------------------------------------------------------
+    # Named tier
+    # ------------------------------------------------------------------
 
     def bump(self, name: str, amount: int = 1) -> None:
         self._values[name] += amount
 
     def get(self, name: str) -> int:
+        self._fold()
         return self._values.get(name, 0)
 
     def as_dict(self) -> dict[str, int]:
+        self._fold()
         return dict(self._values)
 
     @classmethod
@@ -39,6 +111,7 @@ class Counters:
         ``prefixed("dir.stray")`` returns e.g. ``[("ACKC", 3), ("REPM", 1)]``
         for counters named ``dir.stray.ACKC`` / ``dir.stray.REPM``.
         """
+        self._fold()
         dot = prefix + "."
         return sorted(
             (name[len(dot):], count)
@@ -47,9 +120,11 @@ class Counters:
         )
 
     def merge(self, other: "Counters") -> None:
+        other._fold()
         self._values.update(other._values)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        self._fold()
         return f"Counters({dict(self._values)})"
 
 

@@ -151,14 +151,15 @@ def barrier_wait(
             break
     if node is not None:
         # Not last here: spin on this node's release flag.
+        # a spinning thread backs off, then yields the pipeline (the
+        # synchronization-fault switch) so same-node threads cannot starve
+        # each other; the two ops are value-independent, so precompiled
+        backoff = ops.burst(ops.think(poll_interval), ops.switch_hint())
         while True:
             value = yield ops.load(node.flag_addr)
             if value >= epoch:
                 break
-            yield ops.think(poll_interval)
-            # a spinning thread yields the pipeline (synchronization-fault
-            # switch) so same-node threads cannot starve each other
-            yield ops.switch_hint()
+            yield backoff
     # Release every node this processor won, top-down.  The fence orders
     # the release stores after everything above (counter resets and the
     # caller's data stores) under the weakly-ordered memory model; it is a

@@ -114,6 +114,14 @@ class TraceRecorder(Workload):
             self.trace.append(proc, TraceOp(ops.FENCE))
         elif kind == ops.SWITCH_HINT:
             self.trace.append(proc, TraceOp(ops.SWITCH_HINT))
+        elif kind == ops.BURST:
+            # Flatten: a burst executes its ops back to back with timing
+            # identical to yielding them individually, so the recorded
+            # stream replays cycle-exactly either way.  (Burst ops are
+            # value-independent by contract, so ``result`` — the final
+            # op's value — is safe to pass to every sub-op.)
+            for sub in op[1]:
+                self._record(proc, sub, result)
 
 
 class TraceReplayWorkload(Workload):

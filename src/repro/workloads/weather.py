@@ -97,8 +97,8 @@ class WeatherWorkload(Workload):
                 yield from barrier_wait(barrier, p, it, poll_interval=poll)
 
                 # Read both neighbours' boundaries (worker-set-2 variables).
-                yield ops.load(left)
-                yield ops.load(right)
+                # Value-independent, so a single precompiled burst.
+                yield ops.burst(ops.load(left), ops.load(right))
 
                 # The unoptimized hot-spot: the sweep's inner loop keeps
                 # referencing the read-only variable.  Optimized code reads
@@ -107,8 +107,15 @@ class WeatherWorkload(Workload):
                     if it == 1:
                         yield ops.load(init_var.base)
                 else:
-                    for _ in range(self.hot_reads_per_iteration):
-                        yield ops.load(init_var.base)
-                        yield ops.think(self.cycles_per_point)
+                    yield ops.burst(
+                        *(
+                            op
+                            for _ in range(self.hot_reads_per_iteration)
+                            for op in (
+                                ops.load(init_var.base),
+                                ops.think(self.cycles_per_point),
+                            )
+                        )
+                    )
 
         return {p: [program(p)] for p in range(n)}

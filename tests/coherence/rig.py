@@ -12,7 +12,7 @@ from repro.mem.address import AddressSpace
 from repro.mem.memory import BlockData, MainMemory
 from repro.network.fabric import IdealNetwork
 from repro.network.interface import NetworkInterface
-from repro.network.packet import Packet, protocol_packet
+from repro.network.packet import OP_BY_NAME, Op, Packet, protocol_packet
 from repro.sim.kernel import Simulator
 from repro.stats.counters import Counters
 
@@ -66,10 +66,10 @@ class ControllerRig:
             self.received[node].append(packet)
             if not self.auto_ack:
                 return
-            if packet.opcode == "WDATA":
+            if packet.opcode is Op.WDATA:
                 # the node now owns a read-write copy
                 self._rw_copies[(node, packet.address)] = packet.data.copy()
-            elif packet.opcode == "INV":
+            elif packet.opcode is Op.INV:
                 txn = packet.meta.get("txn")
                 owned = self._rw_copies.pop((node, packet.address), None)
                 if owned is not None:
@@ -98,7 +98,8 @@ class ControllerRig:
         packets = self.received[node]
         if opcode is None:
             return packets
-        return [p for p in packets if p.opcode == opcode]
+        want = OP_BY_NAME.get(opcode, opcode)
+        return [p for p in packets if p.opcode == want]
 
     def last_to(self, node: int) -> Packet:
         return self.received[node][-1]

@@ -6,7 +6,7 @@ import pytest
 
 from repro.faults import FaultInjector
 from repro.machine import AlewifeConfig, AlewifeMachine, run_experiment
-from repro.network.packet import Packet
+from repro.network.packet import DISABLED_POOL, Packet
 from repro.sim.kernel import Simulator
 from repro.sim.rng import DeterministicRng
 from repro.workloads import WeatherWorkload
@@ -19,6 +19,7 @@ class StubNetwork:
         self.sim = sim
         self.in_flight = 0
         self.fault_injector = None
+        self.pool = DISABLED_POOL
         self.delivered: list[tuple[int, Packet]] = []
 
     def _deliver(self, packet: Packet) -> None:

@@ -26,7 +26,7 @@ class TestWormholeDelivery:
         sim.call_at(0, lambda: net.send(protocol_packet(0, 5, "RREQ", 0)))
         sim.run()
         assert len(log) == 1
-        assert log[0][1].opcode == "RREQ"
+        assert str(log[0][1].opcode) == "RREQ"
 
     def test_latency_grows_with_distance(self, sim):
         net = make_net(sim)

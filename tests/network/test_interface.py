@@ -6,7 +6,7 @@ import pytest
 
 from repro.network.fabric import IdealNetwork
 from repro.network.interface import IpiQueueOverflow, NetworkInterface
-from repro.network.packet import interrupt_packet, protocol_packet
+from repro.network.packet import Op, interrupt_packet, protocol_packet
 
 
 def make_pair(sim, capacity=4):
@@ -24,7 +24,7 @@ class TestDispatch:
         nic1.set_cache_handler(lambda p: pytest.fail("wrong handler"))
         sim.call_at(0, lambda: nic0.send(protocol_packet(0, 1, "RREQ", 0)))
         sim.run()
-        assert got and got[0].opcode == "RREQ"
+        assert got and got[0].opcode is Op.RREQ
 
     def test_memory_to_cache_opcodes_reach_cache_handler(self, sim):
         _, nic0, nic1 = make_pair(sim)
@@ -33,7 +33,7 @@ class TestDispatch:
         nic1.set_memory_handler(lambda p: pytest.fail("wrong handler"))
         sim.call_at(0, lambda: nic0.send(protocol_packet(0, 1, "INV", 0)))
         sim.run()
-        assert got and got[0].opcode == "INV"
+        assert got and got[0].opcode is Op.INV
 
     def test_missing_handler_raises(self, sim):
         _, nic0, _nic1 = make_pair(sim)

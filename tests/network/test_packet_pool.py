@@ -1,0 +1,182 @@
+"""Packet-pool safety: recycling must be invisible to the protocol.
+
+Two layers of proof:
+
+* adversarial unit tests — a recycled packet cannot leak stale payload,
+  meta, CRC, or timestamps into its next transaction, and misuse
+  (double release) is caught loudly;
+* golden bit-identity — whole-machine runs with the pool on and off
+  produce identical results (cycles, counters, network stats) across
+  protocols, and still do under nonzero fault-injection rates where
+  packets are dropped, duplicated, delayed and corrupted mid-flight.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import AlewifeConfig, AlewifeMachine
+from repro.mem.memory import BlockData
+from repro.network.packet import (
+    DISABLED_POOL,
+    Op,
+    Packet,
+    PacketPool,
+    interrupt_packet,
+    packet_crc,
+)
+from repro.workloads import HotSpotWorkload
+
+
+def _block(words: list[int]) -> BlockData:
+    data = BlockData(len(words))
+    data.words[:] = words
+    return data
+
+
+class TestAdversarialReuse:
+    def test_recycled_packet_is_scrubbed(self):
+        pool = PacketPool()
+        dirty = pool.protocol(
+            1, 2, Op.RDATA, 0x100, data=_block([7, 7, 7, 7]), requester=5
+        )
+        dirty.sent_at = 123
+        dirty.crc = packet_crc(dirty)
+        pool.release(dirty)
+        clean = pool.protocol(3, 4, Op.RREQ, 0x200)
+        assert clean is dirty  # it really was recycled...
+        assert clean.data is None  # ...but nothing leaked through
+        assert clean.meta == {}
+        assert clean.crc is None
+        assert clean.sent_at == -1
+        assert clean.src == 3 and clean.dst == 4
+        assert clean.opcode is Op.RREQ
+        assert clean.address == 0x200
+        assert not clean._free
+
+    def test_double_release_raises(self):
+        pool = PacketPool()
+        packet = pool.protocol(0, 1, Op.RREQ, 0x40)
+        pool.release(packet)
+        with pytest.raises(RuntimeError, match="double release"):
+            pool.release(packet)
+
+    def test_recycled_data_bearing_opcode_still_validated(self):
+        pool = PacketPool()
+        pool.release(pool.protocol(0, 1, Op.RREQ, 0x40))
+        with pytest.raises(ValueError, match="requires data"):
+            pool.protocol(0, 1, Op.WDATA, 0x40)
+
+    def test_string_opcode_interned_on_recycle(self):
+        pool = PacketPool()
+        pool.release(pool.protocol(0, 1, Op.RREQ, 0x40))
+        packet = pool.protocol(0, 1, "INV", 0x80)
+        assert packet.opcode is Op.INV
+
+    def test_interrupt_packets_never_pooled(self):
+        pool = PacketPool()
+        ipi = interrupt_packet(0, 1, "IPI", payload="x")
+        pool.release(ipi)
+        assert len(pool) == 0
+        assert ipi.meta == {"payload": "x"}  # untouched: software owns it
+
+    def test_disabled_pool_constructs_and_never_recycles(self):
+        pool = PacketPool(enabled=False)
+        first = pool.protocol(0, 1, Op.RREQ, 0x40)
+        pool.release(first)
+        assert len(pool) == 0
+        second = pool.protocol(0, 1, Op.RREQ, 0x40)
+        assert second is not first
+        assert DISABLED_POOL.enabled is False
+
+    def test_clone_does_not_alias_the_original(self):
+        pool = PacketPool()
+        original = pool.protocol(
+            1, 2, Op.RDATA, 0x100, data=_block([1, 2, 3, 4]), requester=9
+        )
+        original.sent_at = 55
+        original.crc = packet_crc(original)
+        dup = pool.clone(original)
+        assert dup is not original
+        assert dup.data is not original.data
+        assert dup.meta == original.meta and dup.meta is not original.meta
+        assert dup.sent_at == 55 and dup.crc == original.crc
+        # the original is consumed, scrubbed and reissued as something else;
+        # the in-flight duplicate must be unaffected
+        pool.release(original)
+        reissued = pool.protocol(7, 8, Op.INV, 0x999)
+        assert reissued is original
+        assert dup.data.words == [1, 2, 3, 4]
+        assert dup.opcode is Op.RDATA and dup.address == 0x100
+
+    def test_use_after_release_is_detectable(self):
+        pool = PacketPool()
+        packet = pool.protocol(0, 1, Op.RREQ, 0x40)
+        pool.release(packet)
+        assert packet._free  # the flag the fabric/NIC asserts on in debug
+
+    def test_allocation_stats(self):
+        pool = PacketPool()
+        a = pool.protocol(0, 1, Op.RREQ, 0x40)
+        pool.release(a)
+        pool.protocol(0, 1, Op.RREQ, 0x40)
+        assert pool.allocated == 1
+        assert pool.recycled == 1
+
+
+class TestOpcodeComparisonAudit:
+    """Interned opcodes: a str/Op mismatch would silently disable retry
+    matching (``"ACKC" != Op.ACKC``), so string-built packets must intern
+    and the retry/timeout modules must never compare against spellings."""
+
+    def test_string_built_packets_intern(self):
+        packet = Packet(0, 1, "ACKC", 0x40)
+        assert packet.opcode is Op.ACKC
+
+    def test_no_string_opcode_comparisons_in_retry_paths(self):
+        import pathlib
+
+        import repro.cache.controller as cache_mod
+        import repro.coherence.controller as dir_mod
+
+        spellings = "|".join(op._name_ for op in Op)
+        import re
+
+        pattern = re.compile(rf'opcode\s*[!=]=\s*["\']({spellings})["\']')
+        for mod in (cache_mod, dir_mod):
+            source = pathlib.Path(mod.__file__).read_text()
+            assert not pattern.search(source), mod.__name__
+
+
+def _run(protocol: str, *, pool: bool, **overrides) -> dict:
+    config = AlewifeConfig(
+        n_procs=8,
+        protocol=protocol,
+        pointers=2,
+        ts=50,
+        packet_pool=pool,
+        **overrides,
+    )
+    stats = AlewifeMachine(config).run(HotSpotWorkload(rounds=3))
+    record = stats.to_dict()
+    del record["config"]  # differs only in the packet_pool flag
+    return record
+
+
+class TestPoolGoldenIdentity:
+    @pytest.mark.parametrize("protocol", ["fullmap", "limited", "limitless"])
+    def test_pool_on_off_bit_identical(self, protocol):
+        assert _run(protocol, pool=True) == _run(protocol, pool=False)
+
+    @pytest.mark.parametrize("protocol", ["fullmap", "limitless"])
+    def test_pool_on_off_bit_identical_under_faults(self, protocol):
+        faults = dict(
+            fault_drop_rate=2e-3,
+            fault_dup_rate=2e-3,
+            fault_delay_rate=2e-3,
+            fault_corrupt_rate=1e-3,
+            seed=7,
+        )
+        assert _run(protocol, pool=True, **faults) == _run(
+            protocol, pool=False, **faults
+        )
