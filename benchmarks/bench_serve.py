@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Service-latency microbenchmark: warm-hit and cold-job service time.
+
+Boots a real ``repro.serve`` server (asyncio HTTP front + process pool)
+in this process, then measures the two service paths over the wire:
+
+* ``serve_warm_hit`` — resubmission of an already-cached config.  This is
+  the LimitLESS "common case fast" path: submit → cache hit → synchronous
+  200, never touching the pool.  Reported as requests/s (the gate's
+  ``events_per_sec``) plus p50/p95 milliseconds; the acceptance target is
+  p50 under 100 ms.
+* ``serve_cold_small`` — a cold 4-proc hotspot job through admission,
+  the worker pool, and NDJSON completion: the end-to-end cost of a small
+  simulation as a service call.
+
+Writes a ``BENCH_serve.json`` artifact in the same ``{"scenarios": ...}``
+shape the perf-regression gate consumes.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serve.py [--out FILE]
+          [--warm-requests N] [--cold-repeats N] [--assert-warm-under-ms MS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.serve import BackgroundServer, SweepService
+from repro.sweep import ResultCache
+
+
+def job_payload(rounds: int = 2) -> dict:
+    return {
+        "label": "bench-hotspot",
+        "config": {"n_procs": 4, "protocol": "fullmap", "max_cycles": 2_000_000},
+        "workload": {"name": "hotspot", "params": {"rounds": rounds}},
+    }
+
+
+def post_job(server, payload, timeout=120.0) -> tuple[int, dict]:
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=timeout)
+    try:
+        conn.request("POST", "/jobs", json.dumps(payload))
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def wait_done(server, job_id, timeout=120.0) -> dict:
+    """Follow the NDJSON stream to completion; returns the final record."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=timeout)
+    try:
+        conn.request("GET", f"/jobs/{job_id}/stream")
+        response = conn.getresponse()
+        final = None
+        for line in response:
+            event = json.loads(line)
+            if event.get("event") == "job" and event.get("state") in (
+                "done",
+                "failed",
+            ):
+                final = event["job"]
+        return final
+    finally:
+        conn.close()
+
+
+def bench_cold(server, repeats: int) -> list[float]:
+    """Cold service times; each repeat uses a distinct config (fresh key)."""
+    times = []
+    for i in range(repeats):
+        payload = job_payload(rounds=2 + i)  # unique key per repeat
+        start = time.perf_counter()
+        status, body = post_job(server, payload)
+        assert status in (200, 202), f"cold submit failed: {status} {body}"
+        final = wait_done(server, body["job"]["id"])
+        times.append(time.perf_counter() - start)
+        assert final and final["state"] == "done", f"cold job failed: {final}"
+    return times
+
+
+def bench_warm(server, requests: int) -> list[float]:
+    """Warm-hit service times over the wire (submit of a cached config)."""
+    payload = job_payload(rounds=2)
+    times = []
+    for _ in range(requests):
+        start = time.perf_counter()
+        status, body = post_job(server, payload)
+        times.append(time.perf_counter() - start)
+        assert status == 200, f"expected synchronous warm 200, got {status}"
+        assert body["job"]["warm"], "warm submission missed the cache"
+    return times
+
+
+def percentile(values: list[float], p: float) -> float:
+    ordered = sorted(values)
+    rank = max(1, round(p / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--warm-requests", type=int, default=50)
+    parser.add_argument("--cold-repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--assert-warm-under-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="exit nonzero unless warm p50 is under MS (the CI acceptance gate)",
+    )
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        service = SweepService(
+            workers=args.workers,
+            cache=ResultCache(Path(tmp) / "cache"),
+            queue_depth=16,
+        )
+        with BackgroundServer(service) as server:
+            print(f"bench_serve against {server.address}")
+            cold = bench_cold(server, args.cold_repeats)
+            warm = bench_warm(server, args.warm_requests)
+            conn = http.client.HTTPConnection(
+                server.host, server.port, timeout=30
+            )
+            conn.request("GET", "/metrics")
+            metrics = json.loads(conn.getresponse().read())
+            conn.close()
+
+    warm_p50 = percentile(warm, 50)
+    warm_p95 = percentile(warm, 95)
+    cold_mean = statistics.mean(cold)
+    report = {
+        "benchmark": "serve",
+        "warm_requests": args.warm_requests,
+        "cold_repeats": args.cold_repeats,
+        "scenarios": {
+            "serve_warm_hit": {
+                "events_per_sec": round(len(warm) / sum(warm), 2),
+                "p50_ms": round(warm_p50 * 1e3, 3),
+                "p95_ms": round(warm_p95 * 1e3, 3),
+            },
+            "serve_cold_small": {
+                "events_per_sec": round(1.0 / cold_mean, 4),
+                "mean_ms": round(cold_mean * 1e3, 3),
+            },
+        },
+        "service_metrics": {
+            "cache_hit_ratio": metrics["cache_hit_ratio"],
+            "pool_invocations": metrics["pool_invocations"],
+        },
+    }
+    print(
+        f"warm hit: p50 {warm_p50 * 1e3:.2f} ms, p95 {warm_p95 * 1e3:.2f} ms, "
+        f"{report['scenarios']['serve_warm_hit']['events_per_sec']:,.0f} req/s"
+    )
+    print(
+        f"cold small job: mean {cold_mean * 1e3:.1f} ms "
+        f"({report['scenarios']['serve_cold_small']['events_per_sec']:.2f} jobs/s)"
+    )
+    Path(args.out).write_text(json.dumps(report, indent=2))
+    print(f"wrote {args.out}")
+
+    if args.assert_warm_under_ms is not None:
+        if warm_p50 * 1e3 >= args.assert_warm_under_ms:
+            print(
+                f"FAIL: warm-hit p50 {warm_p50 * 1e3:.2f} ms is not under "
+                f"{args.assert_warm_under_ms:g} ms",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"warm-hit p50 {warm_p50 * 1e3:.2f} ms "
+            f"< {args.assert_warm_under_ms:g} ms: ok"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

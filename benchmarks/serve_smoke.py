@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""End-to-end service demo: the CI acceptance script for ``repro serve``.
+
+Boots the real CLI (``python -m repro serve --port 0``) as a subprocess
+and drives it over HTTP exactly as an external client would:
+
+1. concurrent submission of identical + distinct jobs,
+2. NDJSON progress streaming to completion (ETA records included),
+3. warm resubmission served from the cache without spawning workers
+   (asserted via the ``pool_invocations`` counter in ``/metrics``),
+4. structured 413 rejection when the per-job point budget is exceeded,
+5. ``/metrics`` reporting a nonzero cache-hit ratio,
+6. graceful shutdown via ``POST /shutdown`` with clean subprocess exit.
+
+Exits nonzero on the first violated expectation.
+
+Run:  PYTHONPATH=src python benchmarks/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+
+
+def request(host, port, method, path, body=None, timeout=120):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(method, path, json.dumps(body) if body is not None else None)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or "null")
+    finally:
+        conn.close()
+
+
+def stream(host, port, job_id, timeout=120):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", f"/jobs/{job_id}/stream")
+        response = conn.getresponse()
+        check(response.status == 200, f"stream status {response.status}")
+        return [json.loads(line) for line in response if line.strip()]
+    finally:
+        conn.close()
+
+
+def weather_point(iterations: int, procs: int = 8) -> dict:
+    return {
+        "config": {
+            "n_procs": procs,
+            "protocol": "limitless",
+            "pointers": 4,
+            "ts": 50,
+            "max_cycles": 20_000_000,
+        },
+        "workload": {"name": "weather", "params": {"iterations": iterations}},
+    }
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--workers", "2",
+                "--queue-depth", "8",
+                "--max-points", "4",
+                "--cache-dir", os.path.join(tmp, "cache"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", line)
+            check(match is not None, f"no listen line, got: {line!r}")
+            host, port = match.group(1), int(match.group(2))
+            print(f"server up at {host}:{port}")
+
+            status, body = request(host, port, "GET", "/healthz")
+            check(status == 200 and body["status"] == "ok", f"healthz: {body}")
+
+            # -- 1. concurrent submissions: 3x identical + 1 distinct ----
+            results: list[tuple[int, dict]] = []
+            payloads = [
+                {"label": "weather-a", **weather_point(2)},
+                {"label": "weather-b", **weather_point(2)},
+                {"label": "weather-c", **weather_point(2)},
+                {"label": "multigrid", "points": [
+                    {
+                        "config": {"n_procs": 8, "protocol": "fullmap",
+                                   "max_cycles": 20_000_000},
+                        "workload": {"name": "multigrid",
+                                     "params": {"levels": [2, 2],
+                                                "points_per_proc": 16}},
+                    }
+                ]},
+            ]
+            threads = [
+                threading.Thread(
+                    target=lambda p=p: results.append(
+                        request(host, port, "POST", "/jobs", p)
+                    )
+                )
+                for p in payloads
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120)
+            check(
+                all(status in (200, 202) for status, _ in results),
+                f"concurrent submits: {[s for s, _ in results]}",
+            )
+            print(f"submitted {len(results)} jobs concurrently")
+
+            # -- 2. stream every job to completion -----------------------
+            identical_cycles = set()
+            for status, body in results:
+                job = body["job"]
+                events = stream(host, port, job["id"])
+                final = events[-1]
+                check(
+                    final["event"] == "job" and final["state"] == "done",
+                    f"job {job['id']} ended {final}",
+                )
+                point_events = [e for e in events if e["event"] == "point"]
+                check(point_events, f"no point events for {job['id']}")
+                if job["label"].startswith("weather-"):
+                    identical_cycles.add(
+                        final["job"]["results"][0]["cycles"]
+                    )
+            check(
+                len(identical_cycles) == 1,
+                f"identical jobs disagreed: {identical_cycles}",
+            )
+            print(f"all jobs streamed to done; identical jobs returned "
+                  f"identical cycles ({identical_cycles.pop():,})")
+
+            _, metrics = request(host, port, "GET", "/metrics")
+            cold_invocations = metrics["pool_invocations"]
+            # 3 identical weather jobs coalesced to one execution + 1 multigrid.
+            check(
+                cold_invocations == 2,
+                f"expected 2 pool invocations, saw {cold_invocations}",
+            )
+
+            # -- 3. warm resubmission: cache, not workers ----------------
+            start = time.perf_counter()
+            status, body = request(host, port, "POST", "/jobs", payloads[0])
+            warm_ms = (time.perf_counter() - start) * 1e3
+            check(status == 200, f"warm submit status {status}")
+            check(body["job"]["warm"] is True, f"not warm: {body['job']}")
+            _, metrics = request(host, port, "GET", "/metrics")
+            check(
+                metrics["pool_invocations"] == cold_invocations,
+                "warm resubmission touched the worker pool",
+            )
+            print(f"warm resubmission served from cache in {warm_ms:.1f} ms "
+                  f"without touching the pool")
+
+            # -- 4. structured over-budget rejection ---------------------
+            status, body = request(
+                host, port, "POST", "/jobs",
+                {"points": [weather_point(i + 1) for i in range(5)]},
+            )
+            check(status == 413, f"expected 413, got {status}")
+            check(
+                body["error"]["code"] == "over_budget",
+                f"rejection body: {body}",
+            )
+            print("over-budget job rejected with structured 413")
+
+            # -- 5. metrics surface --------------------------------------
+            _, metrics = request(host, port, "GET", "/metrics")
+            check(
+                metrics["cache_hit_ratio"] > 0,
+                f"hit ratio {metrics['cache_hit_ratio']}",
+            )
+            check(
+                metrics["latency"]["warm"]["p50_ms"] is not None,
+                "no warm latency recorded",
+            )
+            print(
+                f"metrics: hit ratio {metrics['cache_hit_ratio']:.2f}, "
+                f"warm p50 {metrics['latency']['warm']['p50_ms']} ms, "
+                f"jobs done {metrics['counters'].get('serve.jobs.done')}"
+            )
+
+            # -- 6. graceful shutdown ------------------------------------
+            status, body = request(host, port, "POST", "/shutdown")
+            check(status == 200, f"shutdown status {status}")
+            code = proc.wait(timeout=60)
+            check(code == 0, f"server exited {code}")
+            print("graceful shutdown: clean exit")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+    print("serve smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

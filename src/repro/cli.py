@@ -114,7 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 #: Subcommands hosted by the top-level parser.
-COMMANDS = ("run", "modelcheck", "sweep", "faults", "profile")
+COMMANDS = ("run", "modelcheck", "sweep", "faults", "profile", "serve")
 
 
 def build_top_parser() -> argparse.ArgumentParser:
@@ -122,6 +122,7 @@ def build_top_parser() -> argparse.ArgumentParser:
     from .faults import cli as faults_cli
     from .modelcheck import cli as modelcheck_cli
     from .profiling import cli as profiling_cli
+    from .serve import cli as serve_cli
     from .sweep import cli as sweep_cli
 
     parser = argparse.ArgumentParser(
@@ -132,7 +133,7 @@ def build_top_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(
-        dest="command", metavar="{run,modelcheck,sweep,faults,profile}"
+        dest="command", metavar="{run,modelcheck,sweep,faults,profile,serve}"
     )
     run_parser = sub.add_parser(
         "run", help="run one experiment (the default subcommand)"
@@ -166,6 +167,13 @@ def build_top_parser() -> argparse.ArgumentParser:
     )
     profiling_cli.add_arguments(profile_parser)
     profile_parser.set_defaults(func=profiling_cli.run_from_args)
+    serve_parser = sub.add_parser(
+        "serve",
+        help="long-running simulation-as-a-service HTTP job server",
+        description=serve_cli.DESCRIPTION,
+    )
+    serve_cli.add_arguments(serve_parser)
+    serve_parser.set_defaults(func=serve_cli.run_from_args)
     return parser
 
 

@@ -1,0 +1,35 @@
+"""Simulation-as-a-service: an async job server over the sweep core.
+
+:class:`SweepService` is the embeddable library object — admission
+control, a bounded multiprocessing pool, cache-hit short-circuiting,
+structured progress events, and service metrics with no process-global
+state.  :class:`SweepServer` puts it behind a stdlib-only asyncio
+HTTP/JSON front (NDJSON progress streams, ``/metrics``, ``/healthz``);
+:class:`BackgroundServer` runs that front on a daemon thread for tests
+and benchmarks.  See ``repro serve --help`` for the CLI and
+``docs/SERVICE.md`` for the API.
+"""
+
+from .http import BackgroundServer, SweepServer
+from .metrics import LatencyWindow, ServiceMetrics
+from .service import (
+    AdmissionError,
+    BadRequest,
+    JobPoint,
+    JobRecord,
+    JobRequest,
+    SweepService,
+)
+
+__all__ = [
+    "AdmissionError",
+    "BackgroundServer",
+    "BadRequest",
+    "JobPoint",
+    "JobRecord",
+    "JobRequest",
+    "LatencyWindow",
+    "ServiceMetrics",
+    "SweepServer",
+    "SweepService",
+]

@@ -1,0 +1,136 @@
+"""The ``repro serve`` subcommand: simulation-as-a-service.
+
+Examples::
+
+    python -m repro serve                          # 127.0.0.1:8351, 2 workers
+    python -m repro serve --port 0 --workers 4     # ephemeral port
+    python -m repro serve --queue-depth 16 --max-cycles 100000000
+
+Submit a job::
+
+    curl -s localhost:8351/jobs -d '{
+      "label": "weather-ll4",
+      "config": {"n_procs": 16, "protocol": "limitless", "pointers": 4},
+      "workload": {"name": "weather", "params": {"iterations": 2}}
+    }'
+
+Stream its progress::
+
+    curl -sN localhost:8351/jobs/job-000001/stream
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from ..sweep.cache import ResultCache, default_cache_dir
+from .http import SweepServer
+from .service import SweepService
+
+DESCRIPTION = (
+    "Long-running HTTP/JSON job server over the sweep core: bounded "
+    "worker pool, admission control, cache-hit short-circuiting, NDJSON "
+    "progress streams, /metrics and /healthz."
+)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8351, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="simulation worker processes"
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="max jobs admitted but unfinished before 429 rejections",
+    )
+    parser.add_argument(
+        "--max-points",
+        type=int,
+        default=64,
+        help="per-job grid-point budget before 413 rejections",
+    )
+    parser.add_argument(
+        "--max-cycles",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-point simulated-cycle budget (default: uncapped)",
+    )
+    parser.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point wall-clock budget enforced in the worker",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"cache location (default $REPRO_SWEEP_CACHE or {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="max seconds to wait for in-flight jobs on shutdown",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro serve", description=DESCRIPTION)
+    add_arguments(parser)
+    return parser
+
+
+def service_from_args(args: argparse.Namespace) -> SweepService:
+    cache = ResultCache(args.cache_dir, enabled=not args.no_cache)
+    return SweepService(
+        workers=args.workers,
+        cache=cache,
+        queue_depth=args.queue_depth,
+        max_points=args.max_points,
+        max_cycles=args.max_cycles,
+        point_timeout=args.point_timeout,
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    service = service_from_args(args)
+
+    async def main() -> None:
+        server = SweepServer(service, args.host, args.port)
+        host, port = await server.start()
+        # The smoke harness parses this line to find the ephemeral port.
+        print(f"repro serve listening on http://{host}:{port}", flush=True)
+        print(
+            f"  workers={service.workers} queue_depth={service.queue_depth} "
+            f"max_points={service.max_points} "
+            f"cache={'off' if not service.cache.enabled else service.cache.directory}",
+            flush=True,
+        )
+        await server.serve_until_shutdown(drain_timeout=args.drain_timeout)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("interrupt: draining in-flight jobs", flush=True)
+        service.close(drain=True, timeout=args.drain_timeout)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run_from_args(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,361 @@
+"""Minimal asyncio HTTP/JSON front for :class:`SweepService`.
+
+A handwritten HTTP/1.1 layer over ``asyncio.start_server`` — no
+dependencies beyond the stdlib, no framework.  One request per
+connection (``Connection: close``), JSON in and out, and close-delimited
+NDJSON for progress streams (clients read lines until EOF, so the stream
+needs neither chunked encoding nor a length).
+
+Endpoints::
+
+    GET  /healthz            liveness + drain state
+    GET  /metrics            counters, latency percentiles, gauges
+    POST /jobs               submit a job (202; 200 when served warm)
+    GET  /jobs               recent job snapshots (?limit=N)
+    GET  /jobs/<id>          one job snapshot
+    GET  /jobs/<id>/stream   NDJSON progress events until the job ends
+    POST /shutdown           begin graceful drain, then exit
+
+Admission failures map to structured JSON errors with the service's own
+status codes: 429 ``queue_full``, 413 ``over_budget``, 503
+``shutting_down``, 400 ``bad_request``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Optional
+
+from .service import AdmissionError, BadRequest, SweepService
+
+#: refuse request bodies larger than this (a job grid is a few KB)
+MAX_BODY_BYTES = 4 << 20
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+def _head(status: int, content_type: str, length: Optional[int]) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+def _json_bytes(payload: dict) -> bytes:
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+class SweepServer:
+    """Serve one :class:`SweepService` over HTTP on an asyncio loop."""
+
+    def __init__(
+        self, service: SweepService, host: str = "127.0.0.1", port: int = 8351
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the actual (host, port)."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    def request_shutdown(self) -> None:
+        """Flip the server into drain mode (thread-unsafe; loop only)."""
+        self.service.begin_drain()
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self, *, drain_timeout: float | None = None) -> None:
+        """Serve until :meth:`request_shutdown`, then drain and close.
+
+        Draining happens off-loop (``service.close`` blocks on in-flight
+        jobs) so the server keeps answering ``/healthz`` and streams keep
+        flowing while the pool finishes.
+        """
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, lambda: self.service.close(drain=True, timeout=drain_timeout)
+        )
+        self._server.close()
+        await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, query, body = await self._read_request(reader)
+            except _HTTPError as exc:
+                await self._send_error(writer, exc)
+                return
+            except (asyncio.IncompleteReadError, ValueError, LimitOverrun):
+                await self._send_error(
+                    writer, _HTTPError(400, "bad_request", "malformed request")
+                )
+                return
+            try:
+                await self._route(writer, method, path, query, body)
+            except _HTTPError as exc:
+                await self._send_error(writer, exc)
+            except (BrokenPipeError, ConnectionResetError):
+                pass
+            except Exception as exc:  # never kill the server on one request
+                await self._send_error(
+                    writer,
+                    _HTTPError(500, "internal", f"{type(exc).__name__}: {exc}"),
+                )
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                pass
+
+    async def _read_request(self, reader) -> tuple[str, str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise _HTTPError(400, "bad_request", "empty request")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HTTPError(400, "bad_request", "malformed request line")
+        method, target, _version = parts
+        headers = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _HTTPError(
+                413, "over_budget", f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        body = await reader.readexactly(length) if length else b""
+        path, _, query = target.partition("?")
+        return method.upper(), path, query, body
+
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        query: str,
+        body: bytes,
+    ) -> None:
+        if path == "/healthz" and method == "GET":
+            await self._send_json(writer, 200, self.service.healthz())
+        elif path == "/metrics" and method == "GET":
+            await self._send_json(writer, 200, self.service.metrics_snapshot())
+        elif path == "/jobs" and method == "POST":
+            await self._submit(writer, body)
+        elif path == "/jobs" and method == "GET":
+            limit = _int_param(query, "limit")
+            await self._send_json(
+                writer, 200, {"jobs": self.service.jobs(limit=limit)}
+            )
+        elif path.startswith("/jobs/"):
+            await self._job_routes(writer, method, path)
+        elif path == "/shutdown" and method == "POST":
+            await self._send_json(
+                writer, 200, {"status": "draining", **self.service.healthz()}
+            )
+            self.request_shutdown()
+        else:
+            raise _HTTPError(404, "not_found", f"no route for {method} {path}")
+
+    async def _submit(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, ValueError):
+            raise _HTTPError(400, "bad_request", "body is not valid JSON") from None
+        try:
+            record = self.service.submit_payload(payload)
+        except BadRequest as exc:
+            raise _HTTPError(exc.status, exc.code, str(exc)) from None
+        except AdmissionError as exc:
+            raise _HTTPError(exc.status, exc.code, str(exc)) from None
+        status = 200 if record.done else 202
+        await self._send_json(writer, status, {"job": record.snapshot()})
+
+    async def _job_routes(
+        self, writer: asyncio.StreamWriter, method: str, path: str
+    ) -> None:
+        tail = path[len("/jobs/"):]
+        job_id, _, rest = tail.partition("/")
+        record = self.service.job(job_id)
+        if record is None:
+            raise _HTTPError(404, "not_found", f"unknown job {job_id!r}")
+        if rest == "" and method == "GET":
+            await self._send_json(writer, 200, {"job": record.snapshot()})
+        elif rest == "stream" and method == "GET":
+            await self._stream(writer, record)
+        else:
+            raise _HTTPError(404, "not_found", f"no route for {method} {path}")
+
+    async def _stream(self, writer: asyncio.StreamWriter, record) -> None:
+        """NDJSON progress: replayed history, then live events, then EOF."""
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def push(event: dict) -> None:
+            # Called under the service lock from worker callback threads
+            # (or this thread during replay): trampoline onto the loop.
+            loop.call_soon_threadsafe(queue.put_nowait, event)
+
+        self.service.subscribe(record, push)
+        writer.write(_head(200, "application/x-ndjson", None))
+        try:
+            await writer.drain()
+            while True:
+                event = await queue.get()
+                writer.write(_json_bytes(event))
+                await writer.drain()
+                if event.get("event") == "job" and event.get("state") in (
+                    "done",
+                    "failed",
+                ):
+                    break
+        finally:
+            self.service.unsubscribe(record, push)
+
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
+        body = _json_bytes(payload)
+        writer.write(_head(status, "application/json", len(body)) + body)
+        await writer.drain()
+
+    async def _send_error(self, writer, exc: _HTTPError) -> None:
+        try:
+            await self._send_json(
+                writer,
+                exc.status,
+                {"error": {"code": exc.code, "message": str(exc)}},
+            )
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass
+
+
+def _int_param(query: str, name: str) -> Optional[int]:
+    for pair in query.split("&"):
+        key, _, value = pair.partition("=")
+        if key == name and value:
+            try:
+                return int(value)
+            except ValueError:
+                raise _HTTPError(
+                    400, "bad_request", f"{name} must be an integer"
+                ) from None
+    return None
+
+
+try:  # asyncio renamed this across versions; normalize for _handle
+    from asyncio import LimitOverrunError as LimitOverrun
+except ImportError:  # pragma: no cover
+    class LimitOverrun(Exception):
+        ...
+
+
+class BackgroundServer:
+    """A :class:`SweepServer` on a daemon thread, for tests and benches.
+
+    ::
+
+        with BackgroundServer(service) as server:
+            http.client.HTTPConnection(server.host, server.port)
+
+    Exiting the context requests graceful shutdown and joins the thread;
+    the service itself is drained by the server's shutdown path.
+    """
+
+    def __init__(
+        self, service: SweepService, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[SweepServer] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._server = SweepServer(self.service, self.host, self.port)
+            try:
+                self.host, self.port = await self._server.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._started.set()
+                raise
+            self._loop = asyncio.get_running_loop()
+            self._started.set()
+            await self._server.serve_until_shutdown()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # surface late failures on join
+            if self._startup_error is None:
+                self._startup_error = exc
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread.start()
+        self._started.wait(timeout=10)
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        if not self._started.is_set():
+            raise RuntimeError("server did not start within 10s")
+        return self
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._server.request_shutdown)
+            except RuntimeError:  # loop already closed
+                pass
+        self._thread.join(timeout)
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

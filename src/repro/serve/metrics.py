@@ -1,0 +1,128 @@
+"""Service observability: counters, latency percentiles, utilization.
+
+Built on :class:`repro.stats.counters.Counters` — the same named-counter
+bag every simulator component reports through — so the ``/metrics``
+endpoint speaks the repo's one counter vocabulary.  Latency percentiles
+come from a bounded ring of recent observations (a sliding window, not a
+lossy sketch: service latencies arrive at human rates, so keeping the
+last few thousand exactly is cheaper than approximating them).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..stats.counters import Counters
+
+
+class LatencyWindow:
+    """Sliding window of the most recent latency observations (seconds).
+
+    Percentiles are computed over the window by nearest-rank on a sorted
+    copy; with the default capacity of 2048 that is microseconds of work
+    per scrape.  Thread-safe: workers observe from pool callback threads
+    while the HTTP loop scrapes.
+    """
+
+    def __init__(self, capacity: int = 2048):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.count = 0  # total ever observed, not just retained
+        self._ring: list[float] = []
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        with self._lock:
+            self.count += 1
+            if len(self._ring) < self.capacity:
+                self._ring.append(seconds)
+            else:
+                self._ring[self._next] = seconds
+                self._next = (self._next + 1) % self.capacity
+
+    def percentile(self, p: float) -> float | None:
+        """Nearest-rank percentile over the window; None when empty."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], not {p}")
+        with self._lock:
+            if not self._ring:
+                return None
+            ordered = sorted(self._ring)
+        rank = max(1, round(p / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def snapshot(self) -> dict:
+        """``{count, p50_ms, p95_ms, max_ms}`` (None values when empty)."""
+        with self._lock:
+            retained = list(self._ring)
+            count = self.count
+        if not retained:
+            return {"count": count, "p50_ms": None, "p95_ms": None, "max_ms": None}
+        ordered = sorted(retained)
+
+        def rank_ms(p: float) -> float:
+            rank = max(1, round(p / 100.0 * len(ordered)))
+            return round(ordered[min(rank, len(ordered)) - 1] * 1e3, 3)
+
+        return {
+            "count": count,
+            "p50_ms": rank_ms(50),
+            "p95_ms": rank_ms(95),
+            "max_ms": round(ordered[-1] * 1e3, 3),
+        }
+
+
+class ServiceMetrics:
+    """The serve layer's counter bag plus derived service statistics.
+
+    Counter names live under the ``serve.`` prefix (``serve.jobs.done``,
+    ``serve.points.cache_hit``, ...); latency is split into a *warm*
+    window (jobs fully satisfied by the result cache — the LimitLESS
+    "common case fast" path) and a *cold* window (jobs that reached the
+    worker pool).
+    """
+
+    def __init__(self) -> None:
+        self.counters = Counters()
+        self.warm_latency = LatencyWindow()
+        self.cold_latency = LatencyWindow()
+        self.all_latency = LatencyWindow()
+        self.started_at = time.time()
+        self._start_clock = time.perf_counter()
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters.bump(f"serve.{name}", amount)
+
+    def get(self, name: str) -> int:
+        return self.counters.get(f"serve.{name}")
+
+    def observe_job(self, seconds: float, *, warm: bool) -> None:
+        self.all_latency.observe(seconds)
+        (self.warm_latency if warm else self.cold_latency).observe(seconds)
+
+    def hit_ratio(self) -> float:
+        hits = self.get("points.cache_hit")
+        misses = self.get("points.simulated") + self.get("points.failed")
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def uptime_seconds(self) -> float:
+        return time.perf_counter() - self._start_clock
+
+    def snapshot(self) -> dict:
+        """The ``/metrics`` payload (everything JSON-serializable)."""
+        return {
+            "uptime_seconds": round(self.uptime_seconds(), 3),
+            "started_at": self.started_at,
+            "counters": self.counters.as_dict(),
+            "cache_hit_ratio": round(self.hit_ratio(), 6),
+            "latency": {
+                "all": self.all_latency.snapshot(),
+                "warm": self.warm_latency.snapshot(),
+                "cold": self.cold_latency.snapshot(),
+            },
+        }

@@ -7,18 +7,27 @@ source fingerprint), and reproduces the figure reports.  See
 ``repro sweep --help`` for the CLI.
 """
 
-from .cache import ResultCache, default_cache_dir, source_fingerprint
+from .cache import (
+    ResultCache,
+    SourceFingerprint,
+    compute_source_fingerprint,
+    default_cache_dir,
+    source_fingerprint,
+)
 from .grids import figure_grids, run_figure_suite
-from .runner import JobResult, ProgressPrinter, run_jobs
+from .runner import JobResult, ProgressPrinter, ProgressTracker, run_jobs
 from .spec import WORKLOAD_REGISTRY, Job, WorkloadSpec, job_key
 
 __all__ = [
     "Job",
     "JobResult",
     "ProgressPrinter",
+    "ProgressTracker",
     "ResultCache",
+    "SourceFingerprint",
     "WORKLOAD_REGISTRY",
     "WorkloadSpec",
+    "compute_source_fingerprint",
     "default_cache_dir",
     "figure_grids",
     "job_key",

@@ -23,8 +23,6 @@ from ..machine import MachineStats
 #: Cache format version; bump when the entry schema changes.
 CACHE_VERSION = 1
 
-_fingerprint_cache: str | None = None
-
 
 def default_cache_dir() -> Path:
     """``$REPRO_SWEEP_CACHE`` or ``~/.cache/repro-sweep``."""
@@ -34,23 +32,56 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-sweep"
 
 
-def source_fingerprint() -> str:
+def compute_source_fingerprint(root: Path | None = None) -> str:
     """SHA-256 over every ``.py`` file of the installed ``repro`` package.
 
-    Computed once per process; the simulator's source *is* part of every
-    result's identity, since timing-model changes alter cycle counts.
+    The simulator's source *is* part of every result's identity, since
+    timing-model changes alter cycle counts.  This is the uncached
+    computation; :class:`SourceFingerprint` memoizes it.
     """
-    global _fingerprint_cache
-    if _fingerprint_cache is None:
+    if root is None:
         import repro
 
         root = Path(repro.__file__).resolve().parent
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode("utf-8"))
-            digest.update(path.read_bytes())
-        _fingerprint_cache = digest.hexdigest()
-    return _fingerprint_cache
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+class SourceFingerprint:
+    """Memoized source-tree fingerprint with an explicit invalidation hook.
+
+    Long-running processes (the ``repro serve`` server) hold one of these
+    per :class:`ResultCache` instead of a module global: the hash is
+    computed on first use, reused for every subsequent key, and
+    recomputed after :meth:`invalidate` — e.g. when the source tree
+    changed under a live server and stale keys must not be served.
+    """
+
+    def __init__(self, root: Path | None = None):
+        self._root = root
+        self._value: str | None = None
+
+    def value(self) -> str:
+        if self._value is None:
+            self._value = compute_source_fingerprint(self._root)
+        return self._value
+
+    def invalidate(self) -> None:
+        """Drop the memoized hash; the next :meth:`value` recomputes."""
+        self._value = None
+
+
+def source_fingerprint() -> str:
+    """Backward-compatible wrapper: compute the fingerprint afresh.
+
+    Callers that key many lookups should hold a :class:`SourceFingerprint`
+    (or use ``ResultCache.fingerprint``) so the hash is memoized in an
+    object they control rather than process-global state.
+    """
+    return compute_source_fingerprint()
 
 
 class ResultCache:
@@ -58,14 +89,34 @@ class ResultCache:
 
     ``enabled=False`` turns every operation into a no-op, so callers can
     thread one object through unconditionally (the ``--no-cache`` path).
+
+    Every cache owns a :class:`SourceFingerprint` (injectable for tests
+    and embedders); the runner keys jobs through it so there is no
+    process-global sweep state — a long-lived service can invalidate or
+    swap the fingerprint on its own cache without touching any other.
     """
 
-    def __init__(self, directory: Path | str | None = None, *, enabled: bool = True):
+    def __init__(
+        self,
+        directory: Path | str | None = None,
+        *,
+        enabled: bool = True,
+        fingerprint: SourceFingerprint | None = None,
+    ):
         self.directory = Path(directory) if directory else default_cache_dir()
         self.enabled = enabled
+        self.fingerprint = fingerprint or SourceFingerprint()
         self.hits = 0
         self.misses = 0
         self.stores = 0
+
+    def invalidate(self) -> None:
+        """Invalidate derived state (the memoized source fingerprint).
+
+        On-disk entries stay: they are keyed by fingerprint, so a changed
+        source tree simply misses them.
+        """
+        self.fingerprint.invalidate()
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"

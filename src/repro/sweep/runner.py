@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, TextIO
 
 from ..machine import MachineStats, run_experiment
-from .cache import ResultCache, source_fingerprint
+from .cache import ResultCache
 from .spec import Job, job_key
 
 
@@ -122,7 +122,9 @@ def run_jobs(
         raise ValueError(f"on_error must be 'raise' or 'record', not {on_error!r}")
     if cache is None:
         cache = ResultCache(enabled=False)
-    fingerprint = source_fingerprint()
+    # The fingerprint is memoized per-cache, not per-process: a long-lived
+    # embedder (the serve layer) controls staleness via cache.invalidate().
+    fingerprint = cache.fingerprint.value()
     keys = [job_key(job.config, job.workload, fingerprint) for job in jobs]
     total = len(jobs)
     results: list[JobResult | None] = [None] * total
@@ -204,32 +206,84 @@ def run_jobs(
     return [r for r in results if r is not None]
 
 
-class ProgressPrinter:
-    """Live per-job progress with a wall-clock ETA for the remainder."""
+class ProgressTracker:
+    """Turns the ``ProgressFn`` stream into structured progress records.
 
-    def __init__(self, stream: TextIO | None = None):
-        self.stream = stream or sys.stderr
-        self.start = time.perf_counter()
+    One tracker follows one run: feed it every ``(result, done, total)``
+    callback and it returns a JSON-serializable dict per grid point —
+    label, outcome, wall clock, elapsed time and a guarded ETA.  The ETA
+    is ``None`` until at least one point has actually executed (cache
+    hits carry no timing signal) and clamps at ``0.0`` for degenerate
+    zero-wall executions, so consumers never divide by zero or see a
+    negative estimate.  ``ProgressPrinter`` derives its human line from
+    these records; the serve layer streams them as NDJSON.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self.start = clock()
         self.executed_wall = 0.0
         self.executed = 0
 
-    def __call__(self, result: JobResult, done: int, total: int) -> None:
+    def eta_seconds(self, remaining: int) -> Optional[float]:
+        """Projected wall seconds for ``remaining`` points; None if unknown."""
+        if remaining <= 0:
+            return 0.0
+        if self.executed <= 0:
+            return None  # nothing has executed yet: no rate to project from
+        return max(0.0, self.executed_wall / self.executed * remaining)
+
+    def record(self, result: JobResult, done: int, total: int) -> dict:
         if not result.cached:
             self.executed += 1
-            self.executed_wall += result.wall_seconds
-        remaining = total - done
-        if self.executed and remaining:
-            eta = f"  ETA {self.executed_wall / self.executed * remaining:.0f}s"
+            self.executed_wall += max(0.0, result.wall_seconds)
+        return {
+            "event": "point",
+            "done": done,
+            "total": total,
+            "label": result.job.label,
+            "key": result.key,
+            "cached": result.cached,
+            "ok": result.ok,
+            "cycles": result.stats.cycles if result.stats is not None else None,
+            "wall_seconds": round(max(0.0, result.wall_seconds), 6),
+            "elapsed_seconds": round(max(0.0, self._clock() - self.start), 6),
+            "eta_seconds": self.eta_seconds(total - done),
+            "error": result.error,
+        }
+
+    @staticmethod
+    def describe(record: dict) -> str:
+        """The human progress line for one structured record."""
+        if record["eta_seconds"] is not None and record["done"] < record["total"]:
+            eta = f"  ETA {record['eta_seconds']:.0f}s"
         else:
             eta = ""
-        source = "cached" if result.cached else f"{result.wall_seconds:.1f}s"
-        if result.stats is None:
-            outcome = f"FAILED: {result.error}"
+        source = "cached" if record["cached"] else f"{record['wall_seconds']:.1f}s"
+        if record["cycles"] is None:
+            outcome = f"FAILED: {record['error']}"
         else:
-            outcome = f"{result.stats.cycles:>12,} cycles"
-        print(
-            f"  [{done}/{total}] {result.job.label:28s} "
-            f"{outcome}  ({source}){eta}",
-            file=self.stream,
-            flush=True,
+            outcome = f"{record['cycles']:>12,} cycles"
+        return (
+            f"  [{record['done']}/{record['total']}] {record['label']:28s} "
+            f"{outcome}  ({source}){eta}"
         )
+
+
+class ProgressPrinter:
+    """Live per-job progress with a wall-clock ETA for the remainder.
+
+    A thin formatting shell over :class:`ProgressTracker`: every callback
+    produces one structured record (kept on ``self.records``) and prints
+    its derived human line.
+    """
+
+    def __init__(self, stream: TextIO | None = None):
+        self.stream = stream or sys.stderr
+        self.tracker = ProgressTracker()
+        self.records: list[dict] = []
+
+    def __call__(self, result: JobResult, done: int, total: int) -> None:
+        record = self.tracker.record(result, done, total)
+        self.records.append(record)
+        print(ProgressTracker.describe(record), file=self.stream, flush=True)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the service-layer tests.
+
+Real simulations are tiny (4-proc hotspot, ~0.1s) but still dominate a
+test's wall clock, so most tests inject a thread-pool executor and/or a
+canned task: the service's plumbing — admission, dedup, caching, events,
+shutdown — is identical whichever executor runs the points.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.machine import AlewifeConfig, MachineStats, run_experiment
+from repro.sweep import ResultCache, WorkloadSpec
+
+
+def job_payload(rounds: int = 2, **config_overrides) -> dict:
+    config = {"n_procs": 4, "protocol": "fullmap", "max_cycles": 2_000_000}
+    config.update(config_overrides)
+    return {
+        "config": config,
+        "workload": {"name": "hotspot", "params": {"rounds": rounds}},
+    }
+
+
+@pytest.fixture(scope="session")
+def small_stats() -> MachineStats:
+    """One real result to hand out from canned tasks."""
+    config = AlewifeConfig(n_procs=4, protocol="fullmap", max_cycles=2_000_000)
+    return run_experiment(config, WorkloadSpec("hotspot", {"rounds": 2}).build())
+
+
+@pytest.fixture
+def thread_executor_factory():
+    """In-process executor: points run on threads, no fork cost."""
+    return lambda workers: ThreadPoolExecutor(max_workers=workers)
+
+
+@pytest.fixture
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache")

@@ -1,0 +1,82 @@
+"""Unit tests for the service metrics primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import LatencyWindow, ServiceMetrics
+
+
+class TestLatencyWindow:
+    def test_empty_window_has_no_percentiles(self):
+        window = LatencyWindow()
+        assert window.percentile(50) is None
+        snapshot = window.snapshot()
+        assert snapshot == {
+            "count": 0,
+            "p50_ms": None,
+            "p95_ms": None,
+            "max_ms": None,
+        }
+
+    def test_percentiles_over_known_values(self):
+        window = LatencyWindow()
+        for ms in range(1, 101):  # 1ms..100ms
+            window.observe(ms / 1e3)
+        assert window.percentile(50) == pytest.approx(0.050)
+        assert window.percentile(95) == pytest.approx(0.095)
+        assert window.percentile(100) == pytest.approx(0.100)
+        snapshot = window.snapshot()
+        assert snapshot["count"] == 100
+        assert snapshot["p50_ms"] == pytest.approx(50.0)
+        assert snapshot["p95_ms"] == pytest.approx(95.0)
+        assert snapshot["max_ms"] == pytest.approx(100.0)
+
+    def test_window_slides_but_count_accumulates(self):
+        window = LatencyWindow(capacity=4)
+        for value in (1.0, 1.0, 1.0, 1.0, 9.0, 9.0, 9.0, 9.0):
+            window.observe(value)
+        assert window.count == 8
+        assert window.percentile(50) == 9.0  # old 1.0s aged out
+
+    def test_negative_observations_clamped(self):
+        window = LatencyWindow()
+        window.observe(-5.0)
+        assert window.percentile(50) == 0.0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyWindow(capacity=0)
+        with pytest.raises(ValueError):
+            LatencyWindow().percentile(101)
+
+
+class TestServiceMetrics:
+    def test_prefix_and_hit_ratio(self):
+        metrics = ServiceMetrics()
+        assert metrics.hit_ratio() == 0.0  # no traffic: no division by zero
+        metrics.bump("points.cache_hit", 3)
+        metrics.bump("points.simulated", 1)
+        assert metrics.get("points.cache_hit") == 3
+        assert metrics.counters.get("serve.points.cache_hit") == 3
+        assert metrics.hit_ratio() == pytest.approx(0.75)
+
+    def test_warm_cold_split(self):
+        metrics = ServiceMetrics()
+        metrics.observe_job(0.001, warm=True)
+        metrics.observe_job(1.0, warm=False)
+        snapshot = metrics.snapshot()
+        assert snapshot["latency"]["warm"]["count"] == 1
+        assert snapshot["latency"]["cold"]["count"] == 1
+        assert snapshot["latency"]["all"]["count"] == 2
+        assert snapshot["latency"]["warm"]["p50_ms"] < (
+            snapshot["latency"]["cold"]["p50_ms"]
+        )
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        metrics = ServiceMetrics()
+        metrics.bump("jobs.submitted")
+        metrics.observe_job(0.5, warm=False)
+        json.dumps(metrics.snapshot())  # must not raise

@@ -146,6 +146,84 @@ class TestFailuresAndTimeouts:
         assert "FAILED: ValueError: boom" in stream.getvalue()
 
 
+class TestProgressTracker:
+    """Structured progress records with the ETA guards the serve layer
+    relies on."""
+
+    @staticmethod
+    def fake_result(label="p", cached=False, wall=1.0, cycles=100, error=None):
+        from unittest.mock import Mock
+
+        from repro.sweep.runner import JobResult
+
+        stats = None if error else Mock(cycles=cycles)
+        return JobResult(
+            Mock(label=label), stats, cached, wall, "k" * 8, error=error
+        )
+
+    def test_no_eta_before_first_execution(self):
+        from repro.sweep.runner import ProgressTracker
+
+        tracker = ProgressTracker()
+        record = tracker.record(self.fake_result(cached=True, wall=0.0), 1, 3)
+        assert record["eta_seconds"] is None  # executed == 0: no rate yet
+        assert record["cached"] is True
+
+    def test_eta_appears_after_execution_and_clamps_nonnegative(self):
+        from repro.sweep.runner import ProgressTracker
+
+        tracker = ProgressTracker()
+        tracker.record(self.fake_result(wall=2.0), 1, 3)
+        record = tracker.record(self.fake_result(wall=4.0), 2, 3)
+        assert record["eta_seconds"] == pytest.approx(3.0)  # mean 3s x 1 left
+        final = tracker.record(self.fake_result(wall=1.0), 3, 3)
+        assert final["eta_seconds"] == 0.0  # nothing remaining
+
+    def test_zero_wall_executions_do_not_divide_by_zero(self):
+        from repro.sweep.runner import ProgressTracker
+
+        tracker = ProgressTracker()
+        record = tracker.record(self.fake_result(wall=0.0), 1, 5)
+        assert record["eta_seconds"] == 0.0
+        # Negative wall clocks (clock skew) clamp instead of going negative.
+        record = tracker.record(self.fake_result(wall=-1.0), 2, 5)
+        assert record["eta_seconds"] == 0.0
+        assert record["wall_seconds"] == 0.0
+
+    def test_record_is_json_serializable(self):
+        from repro.sweep.runner import ProgressTracker
+
+        tracker = ProgressTracker()
+        record = tracker.record(self.fake_result(), 1, 2)
+        parsed = json.loads(json.dumps(record))
+        assert parsed["event"] == "point"
+        assert parsed["label"] == "p"
+        assert parsed["cycles"] == 100
+
+    def test_failed_point_record(self):
+        from repro.sweep.runner import ProgressTracker
+
+        tracker = ProgressTracker()
+        record = tracker.record(
+            self.fake_result(error="ValueError: boom"), 1, 1
+        )
+        assert record["ok"] is False
+        assert record["cycles"] is None
+        assert "boom" in ProgressTracker.describe(record)
+
+    def test_printer_derives_line_from_record(self):
+        import io
+
+        from repro.sweep.runner import ProgressPrinter
+
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream)
+        printer(self.fake_result(label="weather", cycles=1234), 1, 2)
+        assert len(printer.records) == 1
+        line = stream.getvalue()
+        assert "[1/2]" in line and "weather" in line and "1,234" in line
+
+
 class TestFigureGrids:
     def test_grid_titles_cover_the_evaluation(self):
         grids = figure_grids(8, 2)

@@ -8,6 +8,7 @@ from repro.machine import AlewifeConfig, MachineStats, run_experiment
 from repro.sweep import (
     WORKLOAD_REGISTRY,
     ResultCache,
+    SourceFingerprint,
     WorkloadSpec,
     job_key,
     source_fingerprint,
@@ -62,6 +63,42 @@ class TestJobKey:
         assert fp == source_fingerprint()
         assert len(fp) == 64
         int(fp, 16)
+
+
+class TestSourceFingerprint:
+    def test_memoizes_and_tracks_source_changes(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        fingerprint = SourceFingerprint(tmp_path)
+        first = fingerprint.value()
+        assert fingerprint.value() is first  # memoized, not recomputed
+        # Without invalidation a source edit goes unnoticed (the memo is
+        # the point); invalidate() recomputes and sees the change.
+        (tmp_path / "a.py").write_text("x = 2\n")
+        assert fingerprint.value() == first
+        fingerprint.invalidate()
+        assert fingerprint.value() != first
+
+    def test_no_process_global_state(self, tmp_path):
+        # Two caches hold independent fingerprints: invalidating one
+        # leaves the other's memo untouched.
+        (tmp_path / "a.py").write_text("x = 1\n")
+        cache_a = ResultCache(
+            tmp_path / "ca", fingerprint=SourceFingerprint(tmp_path)
+        )
+        cache_b = ResultCache(
+            tmp_path / "cb", fingerprint=SourceFingerprint(tmp_path)
+        )
+        value_a = cache_a.fingerprint.value()
+        value_b = cache_b.fingerprint.value()
+        assert value_a == value_b
+        cache_a.invalidate()
+        assert cache_a.fingerprint._value is None
+        assert cache_b.fingerprint._value is not None
+
+    def test_module_has_no_fingerprint_global(self):
+        import repro.sweep.cache as cache_module
+
+        assert not hasattr(cache_module, "_fingerprint_cache")
 
 
 class TestMachineStatsRoundTrip:
