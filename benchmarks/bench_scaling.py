@@ -1,21 +1,34 @@
 #!/usr/bin/env python3
-"""Sharded-vs-serial scaling benchmark for one large machine.
+"""Honest sharded-vs-serial scaling study for large machines.
 
-Runs a 64-processor figure point (Weather and Multigrid under LimitLESS)
-serially and partitioned into K shards, asserts the determinism contract
-— identical cycles, traps, packets, and per-processor finish times — and
-records the wall-clock ratio.  Equivalence is the oracle; speed is the
-payoff, and it only materializes when the host actually has K free cores
-(on a single-core container the forked driver *loses* to serial, which
-the report records honestly).
+Sweeps machine sizes (``--procs 64,256``) against shard counts
+(``--shards 1,2,4,8``) and drivers (in-process windowed stepping and the
+forked shared-memory driver), asserting the determinism contract at every
+point — identical cycles, traps, packets, and per-processor finish times
+— and recording the driver-efficiency counters that explain the wall
+clock: windows, handoffs, bytes exchanged, slab flushes, and simulated
+cycles per synchronization window.
 
-The workloads are scaled up (more iterations/sweeps than the paper's
-figure defaults) so each run is seconds long and per-window
-synchronization overhead is amortized; simulated results remain exact.
+Honesty rules:
+
+* The report records the host's schedulable CPU count
+  (``os.process_cpu_count`` where available).  A speedup is *claimed*
+  only for the forked driver on a host with at least K CPUs; anywhere
+  else the wall-clock ratio is recorded as ``wall_ratio`` with a loud
+  note — on a starved host the forked driver loses to serial by
+  time-slicing, which is scheduling, not scaling.
+* Equivalence is the oracle: any fingerprint mismatch fails the run.
+* ``K=1`` goes through ``run_sharded``'s fast path (no window loop), so
+  the artifact also witnesses that a single-shard request costs nothing.
+
+The ``scenarios`` block feeds ``check_perf_regression.py``: cycles per
+window from the *in-process* driver is a deterministic measure of
+lookahead quality (fewer, wider windows = better), so CI can gate on it
+without wall-clock noise.
 
 Writes a ``BENCH_scaling.json`` artifact.
 
-Run:  python benchmarks/bench_scaling.py [--procs N] [--shards 2,4] ...
+Run:  python benchmarks/bench_scaling.py [--procs 64,256] [--shards 1,2,4]
 """
 
 from __future__ import annotations
@@ -26,7 +39,12 @@ import os
 import time
 
 from repro.machine import AlewifeConfig, run_experiment
+from repro.sim.shard import run_sharded
 from repro.workloads import MultigridWorkload, WeatherWorkload
+
+
+def _cpus() -> int:
+    return getattr(os, "process_cpu_count", os.cpu_count)() or 1
 
 
 def _fingerprint(stats) -> tuple:
@@ -58,13 +76,77 @@ def _run(config, make_workload, repeats: int, **kwargs):
     return stats, best
 
 
+def _point(
+    procs: int,
+    k: int,
+    driver: str,
+    make_workload,
+    repeats: int,
+    serial_fp: tuple,
+    serial_wall: float,
+    cpus: int,
+) -> dict:
+    if k == 1:
+        # The fast path: no plan, no window loop, one serial machine.
+        config = AlewifeConfig(
+            n_procs=procs, protocol="limitless", shards=1, fabric="staged"
+        )
+        start = time.perf_counter()
+        stats = run_sharded(config, make_workload())
+        wall = time.perf_counter() - start
+    else:
+        config = AlewifeConfig(n_procs=procs, protocol="limitless", shards=k)
+        stats, wall = _run(
+            config,
+            make_workload,
+            repeats,
+            shard_workers=1 if driver == "inprocess" else None,
+        )
+    point = {
+        "shards": k,
+        "driver": "fast-path" if k == 1 else driver,
+        "equivalent": _fingerprint(stats) == serial_fp,
+        "seconds": round(wall, 3),
+    }
+    meta = stats.shard_meta or {}
+    windows = meta.get("windows", 0)
+    point.update(
+        windows=windows,
+        handoffs=meta.get("handoffs", 0),
+        bytes=meta.get("bytes", 0),
+        flushes=meta.get("flushes", 0),
+        cycles_per_window=round(stats.cycles / windows, 4) if windows else None,
+    )
+    ratio = serial_wall / wall if wall else 0.0
+    if k > 1 and driver == "forked" and cpus >= k:
+        point["speedup"] = round(ratio, 2)
+    else:
+        # Never claim a speedup the host cannot have produced.
+        point["speedup"] = None
+        point["wall_ratio"] = round(ratio, 2)
+        if k > 1:
+            point["speedup_note"] = (
+                f"not claimed: {cpus} CPU(s) for {k} shards via the "
+                f"{driver} driver; the wall ratio reflects "
+                "time-slicing/driver overhead, not parallel scaling"
+            )
+    return point
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--procs", type=int, default=64)
+    parser.add_argument(
+        "--procs", default="64", help="comma-separated machine sizes"
+    )
     parser.add_argument(
         "--shards",
-        default="2,4",
+        default="1,2,4",
         help="comma-separated shard counts to benchmark against serial",
+    )
+    parser.add_argument(
+        "--drivers",
+        default="inprocess,forked",
+        help="comma-separated drivers for K>1 (inprocess, forked)",
     )
     parser.add_argument(
         "--scale",
@@ -73,70 +155,90 @@ def main() -> int:
         help="workload scale factor (iterations multiplier)",
     )
     parser.add_argument("--repeats", type=int, default=1)
-    parser.add_argument(
-        "--in-process",
-        action="store_true",
-        help="step shards in one interpreter (no fork; overhead baseline)",
-    )
     parser.add_argument("--out", default="BENCH_scaling.json")
     args = parser.parse_args()
+    proc_counts = [int(x) for x in args.procs.split(",") if x]
     shard_counts = [int(x) for x in args.shards.split(",") if x]
+    drivers = [d.strip() for d in args.drivers.split(",") if d.strip()]
+    for d in drivers:
+        if d not in ("inprocess", "forked"):
+            parser.error(f"unknown driver {d!r}")
 
+    cpus = _cpus()
+    max_k = max(shard_counts)
     report = {
-        "procs": args.procs,
+        "procs": proc_counts,
+        "shards": shard_counts,
+        "drivers": drivers,
         "scale": args.scale,
-        "cpus": os.cpu_count(),
-        "driver": "in-process" if args.in_process else "forked",
-        "workloads": {},
+        "cpus": cpus,
+        "honest_host": cpus >= max_k,
+        "machines": [],
+        "scenarios": {},
     }
+    if not report["honest_host"]:
+        report["host_note"] = (
+            f"host exposes {cpus} CPU(s) < {max_k} shards: forked-driver "
+            "speedups are not claimed in this artifact"
+        )
+        print(f"NOTE: {report['host_note']}")
+
     exit_code = 0
-    for name, make_workload in _workloads(args.scale).items():
-        serial_config = AlewifeConfig(
-            n_procs=args.procs, protocol="limitless", fabric="staged"
-        )
-        serial_stats, serial_wall = _run(
-            serial_config, make_workload, args.repeats
-        )
-        serial_fp = _fingerprint(serial_stats)
-        entry = {
-            "cycles": serial_stats.cycles,
-            "serial_seconds": round(serial_wall, 3),
-            "sharded": {},
-        }
-        print(
-            f"{name:10s} serial   {serial_stats.cycles:>9,} cycles   "
-            f"{serial_wall:6.2f}s"
-        )
-        for k in shard_counts:
-            config = AlewifeConfig(
-                n_procs=args.procs, protocol="limitless", shards=k
+    for procs in proc_counts:
+        machine = {"procs": procs, "workloads": {}}
+        for name, make_workload in _workloads(args.scale).items():
+            serial_config = AlewifeConfig(
+                n_procs=procs, protocol="limitless", fabric="staged"
             )
-            stats, wall = _run(
-                config,
-                make_workload,
-                args.repeats,
-                shard_workers=1 if args.in_process else None,
+            serial_stats, serial_wall = _run(
+                serial_config, make_workload, args.repeats
             )
-            if _fingerprint(stats) != serial_fp:
-                print(f"{name:10s} K={k}: EQUIVALENCE VIOLATED")
-                exit_code = 1
-                entry["sharded"][str(k)] = {"equivalent": False}
-                continue
-            speedup = serial_wall / wall if wall else 0.0
-            entry["sharded"][str(k)] = {
-                "equivalent": True,
-                "seconds": round(wall, 3),
-                "speedup": round(speedup, 2),
-                "windows": stats.shard_meta["windows"],
-                "handoffs": stats.shard_meta["handoffs"],
+            serial_fp = _fingerprint(serial_stats)
+            entry = {
+                "cycles": serial_stats.cycles,
+                "serial_seconds": round(serial_wall, 3),
+                "points": [],
             }
             print(
-                f"{name:10s} shards={k} {stats.cycles:>9,} cycles   "
-                f"{wall:6.2f}s   {speedup:4.2f}x  "
-                f"({stats.shard_meta['windows']} windows, "
-                f"{stats.shard_meta['handoffs']} handoffs)"
+                f"{name:10s} p={procs:<5d} serial      "
+                f"{serial_stats.cycles:>9,} cycles   {serial_wall:6.2f}s"
             )
-        report["workloads"][name] = entry
+            for k in shard_counts:
+                for driver in drivers if k > 1 else drivers[:1]:
+                    point = _point(
+                        procs, k, driver, make_workload, args.repeats,
+                        serial_fp, serial_wall, cpus,
+                    )
+                    entry["points"].append(point)
+                    if not point["equivalent"]:
+                        print(
+                            f"{name:10s} p={procs} K={k} {point['driver']}: "
+                            "EQUIVALENCE VIOLATED"
+                        )
+                        exit_code = 1
+                        continue
+                    shown = (
+                        f"{point['speedup']:4.2f}x"
+                        if point["speedup"] is not None
+                        else f"[{point.get('wall_ratio', 0):4.2f}x wall]"
+                    )
+                    print(
+                        f"{name:10s} p={procs:<5d} K={k} "
+                        f"{point['driver']:<9s} {point['seconds']:6.2f}s "
+                        f"{shown}  {point['windows']:,} windows, "
+                        f"{point['handoffs']:,} handoffs, "
+                        f"{point['bytes']:,} B, {point['flushes']:,} flushes"
+                    )
+                    if (
+                        k > 1
+                        and point["driver"] == "inprocess"
+                        and point["cycles_per_window"]
+                    ):
+                        report["scenarios"][f"{name}@{procs}xK{k}"] = {
+                            "cycles_per_window": point["cycles_per_window"]
+                        }
+            machine["workloads"][name] = entry
+        report["machines"].append(machine)
 
     if args.out:
         with open(args.out, "w") as fh:

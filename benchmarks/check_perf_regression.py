@@ -2,10 +2,12 @@
 """Perf-regression gate: fail when a fresh benchmark run regresses.
 
 Compares a freshly measured benchmark report against the committed
-baseline (same JSON shape: ``{"scenarios": {name: {"events_per_sec"}}}``,
-as written by ``microbench_kernel.py`` and ``bench_hotpath.py``) and exits
-nonzero when any scenario's events/s falls more than ``--tolerance`` below
-the baseline.  CI runs this after each microbench so a hot-path regression
+baseline (same JSON shape: ``{"scenarios": {name: {metric: value}}}``,
+as written by ``microbench_kernel.py``, ``bench_hotpath.py``, and
+``bench_scaling.py``) and exits nonzero when any scenario's gated metric
+— ``events_per_sec`` throughput or the shard driver's deterministic
+``cycles_per_window`` — falls more than ``--tolerance`` below the
+baseline.  CI runs this after each microbench so a hot-path regression
 fails the perf-smoke job instead of merely shipping a slower artifact.
 
 The tolerance band absorbs runner-to-runner jitter; it can be widened for
@@ -29,31 +31,43 @@ def load_scenarios(path: str) -> dict[str, dict]:
     return report.get("scenarios", report)
 
 
+#: gated higher-is-better metrics and their display units.  events/s is
+#: wall-clock throughput; cycles/window is the (deterministic) width of
+#: the shard driver's synchronization windows — a lookahead regression
+#: shrinks it long before it shows up in noisy wall-clock numbers.
+_METRICS = (("events_per_sec", "ev/s"), ("cycles_per_window", "cyc/win"))
+
+
 def check(
     fresh: dict[str, dict], baseline: dict[str, dict], tolerance: float
 ) -> list[str]:
     """Regression messages (empty when the fresh run passes the gate)."""
     problems = []
     for name, base in sorted(baseline.items()):
-        base_rate = base.get("events_per_sec")
-        if not base_rate:
+        gated = [(m, u) for m, u in _METRICS if base.get(m)]
+        if not gated:
             continue
         if name not in fresh:
             problems.append(f"{name}: scenario missing from fresh run")
             continue
-        rate = fresh[name].get("events_per_sec", 0)
-        floor = base_rate * (1.0 - tolerance)
-        verdict = "ok" if rate >= floor else "REGRESSION"
-        print(
-            f"{name:14s} fresh {rate:>12,.0f} ev/s   baseline {base_rate:>12,.0f}"
-            f"   floor {floor:>12,.0f}   {verdict}"
-        )
-        if rate < floor:
-            problems.append(
-                f"{name}: {rate:,.0f} events/s is "
-                f"{1 - rate / base_rate:.1%} below the committed baseline "
-                f"{base_rate:,.0f} (tolerance {tolerance:.0%})"
+        for metric, unit in gated:
+            base_rate = base[metric]
+            rate = fresh[name].get(metric) or 0
+            floor = base_rate * (1.0 - tolerance)
+            verdict = "ok" if rate >= floor else "REGRESSION"
+            # cycles/window sits near 1.0; keep decimals for small values.
+            fmt = ",.0f" if base_rate >= 100 else ",.3f"
+            print(
+                f"{name:18s} fresh {rate:>12{fmt}} {unit:7s} "
+                f"baseline {base_rate:>12{fmt}}   floor {floor:>12{fmt}}   "
+                f"{verdict}"
             )
+            if rate < floor:
+                problems.append(
+                    f"{name}: {rate:{fmt}} {unit} is "
+                    f"{1 - rate / base_rate:.1%} below the committed baseline "
+                    f"{base_rate:{fmt}} (tolerance {tolerance:.0%})"
+                )
     return problems
 
 

@@ -223,9 +223,15 @@ def _run_from_args(args: argparse.Namespace) -> int:
         print(stats.summary())
         if stats.shard_meta:
             m = stats.shard_meta
+            batching = (
+                f", {m['bytes']:,} bytes in {m['flushes']:,} flushes"
+                if m.get("flushes")
+                else ""
+            )
             print(
                 f"  shards: {m['shards']} x {m['workers']} worker(s), "
-                f"{m['windows']} windows, {m['handoffs']} handoffs"
+                f"{m['windows']:,} windows, {m['handoffs']:,} handoffs"
+                f"{batching}"
             )
         if args.verbose:
             print()

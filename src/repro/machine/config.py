@@ -104,6 +104,19 @@ class AlewifeConfig:
     #: shard-invariant model sharded runs require; "auto" picks atomic
     #: for shards=1 and staged otherwise
     fabric: str = "auto"
+    #: window-bound policy: "adaptive" widens windows from exact floors on
+    #: every in-flight walk and inbox bucket (plus per-node distance
+    #: tables), "conservative" keeps the fixed minimum-latency increment.
+    #: Results are bit-identical either way; conservative exists as the
+    #: A/B baseline and a debugging fallback.
+    shard_lookahead: str = "adaptive"
+    #: how eagerly the forked driver flushes an accumulated handoff batch
+    #: to its ring: a batch is flushed once its earliest target lands
+    #: within (local bound + horizon).  0 defers maximally — flush only
+    #: what peers may need this window, i.e. the fewest, biggest batches;
+    #: larger values flush earlier and more often, trading batching
+    #: efficiency for lower handoff latency.
+    shard_flush_horizon: int = 0
 
     @property
     def resolved_fabric(self) -> str:
@@ -154,6 +167,10 @@ class AlewifeConfig:
             raise ValueError("shards must be >= 1")
         if self.fabric not in ("auto", "atomic", "staged"):
             raise ValueError("fabric must be 'auto', 'atomic' or 'staged'")
+        if self.shard_lookahead not in ("adaptive", "conservative"):
+            raise ValueError("shard_lookahead must be 'adaptive' or 'conservative'")
+        if self.shard_flush_horizon < 0:
+            raise ValueError("shard_flush_horizon must be >= 0")
         if self.shards > 1:
             if self.fabric == "atomic":
                 raise ValueError(

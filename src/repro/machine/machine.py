@@ -196,6 +196,7 @@ class AlewifeMachine:
                 injection_latency=cfg.injection_latency,
                 shard_id=shard_id,
                 shard_of=shard_of,
+                lookahead=cfg.shard_lookahead,
             )
         return WormholeNetwork(
             self.sim,
@@ -285,6 +286,11 @@ class Harvest:
     busy: int = 0
     finishes: dict[int, int] = field(default_factory=dict)
     network: NetworkStats = field(default_factory=NetworkStats)
+    #: per-shard driver metrics (windows, handoffs, bytes, flushes,
+    #: events), keyed by shard id.  Kept out of ``counters`` on purpose:
+    #: counters participate in the shard-equivalence fingerprint and these
+    #: are driver artifacts, not simulation results.
+    shard_rounds: dict[int, dict] = field(default_factory=dict)
 
     def merge(self, other: "Harvest") -> None:
         self.counters.merge(other.counters)
@@ -296,6 +302,7 @@ class Harvest:
         self.busy += other.busy
         self.finishes.update(other.finishes)
         self.network.merge(other.network)
+        self.shard_rounds.update(other.shard_rounds)
 
     def finalize(
         self,

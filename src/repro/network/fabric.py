@@ -324,6 +324,9 @@ class IdealNetwork(Network):
 _HANDOFF_WALK = "w"
 _HANDOFF_DELIVERY = "d"
 
+#: no packet is shorter than header + address operand
+_MIN_WORDS = 2
+
 _walk_sort_key = itemgetter(4)
 _inbox_sort_key = itemgetter(0)
 
@@ -343,6 +346,12 @@ class _ShardedDeliveryMixin:
         self._send_seq = [0] * self.n_nodes
         self._node_buckets: dict[tuple[int, int], list[tuple]] = {}
         self._drain_node_cb = self._drain_node
+        #: influence tracking (the adaptive lookahead's exact floors) is
+        #: only paid for by genuinely sharded fabrics; the wormhole fabric
+        #: turns it on after computing its distance tables
+        self._track = False
+        self._infl: list[int] = []
+        self._delta: list[int] = []
 
     def _inbox(self, node: int, time: int, key: tuple, packet: Packet) -> None:
         gate = self.fault_gate
@@ -359,6 +368,11 @@ class _ShardedDeliveryMixin:
         if bucket is None:
             self._node_buckets[bucket_key] = [(key, packet)]
             self.sim.post_front(time, self._drain_node_cb, bucket_key)
+            if self._track:
+                # One floor per inbox bucket: whatever the handler does at
+                # ``time``, its earliest cross-shard consequence is the
+                # node's static distance-to-foreign floor away.
+                heapq.heappush(self._infl, time + self._delta[node])
         else:
             bucket.append((key, packet))
 
@@ -393,6 +407,7 @@ class StagedWormholeNetwork(_ShardedDeliveryMixin, Network):
         injection_latency: int = 1,
         shard_id: int = 0,
         shard_of=None,
+        lookahead: str = "adaptive",
     ) -> None:
         if hop_latency < 1 or injection_latency < 1:
             # Strictly-future link arbitration is what guarantees every
@@ -410,15 +425,107 @@ class StagedWormholeNetwork(_ShardedDeliveryMixin, Network):
         #: pending requests per (link, head-arrival cycle); drained at that
         #: cycle in canonical (src, send seq) order
         self._link_buckets: dict[tuple[LinkId, int], list[list]] = {}
-        #: scheduled drain times of walks whose *next* step leaves this
-        #: shard — the pending component of the conservative lookahead
-        self._cross_heap: list[int] = []
         #: earliest a fresh local event can emit a cross-shard handoff:
         #: a send reaches its first drain after injection_latency, an
         #: in-flight walk after hop_latency; either way the handoff's
         #: target time is a further hop_latency out
         self.min_cross_gen = min(injection_latency, hop_latency) + hop_latency
         self._drain_link_cb = self._drain_link
+        #: per-(src, dst) arrays giving, for a walk enqueued at route
+        #: position p, the minimum cycles until that walk can produce a
+        #: cross-shard effect (next foreign link, foreign delivery, or a
+        #: local delivery's own downstream cascade)
+        self._floor_cache: dict[tuple[int, int], list[int]] = {}
+        self._track = shard_of is not None
+        self._adaptive = self._track and lookahead == "adaptive"
+        if self._track:
+            self._delta = self._compute_deltas()
+            owned = [
+                d
+                for node, d in enumerate(self._delta)
+                if shard_of(node) == shard_id
+            ]
+            # Floor under any *future* local event's first cross-shard
+            # consequence; never smaller than the PR-4 constant.
+            self._event_floor = max(self.min_cross_gen, min(owned, default=0))
+        else:
+            self._event_floor = self.min_cross_gen
+
+    def _compute_deltas(self) -> list[int]:
+        """Per-node static floors: cycles from "node does something" to the
+        earliest possible cross-shard effect of that something.
+
+        For the row-band mesh/torus partitions the floor is computed per
+        row from representative same-column routes: crossing a foreign
+        link after q hops costs ``injection + q*hop`` and delivering to a
+        foreign node after the full route costs the route plus minimum
+        serialization.  Dimension-ordered X-then-Y routing keeps the X
+        phase inside the sender's own row, so a same-column target
+        minimizes over all destinations in its row.  The result is also a
+        sound bound for *cascades*: the floor is 1-Lipschitz in row
+        distance, so hopping one row closer to the boundary costs at
+        least as much as the floor shrinks.
+        """
+        inj = self.injection_latency
+        hop = self.hop_latency
+        min_ser = _MIN_WORDS * self.cycles_per_word
+        mine = self.shard_id
+        shard_of = self._shard_of
+        n = self.n_nodes
+        generic = inj + hop  # sound for any partition of any topology
+
+        def crossing(v: int, u: int) -> int:
+            path = self.topology.route(v, u)
+            for q in range(1, len(path)):
+                if self._link_owner(path[q]) != mine:
+                    return inj + q * hop
+            return inj + len(path) * hop + min_ser
+
+        geometry = getattr(self.topology, "geometry", None)
+        if geometry is None:
+            # Crossbar: one locally-sourced link per route, so the first
+            # possible crossing is always the delivery itself.
+            return [inj + hop + min_ser] * n
+        width = geometry.width
+        height = geometry.height
+        rows_uniform = all(
+            len({shard_of(geometry.node_at(x, r)) for x in range(width)}) == 1
+            for r in range(height)
+        )
+        if not rows_uniform:
+            return [generic] * n
+        reps = [geometry.node_at(0, r) for r in range(height)]
+        foreign = [r for r in range(height) if shard_of(reps[r]) != mine]
+        row_floor = []
+        for r in range(height):
+            if not foreign or shard_of(reps[r]) != mine:
+                row_floor.append(generic)  # never consulted for real traffic
+            else:
+                row_floor.append(min(crossing(reps[r], reps[f]) for f in foreign))
+        return [row_floor[node // width] for node in range(n)]
+
+    def _route_floors(self, src: int, dst: int, path: list[LinkId]) -> list[int]:
+        """floor[p]: min cycles from an enqueue at route position p to the
+        walk's earliest cross-shard effect (only queried for local links)."""
+        mine = self.shard_id
+        hop = self.hop_latency
+        n = len(path)
+        extra = _MIN_WORDS * self.cycles_per_word
+        if self._shard_of(dst) == mine:
+            extra += self._delta[dst]  # local delivery → downstream cascade
+        floors = [0] * n
+        ahead = None  # links from p to the nearest foreign link at/after p
+        for p in range(n - 1, -1, -1):
+            if self._link_owner(path[p]) != mine:
+                ahead = 0
+            elif ahead is not None:
+                ahead += 1
+            via_delivery = (n - p) * hop + extra
+            if ahead is not None and ahead * hop < via_delivery:
+                floors[p] = ahead * hop
+            else:
+                floors[p] = via_delivery
+        return floors
 
     def _route(self, src: int, dst: int) -> list[LinkId]:
         path = self._route_cache.get((src, dst))
@@ -472,15 +579,14 @@ class StagedWormholeNetwork(_ShardedDeliveryMixin, Network):
             self.sim.post_front(time, self._drain_link_cb, bucket_key)
         else:
             bucket.append(walk)
-        packet = walk[0]
-        path = self._route(packet.src, packet.dst)
-        following = walk[1] + 1
-        if following < len(path):
-            next_owner = self._link_owner(path[following])
-        else:
-            next_owner = self._shard_of(packet.dst)
-        if next_owner != self.shard_id:
-            heapq.heappush(self._cross_heap, time)
+        if self._track:
+            packet = walk[0]
+            pair = (packet.src, packet.dst)
+            floors = self._floor_cache.get(pair)
+            if floors is None:
+                floors = self._route_floors(*pair, self._route(*pair))
+                self._floor_cache[pair] = floors
+            heapq.heappush(self._infl, time + floors[walk[1]])
 
     def _drain_link(self, bucket_key: tuple[LinkId, int]) -> None:
         link, time = bucket_key
@@ -538,15 +644,43 @@ class StagedWormholeNetwork(_ShardedDeliveryMixin, Network):
 
         None means "never" (this shard is drained).  Valid only between
         windows, after inbound handoffs have been inserted.
+
+        Two components, each a floor on a different source of handoffs:
+
+        * the influence heap — every pending fabric bucket (link drain or
+          node inbox) holds at least one live heap entry whose value
+          floors that bucket's earliest cross-shard consequence, cascades
+          included;
+        * the next simulator event — anything *else* pending (processor
+          steps, controller timers) can start a fresh send, whose first
+          crossing is at least ``_event_floor`` away.  When every pending
+          event IS a fabric bucket drain, the adaptive policy skips this
+          term entirely; that is what opens windows of hundreds of cycles
+          once the local compute phase has gone quiet.
         """
-        heap = self._cross_heap
-        now = self.sim.now
-        while heap and heap[0] < now:
-            heapq.heappop(heap)
-        bound = heap[0] + self.hop_latency if heap else None
+        heap = self._infl
+        if heap:
+            if not self._link_buckets and not self._node_buckets:
+                # In-fabric influence requires in-fabric state; with both
+                # bucket maps empty every heap entry is stale.
+                heap.clear()
+            else:
+                now = self.sim.now
+                # Entries at <= now are stale: bound() runs between
+                # windows, so every remaining effect is strictly future.
+                # (Popping them is also what guarantees windows advance.)
+                while heap and heap[0] <= now:
+                    heapq.heappop(heap)
+        bound = heap[0] if heap else None
         t_next = self.sim.next_event_time()
         if t_next is not None:
-            generated = t_next + self.min_cross_gen
+            if self._adaptive:
+                fabric_pending = len(self._link_buckets) + len(self._node_buckets)
+                if self.sim.pending_events == fabric_pending:
+                    return bound
+                generated = t_next + self._event_floor
+            else:
+                generated = t_next + self.min_cross_gen
             if bound is None or generated < bound:
                 bound = generated
         return bound

@@ -533,6 +533,11 @@ class SweepService:
             "wall_seconds": round(wall, 6),
             "error": error,
         }
+        if stats is not None and stats.shard_meta:
+            m = stats.shard_meta
+            row["shards"] = {
+                k: m[k] for k in ("shards", "workers", "windows", "handoffs")
+            }
         record.results[index] = row
         total = len(record.request.points)
         event = record.tracker.record(result, total - len(record._pending), total)

@@ -332,6 +332,12 @@ class Simulator:
             )
         queue = self._queue
         lane = self._lane
+        if not lane and (not queue or queue[0][0] >= limit):
+            # Empty window: nothing strictly before limit (a cancelled
+            # head still lower-bounds the live events under it).  Shards
+            # idling through wide adaptive windows take this exit.
+            self.now = limit
+            return limit
         pop = heapq.heappop
         no_arg = _NO_ARG
         self._running = True

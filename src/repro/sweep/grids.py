@@ -21,8 +21,20 @@ from .runner import JobResult, ProgressPrinter, run_jobs
 from .spec import Job, WorkloadSpec
 
 
-def figure_grids(procs: int = 64, iters: int = 8) -> dict[str, list[Job]]:
-    """Ordered figure-title -> jobs mapping for the full evaluation."""
+def figure_grids(
+    procs: int = 64,
+    iters: int = 8,
+    *,
+    shards: int = 1,
+    fabric: str = "auto",
+) -> dict[str, list[Job]]:
+    """Ordered figure-title -> jobs mapping for the full evaluation.
+
+    ``shards``/``fabric`` flow into every grid point's config, so whole
+    figure suites can run through the sharded driver (and its results
+    are cached under distinct keys — the staged fabric is a different
+    machine model than the atomic one).
+    """
 
     def weather(**kw) -> WorkloadSpec:
         return WorkloadSpec("weather", {"iterations": iters, **kw})
@@ -32,7 +44,10 @@ def figure_grids(procs: int = 64, iters: int = 8) -> dict[str, list[Job]]:
     )
 
     def cfg(protocol: str, **extras) -> AlewifeConfig:
-        return AlewifeConfig(n_procs=procs, protocol=protocol, **extras)
+        return AlewifeConfig(
+            n_procs=procs, protocol=protocol, shards=shards, fabric=fabric,
+            **extras,
+        )
 
     grids: dict[str, list[Job]] = {}
     grids["Figure 7: Static Multigrid"] = [
@@ -98,6 +113,8 @@ def run_figure_suite(
     out: Path | str | None = None,
     echo: Callable[[str], None] = print,
     timeout: float | None = None,
+    shards: int = 1,
+    fabric: str = "auto",
 ) -> dict:
     """Run the figure grids and return the ``BENCH_figures.json`` record.
 
@@ -107,7 +124,7 @@ def run_figure_suite(
     artifact records per-job wall-clock, cache hits, and cycle counts —
     the trajectory of the whole run.
     """
-    grids = figure_grids(procs, iters)
+    grids = figure_grids(procs, iters, shards=shards, fabric=fabric)
     if only:
         grids = {
             title: jobs
@@ -152,6 +169,8 @@ def run_figure_suite(
         "suite": "figures",
         "procs": procs,
         "iters": iters,
+        "shards": shards,
+        "fabric": fabric,
         "workers": workers,
         "wall_seconds": round(wall, 3),
         "simulated": executed,

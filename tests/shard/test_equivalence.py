@@ -92,11 +92,25 @@ class TestShardEquivalence:
         assert _fingerprint(stats) == _serial_fingerprint(workload, protocol)
         assert stats.shard_meta["shards"] == shards
 
-    def test_forked_driver_matches_in_process_driver(self):
-        config = _config("weather", "limitless", shards=2)
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_forked_driver_matches_in_process_driver(self, shards):
+        config = _config("weather", "limitless", shards=shards)
         forked = _run_forked(config, WeatherWorkload(), ShardPlan(config))
         assert _fingerprint(forked) == _serial_fingerprint("weather", "limitless")
-        assert forked.shard_meta["workers"] == 2
+        assert forked.shard_meta["workers"] == shards
+        # The batched-slab path actually serialized something.
+        if forked.shard_meta["handoffs"]:
+            assert forked.shard_meta["flushes"] > 0
+            assert forked.shard_meta["bytes"] > 0
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_conservative_lookahead_is_bit_identical(self, shards):
+        config = _config(
+            "weather", "limitless", shards=shards,
+            shard_lookahead="conservative",
+        )
+        stats = _run_inprocess(config, WeatherWorkload(), ShardPlan(config))
+        assert _fingerprint(stats) == _serial_fingerprint("weather", "limitless")
 
     def test_run_experiment_dispatches_to_shard_driver(self):
         from repro.machine import run_experiment
@@ -104,12 +118,18 @@ class TestShardEquivalence:
         config = _config("weather", "fullmap", shards=4)
         stats = run_experiment(config, WeatherWorkload(), shard_workers=1)
         assert _fingerprint(stats) == _serial_fingerprint("weather", "fullmap")
-        assert stats.shard_meta == {
-            "shards": 4,
-            "workers": 1,
-            "windows": stats.shard_meta["windows"],
-            "handoffs": stats.shard_meta["handoffs"],
-        }
+        meta = stats.shard_meta
+        assert meta["shards"] == 4
+        assert meta["workers"] == 1
+        assert meta["windows"] > 0
+        assert len(meta["per_shard"]) == 4
+        per_shard = meta["per_shard"]
+        assert meta["handoffs"] == sum(m["handoffs_out"] for m in per_shard)
+        # Every handoff sent is a handoff received somewhere.
+        assert meta["handoffs"] == sum(m["handoffs_in"] for m in per_shard)
+        # The in-process driver exchanges in memory: no serialization.
+        assert meta["bytes"] == 0
+        assert meta["flushes"] == 0
 
 
 class TestShardEquivalenceUnderFaults:
@@ -129,12 +149,49 @@ class TestShardEquivalenceUnderFaults:
             "weather", "limitless", **self.FAULTS
         )
 
-    def test_faulty_forked_driver_matches_serial(self):
-        config = _config("weather", "limitless", shards=2, **self.FAULTS)
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_faulty_forked_driver_matches_serial(self, shards):
+        config = _config("weather", "limitless", shards=shards, **self.FAULTS)
         stats = _run_forked(config, WeatherWorkload(), ShardPlan(config))
         assert _fingerprint(stats) == _serial_fingerprint(
             "weather", "limitless", **self.FAULTS
         )
+
+
+class TestEightWayEquivalence:
+    """K=8 needs eight mesh rows, i.e. a 64-processor machine."""
+
+    _cache: dict[tuple, tuple] = {}
+
+    FAULTS = dict(fault_drop_rate=0.005, fault_delay_rate=0.01)
+
+    def _serial64(self, **overrides):
+        key = tuple(sorted(overrides.items()))
+        if key not in self._cache:
+            config = _config("weather", "limitless", n_procs=64, **overrides)
+            stats = AlewifeMachine(config).run(WeatherWorkload())
+            self._cache[key] = _fingerprint(stats)
+        return self._cache[key]
+
+    def test_inprocess_eight_shards(self):
+        config = _config("weather", "limitless", n_procs=64, shards=8)
+        plan = ShardPlan(config)
+        assert plan.n_shards == 8
+        stats = _run_inprocess(config, WeatherWorkload(), plan)
+        assert _fingerprint(stats) == self._serial64()
+
+    def test_forked_eight_shards(self):
+        config = _config("weather", "limitless", n_procs=64, shards=8)
+        stats = _run_forked(config, WeatherWorkload(), ShardPlan(config))
+        assert _fingerprint(stats) == self._serial64()
+        assert stats.shard_meta["workers"] == 8
+
+    def test_forked_eight_shards_under_faults(self):
+        config = _config(
+            "weather", "limitless", n_procs=64, shards=8, **self.FAULTS
+        )
+        stats = _run_forked(config, WeatherWorkload(), ShardPlan(config))
+        assert _fingerprint(stats) == self._serial64(**self.FAULTS)
 
 
 class TestIdealTopologyEquivalence:

@@ -1,0 +1,186 @@
+"""Adaptive-lookahead soundness: distance tables, per-route floors, and a
+hypothesis property that windowed co-simulation never produces a handoff
+at or before a cycle the receiving shard has already executed."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.fabric import StagedWormholeNetwork
+from repro.network.packet import Packet
+from repro.network.topology import make_topology
+from repro.sim.kernel import Simulator
+
+_NEVER = 10**9
+
+
+def _packet(src, dst):
+    return Packet(opcode="RREQ", src=src, dst=dst, address=0)
+
+
+def _band_of(node):
+    return 0 if node < 8 else 1
+
+
+def _network(shard_id, shard_of=_band_of, lookahead="adaptive"):
+    sim = Simulator()
+    net = StagedWormholeNetwork(
+        sim,
+        make_topology("mesh", 16),
+        shard_id=shard_id,
+        shard_of=shard_of,
+        lookahead=lookahead,
+    )
+    delivered = []
+    for node in range(16):
+        net.attach(
+            node, lambda p, node=node: delivered.append((node, net.sim.now, p.src))
+        )
+    return sim, net, delivered
+
+
+class TestDistanceTables:
+    def test_row_band_deltas_on_a_4x4_mesh(self):
+        _sim, net, _ = _network(0)
+        # Shard 0 owns rows 0-1.  From row 1 the cheapest crossing is the
+        # vertical link sourced *in* row 2 en route to row 3 (inj + 1 hop);
+        # from row 0 the same link is one row further (inj + 2 hops).
+        assert net._delta[0:4] == [3, 3, 3, 3]
+        assert net._delta[4:8] == [2, 2, 2, 2]
+
+    def test_deltas_never_below_the_conservative_constant(self):
+        for shard_id in (0, 1):
+            _sim, net, _ = _network(shard_id)
+            owned = [n for n in range(16) if _band_of(n) == shard_id]
+            assert all(net._delta[n] >= net.min_cross_gen for n in owned)
+            assert net._event_floor >= net.min_cross_gen
+
+    def test_non_row_uniform_partition_falls_back_to_generic_floor(self):
+        # Split by column parity: rows are not shard-uniform, so the
+        # distance table must drop to the universally sound inj + hop.
+        _sim, net, _ = _network(0, shard_of=lambda node: node % 2)
+        assert set(net._delta) == {net.injection_latency + net.hop_latency}
+
+    def test_every_single_send_respects_its_published_bound(self):
+        # Exhaustive over all pairs: the bound computed right after a
+        # send floors every handoff that send ever produces.
+        for src in range(8):  # shard 0's nodes
+            for dst in range(16):
+                sim, net, _ = _network(0)
+                net.send(_packet(src, dst))
+                bound = net.cross_bound()
+                sim.run()
+                for _dest, handoff in net.take_outbox():
+                    assert bound is not None
+                    assert handoff[2] >= bound
+
+
+class TestWindowedKernelSeam:
+    def test_run_until_fast_path_advances_an_empty_window(self):
+        sim = Simulator()
+        assert sim.run_until(100) == 100
+        assert sim.now == 100
+        fired = []
+        sim.post(250, fired.append, 1)
+        assert sim.run_until(250) == 250  # half-open: 250 not executed
+        assert fired == []
+        sim.run_until(251)
+        assert fired == [1]
+
+
+def _co_simulate(k, sends, lookahead):
+    """Run `sends` through K band-sharded fabrics under the window
+    protocol, asserting conservatism at every exchange; return the
+    delivery record."""
+    shard_of = lambda node: min(k - 1, node // 4 * k // 4)
+    shards = []
+    delivered = []
+    for shard_id in range(k):
+        sim = Simulator()
+        net = StagedWormholeNetwork(
+            sim,
+            make_topology("mesh", 16),
+            shard_id=shard_id,
+            shard_of=shard_of,
+            lookahead=lookahead,
+        )
+        for node in range(16):
+            if shard_of(node) == shard_id:
+                net.attach(
+                    node,
+                    lambda p, node=node, net=net: delivered.append(
+                        (node, net.sim.now, p.src)
+                    ),
+                )
+        shards.append((sim, net))
+    for time, src, dst in sends:
+        sim, net = shards[shard_of(src)]
+        sim.post(time, lambda net=net, s=src, d=dst: net.send(_packet(s, d)))
+    rounds = 0
+    while True:
+        bounds = []
+        for sim, net in shards:
+            b = net.cross_bound()
+            if b is not None:
+                # Windows must strictly advance or the driver livelocks.
+                assert b > sim.now
+            bounds.append(_NEVER if b is None else b)
+        limit = min(bounds)
+        if limit >= _NEVER:
+            break
+        rounds += 1
+        assert rounds < 100_000
+        traffic = []
+        for sim, net in shards:
+            sim.run_until(limit)
+            traffic.extend(net.take_outbox())
+        for dest, handoff in traffic:
+            # The conservatism property: every shard executed [.., limit),
+            # so a handoff landing before `limit` would rewrite history.
+            assert handoff[2] >= limit
+            shards[dest][1].receive_handoff(handoff)
+    return sorted(delivered)
+
+
+def _reference(sends):
+    """The same traffic through one unsharded staged fabric."""
+    sim = Simulator()
+    net = StagedWormholeNetwork(sim, make_topology("mesh", 16))
+    delivered = []
+    for node in range(16):
+        net.attach(
+            node,
+            lambda p, node=node: delivered.append((node, sim.now, p.src)),
+        )
+    for time, src, dst in sends:
+        sim.post(time, lambda s=src, d=dst: net.send(_packet(s, d)))
+    sim.run()
+    return sorted(delivered)
+
+
+_sends = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestAdaptiveLookaheadProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(sends=_sends)
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_windowed_equals_serial_and_never_violates_conservatism(
+        self, k, sends
+    ):
+        assert _co_simulate(k, sends, "adaptive") == _reference(sends)
+
+    @settings(max_examples=10, deadline=None)
+    @given(sends=_sends)
+    def test_conservative_policy_holds_the_same_property(self, sends):
+        assert _co_simulate(2, sends, "conservative") == _reference(sends)
