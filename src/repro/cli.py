@@ -100,6 +100,29 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="network arbitration model (auto: atomic when serial, "
         "staged when sharded)",
     )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="write a resume snapshot every N simulated cycles "
+        "(sharded runs snapshot at the first window boundary past each "
+        "deadline and step in-process)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="snapshot directory (default: ./checkpoints)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="SNAPSHOT",
+        help="resume from a snapshot file: replays the run it records "
+        "(its own config + workload; other experiment flags are ignored) "
+        "and verifies the state digest at the marker",
+    )
     parser.add_argument("--verbose", action="store_true", help="print counters")
 
 
@@ -177,6 +200,35 @@ def build_top_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _workload_spec(args: argparse.Namespace):
+    """The declarative :class:`WorkloadSpec` matching ``WORKLOADS[args.workload]``.
+
+    Checkpoint snapshots must record a *rebuildable* workload description,
+    not a live generator, so the checkpointed run path goes through the
+    same registry the sweep layer uses.
+    """
+    from .sweep.spec import WorkloadSpec
+
+    a = args
+    params: dict = {
+        "weather": {"iterations": a.iterations},
+        "weather-optimized": {"iterations": a.iterations, "optimized": True},
+        "multigrid": {},
+        "hotspot": {"rounds": a.iterations},
+        "migratory": {"rounds": max(1, a.iterations // 2)},
+        "producer-consumer": {"epochs": a.iterations},
+        "matmul": {"sweeps": max(1, a.iterations // 2)},
+        "synthetic": {
+            "worker_sets": [[2, 4], [a.procs // 2, 1]],
+            "rounds": a.iterations,
+        },
+        "butterfly": {"sweeps": max(1, a.iterations // 2)},
+        "latency": {"total_accesses_per_proc": 12 * a.iterations},
+    }[a.workload]
+    name = "weather" if a.workload == "weather-optimized" else a.workload
+    return WorkloadSpec(name, params)
+
+
 def _config(args: argparse.Namespace, protocol: str) -> AlewifeConfig:
     return AlewifeConfig(
         n_procs=args.procs,
@@ -214,11 +266,43 @@ def _run_from_args(args: argparse.Namespace) -> int:
             print(f"unknown protocol {name!r}", file=sys.stderr)
             return 2
 
+    checkpointing = args.resume or args.checkpoint_every
+    if checkpointing and args.compare:
+        print(
+            "--compare cannot be combined with --checkpoint-every/--resume "
+            "(snapshots record exactly one run)",
+            file=sys.stderr,
+        )
+        return 2
+
     runs = []
     for name in protocols:
-        stats = run_experiment(
-            _config(args, name), workload, shard_workers=args.shard_workers
-        )
+        if checkpointing:
+            from .recover import CheckpointError, resume_run, run_with_checkpoints
+
+            try:
+                if args.resume:
+                    stats = resume_run(
+                        args.resume,
+                        every=args.checkpoint_every,
+                        out_dir=args.checkpoint_dir,
+                    )
+                else:
+                    stats = run_with_checkpoints(
+                        _config(args, name),
+                        _workload_spec(args),
+                        every=args.checkpoint_every,
+                        out_dir=args.checkpoint_dir or "checkpoints",
+                    )
+            except (CheckpointError, ValueError, OSError) as exc:
+                # CheckpointError covers drift; ValueError/OSError cover an
+                # unreadable or wrong-version snapshot file.
+                print(f"checkpoint error: {exc}", file=sys.stderr)
+                return 3
+        else:
+            stats = run_experiment(
+                _config(args, name), workload, shard_workers=args.shard_workers
+            )
         runs.append(stats)
         print(stats.summary())
         if stats.shard_meta:

@@ -87,6 +87,57 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         default="BENCH_faults.json",
         help="survival report path ('' to skip writing)",
     )
+    chaos = parser.add_argument_group(
+        "process-level chaos (repro.recover)",
+        "SIGKILL simulation processes or forked shard workers at seeded "
+        "times and require recovery to converge bit-identically to a "
+        "zero-chaos baseline",
+    )
+    chaos.add_argument(
+        "--process-chaos",
+        action="store_true",
+        help="run the process-chaos campaign instead of the packet-fault grid",
+    )
+    chaos.add_argument(
+        "--kills", type=int, default=2, help="kills per chaos point (default 2)"
+    )
+    chaos.add_argument(
+        "--kill-target",
+        choices=["process", "worker"],
+        default="process",
+        help="kill the whole run (recovery = checkpoint resume) or one "
+        "forked shard worker (recovery = parent supervision + restart); "
+        "serial points always use 'process'",
+    )
+    chaos.add_argument(
+        "--kill-window",
+        nargs=2,
+        type=float,
+        default=[0.05, 0.4],
+        metavar=("LO", "HI"),
+        help="seeded kill delay range in wall seconds (default 0.05 0.4)",
+    )
+    chaos.add_argument(
+        "--chaos-every",
+        type=int,
+        default=400,
+        metavar="CYCLES",
+        help="checkpoint interval for process-kill recovery (default 400)",
+    )
+    chaos.add_argument(
+        "--chaos-shards",
+        nargs="+",
+        type=int,
+        default=[1, 2],
+        metavar="K",
+        help="shard counts in the chaos grid (default 1 2)",
+    )
+    chaos.add_argument(
+        "--chaos-dir",
+        default=None,
+        metavar="DIR",
+        help="work directory for snapshots/results (default: a temp dir)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,6 +147,35 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def run_from_args(args: argparse.Namespace) -> int:
+    if args.process_chaos:
+        import tempfile
+
+        from ..recover.chaos import chaos_points, run_chaos_campaign
+
+        points = chaos_points(
+            procs=args.procs,
+            protocols=args.protocols,
+            workloads=args.workloads,
+            shards=args.chaos_shards,
+            iters=args.iters,
+            pointers=args.pointers,
+            ts=args.ts,
+        )
+        out = args.out
+        if out == "BENCH_faults.json":  # keep the two reports apart
+            out = "BENCH_process_chaos.json"
+        workdir = args.chaos_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+        report = run_chaos_campaign(
+            points,
+            kills=args.kills,
+            seed=args.seeds[0],
+            every=args.chaos_every,
+            kill_target=args.kill_target,
+            kill_window=tuple(args.kill_window),
+            workdir=workdir,
+            out=out or None,
+        )
+        return 0 if report["summary"]["failed"] == 0 else 1
     report = run_campaign(
         procs=args.procs,
         protocols=args.protocols,

@@ -117,6 +117,12 @@ class AlewifeConfig:
     #: larger values flush earlier and more often, trading batching
     #: efficiency for lower handoff latency.
     shard_flush_horizon: int = 0
+    #: seconds a forked shard worker waits on its peers without progress
+    #: before declaring the sync dead and unwinding (the heartbeat only
+    #: arms once every peer has published its first bound; the parent
+    #: supervises the build phase).  Small values make wedge detection —
+    #: and tests for it — fast; large values tolerate slow machines.
+    shard_heartbeat_s: float = 120.0
 
     @property
     def resolved_fabric(self) -> str:
@@ -171,6 +177,8 @@ class AlewifeConfig:
             raise ValueError("shard_lookahead must be 'adaptive' or 'conservative'")
         if self.shard_flush_horizon < 0:
             raise ValueError("shard_flush_horizon must be >= 0")
+        if self.shard_heartbeat_s <= 0:
+            raise ValueError("shard_heartbeat_s must be > 0")
         if self.shards > 1:
             if self.fabric == "atomic":
                 raise ValueError(

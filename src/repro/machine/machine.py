@@ -10,7 +10,7 @@ paper's bottom-line metric ("how fast a system can run a program", §5).
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from ..faults import FaultInjector, LivenessWatchdog, StagedFaultGate
 from ..mem.address import AddressSpace, Allocator
@@ -213,8 +213,22 @@ class AlewifeMachine:
     # Running workloads
     # ------------------------------------------------------------------
 
-    def run(self, workload: "Workload", *, audit: bool = True) -> MachineStats:
-        """Build the workload's programs, simulate to completion, audit."""
+    def run(
+        self,
+        workload: "Workload",
+        *,
+        audit: bool = True,
+        driver: "Callable[[AlewifeMachine], None] | None" = None,
+    ) -> MachineStats:
+        """Build the workload's programs, simulate to completion, audit.
+
+        ``driver``, when given, replaces the default ``sim.run()`` with a
+        caller-controlled advance loop over the same started machine —
+        the seam :mod:`repro.recover` uses to pause at checkpoint
+        boundaries.  A driver must return only once the event queue has
+        drained (or ``max_cycles`` is exhausted); setup, the laggard
+        check, the audit, and stats collection are identical either way.
+        """
         if self.partitioned:
             raise SimulationError(
                 "a partitioned shard machine is driven by repro.sim.shard, "
@@ -232,7 +246,10 @@ class AlewifeMachine:
             node.start()
         if self.config.faults_enabled:
             LivenessWatchdog(self, self.config.watchdog_interval or 25_000)
-        self.sim.run()
+        if driver is None:
+            self.sim.run()
+        else:
+            driver(self)
         laggards = [n.node_id for n in self.nodes if not n.processor.done]
         if laggards:
             raise LivenessError(

@@ -1,0 +1,37 @@
+"""Crash-safety layer: checkpoints, resume, and process-level chaos.
+
+The simulator's determinism is the recovery primitive.  A workload's
+programs are live Python generators, so machine state cannot be pickled;
+instead a checkpoint is a *replay marker* — the run's full identity
+(config + workload spec + source fingerprint) plus a digest of the
+machine state at a consistent instant.  Resuming replays the run from
+cycle zero and verifies the digest when it passes the marker, so a
+resumed run is bit-identical to an uninterrupted one *by construction*
+and any nondeterminism or source drift fails loudly instead of silently
+producing different numbers.  ``docs/RECOVERY.md`` spells out the
+format, the guarantees, and the honest limitation (resume re-simulates;
+it buys verified continuation, not saved wall-clock).
+"""
+
+from .checkpoint import (
+    CheckpointError,
+    CheckpointInterrupted,
+    SnapshotDrift,
+    latest_snapshot,
+    resume_run,
+    run_with_checkpoints,
+)
+from .snapshot import SNAPSHOT_VERSION, Snapshot, read_snapshot, state_digest
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "Snapshot",
+    "read_snapshot",
+    "state_digest",
+    "CheckpointError",
+    "CheckpointInterrupted",
+    "SnapshotDrift",
+    "latest_snapshot",
+    "resume_run",
+    "run_with_checkpoints",
+]

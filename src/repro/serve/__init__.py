@@ -11,6 +11,7 @@ and benchmarks.  See ``repro serve --help`` for the CLI and
 """
 
 from .http import BackgroundServer, SweepServer
+from .journal import JobJournal
 from .metrics import LatencyWindow, ServiceMetrics
 from .service import (
     AdmissionError,
@@ -25,6 +26,7 @@ __all__ = [
     "AdmissionError",
     "BackgroundServer",
     "BadRequest",
+    "JobJournal",
     "JobPoint",
     "JobRecord",
     "JobRequest",

@@ -26,6 +26,7 @@ import asyncio
 
 from ..sweep.cache import ResultCache, default_cache_dir
 from .http import SweepServer
+from .journal import JobJournal
 from .service import SweepService
 
 DESCRIPTION = (
@@ -78,6 +79,14 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help=f"cache location (default $REPRO_SWEEP_CACHE or {default_cache_dir()})",
     )
     parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append-only job journal; a restarted server restores "
+        "finished jobs (ids, results, stream history) and resubmits "
+        "interrupted ones (default: off)",
+    )
+    parser.add_argument(
         "--drain-timeout",
         type=float,
         default=None,
@@ -94,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def service_from_args(args: argparse.Namespace) -> SweepService:
     cache = ResultCache(args.cache_dir, enabled=not args.no_cache)
+    journal = JobJournal(args.journal) if getattr(args, "journal", None) else None
     return SweepService(
         workers=args.workers,
         cache=cache,
@@ -101,11 +111,19 @@ def service_from_args(args: argparse.Namespace) -> SweepService:
         max_points=args.max_points,
         max_cycles=args.max_cycles,
         point_timeout=args.point_timeout,
+        journal=journal,
     )
 
 
 def run_from_args(args: argparse.Namespace) -> int:
     service = service_from_args(args)
+    if service.journal is not None:
+        recovered = service.recover()
+        print(
+            f"journal {service.journal.path}: {recovered['restored']} job(s) "
+            f"restored, {recovered['resubmitted']} resubmitted",
+            flush=True,
+        )
 
     async def main() -> None:
         server = SweepServer(service, args.host, args.port)

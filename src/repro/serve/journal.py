@@ -1,0 +1,104 @@
+"""Append-only job journal: crash-safe state for ``repro serve``.
+
+The service itself is in-memory — a restarted server forgets every job
+it admitted, which breaks clients polling ``/jobs/<id>`` or re-attaching
+to an NDJSON stream.  The journal closes that gap with one NDJSON file:
+a ``submit`` record (the job's re-parseable request payload) written
+before the job starts, and one ``event`` record per progress event the
+job emits — the same events the live stream carries.
+
+On boot, :meth:`repro.serve.service.SweepService.recover` replays the
+journal: jobs whose last event is terminal are *restored* verbatim
+(state, results, full event history — so a reconnecting stream replays
+exactly what it missed), and jobs that were queued or running when the
+process died are *resubmitted* under their original ids.  Resubmission
+re-executes the request — the result cache makes any point that already
+finished come back instantly, so only genuinely lost work is redone.
+
+Writes flush eagerly; a torn final line (the crash landed mid-append)
+is dropped on load, like the sweep manifest's.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+#: Journal record schema version.
+JOURNAL_VERSION = 1
+
+
+class JobJournal:
+    """Thread-safe append-only NDJSON journal of job submissions and events."""
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+        self.records_written = 0
+        self._fh = None
+        self._lock = threading.Lock()
+
+    def _append(self, record: dict) -> None:
+        record["v"] = JOURNAL_VERSION
+        with self._lock:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._fh.flush()
+            self.records_written += 1
+
+    def record_submit(self, job_id: str, payload: dict) -> None:
+        """Write-ahead: the job is admitted and about to start."""
+        self._append(
+            {"kind": "submit", "id": job_id, "t": time.time(), "payload": payload}
+        )
+
+    def record_event(self, job_id: str, event: dict) -> None:
+        """One progress event (the NDJSON stream's own records)."""
+        self._append({"kind": "event", "id": job_id, "event": event})
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def load(self) -> dict[str, dict]:
+        """Replay the log into ``{job_id: {"payload": ..., "events": [...]}}``.
+
+        Preserves submission order (dicts iterate in insertion order); a
+        resubmitted job keeps its original position but its latest
+        payload.  Returns ``{}`` when no journal exists yet.
+        """
+        jobs: dict[str, dict] = {}
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return jobs
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                break  # torn tail from a crash mid-append; ignore the rest
+            job_id = record.get("id")
+            if not job_id:
+                continue
+            if record.get("kind") == "submit":
+                entry = jobs.setdefault(job_id, {"payload": None, "events": []})
+                entry["payload"] = record.get("payload")
+                # A resubmission starts the job's history over: the old
+                # events describe an execution that never finished.
+                entry["events"] = []
+            elif record.get("kind") == "event" and job_id in jobs:
+                jobs[job_id]["events"].append(record.get("event"))
+        return jobs

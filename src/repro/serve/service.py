@@ -36,13 +36,14 @@ import threading
 import time
 from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Optional
 
 from ..machine import AlewifeConfig, MachineStats
 from ..sweep.cache import ResultCache
 from ..sweep.runner import JobResult, ProgressTracker, _execute, _pool_context
 from ..sweep.spec import Job, WorkloadSpec, job_key
+from .journal import JobJournal
 from .metrics import ServiceMetrics
 
 
@@ -151,6 +152,25 @@ class JobRequest:
         label = str(payload.get("label") or points[0].label)
         return cls(label=label, points=points, timeout=timeout)
 
+    def to_payload(self) -> dict:
+        """The inverse of :meth:`from_payload`: a re-parseable JSON body.
+
+        The job journal persists submissions in this form so a restarted
+        server can resubmit them through the normal validation path.
+        """
+        return {
+            "label": self.label,
+            "timeout": self.timeout,
+            "points": [
+                {
+                    "label": p.label,
+                    "config": asdict(p.config),
+                    "workload": {"name": p.workload.name, "params": p.workload.params},
+                }
+                for p in self.points
+            ],
+        }
+
 
 class JobRecord:
     """The service-side lifecycle of one submitted job.
@@ -179,6 +199,9 @@ class JobRecord:
         self._counted_active = False
         self._done = threading.Event()
         self._subscribers: list[Callable[[dict], None]] = []
+        #: persistence hook: the service points this at the job journal so
+        #: every emitted event is logged before subscribers see it.
+        self.on_event: Optional[Callable[[dict], None]] = None
 
     # -- queries -------------------------------------------------------
 
@@ -237,6 +260,8 @@ class JobRecord:
 
     def _emit(self, event: dict) -> None:
         self.events.append(event)
+        if self.on_event is not None:
+            self.on_event(event)
         for callback in list(self._subscribers):
             callback(event)
 
@@ -281,6 +306,12 @@ class SweepService:
     point_timeout:
         Service-wide per-point wall-clock cap in seconds (SIGALRM inside
         the worker); a job's own ``timeout`` may only tighten it.
+    journal:
+        A :class:`repro.serve.journal.JobJournal`; when present every
+        submission and progress event is logged, and :meth:`recover`
+        replays the log at boot — terminal jobs are restored verbatim
+        (ids, results, stream history) and interrupted jobs resubmitted
+        under their original ids.
     executor_factory / task:
         Injection seams for tests and embedders: the pool constructor
         (``workers -> Executor``) and the picklable per-point task
@@ -296,6 +327,7 @@ class SweepService:
         max_points: int = 64,
         max_cycles: Optional[int] = None,
         point_timeout: Optional[float] = None,
+        journal: JobJournal | None = None,
         executor_factory: Callable[[int], Any] | None = None,
         task: Callable[[tuple], tuple] | None = None,
     ):
@@ -311,6 +343,7 @@ class SweepService:
         self.max_points = max_points
         self.max_cycles = max_cycles
         self.point_timeout = point_timeout
+        self.journal = journal
         self.metrics = ServiceMetrics()
         self.pool_invocations = 0
         self.pool_rebuilds = 0
@@ -344,41 +377,130 @@ class SweepService:
         """
         with self._lock:
             self._admit(request)
-            fingerprint = self.cache.fingerprint.value()
-            keys = [
-                job_key(p.config, p.workload, fingerprint) for p in request.points
-            ]
-            record = JobRecord(f"job-{next(self._seq):06d}", request, keys)
-            self._jobs[record.id] = record
-            self._order.append(record.id)
-            self.metrics.bump("jobs.submitted")
-            record.state = "running"
-            record._emit({"event": "job", "state": "queued", "job": record.snapshot()})
+            return self._start(request)
 
-            to_dispatch: list[_Flight] = []
-            for index, (point, key) in enumerate(zip(request.points, keys)):
-                stats = self.cache.lookup(key)
-                if stats is not None:
-                    self.metrics.bump("points.cache_hit")
-                    self._resolve_point(
-                        record, index, stats, cached=True, wall=0.0, error=None
-                    )
+    def _start(self, request: JobRequest, job_id: Optional[str] = None) -> JobRecord:
+        """Start an admitted job (caller holds the lock).
+
+        ``job_id`` is only passed by :meth:`recover`, which resubmits
+        interrupted jobs under their original identities.
+        """
+        fingerprint = self.cache.fingerprint.value()
+        keys = [job_key(p.config, p.workload, fingerprint) for p in request.points]
+        record = JobRecord(job_id or f"job-{next(self._seq):06d}", request, keys)
+        if self.journal is not None:
+            # Write-ahead: the submission is durable before any execution,
+            # and every subsequent event lands in the journal before
+            # subscribers see it.
+            self.journal.record_submit(record.id, request.to_payload())
+            journal, rid = self.journal, record.id
+            record.on_event = lambda event: journal.record_event(rid, event)
+        self._jobs[record.id] = record
+        if record.id not in self._order:
+            self._order.append(record.id)
+        self.metrics.bump("jobs.submitted")
+        record.state = "running"
+        record._emit({"event": "job", "state": "queued", "job": record.snapshot()})
+
+        to_dispatch: list[_Flight] = []
+        for index, (point, key) in enumerate(zip(request.points, keys)):
+            stats = self.cache.lookup(key)
+            if stats is not None:
+                self.metrics.bump("points.cache_hit")
+                self._resolve_point(
+                    record, index, stats, cached=True, wall=0.0, error=None
+                )
+                continue
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight(key, point.label, self._payload(point, request))
+                self._inflight[key] = flight
+                to_dispatch.append(flight)
+            flight.waiters.append((record, index))
+        # A fully cache-satisfied job was already finalized by its last
+        # _resolve_point; only jobs with pending points occupy a queue
+        # slot.
+        if record._pending:
+            record._counted_active = True
+            self._active += 1
+        for flight in to_dispatch:
+            self._dispatch(flight)
+        return record
+
+    def recover(self) -> dict:
+        """Replay the job journal at boot; returns a summary dict.
+
+        Jobs whose journaled history ends in a terminal ``job`` event are
+        restored in place — same id, state, results and event history, so
+        ``/jobs/<id>`` answers and a reconnecting ``/stream`` client
+        replays everything it missed without re-simulating.  Jobs that
+        were queued or running when the previous process died are
+        resubmitted under their original ids; the result cache turns any
+        point that already completed into an instant hit, so only the
+        genuinely lost work re-executes.
+        """
+        summary = {"jobs": 0, "restored": 0, "resubmitted": 0}
+        if self.journal is None:
+            return summary
+        journaled = self.journal.load()
+        with self._lock:
+            max_seq = 0
+            for job_id in journaled:
+                # ids are "job-NNNNNN"; keep the counter past every
+                # recovered id so new submissions never collide.
+                tail = job_id.rsplit("-", 1)[-1]
+                if tail.isdigit():
+                    max_seq = max(max_seq, int(tail))
+            if max_seq:
+                self._seq = itertools.count(max_seq + 1)
+            for job_id, entry in journaled.items():
+                if entry["payload"] is None or job_id in self._jobs:
                     continue
-                flight = self._inflight.get(key)
-                if flight is None:
-                    flight = _Flight(key, point.label, self._payload(point, request))
-                    self._inflight[key] = flight
-                    to_dispatch.append(flight)
-                flight.waiters.append((record, index))
-            # A fully cache-satisfied job was already finalized by its last
-            # _resolve_point; only jobs with pending points occupy a queue
-            # slot.
-            if record._pending:
-                record._counted_active = True
-                self._active += 1
-            for flight in to_dispatch:
-                self._dispatch(flight)
-            return record
+                try:
+                    request = JobRequest.from_payload(entry["payload"])
+                except BadRequest:
+                    continue  # journaled by an incompatible version; skip
+                summary["jobs"] += 1
+                terminal = next(
+                    (
+                        e
+                        for e in reversed(entry["events"])
+                        if e.get("event") == "job"
+                        and e.get("state") in ("done", "failed")
+                    ),
+                    None,
+                )
+                if terminal is not None:
+                    self._restore(job_id, request, entry["events"], terminal["job"])
+                    summary["restored"] += 1
+                else:
+                    self.metrics.bump("jobs.recovered")
+                    self._start(request, job_id=job_id)
+                    summary["resubmitted"] += 1
+        return summary
+
+    def _restore(
+        self, job_id: str, request: JobRequest, events: list[dict], snap: dict
+    ) -> None:
+        """Rebuild one finished job verbatim from its journaled history."""
+        keys = [
+            (row or {}).get("key", "") for row in snap.get("results", [])
+        ] or [""] * len(request.points)
+        record = JobRecord(job_id, request, keys)
+        record.events = list(events)
+        record.state = snap["state"]
+        record.error = snap.get("error")
+        record.created_at = snap.get("created_at", record.created_at)
+        record.results = list(snap.get("results", record.results))
+        record.cached_points = snap.get("cached_points", 0)
+        record.simulated_points = snap.get("simulated_points", 0)
+        record.failed_points = snap.get("failed_points", 0)
+        record.service_seconds = snap.get("service_seconds")
+        record._pending = set()
+        record._done.set()
+        self._jobs[job_id] = record
+        self._order.append(job_id)
+        self.metrics.bump("jobs.restored")
 
     def submit_payload(self, payload: Any) -> JobRecord:
         """Parse a raw JSON payload and submit it (the HTTP front's path)."""
@@ -631,6 +753,16 @@ class SweepService:
                         "hits": self.cache.hits,
                         "misses": self.cache.misses,
                         "stores": self.cache.stores,
+                        "write_errors": self.cache.write_errors,
+                    },
+                    "journal": {
+                        "enabled": self.journal is not None,
+                        "path": (
+                            str(self.journal.path) if self.journal else None
+                        ),
+                        "records_written": (
+                            self.journal.records_written if self.journal else 0
+                        ),
                     },
                 }
             )
@@ -696,6 +828,8 @@ class SweepService:
                         )
             if not drain:
                 drained = all(r.done for r in records)
+            if self.journal is not None:
+                self.journal.close()
         return drained
 
     def __enter__(self) -> "SweepService":

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import ctypes
 import pickle
+import signal as _signal
 import time
 import traceback
 from multiprocessing import get_all_start_methods, get_context
@@ -68,9 +69,6 @@ _SLAB_BYTES = 1 << 20
 #: force a batch flush past this many handoffs regardless of its floor,
 #: so one blob can never outgrow the ring
 _FLUSH_COUNT = 512
-#: seconds a worker will wait on a peer before declaring the sync dead
-#: (only once every peer has published; parent supervises the build phase)
-_SYNC_TIMEOUT = 120.0
 
 
 class ShardPlan:
@@ -234,11 +232,20 @@ def _finalize(
 # ----------------------------------------------------------------------
 
 
-def _run_inprocess(
-    config: "AlewifeConfig", workload: "Workload", plan: ShardPlan
-) -> MachineStats:
-    k = plan.n_shards
-    shards = [_ShardSim(config, workload, plan, i) for i in range(k)]
+def _drive_inprocess(
+    shards: list[_ShardSim],
+    config: "AlewifeConfig",
+    on_boundary=None,
+) -> None:
+    """The lock-step window loop shared by the plain in-process driver and
+    the checkpointing driver in :mod:`repro.recover`.
+
+    ``on_boundary(limit, shards)``, when given, fires after every window's
+    handoffs have been absorbed — every shard sits at exactly ``limit``
+    with no half-exchanged traffic, which is the only instant at which a
+    globally consistent snapshot of the sharded machine exists.
+    """
+    k = len(shards)
     bounds = [s.bound() for s in shards]
     while True:
         limit = min(bounds)
@@ -251,7 +258,27 @@ def _run_inprocess(
         for shard in shards:
             shard.absorb(inboxes[shard.shard_id])
         bounds = [s.bound() for s in shards]
+        if on_boundary is not None:
+            on_boundary(limit, shards)
 
+
+def _run_inprocess(
+    config: "AlewifeConfig",
+    workload: "Workload",
+    plan: ShardPlan,
+    on_boundary=None,
+) -> MachineStats:
+    k = plan.n_shards
+    shards = [_ShardSim(config, workload, plan, i) for i in range(k)]
+    _drive_inprocess(shards, config, on_boundary)
+    return _finish_inprocess(config, shards)
+
+
+def _finish_inprocess(
+    config: "AlewifeConfig", shards: list[_ShardSim]
+) -> MachineStats:
+    """Laggard check, audit, and harvest for a quiesced in-process run."""
+    k = len(shards)
     laggards = sorted(x for s in shards for x in s.laggards())
     cycle = max(s.machine.sim.now for s in shards)
     if laggards:
@@ -397,6 +424,7 @@ def _drive_worker(
     rings = shared.rings
     sim = shard.machine.sim
     horizon = config.shard_flush_horizon
+    heartbeat = config.shard_heartbeat_s
     max_cycles = config.max_cycles
     peers = [j for j in range(k) if j != me]
     outbuf: list[list[tuple]] = [[] for _ in range(k)]
@@ -493,10 +521,11 @@ def _drive_worker(
         # for real once the wait is clearly not a window-to-window gap.
         idle += 1
         time.sleep(0.0005 if idle > 4096 else 0)
-        if time.monotonic() - last_beat > _SYNC_TIMEOUT:
+        if time.monotonic() - last_beat > heartbeat:
             raise SimulationError(
-                f"shard {me} sync stalled for {_SYNC_TIMEOUT:.0f}s at "
-                f"cycle {sim.now} (published bound {published})"
+                f"shard {me} sync stalled for {heartbeat:g}s at "
+                f"cycle {sim.now} (published bound {published}; "
+                f"shard_heartbeat_s={heartbeat:g})"
             )
     # Terminal: this shard is done (or past max_cycles).  Its bound
     # rises to infinity, but peers may still be running and writing
@@ -526,10 +555,10 @@ def _drive_worker(
             last_beat = time.monotonic()
             continue
         time.sleep(0)
-        if time.monotonic() - last_beat > _SYNC_TIMEOUT:
+        if time.monotonic() - last_beat > heartbeat:
             raise SimulationError(
                 f"shard {me} quiesced but peers stalled for "
-                f"{_SYNC_TIMEOUT:.0f}s"
+                f"{heartbeat:g}s (shard_heartbeat_s={heartbeat:g})"
             )
 
 
@@ -572,6 +601,24 @@ def _shard_worker(
         conn.close()
 
 
+def _death_cause(exitcode: int | None) -> str:
+    """Human-readable cause for a worker that died without reporting.
+
+    Negative multiprocessing exit codes are deaths by signal; name the
+    signal (SIGKILL from the OOM killer or a chaos campaign reads very
+    differently from SIGSEGV or a plain nonzero exit).
+    """
+    if exitcode is None:
+        return "still running"
+    if exitcode < 0:
+        try:
+            name = _signal.Signals(-exitcode).name
+        except ValueError:
+            name = f"signal {-exitcode}"
+        return f"killed by {name}"
+    return f"exited with code {exitcode} without reporting an error"
+
+
 def _gather(conns, procs) -> list:
     """One message from every worker, raising if any process dies."""
     k = len(conns)
@@ -584,8 +631,8 @@ def _gather(conns, procs) -> list:
                 waiting.discard(i)
             elif not procs[i].is_alive():
                 raise SimulationError(
-                    f"shard worker pid {procs[i].pid} died "
-                    f"(exit {procs[i].exitcode})"
+                    f"shard worker {i} (pid {procs[i].pid}) died: "
+                    f"{_death_cause(procs[i].exitcode)}"
                 )
     return replies
 

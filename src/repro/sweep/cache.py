@@ -109,6 +109,11 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: failed store attempts (OSError: read-only/full cache dir).  The
+        #: cache degrades to disabled after the first one, but the count
+        #: stays visible — sweep summaries and serve /metrics surface it
+        #: so the degradation is never silent.
+        self.write_errors = 0
 
     def invalidate(self) -> None:
         """Invalidate derived state (the memoized source fingerprint).
@@ -155,7 +160,9 @@ class ResultCache:
             tmp.replace(path)
         except OSError as exc:
             # A read-only or full cache directory must not kill a sweep
-            # that already computed its results; degrade to cacheless.
+            # that already computed its results; degrade to cacheless —
+            # but count it, so the summary/metrics make the loss visible.
+            self.write_errors += 1
             self.enabled = False
             warnings.warn(
                 f"result cache disabled: cannot write {path} ({exc})",
@@ -179,7 +186,10 @@ class ResultCache:
 
     def summary(self) -> str:
         state = "enabled" if self.enabled else "disabled"
+        if self.write_errors:
+            state = f"DISABLED after {self.write_errors} write error(s)"
         return (
             f"cache {state} at {self.directory} "
-            f"(hits {self.hits}, misses {self.misses}, stores {self.stores})"
+            f"(hits {self.hits}, misses {self.misses}, stores {self.stores}"
+            f", write errors {self.write_errors})"
         )

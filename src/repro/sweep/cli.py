@@ -6,6 +6,7 @@ Examples::
     python -m repro sweep --workers 4            # cold cache, 4 processes
     python -m repro sweep --figures "Figure 9"   # one figure only
     python -m repro sweep --no-cache --procs 16  # small fresh run
+    python -m repro sweep --resume               # pick up a crashed campaign
     python -m repro sweep --clear-cache          # drop every cached result
 """
 
@@ -15,6 +16,7 @@ import argparse
 
 from .cache import ResultCache, default_cache_dir
 from .grids import figure_grids, run_figure_suite
+from .manifest import CampaignManifest
 
 
 def add_arguments(parser: argparse.ArgumentParser) -> None:
@@ -50,6 +52,29 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--no-cache", action="store_true", help="ignore and bypass the result cache"
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a crashed campaign: completed points come back from "
+        "the cache, points that were in flight when the process died are "
+        "re-queued, and points past the retry budget are quarantined",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retry budget per grid point, counted across resumes "
+        "(default 1; a point is quarantined once its crashed/failed "
+        "attempts exceed it)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="linear backoff between in-run retry rounds (default 0.5)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -96,22 +121,32 @@ def run_from_args(args: argparse.Namespace) -> int:
             for job in jobs:
                 print(f"  {job.label:28s} {job.workload.describe()}")
         return 0
+    # The write-ahead manifest lives next to the cached results so a
+    # crashed campaign can be resumed with `repro sweep --resume`.  With
+    # a manifest present the suite records failures instead of raising;
+    # the exit code reports them.
+    manifest = CampaignManifest(cache.directory / "sweep-manifest.ndjson")
     try:
-        run_figure_suite(
-            args.procs,
-            args.iters,
-            workers=args.workers,
-            cache=cache,
-            only=args.figures,
-            out=args.out or None,
-            timeout=args.timeout,
-            shards=args.shards,
-            fabric=args.fabric,
-        )
+        with manifest:
+            artifact = run_figure_suite(
+                args.procs,
+                args.iters,
+                workers=args.workers,
+                cache=cache,
+                only=args.figures,
+                out=args.out or None,
+                timeout=args.timeout,
+                shards=args.shards,
+                fabric=args.fabric,
+                manifest=manifest,
+                resume=args.resume,
+                retries=args.retries,
+                retry_backoff=args.retry_backoff,
+            )
     except ValueError as exc:
         print(f"error: {exc}")
         return 2
-    return 0
+    return 0 if artifact["failed"] == 0 else 1
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -17,6 +17,7 @@ from typing import Callable
 from ..machine import AlewifeConfig
 from ..stats.report import bar_chart, format_table
 from .cache import ResultCache
+from .manifest import CampaignManifest
 from .runner import JobResult, ProgressPrinter, run_jobs
 from .spec import Job, WorkloadSpec
 
@@ -91,8 +92,17 @@ def figure_grids(
 
 
 def _figure_report(title: str, results: list[JobResult]) -> str:
-    rows = [(r.job.label, r.stats) for r in results]
-    out = [bar_chart(title, [(label, s.mcycles()) for label, s in rows])]
+    # Failed/quarantined points have no stats; chart what succeeded and
+    # name the rest so a degraded sweep still renders every figure.
+    rows = [(r.job.label, r.stats) for r in results if r.stats is not None]
+    failed = [r.job.label for r in results if r.stats is None]
+    out = []
+    if rows:
+        out.append(bar_chart(title, [(label, s.mcycles()) for label, s in rows]))
+    else:
+        out.append(f"{title}: no successful points")
+    if failed:
+        out.append("  failed/quarantined: " + ", ".join(failed))
     baseline = dict(rows).get("Full-Map")
     if baseline:
         table = [
@@ -115,6 +125,10 @@ def run_figure_suite(
     timeout: float | None = None,
     shards: int = 1,
     fabric: str = "auto",
+    manifest: CampaignManifest | None = None,
+    resume: bool = False,
+    retries: int = 0,
+    retry_backoff: float = 0.5,
 ) -> dict:
     """Run the figure grids and return the ``BENCH_figures.json`` record.
 
@@ -123,6 +137,14 @@ def run_figure_suite(
     (a hung point fails loudly instead of wedging the sweep).  The
     artifact records per-job wall-clock, cache hits, and cycle counts —
     the trajectory of the whole run.
+
+    ``manifest``/``resume``/``retries`` make the campaign crash-safe
+    (see :func:`repro.sweep.runner.run_jobs`): a resumed sweep skips
+    completed points via the cache, re-queues points that were in
+    flight when the process died, and quarantines points that keep
+    failing instead of aborting the campaign — so the suite runs with
+    ``on_error="record"`` when a manifest is present, and failed points
+    surface in the report and the artifact rather than as an exception.
     """
     grids = figure_grids(procs, iters, shards=shards, fabric=fabric)
     if only:
@@ -151,6 +173,11 @@ def run_figure_suite(
         cache=cache,
         progress=ProgressPrinter(),
         timeout=timeout,
+        on_error="record" if manifest is not None else "raise",
+        manifest=manifest,
+        resume=resume,
+        retries=retries,
+        retry_backoff=retry_backoff,
     )
     wall = time.perf_counter() - start
 
@@ -158,10 +185,19 @@ def run_figure_suite(
         echo("")
         echo(_figure_report(title, results[lo:hi]))
     executed = sum(1 for r in results if not r.cached)
+    failed = sum(1 for r in results if not r.ok)
+    quarantined = sum(
+        1 for r in results if r.error and r.error.startswith("quarantined")
+    )
     echo(
         f"\n{len(results)} grid points in {wall:.1f}s wall "
         f"({executed} simulated, {len(results) - executed} from cache/dedup)"
     )
+    if failed:
+        echo(
+            f"  {failed} point(s) FAILED"
+            + (f", {quarantined} of them quarantined" if quarantined else "")
+        )
     if cache is not None:
         echo(cache.summary())
 
@@ -175,11 +211,15 @@ def run_figure_suite(
         "wall_seconds": round(wall, 3),
         "simulated": executed,
         "reused": len(results) - executed,
+        "failed": failed,
+        "quarantined": quarantined,
+        "resumed": resume,
         "cache": {
             "enabled": bool(cache and cache.enabled),
             "dir": str(cache.directory) if cache else None,
             "hits": cache.hits if cache else 0,
             "misses": cache.misses if cache else 0,
+            "write_errors": cache.write_errors if cache else 0,
         },
         "figures": [
             {
@@ -188,11 +228,12 @@ def run_figure_suite(
                     {
                         "label": r.job.label,
                         "key": r.key,
-                        "cycles": r.stats.cycles,
-                        "traps": r.stats.traps_taken,
-                        "packets": r.stats.network.packets,
+                        "cycles": r.stats.cycles if r.stats else None,
+                        "traps": r.stats.traps_taken if r.stats else None,
+                        "packets": r.stats.network.packets if r.stats else None,
                         "cached": r.cached,
                         "wall_seconds": round(r.wall_seconds, 3),
+                        "error": r.error,
                     }
                     for r in results[lo:hi]
                 ],

@@ -1,0 +1,140 @@
+"""Write-ahead campaign manifest: crash-safe sweep bookkeeping.
+
+The result cache makes *completed* points crash-safe (their stats
+survive on disk), but a crashed sweep loses everything else: which
+points were mid-flight when the process died, and which point keeps
+killing the campaign.  The manifest closes that gap with an append-only
+NDJSON log in the cache directory — one ``start`` record *before* a
+point executes (the write-ahead), one ``done``/``failed`` record after.
+A point whose ``start`` has no matching terminal record was in flight
+when the process died; it counts as one crashed attempt on resume, and
+a point that accumulates more failed/crashed attempts than the retry
+budget is *quarantined* — reported as a failure without executing —
+instead of crashing the campaign again.
+
+Keys are the content-addressed job keys (config + workload + source
+fingerprint), so a source edit or config change naturally starts a
+fresh ledger for the affected points; the log itself is harmless to
+share across campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+#: Manifest record schema version.
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class PointState:
+    """Everything the log knows about one job key."""
+
+    attempts: int = 0  # terminal failures recorded
+    inflight: int = 0  # starts with no terminal record (process died)
+    done: bool = False
+    label: str = ""
+    last_error: Optional[str] = None
+
+    @property
+    def crashed_attempts(self) -> int:
+        """Failed attempts plus attempts that died without a record."""
+        return self.attempts + self.inflight
+
+
+class CampaignManifest:
+    """Append-only write-ahead log of sweep point execution.
+
+    Appends flush eagerly so every record survives the process; a torn
+    final line (the crash landed mid-write) is ignored on load.
+    """
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+        self._fh = None
+
+    def _append(self, record: dict) -> None:
+        record["v"] = MANIFEST_VERSION
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def start(self, key: str, label: str, attempt: int) -> None:
+        """Write-ahead: the point is about to execute."""
+        self._append(
+            {"event": "start", "key": key, "label": label, "attempt": attempt}
+        )
+
+    def done(self, key: str) -> None:
+        self._append({"event": "done", "key": key})
+
+    def failed(self, key: str, attempt: int, error: str) -> None:
+        self._append(
+            {
+                "event": "failed",
+                "key": key,
+                "attempt": attempt,
+                "error": str(error)[:500],
+            }
+        )
+
+    def quarantined(self, key: str, label: str, reason: str) -> None:
+        """Visibility record: the point was skipped as poisoned."""
+        self._append(
+            {"event": "quarantined", "key": key, "label": label, "reason": reason}
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignManifest":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def load(self) -> dict[str, PointState]:
+        """Replay the log into per-key state (empty if no log yet)."""
+        states: dict[str, PointState] = {}
+        inflight: dict[str, int] = {}
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return states
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                break  # torn tail from a crash mid-append; ignore the rest
+            key = record.get("key")
+            if not key:
+                continue
+            state = states.setdefault(key, PointState())
+            event = record.get("event")
+            if event == "start":
+                state.label = record.get("label", state.label)
+                inflight[key] = inflight.get(key, 0) + 1
+            elif event == "done":
+                state.done = True
+                if inflight.get(key):
+                    inflight[key] -= 1
+            elif event == "failed":
+                state.attempts += 1
+                state.last_error = record.get("error")
+                if inflight.get(key):
+                    inflight[key] -= 1
+            # "quarantined" records are informational only
+        for key, open_starts in inflight.items():
+            states[key].inflight = max(0, open_starts)
+        return states

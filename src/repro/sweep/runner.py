@@ -21,6 +21,7 @@ from typing import Callable, Optional, Sequence, TextIO
 
 from ..machine import MachineStats, run_experiment
 from .cache import ResultCache
+from .manifest import CampaignManifest
 from .spec import Job, job_key
 
 
@@ -105,18 +106,34 @@ def run_jobs(
     progress: ProgressFn | None = None,
     timeout: float | None = None,
     on_error: str = "raise",
+    manifest: CampaignManifest | None = None,
+    resume: bool = False,
+    retries: int = 0,
+    retry_backoff: float = 0.5,
 ) -> list[JobResult]:
     """Run every job, in the order given, returning one result per job.
 
     Identical jobs (same config + workload + source) run once and share
     their stats; cached jobs never run at all.  ``progress`` fires once
-    per job as its result becomes available (cache hits first).
+    per job as its result becomes final (cache hits first).
 
     ``timeout`` bounds each grid point's wall-clock seconds (SIGALRM in
     the worker, so even a hung simulation is reclaimed).  A failed or
     timed-out point raises by default; ``on_error="record"`` instead
     returns it as a ``JobResult`` with ``stats=None`` and the error
     string — the fault-campaign oracle treats those as survival failures.
+
+    ``manifest`` adds crash-safe bookkeeping: a write-ahead ``start``
+    record before each attempt and a terminal record after it.  With
+    ``resume=True`` the prior log is replayed first — completed points
+    come back from the result cache as usual, points that were in flight
+    when the previous process died count one crashed attempt each, and a
+    point whose crashed/failed attempts already exceed ``retries`` is
+    *quarantined*: reported as a failed result without executing (and
+    without raising, even under ``on_error="raise"``), so one poisoned
+    point cannot kill every resume of a campaign.  ``retries`` also
+    grants each failed point that many in-run retry rounds, spaced by
+    ``retry_backoff * round`` seconds.
     """
     if on_error not in ("raise", "record"):
         raise ValueError(f"on_error must be 'raise' or 'record', not {on_error!r}")
@@ -130,6 +147,12 @@ def run_jobs(
     results: list[JobResult | None] = [None] * total
     done = 0
 
+    # Replay the write-ahead log so a resumed campaign knows how many
+    # attempts each point already burned (terminal failures plus starts
+    # that never got a terminal record — the process died mid-point).
+    prior = manifest.load() if (manifest is not None and resume) else {}
+    attempt_no: dict[str, int] = {}
+
     # First occurrence of each key runs (or hits the cache); duplicates
     # share its stats without re-simulating.
     primary: dict[str, int] = {}
@@ -138,31 +161,83 @@ def run_jobs(
         if key in primary:
             continue
         primary[key] = index
+        state = prior.get(key)
+        attempt_no[key] = state.crashed_attempts if state is not None else 0
         stats = cache.lookup(key)
         if stats is not None:
             results[index] = JobResult(job, stats, True, 0.0, key)
             done += 1
             if progress is not None:
                 progress(results[index], done, total)
-        else:
-            pending.append((index, job, timeout, None))
+            continue
+        if state is not None and not state.done and state.crashed_attempts > retries:
+            # Poisoned point: across previous runs of this campaign it has
+            # already failed or crashed the process more times than the
+            # retry budget allows.  Quarantine it — record the failure
+            # without executing and without raising — so it cannot kill
+            # the campaign yet again on every resume.
+            reason = (
+                f"quarantined: {state.crashed_attempts} crashed/failed "
+                f"attempt(s) exceed the retry budget ({retries})"
+            )
+            if state.last_error:
+                reason += f"; last error: {state.last_error}"
+            if manifest is not None:
+                manifest.quarantined(key, job.label, reason)
+            results[index] = JobResult(job, None, False, 0.0, key, error=reason)
+            done += 1
+            if progress is not None:
+                progress(results[index], done, total)
+            continue
+        pending.append((index, job, timeout, None))
+
+    def launch(payload: tuple[int, Job, Optional[float], Optional[int]]) -> None:
+        """Write-ahead: log the attempt before it executes."""
+        key = keys[payload[0]]
+        attempt_no[key] += 1
+        if manifest is not None:
+            manifest.start(key, payload[1].label, attempt_no[key])
 
     def record(
         index: int, stats: Optional[MachineStats], wall: float, error: Optional[str]
     ) -> None:
+        """Finalize one point: cache + manifest + result + progress."""
         nonlocal done
         job = jobs[index]
         key = keys[index]
-        if error is not None and on_error == "raise":
-            raise RuntimeError(f"grid point {job.label!r} failed: {error}")
+        if error is not None:
+            if manifest is not None:
+                manifest.failed(key, attempt_no[key], error)
+            if on_error == "raise":
+                raise RuntimeError(f"grid point {job.label!r} failed: {error}")
         if stats is not None:
             # Failed points are never cached: a transient failure must not
             # satisfy a future lookup.
             cache.store(key, stats, wall_seconds=wall, label=job.label)
+            if manifest is not None:
+                manifest.done(key)
         results[index] = JobResult(job, stats, False, wall, key, error=error)
         done += 1
         if progress is not None:
             progress(results[index], done, total)
+
+    retry_queue: list[tuple[int, Job, Optional[float], Optional[int]]] = []
+
+    def settle(
+        payload: tuple[int, Job, Optional[float], Optional[int]],
+        stats: Optional[MachineStats],
+        wall: float,
+        error: Optional[str],
+        *,
+        retries_left: int,
+    ) -> None:
+        """Finalize a point, or queue it for another round if budget remains."""
+        if error is not None and retries_left > 0:
+            if manifest is not None:
+                manifest.failed(keys[payload[0]], attempt_no[keys[payload[0]]], error)
+            retry_queue.append(payload)
+            return
+        record(payload[0], stats, wall, error)
 
     # Sharded grid points fork their own worker processes, so handing them
     # to the pool would oversubscribe the core budget K-fold.  They run
@@ -171,26 +246,58 @@ def run_jobs(
     # core); serial points fan out over the pool as before.
     serial_pending = [p for p in pending if p[1].config.shards <= 1]
     sharded_pending = [p for p in pending if p[1].config.shards > 1]
+    payload_by_index = {p[0]: p for p in serial_pending}
 
     if serial_pending:
         if workers > 1 and len(serial_pending) > 1:
             ctx = _pool_context()
-            with ctx.Pool(min(workers, len(serial_pending))) as pool:
-                for index, stats, wall, error in pool.imap_unordered(
-                    _execute, serial_pending, chunksize=1
-                ):
-                    record(index, stats, wall, error)
+            n = min(workers, len(serial_pending))
+            with ctx.Pool(n) as pool:
+                # Submit in waves of pool size so the write-ahead records
+                # only cover points that are genuinely executing: a crash
+                # then charges at most one attempt to each of ~n points,
+                # not to the whole campaign.
+                for wave_start in range(0, len(serial_pending), n):
+                    wave = serial_pending[wave_start : wave_start + n]
+                    for payload in wave:
+                        launch(payload)
+                    for index, stats, wall, error in pool.imap_unordered(
+                        _execute, wave, chunksize=1
+                    ):
+                        settle(
+                            payload_by_index[index],
+                            stats,
+                            wall,
+                            error,
+                            retries_left=retries,
+                        )
         else:
             for payload in serial_pending:
+                launch(payload)
                 index, stats, wall, error = _execute(payload)
-                record(index, stats, wall, error)
+                settle(payload, stats, wall, error, retries_left=retries)
 
     for index, job, job_timeout, _ in sharded_pending:
         shard_workers = 1 if workers <= 1 else None
-        index, stats, wall, error = _execute(
-            (index, job, job_timeout, shard_workers)
-        )
-        record(index, stats, wall, error)
+        payload = (index, job, job_timeout, shard_workers)
+        launch(payload)
+        index, stats, wall, error = _execute(payload)
+        settle(payload, stats, wall, error, retries_left=retries)
+
+    # Retry rounds: failed points re-execute serially in this process,
+    # spaced by a linear backoff, until they succeed or the budget is
+    # spent (the last round finalizes via ``record``, which raises under
+    # ``on_error="raise"``).
+    round_no = 0
+    while retry_queue and round_no < retries:
+        round_no += 1
+        batch, retry_queue = retry_queue, []
+        for payload in batch:
+            if retry_backoff > 0:
+                time.sleep(retry_backoff * round_no)
+            launch(payload)
+            index, stats, wall, error = _execute(payload)
+            settle(payload, stats, wall, error, retries_left=retries - round_no)
 
     # Fill duplicates from their primary's stats (or error).
     for index, key in enumerate(keys):

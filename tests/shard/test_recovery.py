@@ -1,0 +1,144 @@
+"""Forked-shard failure handling: worker death, stalls, and recovery.
+
+Real processes under real signals.  The scenarios here are the ones a
+long campaign actually meets: a worker SIGKILLed mid-window (OOM killer,
+chaos campaign), and a worker wedged without dying (SIGSTOP stands in
+for a livelocked peer).  The parent must fail fast with a diagnosis that
+names the cause, unwind its process tree, and the run must be
+recoverable through the checkpoint layer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.machine import AlewifeConfig, run_experiment
+from repro.recover import (
+    CheckpointInterrupted,
+    latest_snapshot,
+    resume_run,
+    run_with_checkpoints,
+)
+from repro.sim.kernel import SimulationError
+from repro.sweep.spec import WorkloadSpec
+from repro.workloads import WeatherWorkload
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="forked shard workers require fork",
+)
+
+SPEC = WorkloadSpec("weather", {"iterations": 8})
+
+
+def _config(**overrides) -> AlewifeConfig:
+    # Big enough that a forked run spans ~1s of wall clock: plenty of
+    # window to deliver a signal while shard workers are mid-window.
+    base = dict(
+        n_procs=64, protocol="limitless", pointers=4, ts=50, shards=2
+    )
+    base.update(overrides)
+    return AlewifeConfig(**base)
+
+
+def _start_forked_run(config: AlewifeConfig):
+    """Launch a forked sharded run on a thread; return (thread, result, workers)."""
+    result: dict = {}
+
+    def target() -> None:
+        try:
+            result["stats"] = run_experiment(
+                config, WeatherWorkload(iterations=8)
+            )
+        except BaseException as exc:  # noqa: BLE001 - recorded for asserts
+            result["error"] = exc
+
+    before = set(multiprocessing.active_children())
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    workers: list = []
+    while time.monotonic() < deadline:
+        workers = [
+            p for p in multiprocessing.active_children() if p not in before
+        ]
+        if len(workers) >= config.shards:
+            break
+        time.sleep(0.01)
+    return thread, result, workers
+
+
+def test_heartbeat_knob_validated():
+    with pytest.raises(ValueError, match="shard_heartbeat_s"):
+        _config(shard_heartbeat_s=0)
+    with pytest.raises(ValueError, match="shard_heartbeat_s"):
+        _config(shard_heartbeat_s=-1.0)
+
+
+def test_sigkilled_worker_is_detected_and_named(tmp_path):
+    """Parent notices a dead worker, names the signal, unwinds cleanly —
+    and the interrupted experiment is recoverable via checkpoints."""
+    config = _config(shard_heartbeat_s=0.5)
+    thread, result, workers = _start_forked_run(config)
+    assert len(workers) == config.shards, "workers never appeared"
+    time.sleep(0.3)  # past machine build, into the window loop
+    os.kill(workers[0].pid, signal.SIGKILL)
+    thread.join(timeout=30.0)
+    assert not thread.is_alive(), "parent failed to unwind"
+
+    error = result.get("error")
+    assert isinstance(error, SimulationError), result
+    assert "died" in str(error) and "killed by SIGKILL" in str(error)
+    # Clean unwind: no orphaned shard workers.
+    for proc in workers:
+        proc.join(timeout=10.0)
+        assert not proc.is_alive()
+
+    # Recovery path: re-run the same experiment under checkpoints,
+    # interrupt it, and resume — the result matches the plain golden.
+    golden = run_experiment(config, SPEC.build(), shard_workers=1)
+    with pytest.raises(CheckpointInterrupted):
+        run_with_checkpoints(
+            config, SPEC, every=2000, out_dir=tmp_path, stop_after=1
+        )
+    resumed = resume_run(latest_snapshot(tmp_path), every=2000)
+    assert resumed.to_dict() == golden.to_dict()
+
+
+def test_stalled_worker_fails_fast_with_configured_heartbeat():
+    """A wedged (not dead) worker trips the heartbeat at the configured
+    pace — not the old hard-coded 120s — and the error names the knob."""
+    config = _config(shard_heartbeat_s=0.25)
+    thread, result, workers = _start_forked_run(config)
+    assert len(workers) == config.shards, "workers never appeared"
+    time.sleep(0.3)  # past machine build: a stop during the build phase
+    # is legitimately waited out without any heartbeat deadline
+    victim = workers[0]
+    started = time.monotonic()
+    os.kill(victim.pid, signal.SIGSTOP)
+    try:
+        # The *surviving* shard stalls on the stopped peer's bound and
+        # must raise within the heartbeat, long before 120s.
+        time.sleep(1.0)
+    finally:
+        # The stopped worker must resume to observe the poisoned sync
+        # state and abort, letting the parent gather every reply.
+        os.kill(victim.pid, signal.SIGCONT)
+    thread.join(timeout=30.0)
+    elapsed = time.monotonic() - started
+    assert not thread.is_alive(), "parent failed to unwind"
+
+    error = result.get("error")
+    assert isinstance(error, SimulationError), result
+    assert "sync stalled" in str(error)
+    assert "shard_heartbeat_s=0.25" in str(error)
+    assert elapsed < 20.0, f"stall detection took {elapsed:.1f}s"
+    for proc in workers:
+        proc.join(timeout=10.0)
+        assert not proc.is_alive()

@@ -1,0 +1,151 @@
+"""Write-ahead manifest + crash-safe campaign semantics of ``run_jobs``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.machine import AlewifeConfig
+from repro.sweep.cache import ResultCache
+from repro.sweep.manifest import CampaignManifest, PointState
+from repro.sweep.runner import run_jobs
+from repro.sweep.spec import Job, WorkloadSpec, job_key
+
+
+def _job(label="pt", **overrides) -> Job:
+    config = AlewifeConfig(n_procs=4, protocol="fullmap", **overrides)
+    return Job(label, config, WorkloadSpec("weather", {"iterations": 1}))
+
+
+def _failing_job(label="bad") -> Job:
+    # worker-set size 99 on a 4-proc machine fails at build time, inside
+    # the worker — a deterministic per-point failure.
+    config = AlewifeConfig(n_procs=4, protocol="fullmap")
+    return Job(
+        label,
+        config,
+        WorkloadSpec("synthetic", {"worker_sets": [[99, 1]], "rounds": 1}),
+    )
+
+
+def _key(job: Job, cache: ResultCache) -> str:
+    return job_key(job.config, job.workload, cache.fingerprint.value())
+
+
+class TestManifestLog:
+    def test_roundtrip(self, tmp_path):
+        m = CampaignManifest(tmp_path / "m.ndjson")
+        m.start("k1", "a", 1)
+        m.done("k1")
+        m.start("k2", "b", 1)
+        m.failed("k2", 1, "boom")
+        m.start("k3", "c", 1)  # no terminal record: died in flight
+        m.close()
+        states = m.load()
+        assert states["k1"].done and states["k1"].crashed_attempts == 0
+        assert states["k2"] == PointState(
+            attempts=1, inflight=0, done=False, label="b", last_error="boom"
+        )
+        assert states["k3"].inflight == 1 and states["k3"].crashed_attempts == 1
+
+    def test_missing_log_is_empty(self, tmp_path):
+        assert CampaignManifest(tmp_path / "nope.ndjson").load() == {}
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        path = tmp_path / "m.ndjson"
+        m = CampaignManifest(path)
+        m.start("k1", "a", 1)
+        m.done("k1")
+        m.close()
+        with open(path, "a") as fh:
+            fh.write('{"event":"start","key":"k2","labe')  # crash mid-append
+        states = m.load()
+        assert states["k1"].done
+        assert "k2" not in states
+
+
+class TestCampaignResume:
+    def test_inflight_point_requeued_within_budget(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = _job()
+        m = CampaignManifest(tmp_path / "m.ndjson")
+        m.start(_key(job, cache), "pt", 1)  # previous process died here
+        m.close()
+        result = run_jobs([job], cache=cache, manifest=m, resume=True, retries=1)[0]
+        assert result.ok and result.stats is not None
+        assert m.load()[_key(job, cache)].done
+
+    def test_poisoned_point_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = _job()
+        key = _key(job, cache)
+        m = CampaignManifest(tmp_path / "m.ndjson")
+        m.start(key, "pt", 1)
+        m.start(key, "pt", 2)  # two campaign runs died on this point
+        m.close()
+        # Quarantine never raises, even under on_error="raise".
+        result = run_jobs(
+            [job], cache=cache, manifest=m, resume=True, retries=1
+        )[0]
+        assert result.stats is None
+        assert result.error.startswith("quarantined")
+        events = [
+            json.loads(line)["event"]
+            for line in (tmp_path / "m.ndjson").read_text().splitlines()
+        ]
+        assert "quarantined" in events
+
+    def test_completed_points_resume_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = _job()
+        m = CampaignManifest(tmp_path / "m.ndjson")
+        first = run_jobs([job], cache=cache, manifest=m)[0]
+        assert not first.cached
+        again = run_jobs([job], cache=cache, manifest=m, resume=True)[0]
+        m.close()
+        assert again.cached
+        assert again.stats.to_dict() == first.stats.to_dict()
+
+    def test_retries_then_record(self, tmp_path):
+        m = CampaignManifest(tmp_path / "m.ndjson")
+        result = run_jobs(
+            [_failing_job()],
+            cache=ResultCache(enabled=False),
+            manifest=m,
+            retries=2,
+            retry_backoff=0.0,
+            on_error="record",
+        )[0]
+        m.close()
+        state = list(m.load().values())[0]
+        assert not result.ok
+        assert state.attempts == 3  # initial attempt + 2 retries, all logged
+
+    def test_retries_then_raise(self, tmp_path):
+        m = CampaignManifest(tmp_path / "m.ndjson")
+        with pytest.raises(RuntimeError, match="bad"):
+            run_jobs(
+                [_failing_job()],
+                cache=ResultCache(enabled=False),
+                manifest=m,
+                retries=1,
+                retry_backoff=0.0,
+            )
+        m.close()
+        assert list(m.load().values())[0].attempts == 2
+
+
+class TestCacheDegradation:
+    def test_write_errors_counted_and_visible(self, tmp_path):
+        # A regular file where the cache directory should be makes every
+        # store fail with OSError, even when the tests run as root
+        # (where a read-only chmod would not actually block writes).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        cache = ResultCache(blocker / "cache")
+        with pytest.warns(RuntimeWarning, match="result cache disabled"):
+            result = run_jobs([_job()], cache=cache)[0]
+        assert result.ok  # degradation must not fail the sweep
+        assert cache.write_errors == 1 and not cache.enabled
+        assert "write error" in cache.summary()
