@@ -13,6 +13,14 @@ fails the perf-smoke job instead of merely shipping a slower artifact.
 The tolerance band absorbs runner-to-runner jitter; it can be widened for
 noisy environments via ``--tolerance`` or ``REPRO_PERF_TOLERANCE``.
 
+``--update`` turns the gate into a ratchet: after the (unchanged) check,
+any scenario whose fresh gated metric beats the committed baseline has
+its baseline raised to the fresh value, and the baseline file is
+rewritten in place.  Baselines only move up — a run inside the tolerance
+band never lowers them — so the committed numbers track the best honest
+measurement instead of decaying with runner noise.  Scenarios new in the
+fresh report are adopted wholesale.
+
 Run:  python benchmarks/check_perf_regression.py \
           --fresh BENCH_kernel.json --baseline benchmarks/BENCH_kernel.json
 """
@@ -71,6 +79,40 @@ def check(
     return problems
 
 
+def ratchet(
+    fresh: dict[str, dict], baseline: dict[str, dict]
+) -> tuple[dict[str, dict], list[str]]:
+    """Raise baseline gated metrics to any better fresh value.
+
+    Returns the updated scenario mapping and a list of human-readable
+    change descriptions (empty when nothing improved).  Non-gated keys in
+    improved scenarios (event counts, wall times) are refreshed alongside
+    so the committed record stays one coherent measurement.
+    """
+    updated = {name: dict(values) for name, values in baseline.items()}
+    changes = []
+    for name, values in sorted(fresh.items()):
+        base = updated.get(name)
+        if base is None:
+            updated[name] = dict(values)
+            changes.append(f"{name}: adopted new scenario")
+            continue
+        improved = [
+            (metric, unit)
+            for metric, unit in _METRICS
+            if values.get(metric) and values[metric] > (base.get(metric) or 0)
+        ]
+        if not improved:
+            continue
+        gain = ", ".join(
+            f"{metric} {base.get(metric) or 0:,.0f} -> {values[metric]:,.0f} {unit}"
+            for metric, unit in improved
+        )
+        updated[name] = dict(values)
+        changes.append(f"{name}: {gain}")
+    return updated, changes
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", required=True, help="just-measured report")
@@ -83,11 +125,36 @@ def main() -> int:
         default=float(os.environ.get("REPRO_PERF_TOLERANCE", "0.20")),
         help="allowed fractional slowdown before failing (default: 0.20)",
     )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="after the gate, ratchet the baseline file up to any better "
+        "fresh numbers (baselines never move down)",
+    )
     args = parser.parse_args()
 
-    problems = check(
-        load_scenarios(args.fresh), load_scenarios(args.baseline), args.tolerance
-    )
+    fresh = load_scenarios(args.fresh)
+    baseline = load_scenarios(args.baseline)
+    problems = check(fresh, baseline, args.tolerance)
+
+    if args.update:
+        updated, changes = ratchet(fresh, baseline)
+        if changes:
+            with open(args.baseline) as fh:
+                report = json.load(fh)
+            if "scenarios" in report:
+                report["scenarios"] = updated
+            else:
+                report = updated
+            with open(args.baseline, "w") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
+            print(f"\nratcheted {args.baseline}:")
+            for change in changes:
+                print(f"  {change}")
+        else:
+            print("\nratchet: no scenario beat the committed baseline")
+
     if problems:
         print(f"\nperf gate FAILED ({len(problems)} regression(s)):", file=sys.stderr)
         for problem in problems:

@@ -1,0 +1,159 @@
+"""Swappable simulation backends.
+
+The pure-Python object model (``reference``) is the golden semantics of
+the reproduction: every protocol decision, cycle count, and counter in
+this repo is defined by what that code does.  A *backend* swaps the data
+layout and inner loops underneath that semantics without changing a
+single observable number: ``soa`` stores cache-line tags/state/data and
+directory entries in flat structure-of-arrays storage (stdlib
+:mod:`array` slabs viewed through :class:`memoryview`), executes events
+through a 64-cycle batching ring extending the PR 4 same-cycle lane,
+and fuses the processor's hit path onto the arrays.
+
+Equivalence is *bit-identical*: the SoA components present the exact
+reference object protocol (``CacheLine``-shaped views, ``set``-shaped
+pointer views), allocate the same event sequence numbers, and produce
+byte-equal :class:`~repro.machine.machine.MachineStats` and checkpoint
+state digests.  ``tests/backend`` pins this as a golden tier.
+
+``numpy`` is optional and auto-detected (never required, never
+installed): when present it accelerates only cold bulk scans of the SoA
+state arrays; the event-driven scalar hot path uses stdlib ``array``
+either way because per-element access is what it does.  Set
+``REPRO_NO_NUMPY=1`` to force the pure-stdlib path; benchmark and
+profile reports record which was active.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.cache import CacheArray
+    from ..mem.address import AddressSpace
+
+
+def _detect_numpy() -> bool:
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return False
+    try:  # pragma: no cover - depends on environment
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - depends on environment
+        return False
+    return True
+
+
+#: True when numpy is importable and not disabled via REPRO_NO_NUMPY.
+HAS_NUMPY = _detect_numpy()
+
+
+@dataclass(frozen=True)
+class Backend:
+    """Factory bundle for the swappable machine components.
+
+    ``processor_class`` and ``wormhole_class`` are drop-in subclasses of
+    the reference classes (the cache/directory controllers themselves are
+    shared — they operate through the view protocol the factories
+    return).  ``make_directory`` returning ``None`` keeps the
+    controller's own reference :class:`~repro.coherence.entry.Directory`.
+    """
+
+    name: str
+    make_simulator: Callable[..., Simulator]
+    make_cache_array: Callable[["AddressSpace", int], "CacheArray"]
+    make_directory: Callable[[int], object | None]
+    processor_class: type
+    wormhole_class: type
+
+
+def _reference_backend() -> Backend:
+    from ..cache.cache import CacheArray
+    from ..network.fabric import WormholeNetwork
+    from ..proc.processor import Processor
+
+    return Backend(
+        name="reference",
+        make_simulator=lambda *, max_cycles=None: Simulator(max_cycles=max_cycles),
+        make_cache_array=CacheArray,
+        make_directory=lambda node_id: None,
+        processor_class=Processor,
+        wormhole_class=WormholeNetwork,
+    )
+
+
+def _soa_backend() -> Backend:
+    from .batchsim import BatchSimulator
+    from .fastpath import SoaProcessor, SoaWormholeNetwork
+    from .soa import SoaCacheArray, SoaDirectory
+
+    return Backend(
+        name="soa",
+        make_simulator=lambda *, max_cycles=None: BatchSimulator(
+            max_cycles=max_cycles
+        ),
+        make_cache_array=SoaCacheArray,
+        make_directory=SoaDirectory,
+        processor_class=SoaProcessor,
+        wormhole_class=SoaWormholeNetwork,
+    )
+
+
+_FACTORIES: dict[str, Callable[[], Backend]] = {
+    "reference": _reference_backend,
+    "soa": _soa_backend,
+}
+
+_INSTANCES: dict[str, Backend] = {}
+
+
+def backend_names() -> tuple[str, ...]:
+    """Every selectable backend name (stable order: reference first)."""
+    return tuple(_FACTORIES)
+
+
+def get_backend(name: str) -> Backend:
+    """The backend registered under ``name`` (built once, then cached)."""
+    backend = _INSTANCES.get(name)
+    if backend is None:
+        factory = _FACTORIES.get(name)
+        if factory is None:
+            raise ValueError(
+                f"unknown backend {name!r}; choose from {backend_names()}"
+            )
+        backend = factory()
+        _INSTANCES[name] = backend
+    return backend
+
+
+def equivalence_fingerprint(stats) -> str:
+    """Backend-comparable digest of one run's :class:`MachineStats`.
+
+    Hashes the canonical JSON of ``stats.to_dict()`` minus the two keys
+    that legitimately differ between otherwise bit-identical runs:
+    ``config`` (it records which backend was *asked for*) and
+    ``shard_meta`` (driver bookkeeping — window/handoff counts are
+    execution artifacts, not simulation results).  Two runs of the same
+    (config-sans-backend, workload) agree on this digest iff every cycle
+    count, counter, histogram, and network statistic matches.
+    """
+    import hashlib
+    import json
+
+    record = stats.to_dict()
+    record.pop("config", None)
+    record.pop("shard_meta", None)
+    blob = json.dumps(record, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+__all__ = [
+    "Backend",
+    "HAS_NUMPY",
+    "backend_names",
+    "equivalence_fingerprint",
+    "get_backend",
+]

@@ -21,6 +21,7 @@ import argparse
 import sys
 from typing import Callable
 
+from .backend import backend_names
 from .coherence.registry import protocol_names
 from .machine import AlewifeConfig, run_experiment
 from .stats.machine_report import machine_report
@@ -99,6 +100,14 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         choices=["auto", "atomic", "staged"],
         help="network arbitration model (auto: atomic when serial, "
         "staged when sharded)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="reference",
+        choices=list(backend_names()),
+        help="simulation backend: 'reference' is the pure-Python golden "
+        "object model, 'soa' the structure-of-arrays + batched-events "
+        "engine (bit-identical results, see docs/BACKENDS.md)",
     )
     parser.add_argument(
         "--checkpoint-every",
@@ -240,6 +249,7 @@ def _config(args: argparse.Namespace, protocol: str) -> AlewifeConfig:
         seed=args.seed,
         shards=args.shards,
         fabric=args.fabric,
+        backend=args.backend,
     )
 
 

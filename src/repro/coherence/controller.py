@@ -93,6 +93,7 @@ class MemoryController(Component):
         inv_timeout: int = 0,
         inv_retx_broadcast: int = 3,
         pool: PacketPool | None = None,
+        directory=None,
     ) -> None:
         super().__init__(sim, f"dir{node_id}")
         self.node_id = node_id
@@ -101,7 +102,10 @@ class MemoryController(Component):
         self.nic = nic
         self.pointer_capacity = pointer_capacity
         self.dir_occupancy = dir_occupancy
-        self.directory = Directory(node_id)
+        #: entry storage is swappable (repro.backend hands SoA-backed
+        #: directories in through ``directory``); None keeps the
+        #: reference per-entry objects
+        self.directory = directory if directory is not None else Directory(node_id)
         self.occupancy = StallableResource(sim, f"dirres{node_id}")
         self.counters = counters if counters is not None else Counters()
         self._slots = self.counters.slot_view()

@@ -193,7 +193,12 @@ class LimitLessSoftware:
 
     def _empty_pointers_into_vector(self, entry: DirectoryEntry) -> set[int]:
         vector = self.vectors.setdefault(entry.block, set())
-        vector |= entry.sharers
+        # update(), not |=: the stored vector must be mutated in place.
+        # entry.sharers may be a non-set MutableSet (the soa backend's
+        # PointerSet view), and `plain_set |= other` then falls back to
+        # Set.__ror__, rebinding the local to a fresh set and silently
+        # dropping the merge from self.vectors.
+        vector.update(entry.sharers)
         entry.sharers.clear()
         return vector
 

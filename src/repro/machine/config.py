@@ -86,6 +86,11 @@ class AlewifeConfig:
     watchdog_interval: int = 0
 
     # Simulation
+    #: simulation backend: "reference" is the pure-Python golden object
+    #: model; "soa" stores cache/directory state in structure-of-arrays
+    #: slabs and batches event execution — bit-identical results (see
+    #: repro.backend / docs/BACKENDS.md)
+    backend: str = "reference"
     seed: int = 42
     max_cycles: int = 50_000_000
     ipi_capacity: int = 4096
@@ -155,6 +160,13 @@ class AlewifeConfig:
             raise ValueError("limited directories need at least one pointer")
         if self.memory_model not in ("sc", "wo"):
             raise ValueError("memory_model must be 'sc' or 'wo'")
+        from ..backend import backend_names  # local import: avoids a cycle
+
+        if self.backend not in backend_names():
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from {backend_names()}"
+            )
         for rate_field in (
             "fault_drop_rate",
             "fault_dup_rate",

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+from ..backend import get_backend
 from ..faults import FaultInjector, LivenessWatchdog, StagedFaultGate
 from ..mem.address import AddressSpace, Allocator
 from ..network.fabric import (
@@ -20,11 +21,10 @@ from ..network.fabric import (
     NetworkStats,
     StagedIdealNetwork,
     StagedWormholeNetwork,
-    WormholeNetwork,
 )
 from ..network.packet import PacketPool
 from ..network.topology import make_topology
-from ..sim.kernel import SimulationError, Simulator
+from ..sim.kernel import SimulationError
 from ..sim.rng import DeterministicRng
 from ..stats.counters import Counters, Histogram
 from ..verify.diagnose import LivenessError, diagnose
@@ -128,7 +128,8 @@ class AlewifeMachine:
     ) -> None:
         self.config = config
         self.shard_id = shard_id
-        self.sim = Simulator(max_cycles=config.max_cycles)
+        self.backend = get_backend(config.backend)
+        self.sim = self.backend.make_simulator(max_cycles=config.max_cycles)
         self.rng = DeterministicRng(config.seed)
         self.space = AddressSpace(
             n_nodes=config.n_procs,
@@ -198,7 +199,11 @@ class AlewifeMachine:
                 shard_of=shard_of,
                 lookahead=cfg.shard_lookahead,
             )
-        return WormholeNetwork(
+        # The atomic mesh is the backend's to provide (the soa backend
+        # posts deliveries straight to the destination handler); staged
+        # fabrics above stay shared — sharded runs swap storage and the
+        # kernel per shard, not the cross-shard arbitration model.
+        return self.backend.wormhole_class(
             self.sim,
             topology,
             hop_latency=cfg.hop_latency,

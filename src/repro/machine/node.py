@@ -9,7 +9,7 @@ traps execute on this node's processor.
 
 from __future__ import annotations
 
-from ..cache.cache import CacheArray
+from ..backend import get_backend
 from ..cache.controller import CacheController
 from ..coherence.limitless import LimitLessSoftware
 from ..coherence.registry import SOFTWARE_PROTOCOLS, controller_class
@@ -17,7 +17,6 @@ from ..mem.address import AddressSpace
 from ..mem.memory import MainMemory
 from ..network.fabric import Network
 from ..network.interface import NetworkInterface
-from ..proc.processor import Processor
 from ..sim.kernel import Simulator
 from ..sim.rng import DeterministicRng, ScopedRng
 from ..stats.counters import Counters
@@ -40,6 +39,7 @@ class Node:
     ) -> None:
         self.node_id = node_id
         self.config = config
+        self._backend = get_backend(config.backend)
         self.counters = Counters()
         if config.resolved_fabric == "staged":
             # Runtime draws (retry jitter, victim choice) must come from
@@ -66,7 +66,9 @@ class Node:
         self.directory_controller = self._build_directory_controller(
             sim, space, rng
         )
-        self.cache_array = CacheArray(space, config.cache_lines)
+        self.cache_array = self._backend.make_cache_array(
+            space, config.cache_lines
+        )
         self.cache_controller = CacheController(
             sim,
             node_id,
@@ -84,7 +86,7 @@ class Node:
             ),
             pool=self.pool,
         )
-        self.processor = Processor(
+        self.processor = self._backend.processor_class(
             sim,
             node_id,
             space,
@@ -118,6 +120,9 @@ class Node:
             counters=self.counters,
             pool=self.pool,
         )
+        directory = self._backend.make_directory(self.node_id)
+        if directory is not None:
+            kwargs["directory"] = directory
         if self.config.faults_enabled:
             kwargs["fault_tolerant"] = True
             kwargs["inv_timeout"] = self.config.inv_timeout or 3000

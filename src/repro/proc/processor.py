@@ -44,9 +44,13 @@ class ContextState(Enum):
     DONE = auto()
 
 
-@dataclass
+@dataclass(slots=True)
 class Context:
-    """One hardware context (register frame set)."""
+    """One hardware context (register frame set).
+
+    Slotted: ``_step`` touches a dozen of these fields per issued op on
+    both backends, and slot access skips the per-instance dict.
+    """
 
     index: int
     gen: Generator

@@ -54,6 +54,12 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="network arbitration model (default auto: staged iff sharded)",
     )
     parser.add_argument(
+        "--backend",
+        default="reference",
+        help="simulation backend to profile ('reference' or 'soa'; see "
+        "docs/BACKENDS.md)",
+    )
+    parser.add_argument(
         "--no-pool",
         action="store_true",
         help="disable the packet pool (profile the allocation baseline)",
@@ -125,6 +131,7 @@ def run_from_args(args: argparse.Namespace) -> int:
         packet_pool=not args.no_pool,
         shards=args.shards,
         fabric=args.fabric,
+        backend=args.backend,
     )
     workload = WORKLOADS[args.workload](args)
     report = profile_run(

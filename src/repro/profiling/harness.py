@@ -126,6 +126,9 @@ class ProfileReport:
     pool: dict[str, int]
     folded: list[str] = field(default_factory=list)
     worker_sets: dict[int, int] | None = None
+    #: which simulation backend executed the run ("reference" or "soa") —
+    #: throughput numbers are only comparable within one backend
+    backend: str = "reference"
 
     @property
     def events_per_sec(self) -> float:
@@ -134,6 +137,7 @@ class ProfileReport:
     def to_dict(self) -> dict:
         return {
             "label": self.stats.label,
+            "backend": self.backend,
             "cycles": self.stats.cycles,
             "wall_seconds": round(self.wall_seconds, 4),
             "events_executed": self.events_executed,
@@ -150,7 +154,8 @@ class ProfileReport:
         lines = [
             f"{self.stats.label}: {self.stats.cycles:,} simulated cycles in "
             f"{self.wall_seconds:.3f}s wall "
-            f"({self.events_executed:,} events, {self.events_per_sec:,.0f}/s)",
+            f"({self.events_executed:,} events, {self.events_per_sec:,.0f}/s, "
+            f"{self.backend} backend)",
             "",
             "simulated-cycle attribution:",
         ]
@@ -306,6 +311,7 @@ def profile_run(
         pool=pool_stats,
         folded=folded_stacks(raw) if folded else [],
         worker_sets=overflow_report(machine) if worker_sets else None,
+        backend=config.backend,
     )
     if memory_profiler is not None:
         report.worker_sets = report.worker_sets or {}
@@ -386,6 +392,7 @@ def _profile_sharded(
         attribution=attribution,
         pool={"enabled": int(config.packet_pool)},
         folded=folded_stacks(raw) if folded else [],
+        backend=config.backend,
     )
 
 

@@ -93,6 +93,43 @@ class ServiceMetrics:
         self.all_latency = LatencyWindow()
         self.started_at = time.time()
         self._start_clock = time.perf_counter()
+        #: per-backend simulated work, keyed by the config's backend name.
+        #: Mutated only under the service lock (point completions).
+        self._backend_work: dict[str, dict] = {}
+
+    def observe_backend(self, backend: str, cycles: int, seconds: float) -> None:
+        """Account one cold (pool-executed) point to its backend.
+
+        Cache hits are deliberately excluded: they cost no simulation, so
+        folding them in would inflate the reported throughput.
+        """
+        entry = self._backend_work.setdefault(
+            backend, {"points": 0, "cycles": 0, "wall_seconds": 0.0}
+        )
+        entry["points"] += 1
+        entry["cycles"] += cycles
+        entry["wall_seconds"] += seconds
+
+    def backend_snapshot(self) -> dict:
+        """Per-backend throughput: simulated cycles per wall second.
+
+        ``MachineStats`` does not carry kernel event counts across the
+        pool boundary, so the service-level throughput unit is simulated
+        cycles — comparable across backends because equivalent runs are
+        cycle-identical by construction.
+        """
+        out: dict[str, dict] = {}
+        for name, entry in sorted(self._backend_work.items()):
+            wall = entry["wall_seconds"]
+            out[name] = {
+                "points": entry["points"],
+                "cycles": entry["cycles"],
+                "wall_seconds": round(wall, 6),
+                "cycles_per_sec": (
+                    round(entry["cycles"] / wall, 3) if wall > 0 else None
+                ),
+            }
+        return out
 
     def bump(self, name: str, amount: int = 1) -> None:
         self.counters.bump(f"serve.{name}", amount)
@@ -119,6 +156,7 @@ class ServiceMetrics:
             "uptime_seconds": round(self.uptime_seconds(), 3),
             "started_at": self.started_at,
             "counters": self.counters.as_dict(),
+            "backends": self.backend_snapshot(),
             "cache_hit_ratio": round(self.hit_ratio(), 6),
             "latency": {
                 "all": self.all_latency.snapshot(),

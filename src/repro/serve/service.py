@@ -593,6 +593,9 @@ class SweepService:
                     flight.key, stats, wall_seconds=wall, label=flight.label
                 )
                 self.metrics.bump("points.simulated")
+                self.metrics.observe_backend(
+                    stats.config.backend, stats.cycles, wall
+                )
             else:
                 self.metrics.bump("points.failed")
             for n, (record, index) in enumerate(flight.waiters):
@@ -731,6 +734,11 @@ class SweepService:
             snapshot = self.metrics.snapshot()
             snapshot.update(
                 {
+                    # jobs pick their own backend per point; this is what a
+                    # submission gets when it does not say.
+                    "backend_default": (
+                        AlewifeConfig.__dataclass_fields__["backend"].default
+                    ),
                     "queue": {"depth": self._active, "limit": self.queue_depth},
                     "jobs": {"active": self._active, "total": len(self._jobs)},
                     "workers": {

@@ -10,6 +10,13 @@ Two tiers share one namespace:
   construction order reproduces the same ids in every shard worker), and
   they fold back into the named bag whenever anything *reads* the
   counters, so reports, merges, and serialized results are unchanged.
+
+The shipped components intern their slots in module-level constants, so
+building machines in a loop does not grow the registry.  Code that
+interns *dynamically generated* names (tests, exploratory harnesses)
+would grow it monotonically; :func:`slot_registry_snapshot` /
+:func:`restore_slot_registry` bracket such phases so long-lived
+processes (the sweep cache, ``repro serve``) can shed those entries.
 """
 
 from __future__ import annotations
@@ -30,6 +37,35 @@ def counter_slot(name: str) -> int:
         _SLOT_IDS[name] = idx
         _SLOT_NAMES.append(name)
     return idx
+
+
+def slot_registry_snapshot() -> int:
+    """Opaque marker for the current registry extent.
+
+    Take one before a phase that may intern dynamically generated slot
+    names, then hand it to :func:`restore_slot_registry` to drop those
+    entries again.
+    """
+    return len(_SLOT_NAMES)
+
+
+def restore_slot_registry(snapshot: int) -> None:
+    """Truncate the registry back to a :func:`slot_registry_snapshot`.
+
+    Every :class:`Counters` that bumped a now-dropped slot must be
+    folded (any read does it) or discarded *before* restoring: ids above
+    the snapshot no longer resolve to names afterwards.  Entries interned
+    before the snapshot keep their ids, so captured ``slot_view`` lists
+    for them stay valid.
+    """
+    if snapshot < 0 or snapshot > len(_SLOT_NAMES):
+        raise ValueError(
+            f"snapshot {snapshot} does not bracket the registry "
+            f"(currently {len(_SLOT_NAMES)} slots)"
+        )
+    for name in _SLOT_NAMES[snapshot:]:
+        del _SLOT_IDS[name]
+    del _SLOT_NAMES[snapshot:]
 
 
 class Counters:

@@ -1,0 +1,159 @@
+"""Property-based co-simulation: reference vs batched-ring kernel.
+
+Two layers of lockstep comparison, both driven by hypothesis:
+
+* **Kernel level** — random self-rescheduling event schedules run through
+  :class:`~repro.sim.kernel.Simulator` and
+  :class:`~repro.backend.batchsim.BatchSimulator` under identical
+  ``run_until`` windows.  The firing log (cycle, event identity) and the
+  per-window kernel observables ``(now, _seq, events_executed,
+  pending_events)`` must match exactly: the 64-slot ring and the batched
+  counter updates are pure reorderings of *work*, never of *results*,
+  and the window boundaries are exactly where the shard driver and the
+  checkpointer read those observables.
+* **Machine level** — random small weather configurations run end to end
+  on both backends under a windowed driver; the per-window observables
+  and the final equivalence fingerprint must match.  This sweeps the
+  fused SoA hit path, the ring-inlined deliveries, and the
+  view-object cache/directory storage under schedules the committed
+  goldens do not enumerate.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import equivalence_fingerprint
+from repro.backend.batchsim import BatchSimulator
+from repro.machine import AlewifeConfig, AlewifeMachine
+from repro.sim.kernel import Simulator
+from repro.workloads import WeatherWorkload
+
+# ----------------------------------------------------------------------
+# Kernel level
+# ----------------------------------------------------------------------
+
+#: (start_time, chain_length, delta): event i fires at start_time, then
+#: reposts itself chain_length times at +delta.  Deltas straddle the
+#: 64-cycle ring horizon so both the ring and the heap paths execute.
+_schedules = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=120),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=1, max_value=90),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+_windows = st.sampled_from([1, 7, 63, 64, 65, 257])
+
+
+def _run_kernel(sim_class, schedule, window):
+    sim = sim_class()
+    log = []
+
+    def fire(arg):
+        ident, remaining, delta = arg
+        log.append((sim.now, ident))
+        if remaining:
+            sim.post(sim.now + delta, fire, (ident, remaining - 1, delta))
+
+    for ident, (start, chain, delta) in enumerate(schedule):
+        sim.post(start, fire, (ident, chain, delta))
+    trace = []
+    guard = 0
+    while sim.pending_events:
+        guard += 1
+        assert guard < 10_000
+        sim.run_until(sim.now + window)
+        trace.append(
+            (sim.now, sim._seq, sim.events_executed, sim.pending_events)
+        )
+    return log, trace
+
+
+class TestKernelCoSimulation:
+    @settings(max_examples=40, deadline=None)
+    @given(schedule=_schedules, window=_windows)
+    def test_windowed_batch_kernel_matches_reference(self, schedule, window):
+        ref = _run_kernel(Simulator, schedule, window)
+        soa = _run_kernel(BatchSimulator, schedule, window)
+        assert soa == ref
+
+    @settings(max_examples=20, deadline=None)
+    @given(schedule=_schedules)
+    def test_free_running_batch_kernel_matches_reference(self, schedule):
+        def free_run(sim_class):
+            sim = sim_class()
+            log = []
+
+            def fire(arg):
+                ident, remaining, delta = arg
+                log.append((sim.now, ident))
+                if remaining:
+                    sim.post(sim.now + delta, fire, (ident, remaining - 1, delta))
+
+            for ident, (start, chain, delta) in enumerate(schedule):
+                sim.post(start, fire, (ident, chain, delta))
+            sim.run()
+            return log, sim.now, sim._seq, sim.events_executed
+
+        assert free_run(BatchSimulator) == free_run(Simulator)
+
+
+# ----------------------------------------------------------------------
+# Machine level
+# ----------------------------------------------------------------------
+
+_configs = st.fixed_dictionaries(
+    {
+        "n_procs": st.sampled_from([4, 16]),
+        "protocol": st.sampled_from(["fullmap", "limited", "limitless"]),
+        "seed": st.integers(min_value=0, max_value=7),
+        "iterations": st.integers(min_value=1, max_value=2),
+        "window": st.sampled_from([64, 193, 1024]),
+    }
+)
+
+
+def _trace_machine(backend, params):
+    kwargs = dict(
+        n_procs=params["n_procs"],
+        protocol=params["protocol"],
+        seed=params["seed"],
+        backend=backend,
+    )
+    if params["protocol"] != "fullmap":
+        kwargs.update(pointers=4, ts=50)
+    machine = AlewifeMachine(AlewifeConfig(**kwargs))
+    window = params["window"]
+    trace = []
+
+    def driver(m):
+        sim = m.sim
+        guard = 0
+        while sim.pending_events:
+            guard += 1
+            assert guard < 100_000
+            sim.run_until(sim.now + window)
+            trace.append(
+                (sim.now, sim._seq, sim.events_executed, sim.pending_events)
+            )
+
+    stats = machine.run(
+        WeatherWorkload(iterations=params["iterations"]),
+        audit=False,
+        driver=driver,
+    )
+    return trace, equivalence_fingerprint(stats)
+
+
+class TestMachineCoSimulation:
+    @settings(max_examples=12, deadline=None)
+    @given(params=_configs)
+    def test_soa_machine_matches_reference_window_for_window(self, params):
+        assert _trace_machine("soa", params) == _trace_machine(
+            "reference", params
+        )
