@@ -27,8 +27,8 @@ profile reports record which was active.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..sim.kernel import Simulator
 
@@ -68,6 +68,15 @@ class Backend:
     make_directory: Callable[[int], object | None]
     processor_class: type
     wormhole_class: type
+    #: packet-pool factory (``PacketPool``-shaped); ``None`` keeps the
+    #: reference pool.
+    make_pool: Optional[Callable[..., object]] = None
+    #: post-build hook: called with the fully wired machine so a backend
+    #: can splice in per-node fast paths (the native receive chains).
+    finalize: Optional[Callable[[object], None]] = None
+    #: human-readable status — fallbacks record *why* here, and run/
+    #: profile/bench surfaces report it as ``backend_notes``.
+    notes: Optional[str] = field(default=None, compare=False)
 
 
 def _reference_backend() -> Backend:
@@ -102,9 +111,40 @@ def _soa_backend() -> Backend:
     )
 
 
+def _native_backend() -> Backend:
+    from . import native
+
+    ok, reason = native.load_status()
+    if not ok:
+        # Graceful degradation: the run proceeds on the soa components,
+        # and the reason is visible wherever backend_notes surface.
+        return replace(
+            _soa_backend(),
+            name="native",
+            notes=f"native extension unavailable ({reason}); "
+            "running soa fallback",
+        )
+    from .soa import SoaCacheArray, SoaDirectory
+
+    return Backend(
+        name="native",
+        make_simulator=lambda *, max_cycles=None: native.NativeSimulator(
+            max_cycles=max_cycles
+        ),
+        make_cache_array=SoaCacheArray,
+        make_directory=SoaDirectory,
+        processor_class=native.NativeProcessor,
+        wormhole_class=native.NativeWormholeNetwork,
+        make_pool=native.NativePacketPool,
+        finalize=native.finalize,
+        notes="compiled kernels active",
+    )
+
+
 _FACTORIES: dict[str, Callable[[], Backend]] = {
     "reference": _reference_backend,
     "soa": _soa_backend,
+    "native": _native_backend,
 }
 
 _INSTANCES: dict[str, Backend] = {}

@@ -1,0 +1,342 @@
+"""Compiled hot-path kernels behind the backend seam.
+
+The ``native`` backend is the LimitLESS argument applied to the
+simulator itself: the common case (event ring scheduling, cache-hit
+issue, directory dispatch, wormhole route stepping, packet pooling)
+runs at compiled speed, while every rare case — protocol corner
+handlers, traps, faults, CRC verification — falls through to the same
+pure-Python code that defines the golden semantics.
+
+The extension (``_native.c``) is a hand-written CPython C module built
+by ``setup.py build_ext --inplace``.  It is strictly optional: when it
+does not import (not built, wrong interpreter, ``REPRO_NATIVE=0``), the
+backend registry silently degrades ``backend="native"`` to the ``soa``
+components and records the reason in :func:`load_status` /
+``Backend.notes`` so runs proceed and report the fallback honestly.
+
+Exactness is non-negotiable: the compiled kernels replicate
+``BatchSimulator``/``fastpath`` observable-for-observable (sequence
+numbers, counter settle order, exception partial effects), and the
+equivalence golden tier in ``tests/backend`` pins them against the
+committed SHA-256 fingerprints with the extension present *and* absent.
+"""
+
+from __future__ import annotations
+
+import operator
+import os
+from typing import Optional
+
+from ..batchsim import BatchSimulator
+from ..fastpath import SoaProcessor, SoaWormholeNetwork
+
+_native = None
+_IMPORT_ERROR: Optional[str] = None
+
+if os.environ.get("REPRO_NATIVE", "") == "0":
+    _IMPORT_ERROR = "disabled via REPRO_NATIVE=0"
+else:  # pragma: no branch - trivial import guard
+    try:
+        import importlib
+
+        # import_module (not ``from . import``): the module-level
+        # ``_native = None`` placeholder above would otherwise satisfy
+        # the fromlist lookup without ever loading the extension.
+        _native = importlib.import_module("._native", __name__)
+    except ImportError as exc:  # pragma: no cover - depends on build
+        _IMPORT_ERROR = f"extension not built ({exc})"
+
+
+def available() -> bool:
+    """True when the compiled extension imported successfully."""
+    return _native is not None
+
+
+def load_status() -> tuple[bool, Optional[str]]:
+    """``(available, reason_if_not)`` for fallback reporting."""
+    return (_native is not None, _IMPORT_ERROR)
+
+
+_setup_done = False
+
+
+def _ensure_setup() -> None:
+    """Inject the Python-side classes into the extension, once.
+
+    The extension never imports repro modules itself — the Python layer
+    hands over every class, sentinel, and constant the kernels compare
+    against, so there is exactly one definition of each.
+    """
+    global _setup_done
+    if _setup_done:
+        return
+    from ...network.fabric import NetworkStats
+    from ...network.packet import (
+        _DATA_BEARING,
+        _LAST_CACHE_TO_MEMORY,
+        OP_BY_NAME,
+        OP_NAMES,
+        Op,
+        Packet,
+        protocol_packet,
+    )
+    from ...proc import ops
+    from ...proc.processor import Context, ContextState
+    from ...sim.kernel import _NO_ARG, Event, SimulationError
+
+    _native.setup(
+        {
+            "SimulationError": SimulationError,
+            "Event": Event,
+            "NO_ARG": _NO_ARG,
+            "Context": Context,
+            "DONE": ContextState.DONE,
+            "RUNNING": ContextState.RUNNING,
+            "BLOCKED": ContextState.BLOCKED,
+            "THINK": ops.THINK,
+            "LOAD": ops.LOAD,
+            "STORE": ops.STORE,
+            "RMW": ops.RMW,
+            "Op": Op,
+            "OP_NAMES": OP_NAMES,
+            "OP_BY_NAME": OP_BY_NAME,
+            "DATA_BEARING": _DATA_BEARING,
+            "LAST_CACHE_TO_MEMORY": int(_LAST_CACHE_TO_MEMORY),
+            "Packet": Packet,
+            "NetworkStats": NetworkStats,
+            "protocol_packet": protocol_packet,
+        }
+    )
+    _setup_done = True
+
+
+def _core_property(name):
+    # attrgetter walks the dotted path entirely in C — ``sim.now`` reads
+    # are hot in the remaining Python protocol code, so the getter must
+    # not cost a Python frame.  Sets (checkpoint restore, test pokes)
+    # are cold and keep the plain closure.
+    fget = operator.attrgetter(f"_core.{name}")
+
+    def fset(self, value):
+        setattr(self._core, name, value)
+
+    return property(fget, fset)
+
+
+class NativeSimulator(BatchSimulator):
+    """BatchSimulator whose state and run loops live in the C core.
+
+    The scalar state (``now``, sequence counters, live count, ring mask)
+    is stored in the :class:`_native.Core` and exposed through settable
+    properties, so every external poke that works on ``BatchSimulator``
+    (fastpath ring inlines, ``Event.cancel``, checkpoint digests,
+    modelcheck queue clears) works unchanged here.  The ring slots are
+    real Python lists shared with the core; the heap is the real
+    ``_queue`` list.  ``run``/``run_until``/``post``/``call_at``/...
+    are shadowed per-instance by the core's compiled methods.
+    """
+
+    def __init__(self, *, max_cycles: int | None = None) -> None:
+        _ensure_setup()
+        core = _native.Core()
+        self._core = core
+        core.bind(self)
+        super().__init__(max_cycles=max_cycles)
+        # Builtin methods are not descriptors: install the core's bound
+        # methods as instance attributes so self.post(...) is one C call.
+        self.post = core.post
+        self.post_after = core.post_after
+        self.call_at = core.call_at
+        self.call_after = core.call_after
+        self.post_front = core.post_front
+        self.run = core.run
+        self.run_until = core.run_until
+
+    now = _core_property("now")
+    _seq = _core_property("seq")
+    _front_seq = _core_property("front_seq")
+    _live = _core_property("live")
+    events_executed = _core_property("executed")
+    _ring_mask = _core_property("ring_mask")
+    _running = _core_property("running")
+
+    @property
+    def _queue(self):
+        return self._core.queue
+
+    @_queue.setter
+    def _queue(self, value):
+        # The heap list's identity is fixed (the core walks it in C);
+        # assignment replaces the contents, matching list semantics for
+        # every existing caller (``__init__`` assigns ``[]``).
+        queue = self._core.queue
+        queue[:] = value
+
+    @property
+    def _ring(self):
+        return self._core.ring
+
+    @_ring.setter
+    def _ring(self, value):
+        # BatchSimulator.__init__ assigns fresh empty deques; the core's
+        # 64 slot lists already exist and must keep their identity.
+        if any(value):
+            raise ValueError("cannot replace the compiled scheduling ring")
+
+    # The deque-based cold helpers are re-expressed over the core's
+    # list-backed ring (BatchSimulator's versions use ``popleft``).
+    def _flush_ring(self) -> None:
+        self._core.flush_ring()
+
+    def _next_ring_time(self):
+        return self._core.next_ring_time()
+
+
+class NativeProcessor(SoaProcessor):
+    """SoaProcessor whose fused step runs as a compiled kernel."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not (
+            self._fused
+            and _native is not None
+            and isinstance(self.sim, NativeSimulator)
+        ):
+            return
+        from ...cache.controller import _HIT_SLOT
+        from ...proc.processor import _THINK_SLOT
+
+        backing = self.cache.array
+        kernel = _native.StepKernel(
+            {
+                "core": self.sim._core,
+                "proc": self,
+                "tags": backing._tags,
+                "states": backing._states,
+                "written": backing._written,
+                "slab": backing._slab,
+                "wpb": backing._words_per_block,
+                "shift": backing._block_shift,
+                "imask": backing._index_mask,
+                "block_mask": ~(self.space.block_bytes - 1),
+                "low_mask": self.space.block_bytes - 1,
+                "latency": self.cache.hit_latency,
+                "cache_slots": self.cache._slots,
+                "hit_load": _HIT_SLOT["load"],
+                "hit_store": _HIT_SLOT["store"],
+                "hit_rmw": _HIT_SLOT["rmw"],
+                "proc_slots": self._slots,
+                "think_slot": _THINK_SLOT,
+                "issue": self._issue,
+                "park": self._park,
+                "retire": self._retire,
+                "execute_op": self._execute_op,
+            }
+        )
+        # Instance attributes shadow the class methods for every caller
+        # (_dispatch's schedule, _mem_done's direct call, ring events).
+        self._step = kernel
+        self._step_fn = kernel
+
+
+class NativeWormholeNetwork(SoaWormholeNetwork):
+    """Wormhole mesh whose send path runs as a compiled kernel."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if _native is None or not isinstance(self.sim, NativeSimulator):
+            return
+        self.send = _native.NetSend(
+            {
+                "core": self.sim._core,
+                "net": self,
+                "stats": self.stats,
+                "per_opcode": self.stats.per_opcode,
+                "handlers": self._handlers,
+                "route_cache": self._route_cache,
+                "intern_route": self._intern_route,
+                "link_free_at": self._link_free_at,
+                "link_busy": self._link_busy,
+                "hop_latency": self.hop_latency,
+                "cycles_per_word": self.cycles_per_word,
+                "injection_latency": self.injection_latency,
+            }
+        )
+
+
+if _native is not None:
+
+    class NativePacketPool(_native.Pool):
+        """Compiled free-list allocator, drop-in for ``PacketPool``.
+
+        ``protocol``/``release`` (the per-packet hot pair) are C; the
+        cold ``clone`` path (fault-injector dup) stays Python.
+        """
+
+        def __init__(self, enabled: bool = True) -> None:
+            _ensure_setup()
+            super().__init__(enabled=enabled)
+
+        def clone(self, packet):
+            dup = self.protocol(
+                packet.src,
+                packet.dst,
+                packet.opcode,
+                packet.address,
+                data=packet.data.copy() if packet.data is not None else None,
+                **packet.meta,
+            )
+            dup.sent_at = packet.sent_at
+            dup.crc = packet.crc
+            return dup
+
+else:  # pragma: no cover - extension absent
+
+    from ...network.packet import PacketPool as NativePacketPool  # noqa: F401
+
+
+def finalize(machine) -> None:
+    """Install the per-node compiled receive/dispatch chains.
+
+    Called by the machine builder after all nodes are wired.  Each
+    node's network handler becomes an :class:`_native.RxChain` (NIC
+    classify + cache dispatch + pool release in one C frame), and each
+    base-table directory controller's ``dispatch`` becomes a
+    :class:`_native.TableDispatch`.  Controllers that override
+    ``dispatch`` in Python (the approx emulation) are left untouched.
+    """
+    if _native is None or not isinstance(machine.sim, NativeSimulator):
+        return
+    from ...coherence.controller import MemoryController
+
+    handlers = getattr(machine.network, "_handlers", None)
+    for node in machine.nodes:
+        ctrl = node.directory_controller
+        if (
+            type(ctrl).dispatch is MemoryController.dispatch
+            and isinstance(getattr(ctrl, "_table", None), list)
+        ):
+            ctrl.dispatch = _native.TableDispatch({"table": ctrl._table})
+        if handlers is not None and node.node_id < len(handlers):
+            nic = node.nic
+            handlers[node.node_id] = _native.RxChain(
+                {
+                    "nic": nic,
+                    "receive": nic._receive,
+                    "memory_handler": nic._memory_handler,
+                    "cache_rx": node.cache_controller._rx,
+                    "pool": nic.pool,
+                    "divert": nic.divert_to_ipi,
+                }
+            )
+
+
+__all__ = [
+    "NativePacketPool",
+    "NativeProcessor",
+    "NativeSimulator",
+    "NativeWormholeNetwork",
+    "available",
+    "finalize",
+    "load_status",
+]

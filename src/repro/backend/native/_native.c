@@ -1,0 +1,2862 @@
+/* Compiled hot-path kernels for the ``native`` backend.
+ *
+ * This module is the "generated-C kernel" rung named in ROADMAP.md: the
+ * measured hot paths of the ``soa`` backend — the 64-cycle batched
+ * scheduling ring, the fused SoA cache-hit issue path, packet-pool
+ * acquire/release, NIC direction dispatch, the directory's
+ * per-(state, opcode) table lookup, and wormhole route stepping — are
+ * re-expressed as CPython C-API code operating on the *same Python data
+ * structures* the pure-Python backends use.  That choice is what makes
+ * bit-identity tractable: the heap is the same list of
+ * ``(time, seq, callback, arg, event)`` tuples, the ring slots are
+ * Python lists the pure-Python code can still append to, counters are
+ * the same live slot lists, and every settle point (per-batch counter
+ * updates, exception tail restoration, ring flush on return) mirrors
+ * ``repro/backend/batchsim.py`` statement for statement.
+ *
+ * Nothing here is imported directly by repro code; ``repro.backend.native``
+ * wraps it behind ``setup()`` (which hands over the Python-side classes
+ * and constants and resolves slot offsets) and falls back to the ``soa``
+ * backend when the extension is missing.
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+#define RING 64
+#define RING_MASK 63
+
+/* ------------------------------------------------------------------ */
+/* Module-wide cached objects, filled in by setup().                  */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    Py_ssize_t state, gen, started, resume_value, ops_executed, last_op;
+    Py_ssize_t outstanding_stores, pending_op, pending_needs;
+    Py_ssize_t burst_ops, burst_pos;
+} CtxOffsets;
+
+typedef struct {
+    Py_ssize_t cancelled, done;
+} EvOffsets;
+
+typedef struct {
+    Py_ssize_t src, dst, opcode, address, data, meta, sent_at, crc, free;
+} PktOffsets;
+
+typedef struct {
+    Py_ssize_t packets, words, hops, total_latency, contention, per_opcode;
+} StatOffsets;
+
+static PyObject *g_sim_error;       /* SimulationError */
+static PyObject *g_event_type;      /* kernel.Event */
+static PyObject *g_no_arg;          /* kernel._NO_ARG sentinel */
+static PyObject *g_ctx_done, *g_ctx_running, *g_ctx_blocked;
+static PyObject *g_op_think, *g_op_load, *g_op_store, *g_op_rmw;
+static PyObject *g_op_type;         /* packet.Op (IntEnum class) */
+static PyObject *g_op_names;        /* packet.OP_NAMES tuple */
+static PyObject *g_protocol_packet; /* packet.protocol_packet */
+static PyObject *g_op_by_name;      /* packet.OP_BY_NAME dict */
+static PyObject *g_retire_op;       /* ("__retire__",) */
+static PyObject *g_str_all;         /* "all" */
+static PyObject *g_str_load, *g_str_store, *g_str_rmw;
+static char g_data_bearing[64];
+static long g_last_c2m = 4;
+static CtxOffsets g_ctx;
+static EvOffsets g_ev;
+static PktOffsets g_pkt;
+static StatOffsets g_stat;
+static int g_ready = 0;
+
+static PyObject *s_max_cycles, *s_busy_cycles, *s_trap_free_at;
+static PyObject *s_crc_enabled, *s_packets_received, *s_fault_injector;
+static PyObject *s_admit, *s_words, *s_send;
+
+/* Resolve the offset of one __slots__ member descriptor. */
+static Py_ssize_t
+slot_offset(PyObject *cls, const char *name)
+{
+    PyObject *descr = PyObject_GetAttrString(cls, name);
+    Py_ssize_t off;
+    if (descr == NULL)
+        return -1;
+    if (Py_TYPE(descr) != &PyMemberDescr_Type) {
+        Py_DECREF(descr);
+        PyErr_Format(PyExc_TypeError, "%s is not a slot member", name);
+        return -1;
+    }
+    off = ((PyMemberDescrObject *)descr)->d_member->offset;
+    Py_DECREF(descr);
+    return off;
+}
+
+#define SLOT_GET(obj, off) (*(PyObject **)((char *)(obj) + (off)))
+
+/* Replace slot contents, stealing ``value``. */
+static inline void
+slot_set(PyObject *obj, Py_ssize_t off, PyObject *value)
+{
+    PyObject **cell = (PyObject **)((char *)obj + off);
+    PyObject *old = *cell;
+    *cell = value;
+    Py_XDECREF(old);
+}
+
+static inline void
+slot_set_incref(PyObject *obj, Py_ssize_t off, PyObject *value)
+{
+    Py_INCREF(value);
+    slot_set(obj, off, value);
+}
+
+/* entry[i] as long long (entries are heap/ring tuples of PyLongs) */
+static inline long long
+tuple_ll(PyObject *tup, Py_ssize_t i)
+{
+    return PyLong_AsLongLong(PyTuple_GET_ITEM(tup, i));
+}
+
+/* list[i] += delta for a list of ints (counter slot views) */
+static int
+list_add_ll(PyObject *list, Py_ssize_t i, long long delta)
+{
+    long long v = PyLong_AsLongLong(PyList_GET_ITEM(list, i));
+    PyObject *obj;
+    if (v == -1 && PyErr_Occurred())
+        return -1;
+    obj = PyLong_FromLongLong(v + delta);
+    if (obj == NULL)
+        return -1;
+    return PyList_SetItem(list, i, obj); /* steals */
+}
+
+/* obj.__dict__[key] += delta for plain int attributes */
+static int
+dict_add_ll(PyObject *dict, PyObject *key, long long delta)
+{
+    PyObject *cur = PyDict_GetItemWithError(dict, key);
+    long long v;
+    PyObject *obj;
+    if (cur == NULL) {
+        if (!PyErr_Occurred())
+            PyErr_SetObject(PyExc_AttributeError, key);
+        return -1;
+    }
+    v = PyLong_AsLongLong(cur);
+    if (v == -1 && PyErr_Occurred())
+        return -1;
+    obj = PyLong_FromLongLong(v + delta);
+    if (obj == NULL)
+        return -1;
+    if (PyDict_SetItem(dict, key, obj) < 0) {
+        Py_DECREF(obj);
+        return -1;
+    }
+    Py_DECREF(obj);
+    return 0;
+}
+
+static long long
+dict_get_ll(PyObject *dict, PyObject *key, int *err)
+{
+    PyObject *cur = PyDict_GetItemWithError(dict, key);
+    long long v;
+    if (cur == NULL) {
+        if (!PyErr_Occurred())
+            PyErr_SetObject(PyExc_AttributeError, key);
+        *err = 1;
+        return 0;
+    }
+    v = PyLong_AsLongLong(cur);
+    if (v == -1 && PyErr_Occurred()) {
+        *err = 1;
+        return 0;
+    }
+    return v;
+}
+
+/* slot-stored NetworkStats int += delta */
+static int
+stat_add_ll(PyObject *stats, Py_ssize_t off, long long delta)
+{
+    long long v = PyLong_AsLongLong(SLOT_GET(stats, off));
+    PyObject *obj;
+    if (v == -1 && PyErr_Occurred())
+        return -1;
+    obj = PyLong_FromLongLong(v + delta);
+    if (obj == NULL)
+        return -1;
+    slot_set(stats, off, obj);
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Heap of (time, seq, callback, arg, event) tuples on a PyList.      */
+/* Pop order matches heapq because (time, seq) keys are unique.       */
+/* ------------------------------------------------------------------ */
+
+static inline int
+entry_lt(PyObject *a, PyObject *b)
+{
+    long long ta = tuple_ll(a, 0), tb = tuple_ll(b, 0);
+    if (ta != tb)
+        return ta < tb;
+    return tuple_ll(a, 1) < tuple_ll(b, 1);
+}
+
+/* Push ``entry`` (new strong reference is taken). */
+static int
+heap_push(PyObject *queue, PyObject *entry)
+{
+    Py_ssize_t pos, parent;
+    PyObject **items;
+    if (PyList_Append(queue, entry) < 0)
+        return -1;
+    items = ((PyListObject *)queue)->ob_item;
+    pos = PyList_GET_SIZE(queue) - 1;
+    while (pos > 0) {
+        parent = (pos - 1) >> 1;
+        if (entry_lt(items[pos], items[parent])) {
+            PyObject *tmp = items[pos];
+            items[pos] = items[parent];
+            items[parent] = tmp;
+            pos = parent;
+        }
+        else
+            break;
+    }
+    return 0;
+}
+
+/* Pop the smallest entry; returns a new reference or NULL if empty. */
+static PyObject *
+heap_pop(PyObject *queue)
+{
+    Py_ssize_t n = PyList_GET_SIZE(queue);
+    PyObject **items = ((PyListObject *)queue)->ob_item;
+    PyObject *smallest, *last;
+    Py_ssize_t pos, child;
+    if (n == 0)
+        return NULL;
+    smallest = items[0];
+    Py_INCREF(smallest);
+    last = items[n - 1];
+    Py_INCREF(last);
+    if (PyList_SetSlice(queue, n - 1, n, NULL) < 0) {
+        Py_DECREF(smallest);
+        Py_DECREF(last);
+        return NULL;
+    }
+    n -= 1;
+    if (n == 0) {
+        Py_DECREF(last);
+        return smallest;
+    }
+    items = ((PyListObject *)queue)->ob_item;
+    /* sift ``last`` down from the root */
+    Py_DECREF(items[0]);
+    items[0] = last;
+    pos = 0;
+    for (;;) {
+        child = 2 * pos + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && entry_lt(items[child + 1], items[child]))
+            child += 1;
+        if (entry_lt(items[child], items[pos])) {
+            PyObject *tmp = items[pos];
+            items[pos] = items[child];
+            items[child] = tmp;
+            pos = child;
+        }
+        else
+            break;
+    }
+    return smallest;
+}
+
+/* ------------------------------------------------------------------ */
+/* Core: the batched-ring event kernel state                          */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    long long now, seq, front_seq, live, executed;
+    unsigned long long ring_mask;
+    int running;
+    PyObject *queue;        /* list of heap tuples */
+    PyObject *ring;         /* list of RING lists (Python-visible) */
+    PyObject *slots[RING];  /* borrowed from ring for fast access */
+    PyObject *sim;          /* owning NativeSimulator (GC-managed cycle) */
+} CoreObject;
+
+static PyTypeObject Core_Type;
+
+static PyObject *
+Core_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    CoreObject *self = (CoreObject *)type->tp_alloc(type, 0);
+    int i;
+    if (self == NULL)
+        return NULL;
+    self->now = 0;
+    self->seq = 0;
+    self->front_seq = -1;
+    self->live = 0;
+    self->executed = 0;
+    self->ring_mask = 0;
+    self->running = 0;
+    self->sim = NULL;
+    self->queue = PyList_New(0);
+    self->ring = PyList_New(RING);
+    if (self->queue == NULL || self->ring == NULL) {
+        Py_DECREF(self);
+        return NULL;
+    }
+    for (i = 0; i < RING; i++) {
+        PyObject *slot = PyList_New(0);
+        if (slot == NULL) {
+            Py_DECREF(self);
+            return NULL;
+        }
+        PyList_SET_ITEM(self->ring, i, slot); /* steals */
+        self->slots[i] = slot;                /* borrowed */
+    }
+    return (PyObject *)self;
+}
+
+static int
+Core_traverse(CoreObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->queue);
+    Py_VISIT(self->ring);
+    Py_VISIT(self->sim);
+    return 0;
+}
+
+static int
+Core_clear(CoreObject *self)
+{
+    Py_CLEAR(self->queue);
+    Py_CLEAR(self->ring);
+    Py_CLEAR(self->sim);
+    return 0;
+}
+
+static void
+Core_dealloc(CoreObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Core_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+Core_bind(CoreObject *self, PyObject *sim)
+{
+    Py_INCREF(sim);
+    Py_XSETREF(self->sim, sim);
+    Py_RETURN_NONE;
+}
+
+/* -- scheduling ----------------------------------------------------- */
+
+static PyObject *
+sched_error(long long time, long long now)
+{
+    PyErr_Format(g_sim_error,
+                 "cannot schedule event at %lld, now is %lld", time, now);
+    return NULL;
+}
+
+/* Append a no-handle entry to the ring (caller guarantees mid-run and
+ * time - now < RING).  Mirrors the inlined BatchSimulator.post body. */
+static int
+core_ring_post(CoreObject *core, long long time, PyObject *cb, PyObject *arg)
+{
+    long long seq = core->seq;
+    int slot = (int)(time & RING_MASK);
+    PyObject *entry, *seq_obj;
+    core->seq = seq + 1;
+    seq_obj = PyLong_FromLongLong(seq);
+    if (seq_obj == NULL)
+        return -1;
+    entry = PyTuple_New(4);
+    if (entry == NULL) {
+        Py_DECREF(seq_obj);
+        return -1;
+    }
+    PyTuple_SET_ITEM(entry, 0, seq_obj);
+    Py_INCREF(cb);
+    PyTuple_SET_ITEM(entry, 1, cb);
+    Py_INCREF(arg);
+    PyTuple_SET_ITEM(entry, 2, arg);
+    Py_INCREF(Py_None);
+    PyTuple_SET_ITEM(entry, 3, Py_None);
+    if (PyList_Append(core->slots[slot], entry) < 0) {
+        Py_DECREF(entry);
+        return -1;
+    }
+    Py_DECREF(entry);
+    core->ring_mask |= 1ULL << slot;
+    core->live += 1;
+    return 0;
+}
+
+/* The full BatchSimulator.post: ring when mid-run and near, else heap. */
+static int
+core_post_impl(CoreObject *core, long long time, PyObject *time_obj,
+               PyObject *cb, PyObject *arg)
+{
+    long long seq;
+    PyObject *entry, *seq_obj, *t_obj = time_obj;
+    if (time < core->now) {
+        sched_error(time, core->now);
+        return -1;
+    }
+    if (core->running && time - core->now < RING)
+        return core_ring_post(core, time, cb, arg);
+    seq = core->seq;
+    core->seq = seq + 1;
+    seq_obj = PyLong_FromLongLong(seq);
+    if (seq_obj == NULL)
+        return -1;
+    if (t_obj == NULL) {
+        t_obj = PyLong_FromLongLong(time);
+        if (t_obj == NULL) {
+            Py_DECREF(seq_obj);
+            return -1;
+        }
+    }
+    else
+        Py_INCREF(t_obj);
+    entry = PyTuple_New(5);
+    if (entry == NULL) {
+        Py_DECREF(seq_obj);
+        Py_DECREF(t_obj);
+        return -1;
+    }
+    PyTuple_SET_ITEM(entry, 0, t_obj);
+    PyTuple_SET_ITEM(entry, 1, seq_obj);
+    Py_INCREF(cb);
+    PyTuple_SET_ITEM(entry, 2, cb);
+    Py_INCREF(arg);
+    PyTuple_SET_ITEM(entry, 3, arg);
+    Py_INCREF(Py_None);
+    PyTuple_SET_ITEM(entry, 4, Py_None);
+    if (heap_push(core->queue, entry) < 0) {
+        Py_DECREF(entry);
+        return -1;
+    }
+    Py_DECREF(entry);
+    core->live += 1;
+    return 0;
+}
+
+static int
+parse_time_cb_arg(PyObject *const *args, Py_ssize_t nargs, PyObject *kwnames,
+                  PyObject **time_obj, PyObject **cb, PyObject **arg)
+{
+    Py_ssize_t nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    *arg = g_no_arg;
+    if (nargs < 2 || nargs > 3 || nkw > 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "expected (time, callback, arg=...)");
+        return -1;
+    }
+    *time_obj = args[0];
+    *cb = args[1];
+    if (nargs == 3)
+        *arg = args[2];
+    if (nkw == 1) {
+        PyObject *name = PyTuple_GET_ITEM(kwnames, 0);
+        if (PyUnicode_CompareWithASCIIString(name, "arg") != 0) {
+            PyErr_SetString(PyExc_TypeError, "unexpected keyword");
+            return -1;
+        }
+        if (nargs == 3) {
+            PyErr_SetString(PyExc_TypeError, "duplicate arg");
+            return -1;
+        }
+        *arg = args[nargs];
+    }
+    return 0;
+}
+
+static PyObject *
+Core_post(CoreObject *self, PyObject *const *args, Py_ssize_t nargs,
+          PyObject *kwnames)
+{
+    PyObject *time_obj, *cb, *arg;
+    long long time;
+    if (parse_time_cb_arg(args, nargs, kwnames, &time_obj, &cb, &arg) < 0)
+        return NULL;
+    time = PyLong_AsLongLong(time_obj);
+    if (time == -1 && PyErr_Occurred())
+        return NULL;
+    if (core_post_impl(self, time, time_obj, cb, arg) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Core_post_after(CoreObject *self, PyObject *const *args, Py_ssize_t nargs,
+                PyObject *kwnames)
+{
+    PyObject *time_obj, *cb, *arg;
+    long long delay;
+    if (parse_time_cb_arg(args, nargs, kwnames, &time_obj, &cb, &arg) < 0)
+        return NULL;
+    delay = PyLong_AsLongLong(time_obj);
+    if (delay == -1 && PyErr_Occurred())
+        return NULL;
+    if (delay < 0)
+        return PyErr_Format(g_sim_error, "negative delay %lld", delay);
+    if (core_post_impl(self, self->now + delay, NULL, cb, arg) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+/* call_at: like post but allocates an Event cancel handle. */
+static PyObject *
+core_call_at_impl(CoreObject *core, long long time, PyObject *cb,
+                  PyObject *arg)
+{
+    long long seq;
+    PyObject *event, *entry, *seq_obj, *t_obj;
+    int in_ring;
+    if (time < core->now)
+        return sched_error(time, core->now);
+    seq = core->seq;
+    core->seq = seq + 1;
+    seq_obj = PyLong_FromLongLong(seq);
+    t_obj = PyLong_FromLongLong(time);
+    if (seq_obj == NULL || t_obj == NULL) {
+        Py_XDECREF(seq_obj);
+        Py_XDECREF(t_obj);
+        return NULL;
+    }
+    event = PyObject_CallFunctionObjArgs(g_event_type, t_obj, seq_obj, cb,
+                                         arg, core->sim, NULL);
+    if (event == NULL) {
+        Py_DECREF(seq_obj);
+        Py_DECREF(t_obj);
+        return NULL;
+    }
+    in_ring = core->running && time - core->now < RING;
+    entry = PyTuple_New(in_ring ? 4 : 5);
+    if (entry == NULL) {
+        Py_DECREF(seq_obj);
+        Py_DECREF(t_obj);
+        Py_DECREF(event);
+        return NULL;
+    }
+    if (in_ring) {
+        PyTuple_SET_ITEM(entry, 0, seq_obj);
+        Py_INCREF(cb);
+        PyTuple_SET_ITEM(entry, 1, cb);
+        Py_INCREF(arg);
+        PyTuple_SET_ITEM(entry, 2, arg);
+        Py_INCREF(event);
+        PyTuple_SET_ITEM(entry, 3, event);
+        Py_DECREF(t_obj);
+        if (PyList_Append(core->slots[time & RING_MASK], entry) < 0)
+            goto fail;
+        core->ring_mask |= 1ULL << (time & RING_MASK);
+    }
+    else {
+        PyTuple_SET_ITEM(entry, 0, t_obj);
+        PyTuple_SET_ITEM(entry, 1, seq_obj);
+        Py_INCREF(cb);
+        PyTuple_SET_ITEM(entry, 2, cb);
+        Py_INCREF(arg);
+        PyTuple_SET_ITEM(entry, 3, arg);
+        Py_INCREF(event);
+        PyTuple_SET_ITEM(entry, 4, event);
+        if (heap_push(core->queue, entry) < 0)
+            goto fail;
+    }
+    Py_DECREF(entry);
+    core->live += 1;
+    return event;
+fail:
+    Py_DECREF(entry);
+    Py_DECREF(event);
+    return NULL;
+}
+
+static PyObject *
+Core_call_at(CoreObject *self, PyObject *const *args, Py_ssize_t nargs,
+             PyObject *kwnames)
+{
+    PyObject *time_obj, *cb, *arg;
+    long long time;
+    if (parse_time_cb_arg(args, nargs, kwnames, &time_obj, &cb, &arg) < 0)
+        return NULL;
+    time = PyLong_AsLongLong(time_obj);
+    if (time == -1 && PyErr_Occurred()) {
+        /* Match ``int(time)`` in the Python kernel for e.g. floats. */
+        PyErr_Clear();
+        time_obj = PyNumber_Long(time_obj);
+        if (time_obj == NULL)
+            return NULL;
+        time = PyLong_AsLongLong(time_obj);
+        Py_DECREF(time_obj);
+        if (time == -1 && PyErr_Occurred())
+            return NULL;
+    }
+    return core_call_at_impl(self, time, cb, arg);
+}
+
+static PyObject *
+Core_call_after(CoreObject *self, PyObject *const *args, Py_ssize_t nargs,
+                PyObject *kwnames)
+{
+    PyObject *time_obj, *cb, *arg;
+    long long delay;
+    if (parse_time_cb_arg(args, nargs, kwnames, &time_obj, &cb, &arg) < 0)
+        return NULL;
+    delay = PyLong_AsLongLong(time_obj);
+    if (delay == -1 && PyErr_Occurred())
+        return NULL;
+    if (delay < 0)
+        return PyErr_Format(g_sim_error, "negative delay %lld", delay);
+    return core_call_at_impl(self, self->now + delay, cb, arg);
+}
+
+static PyObject *
+Core_post_front(CoreObject *self, PyObject *const *args, Py_ssize_t nargs,
+                PyObject *kwnames)
+{
+    PyObject *time_obj, *cb, *arg, *entry, *seq_obj, *t_obj;
+    long long time, seq;
+    if (parse_time_cb_arg(args, nargs, kwnames, &time_obj, &cb, &arg) < 0)
+        return NULL;
+    time = PyLong_AsLongLong(time_obj);
+    if (time == -1 && PyErr_Occurred())
+        return NULL;
+    if (time < self->now || (time == self->now && self->running)) {
+        PyErr_Format(g_sim_error,
+                     "cannot front-schedule event at %lld, now is %lld",
+                     time, self->now);
+        return NULL;
+    }
+    seq = self->front_seq;
+    self->front_seq = seq - 1;
+    seq_obj = PyLong_FromLongLong(seq);
+    t_obj = PyLong_FromLongLong(time);
+    if (seq_obj == NULL || t_obj == NULL) {
+        Py_XDECREF(seq_obj);
+        Py_XDECREF(t_obj);
+        return NULL;
+    }
+    entry = PyTuple_New(5);
+    if (entry == NULL) {
+        Py_DECREF(seq_obj);
+        Py_DECREF(t_obj);
+        return NULL;
+    }
+    PyTuple_SET_ITEM(entry, 0, t_obj);
+    PyTuple_SET_ITEM(entry, 1, seq_obj);
+    Py_INCREF(cb);
+    PyTuple_SET_ITEM(entry, 2, cb);
+    Py_INCREF(arg);
+    PyTuple_SET_ITEM(entry, 3, arg);
+    Py_INCREF(Py_None);
+    PyTuple_SET_ITEM(entry, 4, Py_None);
+    if (heap_push(self->queue, entry) < 0) {
+        Py_DECREF(entry);
+        return NULL;
+    }
+    Py_DECREF(entry);
+    self->live += 1;
+    Py_RETURN_NONE;
+}
+
+/* -- execution ------------------------------------------------------ */
+
+static inline int
+event_cancelled(PyObject *ev)
+{
+    return SLOT_GET(ev, g_ev.cancelled) == Py_True;
+}
+
+/* Spill ring entries back into the heap with their original seqs. */
+static int
+core_flush_ring(CoreObject *core)
+{
+    unsigned long long mask = core->ring_mask;
+    long long now = core->now;
+    while (mask) {
+        int slot_idx = __builtin_ctzll(mask);
+        long long time;
+        PyObject *slot, *t_obj;
+        Py_ssize_t i, n;
+        mask &= mask - 1;
+        time = now + (((long long)slot_idx - now) & RING_MASK);
+        t_obj = PyLong_FromLongLong(time);
+        if (t_obj == NULL)
+            return -1;
+        slot = core->slots[slot_idx];
+        n = PyList_GET_SIZE(slot);
+        for (i = 0; i < n; i++) {
+            PyObject *e = PyList_GET_ITEM(slot, i);
+            PyObject *entry = PyTuple_New(5);
+            if (entry == NULL) {
+                Py_DECREF(t_obj);
+                return -1;
+            }
+            Py_INCREF(t_obj);
+            PyTuple_SET_ITEM(entry, 0, t_obj);
+            Py_INCREF(PyTuple_GET_ITEM(e, 0));
+            PyTuple_SET_ITEM(entry, 1, PyTuple_GET_ITEM(e, 0));
+            Py_INCREF(PyTuple_GET_ITEM(e, 1));
+            PyTuple_SET_ITEM(entry, 2, PyTuple_GET_ITEM(e, 1));
+            Py_INCREF(PyTuple_GET_ITEM(e, 2));
+            PyTuple_SET_ITEM(entry, 3, PyTuple_GET_ITEM(e, 2));
+            Py_INCREF(PyTuple_GET_ITEM(e, 3));
+            PyTuple_SET_ITEM(entry, 4, PyTuple_GET_ITEM(e, 3));
+            if (heap_push(core->queue, entry) < 0) {
+                Py_DECREF(entry);
+                Py_DECREF(t_obj);
+                return -1;
+            }
+            Py_DECREF(entry);
+        }
+        Py_DECREF(t_obj);
+        if (PyList_SetSlice(slot, 0, n, NULL) < 0)
+            return -1;
+    }
+    core->ring_mask = 0;
+    return 0;
+}
+
+/* Earliest live ring time strictly after now; pops cancelled heads.
+ * Returns 1 with *out set, 0 when no live ring entry, -1 on error. */
+static int
+core_next_ring_time(CoreObject *core, long long *out)
+{
+    for (;;) {
+        unsigned long long mask = core->ring_mask, rot;
+        int start, dist, slot_idx;
+        PyObject *slot;
+        if (!mask)
+            return 0;
+        start = (int)((core->now + 1) & RING_MASK);
+        rot = start ? ((mask >> start) | (mask << (RING - start))) : mask;
+        dist = __builtin_ctzll(rot);
+        slot_idx = (start + dist) & RING_MASK;
+        slot = core->slots[slot_idx];
+        while (PyList_GET_SIZE(slot)) {
+            PyObject *head_ev =
+                PyTuple_GET_ITEM(PyList_GET_ITEM(slot, 0), 3);
+            if (head_ev != Py_None && event_cancelled(head_ev)) {
+                if (PySequence_DelItem(slot, 0) < 0)
+                    return -1;
+                continue;
+            }
+            *out = core->now + 1 + dist;
+            return 1;
+        }
+        core->ring_mask &= ~(1ULL << slot_idx);
+    }
+}
+
+/* Invoke one entry's callback.  Returns 0 / -1. */
+static inline int
+invoke(PyObject *cb, PyObject *arg)
+{
+    PyObject *res = (arg == g_no_arg) ? PyObject_CallNoArgs(cb)
+                                      : PyObject_CallOneArg(cb, arg);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+/* The run loop shared by run() and run_until().
+ *
+ * until_mode=1 replicates BatchSimulator.run_until (strict limit,
+ * break at >= limit); until_mode=0 replicates run() (has_limit
+ * optional, events AT the limit still execute, now clamps to limit).
+ * Counter settle points, exception tail restoration, and the
+ * finally-flush mirror the Python code exactly.
+ */
+static int
+core_run_loop(CoreObject *core, int until_mode, int has_limit,
+              long long limit)
+{
+    PyObject *queue = core->queue;
+    core->running = 1;
+    for (;;) {
+        PyObject *slot = core->slots[core->now & RING_MASK];
+        PyObject *cb, *arg, *ev, *entry;
+        if (PyList_GET_SIZE(slot)) {
+            Py_ssize_t qn = PyList_GET_SIZE(queue);
+            if (qn && tuple_ll(PyList_GET_ITEM(queue, 0), 0) == core->now) {
+                /* Rare: pre-run or front events share this cycle. */
+                if (tuple_ll(PyList_GET_ITEM(queue, 0), 1) <
+                    tuple_ll(PyList_GET_ITEM(slot, 0), 0)) {
+                    entry = heap_pop(queue);
+                    if (entry == NULL)
+                        goto error;
+                    cb = PyTuple_GET_ITEM(entry, 2);
+                    arg = PyTuple_GET_ITEM(entry, 3);
+                    ev = PyTuple_GET_ITEM(entry, 4);
+                }
+                else {
+                    entry = PyList_GET_ITEM(slot, 0);
+                    Py_INCREF(entry);
+                    if (PySequence_DelItem(slot, 0) < 0) {
+                        Py_DECREF(entry);
+                        goto error;
+                    }
+                    if (!PyList_GET_SIZE(slot))
+                        core->ring_mask &=
+                            ~(1ULL << (core->now & RING_MASK));
+                    cb = PyTuple_GET_ITEM(entry, 1);
+                    arg = PyTuple_GET_ITEM(entry, 2);
+                    ev = PyTuple_GET_ITEM(entry, 3);
+                }
+                if (ev != Py_None) {
+                    if (event_cancelled(ev)) {
+                        Py_DECREF(entry);
+                        continue;
+                    }
+                    slot_set_incref(ev, g_ev.done, Py_True);
+                }
+                core->executed += 1;
+                core->live -= 1;
+                if (invoke(cb, arg) < 0) {
+                    Py_DECREF(entry);
+                    goto error;
+                }
+                Py_DECREF(entry);
+                continue;
+            }
+            /* Batch drain: the heap provably holds nothing at now. */
+            {
+                long long ran = 0;
+                while (PyList_GET_SIZE(slot)) {
+                    Py_ssize_t n = PyList_GET_SIZE(slot), i;
+                    PyObject *snap = PyList_GetSlice(slot, 0, n);
+                    if (snap == NULL)
+                        goto error;
+                    if (PyList_SetSlice(slot, 0, n, NULL) < 0) {
+                        Py_DECREF(snap);
+                        goto error;
+                    }
+                    for (i = 0; i < n; i++) {
+                        PyObject *e = PyList_GET_ITEM(snap, i);
+                        ev = PyTuple_GET_ITEM(e, 3);
+                        if (ev != Py_None) {
+                            if (event_cancelled(ev))
+                                continue;
+                            slot_set_incref(ev, g_ev.done, Py_True);
+                        }
+                        ran += 1;
+                        if (invoke(PyTuple_GET_ITEM(e, 1),
+                                   PyTuple_GET_ITEM(e, 2)) < 0) {
+                            /* Restore the undispatched tail, matching
+                             * slot.extendleft(reversed(list(it))). */
+                            PyObject *tail =
+                                PyList_GetSlice(snap, i + 1, n);
+                            if (tail != NULL) {
+                                PyObject *exc, *val, *tb;
+                                PyErr_Fetch(&exc, &val, &tb);
+                                PyList_SetSlice(slot, 0, 0, tail);
+                                Py_DECREF(tail);
+                                PyErr_Restore(exc, val, tb);
+                            }
+                            Py_DECREF(snap);
+                            goto error;
+                        }
+                    }
+                    Py_DECREF(snap);
+                }
+                core->executed += ran;
+                core->live -= ran;
+                core->ring_mask &= ~(1ULL << (core->now & RING_MASK));
+                continue;
+            }
+        }
+        else {
+            long long t_ring = 0;
+            int has_ring = core_next_ring_time(core, &t_ring);
+            Py_ssize_t qn;
+            if (has_ring < 0)
+                goto error;
+            qn = PyList_GET_SIZE(queue);
+            if (qn && (!has_ring ||
+                       tuple_ll(PyList_GET_ITEM(queue, 0), 0) <= t_ring)) {
+                long long head_t =
+                    tuple_ll(PyList_GET_ITEM(queue, 0), 0);
+                if (until_mode) {
+                    if (head_t >= limit)
+                        break;
+                }
+                else if (has_limit && head_t > limit) {
+                    core->now = limit;
+                    break;
+                }
+                entry = heap_pop(queue);
+                if (entry == NULL)
+                    goto error;
+                cb = PyTuple_GET_ITEM(entry, 2);
+                arg = PyTuple_GET_ITEM(entry, 3);
+                ev = PyTuple_GET_ITEM(entry, 4);
+                if (ev != Py_None) {
+                    if (event_cancelled(ev)) {
+                        Py_DECREF(entry);
+                        continue;
+                    }
+                    slot_set_incref(ev, g_ev.done, Py_True);
+                }
+                core->now = head_t;
+                core->executed += 1;
+                core->live -= 1;
+                if (invoke(cb, arg) < 0) {
+                    Py_DECREF(entry);
+                    goto error;
+                }
+                Py_DECREF(entry);
+                continue;
+            }
+            else if (has_ring) {
+                if (until_mode) {
+                    if (t_ring >= limit)
+                        break;
+                }
+                else if (has_limit && t_ring > limit) {
+                    core->now = limit;
+                    break;
+                }
+                core->now = t_ring;
+                continue;
+            }
+            else
+                break;
+        }
+    }
+    core->running = 0;
+    if (core->ring_mask && core_flush_ring(core) < 0)
+        return -1;
+    return 0;
+error:
+    core->running = 0;
+    if (core->ring_mask) {
+        PyObject *exc, *val, *tb;
+        PyErr_Fetch(&exc, &val, &tb);
+        if (core_flush_ring(core) < 0)
+            PyErr_Clear();
+        PyErr_Restore(exc, val, tb);
+    }
+    return -1;
+}
+
+static PyObject *
+Core_run(CoreObject *self, PyObject *const *args, Py_ssize_t nargs,
+         PyObject *kwnames)
+{
+    PyObject *until = Py_None;
+    int has_limit = 0;
+    long long limit = 0;
+    if (nargs > 1 || (kwnames && PyTuple_GET_SIZE(kwnames) > 1)) {
+        PyErr_SetString(PyExc_TypeError, "run() takes at most 1 argument");
+        return NULL;
+    }
+    if (nargs == 1)
+        until = args[0];
+    if (kwnames && PyTuple_GET_SIZE(kwnames) == 1) {
+        if (nargs == 1 ||
+            PyUnicode_CompareWithASCIIString(
+                PyTuple_GET_ITEM(kwnames, 0), "until") != 0) {
+            PyErr_SetString(PyExc_TypeError, "unexpected keyword");
+            return NULL;
+        }
+        until = args[0];
+    }
+    if (until == Py_None && self->sim != NULL) {
+        PyObject *mc = PyObject_GetAttr(self->sim, s_max_cycles);
+        if (mc == NULL)
+            return NULL;
+        if (mc != Py_None) {
+            limit = PyLong_AsLongLong(mc);
+            if (limit == -1 && PyErr_Occurred()) {
+                Py_DECREF(mc);
+                return NULL;
+            }
+            has_limit = 1;
+        }
+        Py_DECREF(mc);
+    }
+    else if (until != Py_None) {
+        limit = PyLong_AsLongLong(until);
+        if (limit == -1 && PyErr_Occurred())
+            return NULL;
+        has_limit = 1;
+    }
+    if (core_run_loop(self, 0, has_limit, limit) < 0)
+        return NULL;
+    return PyLong_FromLongLong(self->now);
+}
+
+static PyObject *
+Core_run_until(CoreObject *self, PyObject *limit_obj)
+{
+    long long limit = PyLong_AsLongLong(limit_obj);
+    Py_ssize_t qn;
+    if (limit == -1 && PyErr_Occurred())
+        return NULL;
+    if (limit < self->now) {
+        PyErr_Format(g_sim_error,
+                     "cannot run window to %lld, now is %lld",
+                     limit, self->now);
+        return NULL;
+    }
+    qn = PyList_GET_SIZE(self->queue);
+    if (!qn ||
+        tuple_ll(PyList_GET_ITEM(self->queue, 0), 0) >= limit) {
+        self->now = limit;
+        return PyLong_FromLongLong(limit);
+    }
+    if (core_run_loop(self, 1, 1, limit) < 0)
+        return NULL;
+    self->now = limit;
+    return PyLong_FromLongLong(limit);
+}
+
+static PyObject *
+Core_flush_ring_py(CoreObject *self, PyObject *noarg)
+{
+    if (core_flush_ring(self) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Core_next_ring_time_py(CoreObject *self, PyObject *noarg)
+{
+    long long t;
+    int r = core_next_ring_time(self, &t);
+    if (r < 0)
+        return NULL;
+    if (r == 0)
+        Py_RETURN_NONE;
+    return PyLong_FromLongLong(t);
+}
+
+static PyMethodDef Core_methods[] = {
+    {"bind", (PyCFunction)Core_bind, METH_O, NULL},
+    {"post", (PyCFunction)(void (*)(void))Core_post,
+     METH_FASTCALL | METH_KEYWORDS, NULL},
+    {"post_after", (PyCFunction)(void (*)(void))Core_post_after,
+     METH_FASTCALL | METH_KEYWORDS, NULL},
+    {"call_at", (PyCFunction)(void (*)(void))Core_call_at,
+     METH_FASTCALL | METH_KEYWORDS, NULL},
+    {"call_after", (PyCFunction)(void (*)(void))Core_call_after,
+     METH_FASTCALL | METH_KEYWORDS, NULL},
+    {"post_front", (PyCFunction)(void (*)(void))Core_post_front,
+     METH_FASTCALL | METH_KEYWORDS, NULL},
+    {"run", (PyCFunction)(void (*)(void))Core_run,
+     METH_FASTCALL | METH_KEYWORDS, NULL},
+    {"run_until", (PyCFunction)Core_run_until, METH_O, NULL},
+    {"flush_ring", (PyCFunction)Core_flush_ring_py, METH_NOARGS, NULL},
+    {"next_ring_time", (PyCFunction)Core_next_ring_time_py, METH_NOARGS,
+     NULL},
+    {NULL, NULL, 0, NULL},
+};
+
+/* Scalar getsets (all settable so the Python wrappers stay drop-in). */
+#define CORE_LL_GETSET(field)                                            \
+    static PyObject *Core_get_##field(CoreObject *s, void *c)            \
+    {                                                                    \
+        return PyLong_FromLongLong(s->field);                            \
+    }                                                                    \
+    static int Core_set_##field(CoreObject *s, PyObject *v, void *c)     \
+    {                                                                    \
+        long long x = PyLong_AsLongLong(v);                              \
+        if (x == -1 && PyErr_Occurred())                                 \
+            return -1;                                                   \
+        s->field = x;                                                    \
+        return 0;                                                        \
+    }
+
+CORE_LL_GETSET(now)
+CORE_LL_GETSET(seq)
+CORE_LL_GETSET(front_seq)
+CORE_LL_GETSET(live)
+CORE_LL_GETSET(executed)
+
+static PyObject *
+Core_get_ring_mask(CoreObject *s, void *c)
+{
+    return PyLong_FromUnsignedLongLong(s->ring_mask);
+}
+
+static int
+Core_set_ring_mask(CoreObject *s, PyObject *v, void *c)
+{
+    unsigned long long x = PyLong_AsUnsignedLongLong(v);
+    if (x == (unsigned long long)-1 && PyErr_Occurred())
+        return -1;
+    s->ring_mask = x;
+    return 0;
+}
+
+static PyObject *
+Core_get_running(CoreObject *s, void *c)
+{
+    return PyBool_FromLong(s->running);
+}
+
+static int
+Core_set_running(CoreObject *s, PyObject *v, void *c)
+{
+    int x = PyObject_IsTrue(v);
+    if (x < 0)
+        return -1;
+    s->running = x;
+    return 0;
+}
+
+static PyObject *
+Core_get_queue(CoreObject *s, void *c)
+{
+    Py_INCREF(s->queue);
+    return s->queue;
+}
+
+static PyObject *
+Core_get_ring(CoreObject *s, void *c)
+{
+    Py_INCREF(s->ring);
+    return s->ring;
+}
+
+static PyGetSetDef Core_getsets[] = {
+    {"now", (getter)Core_get_now, (setter)Core_set_now, NULL, NULL},
+    {"seq", (getter)Core_get_seq, (setter)Core_set_seq, NULL, NULL},
+    {"front_seq", (getter)Core_get_front_seq, (setter)Core_set_front_seq,
+     NULL, NULL},
+    {"live", (getter)Core_get_live, (setter)Core_set_live, NULL, NULL},
+    {"executed", (getter)Core_get_executed, (setter)Core_set_executed, NULL,
+     NULL},
+    {"ring_mask", (getter)Core_get_ring_mask, (setter)Core_set_ring_mask,
+     NULL, NULL},
+    {"running", (getter)Core_get_running, (setter)Core_set_running, NULL,
+     NULL},
+    {"queue", (getter)Core_get_queue, NULL, NULL, NULL},
+    {"ring", (getter)Core_get_ring, NULL, NULL, NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject Core_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0).tp_name = "repro._native.Core",
+    .tp_basicsize = sizeof(CoreObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_new = Core_new,
+    .tp_dealloc = (destructor)Core_dealloc,
+    .tp_traverse = (traverseproc)Core_traverse,
+    .tp_clear = (inquiry)Core_clear,
+    .tp_methods = Core_methods,
+    .tp_getset = Core_getsets,
+};
+
+/* ------------------------------------------------------------------ */
+/* StepKernel: the fused SoA cache-hit issue path, compiled.          */
+/* Mirrors repro.backend.fastpath.SoaProcessor._step exactly.         */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    vectorcallfunc vectorcall;
+    CoreObject *core;       /* strong */
+    PyObject *proc;         /* strong */
+    PyObject *proc_dict;    /* strong ref to proc.__dict__ */
+    PyObject *tags;         /* list[int] */
+    PyObject *states;       /* bytearray */
+    PyObject *written;      /* bytearray */
+    PyObject *slab;         /* array('q'); buffer held below */
+    Py_buffer slab_buf;
+    int slab_held;
+    long long wpb, shift, imask, block_mask, low_mask, latency;
+    PyObject *cache_slots;  /* live counter slot list */
+    Py_ssize_t hit_load, hit_store, hit_rmw;
+    PyObject *proc_slots;   /* live counter slot list */
+    Py_ssize_t think_slot;
+    PyObject *issue, *park, *retire, *execute_op;  /* bound methods */
+} StepKernelObject;
+
+static PyTypeObject StepKernel_Type;
+
+static PyObject *step_kernel_vectorcall(PyObject *, PyObject *const *,
+                                        size_t, PyObject *);
+
+static PyObject *
+spec_get(PyObject *spec, const char *key)
+{
+    PyObject *v = PyDict_GetItemString(spec, key);
+    if (v == NULL)
+        PyErr_Format(PyExc_KeyError, "spec missing %s", key);
+    return v;  /* borrowed */
+}
+
+static int
+spec_get_ll(PyObject *spec, const char *key, long long *out)
+{
+    PyObject *v = spec_get(spec, key);
+    if (v == NULL)
+        return -1;
+    *out = PyLong_AsLongLong(v);
+    if (*out == -1 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+#define SPEC_REF(field, key)                                             \
+    do {                                                                 \
+        PyObject *v_ = spec_get(spec, key);                              \
+        if (v_ == NULL)                                                  \
+            return -1;                                                   \
+        Py_INCREF(v_);                                                   \
+        self->field = v_;                                                \
+    } while (0)
+
+static int
+StepKernel_init(StepKernelObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *spec, *core;
+    long long tmp;
+    if (!g_ready) {
+        PyErr_SetString(PyExc_RuntimeError, "_native.setup() not called");
+        return -1;
+    }
+    if (!PyArg_ParseTuple(args, "O!:StepKernel", &PyDict_Type, &spec))
+        return -1;
+    core = spec_get(spec, "core");
+    if (core == NULL || !PyObject_TypeCheck(core, &Core_Type)) {
+        if (core != NULL)
+            PyErr_SetString(PyExc_TypeError, "spec['core'] must be a Core");
+        return -1;
+    }
+    Py_INCREF(core);
+    Py_XSETREF(self->core, (CoreObject *)core);
+    SPEC_REF(proc, "proc");
+    Py_XSETREF(self->proc_dict, PyObject_GenericGetDict(self->proc, NULL));
+    if (self->proc_dict == NULL)
+        return -1;
+    SPEC_REF(tags, "tags");
+    SPEC_REF(states, "states");
+    SPEC_REF(written, "written");
+    SPEC_REF(slab, "slab");
+    SPEC_REF(cache_slots, "cache_slots");
+    SPEC_REF(proc_slots, "proc_slots");
+    SPEC_REF(issue, "issue");
+    SPEC_REF(park, "park");
+    SPEC_REF(retire, "retire");
+    SPEC_REF(execute_op, "execute_op");
+    if (spec_get_ll(spec, "wpb", &self->wpb) < 0 ||
+        spec_get_ll(spec, "shift", &self->shift) < 0 ||
+        spec_get_ll(spec, "imask", &self->imask) < 0 ||
+        spec_get_ll(spec, "block_mask", &self->block_mask) < 0 ||
+        spec_get_ll(spec, "low_mask", &self->low_mask) < 0 ||
+        spec_get_ll(spec, "latency", &self->latency) < 0 ||
+        spec_get_ll(spec, "hit_load", &tmp) < 0)
+        return -1;
+    self->hit_load = (Py_ssize_t)tmp;
+    if (spec_get_ll(spec, "hit_store", &tmp) < 0)
+        return -1;
+    self->hit_store = (Py_ssize_t)tmp;
+    if (spec_get_ll(spec, "hit_rmw", &tmp) < 0)
+        return -1;
+    self->hit_rmw = (Py_ssize_t)tmp;
+    if (spec_get_ll(spec, "think_slot", &tmp) < 0)
+        return -1;
+    self->think_slot = (Py_ssize_t)tmp;
+    if (self->slab_held) {
+        PyBuffer_Release(&self->slab_buf);
+        self->slab_held = 0;
+    }
+    if (PyObject_GetBuffer(self->slab, &self->slab_buf,
+                           PyBUF_WRITABLE | PyBUF_FORMAT) < 0)
+        return -1;
+    self->slab_held = 1;
+    if (!PyByteArray_Check(self->states) || !PyByteArray_Check(self->written)
+        || !PyList_Check(self->tags)) {
+        PyErr_SetString(PyExc_TypeError, "bad SoA column types");
+        return -1;
+    }
+    self->vectorcall = step_kernel_vectorcall;
+    return 0;
+}
+
+static int
+StepKernel_traverse(StepKernelObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->core);
+    Py_VISIT(self->proc);
+    Py_VISIT(self->proc_dict);
+    Py_VISIT(self->tags);
+    Py_VISIT(self->states);
+    Py_VISIT(self->written);
+    Py_VISIT(self->slab);
+    Py_VISIT(self->cache_slots);
+    Py_VISIT(self->proc_slots);
+    Py_VISIT(self->issue);
+    Py_VISIT(self->park);
+    Py_VISIT(self->retire);
+    Py_VISIT(self->execute_op);
+    return 0;
+}
+
+static int
+StepKernel_clear(StepKernelObject *self)
+{
+    if (self->slab_held) {
+        PyBuffer_Release(&self->slab_buf);
+        self->slab_held = 0;
+    }
+    Py_CLEAR(self->core);
+    Py_CLEAR(self->proc);
+    Py_CLEAR(self->proc_dict);
+    Py_CLEAR(self->tags);
+    Py_CLEAR(self->states);
+    Py_CLEAR(self->written);
+    Py_CLEAR(self->slab);
+    Py_CLEAR(self->cache_slots);
+    Py_CLEAR(self->proc_slots);
+    Py_CLEAR(self->issue);
+    Py_CLEAR(self->park);
+    Py_CLEAR(self->retire);
+    Py_CLEAR(self->execute_op);
+    return 0;
+}
+
+static void
+StepKernel_dealloc(StepKernelObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    StepKernel_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* call one of the cached Python fallbacks, dropping the result */
+static int
+call2_drop(PyObject *fn, PyObject *a, PyObject *b)
+{
+    PyObject *r = PyObject_CallFunctionObjArgs(fn, a, b, NULL);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+static inline int
+kind_is(PyObject *kind, PyObject *interned)
+{
+    if (kind == interned)
+        return 1;
+    return PyObject_RichCompareBool(kind, interned, Py_EQ);
+}
+
+/* the completion-event ring insert every hit/think shares */
+static inline int
+sk_ring_post(StepKernelObject *k, long long time, PyObject *ctx)
+{
+    return core_ring_post(k->core, time, (PyObject *)k, ctx);
+}
+
+static PyObject *
+step_kernel_vectorcall(PyObject *kself, PyObject *const *args, size_t nargsf,
+                       PyObject *kwnames)
+{
+    StepKernelObject *k = (StepKernelObject *)kself;
+    CoreObject *core = k->core;
+    PyObject *ctx, *op = NULL, *kind;
+    long long now, tfa;
+    int err = 0, decref_op = 0;
+    if (PyVectorcall_NARGS(nargsf) != 1 ||
+        (kwnames && PyTuple_GET_SIZE(kwnames))) {
+        PyErr_SetString(PyExc_TypeError, "step kernel takes exactly (ctx)");
+        return NULL;
+    }
+    ctx = args[0];
+    if (SLOT_GET(ctx, g_ctx.state) == g_ctx_done)
+        Py_RETURN_NONE;
+    now = core->now;
+    tfa = dict_get_ll(k->proc_dict, s_trap_free_at, &err);
+    if (err)
+        return NULL;
+    if (now < tfa) {
+        if (core_post_impl(core, tfa, NULL, kself, ctx) < 0)
+            return NULL;
+        Py_RETURN_NONE;
+    }
+    slot_set_incref(ctx, g_ctx.state, g_ctx_running);
+    if (SLOT_GET(ctx, g_ctx.pending_op) != Py_None) {
+        op = SLOT_GET(ctx, g_ctx.pending_op);
+        Py_INCREF(op);
+        decref_op = 1;
+        slot_set_incref(ctx, g_ctx.pending_op, Py_None);
+        slot_set_incref(ctx, g_ctx.pending_needs, Py_None);
+    }
+    else if (SLOT_GET(ctx, g_ctx.burst_ops) != Py_None) {
+        PyObject *burst = SLOT_GET(ctx, g_ctx.burst_ops);
+        long long pos = PyLong_AsLongLong(SLOT_GET(ctx, g_ctx.burst_pos));
+        slot_set_incref(ctx, g_ctx.resume_value, Py_None);
+        if (pos == -1 && PyErr_Occurred())
+            return NULL;
+        op = PyTuple_GET_ITEM(burst, pos);
+        Py_INCREF(op);
+        decref_op = 1;
+        pos += 1;
+        if (pos == PyTuple_GET_SIZE(burst)) {
+            slot_set_incref(ctx, g_ctx.burst_ops, Py_None);
+            slot_set(ctx, g_ctx.burst_pos, PyLong_FromLong(0));
+        }
+        else {
+            PyObject *pos_obj = PyLong_FromLongLong(pos);
+            if (pos_obj == NULL) {
+                Py_DECREF(op);
+                return NULL;
+            }
+            slot_set(ctx, g_ctx.burst_pos, pos_obj);
+        }
+        {
+            long long n =
+                PyLong_AsLongLong(SLOT_GET(ctx, g_ctx.ops_executed));
+            PyObject *n_obj;
+            if (n == -1 && PyErr_Occurred()) {
+                Py_DECREF(op);
+                return NULL;
+            }
+            n_obj = PyLong_FromLongLong(n + 1);
+            if (n_obj == NULL) {
+                Py_DECREF(op);
+                return NULL;
+            }
+            slot_set(ctx, g_ctx.ops_executed, n_obj);
+        }
+    }
+    else {
+        PyObject *value = SLOT_GET(ctx, g_ctx.resume_value);
+        PyObject *res, *gen;
+        PySendResult sr;
+        Py_INCREF(value);
+        slot_set_incref(ctx, g_ctx.resume_value, Py_None);
+        gen = SLOT_GET(ctx, g_ctx.gen);
+        if (SLOT_GET(ctx, g_ctx.started) != Py_True) {
+            slot_set_incref(ctx, g_ctx.started, Py_True);
+            sr = PyIter_Send(gen, Py_None, &res);
+        }
+        else
+            sr = PyIter_Send(gen, value, &res);
+        Py_DECREF(value);
+        if (sr == PYGEN_ERROR)
+            return NULL;
+        if (sr == PYGEN_RETURN) {
+            long long outstanding;
+            Py_XDECREF(res);
+            outstanding = PyLong_AsLongLong(
+                SLOT_GET(ctx, g_ctx.outstanding_stores));
+            if (outstanding == -1 && PyErr_Occurred())
+                return NULL;
+            if (outstanding) {
+                PyObject *r = PyObject_CallFunctionObjArgs(
+                    k->park, ctx, g_retire_op, g_str_all, NULL);
+                if (r == NULL)
+                    return NULL;
+                Py_DECREF(r);
+                Py_RETURN_NONE;
+            }
+            {
+                PyObject *r = PyObject_CallOneArg(k->retire, ctx);
+                if (r == NULL)
+                    return NULL;
+                Py_DECREF(r);
+            }
+            Py_RETURN_NONE;
+        }
+        op = res;
+        decref_op = 1;
+        {
+            long long n =
+                PyLong_AsLongLong(SLOT_GET(ctx, g_ctx.ops_executed));
+            PyObject *n_obj;
+            if (n == -1 && PyErr_Occurred())
+                goto fail_op;
+            n_obj = PyLong_FromLongLong(n + 1);
+            if (n_obj == NULL)
+                goto fail_op;
+            slot_set(ctx, g_ctx.ops_executed, n_obj);
+        }
+    }
+    slot_set_incref(ctx, g_ctx.last_op, op);
+    if (!PyTuple_Check(op) || PyTuple_GET_SIZE(op) == 0)
+        goto fallback;
+    kind = PyTuple_GET_ITEM(op, 0);
+    {
+        int is = kind_is(kind, g_op_think);
+        if (is < 0)
+            goto fail_op;
+        if (is) {
+            long long cycles =
+                PyLong_AsLongLong(PyTuple_GET_ITEM(op, 1));
+            if (cycles == -1 && PyErr_Occurred())
+                goto fail_op;
+            if (dict_add_ll(k->proc_dict, s_busy_cycles, cycles) < 0)
+                goto fail_op;
+            if (list_add_ll(k->proc_slots, k->think_slot, cycles) < 0)
+                goto fail_op;
+            if (cycles < RING) {
+                if (sk_ring_post(k, now + cycles, ctx) < 0)
+                    goto fail_op;
+            }
+            else if (core_post_impl(core, now + cycles, NULL, kself, ctx)
+                     < 0)
+                goto fail_op;
+            Py_DECREF(op);
+            Py_RETURN_NONE;
+        }
+    }
+    {
+        int is = kind_is(kind, g_op_load);
+        if (is < 0)
+            goto fail_op;
+        if (is) {
+            long long addr =
+                PyLong_AsLongLong(PyTuple_GET_ITEM(op, 1));
+            long long block, index;
+            if (addr == -1 && PyErr_Occurred())
+                goto fail_op;
+            block = addr & k->block_mask;
+            index = (block >> k->shift) & k->imask;
+            {
+                long long tag = PyLong_AsLongLong(
+                    PyList_GET_ITEM(k->tags, (Py_ssize_t)index));
+                if (tag == -1 && PyErr_Occurred())
+                    goto fail_op;
+                if (tag == block &&
+                    PyByteArray_AS_STRING(k->states)[index]) {
+                    long long *slab = (long long *)k->slab_buf.buf;
+                    long long word =
+                        slab[index * k->wpb + ((addr & k->low_mask) >> 2)];
+                    PyObject *word_obj;
+                    slot_set_incref(ctx, g_ctx.state, g_ctx_blocked);
+                    if (dict_add_ll(k->proc_dict, s_busy_cycles,
+                                    k->latency) < 0)
+                        goto fail_op;
+                    if (list_add_ll(k->cache_slots, k->hit_load, 1) < 0)
+                        goto fail_op;
+                    word_obj = PyLong_FromLongLong(word);
+                    if (word_obj == NULL)
+                        goto fail_op;
+                    slot_set(ctx, g_ctx.resume_value, word_obj);
+                    if (sk_ring_post(k, now + k->latency, ctx) < 0)
+                        goto fail_op;
+                    Py_DECREF(op);
+                    Py_RETURN_NONE;
+                }
+            }
+            {
+                PyObject *block_obj = PyLong_FromLongLong(block);
+                PyObject *r;
+                if (block_obj == NULL)
+                    goto fail_op;
+                r = PyObject_CallFunctionObjArgs(
+                    k->issue, ctx, g_str_load, PyTuple_GET_ITEM(op, 1),
+                    Py_None, block_obj, NULL);
+                Py_DECREF(block_obj);
+                if (r == NULL)
+                    goto fail_op;
+                Py_DECREF(r);
+            }
+            Py_DECREF(op);
+            Py_RETURN_NONE;
+        }
+    }
+    {
+        int is = kind_is(kind, g_op_store);
+        if (is < 0)
+            goto fail_op;
+        if (is) {
+            long long addr =
+                PyLong_AsLongLong(PyTuple_GET_ITEM(op, 1));
+            long long block, index;
+            if (addr == -1 && PyErr_Occurred())
+                goto fail_op;
+            block = addr & k->block_mask;
+            index = (block >> k->shift) & k->imask;
+            {
+                long long tag = PyLong_AsLongLong(
+                    PyList_GET_ITEM(k->tags, (Py_ssize_t)index));
+                if (tag == -1 && PyErr_Occurred())
+                    goto fail_op;
+                if (tag == block &&
+                    PyByteArray_AS_STRING(k->states)[index] == 2) {
+                    long long *slab = (long long *)k->slab_buf.buf;
+                    long long value;
+                    slot_set_incref(ctx, g_ctx.state, g_ctx_blocked);
+                    if (dict_add_ll(k->proc_dict, s_busy_cycles,
+                                    k->latency) < 0)
+                        goto fail_op;
+                    if (list_add_ll(k->cache_slots, k->hit_store, 1) < 0)
+                        goto fail_op;
+                    value = PyLong_AsLongLong(PyTuple_GET_ITEM(op, 2));
+                    if (value == -1 && PyErr_Occurred())
+                        goto fail_op;
+                    slab[index * k->wpb + ((addr & k->low_mask) >> 2)] =
+                        value;
+                    PyByteArray_AS_STRING(k->written)[index] = 1;
+                    slot_set_incref(ctx, g_ctx.resume_value, Py_None);
+                    if (sk_ring_post(k, now + k->latency, ctx) < 0)
+                        goto fail_op;
+                    Py_DECREF(op);
+                    Py_RETURN_NONE;
+                }
+            }
+            {
+                PyObject *block_obj = PyLong_FromLongLong(block);
+                PyObject *r;
+                if (block_obj == NULL)
+                    goto fail_op;
+                r = PyObject_CallFunctionObjArgs(
+                    k->issue, ctx, g_str_store, PyTuple_GET_ITEM(op, 1),
+                    PyTuple_GET_ITEM(op, 2), block_obj, NULL);
+                Py_DECREF(block_obj);
+                if (r == NULL)
+                    goto fail_op;
+                Py_DECREF(r);
+            }
+            Py_DECREF(op);
+            Py_RETURN_NONE;
+        }
+    }
+    {
+        int is = kind_is(kind, g_op_rmw);
+        if (is < 0)
+            goto fail_op;
+        if (is) {
+            long long outstanding = PyLong_AsLongLong(
+                SLOT_GET(ctx, g_ctx.outstanding_stores));
+            long long addr, block, index;
+            if (outstanding == -1 && PyErr_Occurred())
+                goto fail_op;
+            if (outstanding) {
+                PyObject *r = PyObject_CallFunctionObjArgs(
+                    k->park, ctx, op, g_str_all, NULL);
+                if (r == NULL)
+                    goto fail_op;
+                Py_DECREF(r);
+                Py_DECREF(op);
+                Py_RETURN_NONE;
+            }
+            addr = PyLong_AsLongLong(PyTuple_GET_ITEM(op, 1));
+            if (addr == -1 && PyErr_Occurred())
+                goto fail_op;
+            block = addr & k->block_mask;
+            index = (block >> k->shift) & k->imask;
+            {
+                long long tag = PyLong_AsLongLong(
+                    PyList_GET_ITEM(k->tags, (Py_ssize_t)index));
+                if (tag == -1 && PyErr_Occurred())
+                    goto fail_op;
+                if (tag == block &&
+                    PyByteArray_AS_STRING(k->states)[index] == 2) {
+                    long long *slab = (long long *)k->slab_buf.buf;
+                    long long wi =
+                        index * k->wpb + ((addr & k->low_mask) >> 2);
+                    long long result = slab[wi], new_val;
+                    PyObject *result_obj, *new_obj;
+                    slot_set_incref(ctx, g_ctx.state, g_ctx_blocked);
+                    if (dict_add_ll(k->proc_dict, s_busy_cycles,
+                                    k->latency) < 0)
+                        goto fail_op;
+                    if (list_add_ll(k->cache_slots, k->hit_rmw, 1) < 0)
+                        goto fail_op;
+                    result_obj = PyLong_FromLongLong(result);
+                    if (result_obj == NULL)
+                        goto fail_op;
+                    new_obj = PyObject_CallOneArg(
+                        PyTuple_GET_ITEM(op, 2), result_obj);
+                    if (new_obj == NULL) {
+                        Py_DECREF(result_obj);
+                        goto fail_op;
+                    }
+                    new_val = PyLong_AsLongLong(new_obj);
+                    Py_DECREF(new_obj);
+                    if (new_val == -1 && PyErr_Occurred()) {
+                        Py_DECREF(result_obj);
+                        goto fail_op;
+                    }
+                    slab[wi] = new_val;
+                    PyByteArray_AS_STRING(k->written)[index] = 1;
+                    slot_set(ctx, g_ctx.resume_value, result_obj);
+                    if (sk_ring_post(k, now + k->latency, ctx) < 0)
+                        goto fail_op;
+                    Py_DECREF(op);
+                    Py_RETURN_NONE;
+                }
+            }
+            {
+                PyObject *block_obj = PyLong_FromLongLong(block);
+                PyObject *r;
+                if (block_obj == NULL)
+                    goto fail_op;
+                r = PyObject_CallFunctionObjArgs(
+                    k->issue, ctx, g_str_rmw, PyTuple_GET_ITEM(op, 1),
+                    PyTuple_GET_ITEM(op, 2), block_obj, NULL);
+                Py_DECREF(block_obj);
+                if (r == NULL)
+                    goto fail_op;
+                Py_DECREF(r);
+            }
+            Py_DECREF(op);
+            Py_RETURN_NONE;
+        }
+    }
+fallback:
+    if (call2_drop(k->execute_op, ctx, op) < 0)
+        goto fail_op;
+    if (decref_op)
+        Py_DECREF(op);
+    Py_RETURN_NONE;
+fail_op:
+    if (decref_op)
+        Py_XDECREF(op);
+    return NULL;
+}
+
+static PyTypeObject StepKernel_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0).tp_name = "repro._native.StepKernel",
+    .tp_basicsize = sizeof(StepKernelObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC |
+                Py_TPFLAGS_HAVE_VECTORCALL,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)StepKernel_init,
+    .tp_dealloc = (destructor)StepKernel_dealloc,
+    .tp_traverse = (traverseproc)StepKernel_traverse,
+    .tp_clear = (inquiry)StepKernel_clear,
+    .tp_vectorcall_offset = offsetof(StepKernelObject, vectorcall),
+    .tp_call = PyVectorcall_Call,
+};
+
+/* ------------------------------------------------------------------ */
+/* Pool: compiled PacketPool acquire/release (packet.PacketPool).     */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *free_list;
+    long long allocated, recycled;
+    int enabled;
+} PoolObject;
+
+static PyTypeObject Pool_Type;
+
+static PyObject *
+Pool_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    PoolObject *self = (PoolObject *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->free_list = PyList_New(0);
+    if (self->free_list == NULL) {
+        Py_DECREF(self);
+        return NULL;
+    }
+    self->enabled = 1;
+    return (PyObject *)self;
+}
+
+static int
+Pool_init(PoolObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"enabled", NULL};
+    int enabled = 1;
+    if (!g_ready) {
+        PyErr_SetString(PyExc_RuntimeError, "_native.setup() not called");
+        return -1;
+    }
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|p:Pool", kwlist,
+                                     &enabled))
+        return -1;
+    self->enabled = enabled;
+    return 0;
+}
+
+static int
+Pool_traverse(PoolObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->free_list);
+    return 0;
+}
+
+static int
+Pool_clear_gc(PoolObject *self)
+{
+    Py_CLEAR(self->free_list);
+    return 0;
+}
+
+static void
+Pool_dealloc(PoolObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Pool_clear_gc(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static Py_ssize_t
+Pool_length(PoolObject *self)
+{
+    return PyList_GET_SIZE(self->free_list);
+}
+
+static PyObject *
+pool_protocol_impl(PoolObject *self, PyObject *src, PyObject *dst,
+                   PyObject *opcode, PyObject *address, PyObject *data,
+                   PyObject *meta)
+{
+    Py_ssize_t n = PyList_GET_SIZE(self->free_list);
+    PyObject *packet;
+    if (n == 0) {
+        PyObject *cargs, *kwargs, *r;
+        cargs = PyTuple_Pack(4, src, dst, opcode, address);
+        if (cargs == NULL)
+            return NULL;
+        kwargs = meta ? PyDict_Copy(meta) : PyDict_New();
+        if (kwargs == NULL) {
+            Py_DECREF(cargs);
+            return NULL;
+        }
+        if (PyDict_SetItemString(kwargs, "data",
+                                 data ? data : Py_None) < 0) {
+            Py_DECREF(cargs);
+            Py_DECREF(kwargs);
+            return NULL;
+        }
+        self->allocated++;
+        r = PyObject_Call(g_protocol_packet, cargs, kwargs);
+        Py_DECREF(cargs);
+        Py_DECREF(kwargs);
+        return r;
+    }
+    self->recycled++;
+    packet = PyList_GET_ITEM(self->free_list, n - 1);
+    Py_INCREF(packet);
+    if (PyList_SetSlice(self->free_list, n - 1, n, NULL) < 0) {
+        Py_DECREF(packet);
+        return NULL;
+    }
+    slot_set_incref(packet, g_pkt.free, Py_False);
+    if (Py_TYPE(opcode) != (PyTypeObject *)g_op_type) {
+        opcode = PyObject_GetItem(g_op_by_name, opcode);
+        if (opcode == NULL) {
+            Py_DECREF(packet);
+            return NULL;
+        }
+    }
+    else
+        Py_INCREF(opcode);
+    if (data == NULL || data == Py_None) {
+        long v = PyLong_AsLong(opcode);
+        if (v == -1 && PyErr_Occurred()) {
+            Py_DECREF(opcode);
+            Py_DECREF(packet);
+            return NULL;
+        }
+        if (v >= 0 && v < 64 && g_data_bearing[v]) {
+            PyErr_Format(PyExc_ValueError, "%S packet requires data",
+                         opcode);
+            Py_DECREF(opcode);
+            Py_DECREF(packet);
+            return NULL;
+        }
+    }
+    slot_set_incref(packet, g_pkt.src, src);
+    slot_set_incref(packet, g_pkt.dst, dst);
+    slot_set(packet, g_pkt.opcode, opcode);
+    slot_set_incref(packet, g_pkt.address, address);
+    slot_set_incref(packet, g_pkt.data, data ? data : Py_None);
+    if (meta && PyDict_GET_SIZE(meta)) {
+        PyObject *pm = SLOT_GET(packet, g_pkt.meta);
+        if (pm == NULL || PyDict_Update(pm, meta) < 0) {
+            Py_DECREF(packet);
+            return NULL;
+        }
+    }
+    return packet;
+}
+
+static PyObject *
+Pool_protocol(PoolObject *self, PyObject *const *args, Py_ssize_t nargs,
+              PyObject *kwnames)
+{
+    PyObject *data = NULL, *meta = NULL, *res;
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError,
+                        "protocol() takes (src, dst, opcode, address)");
+        return NULL;
+    }
+    if (kwnames != NULL) {
+        Py_ssize_t i, nk = PyTuple_GET_SIZE(kwnames);
+        for (i = 0; i < nk; i++) {
+            PyObject *name = PyTuple_GET_ITEM(kwnames, i);
+            PyObject *val = args[nargs + i];
+            if (PyUnicode_CompareWithASCIIString(name, "data") == 0)
+                data = val;
+            else {
+                if (meta == NULL) {
+                    meta = PyDict_New();
+                    if (meta == NULL)
+                        return NULL;
+                }
+                if (PyDict_SetItem(meta, name, val) < 0) {
+                    Py_DECREF(meta);
+                    return NULL;
+                }
+            }
+        }
+    }
+    res = pool_protocol_impl(self, args[0], args[1], args[2], args[3],
+                             data, meta);
+    Py_XDECREF(meta);
+    return res;
+}
+
+static int
+pool_release_impl(PoolObject *self, PyObject *packet)
+{
+    PyObject *op, *pm, *minus_one;
+    int freed;
+    if (!self->enabled)
+        return 0;
+    op = SLOT_GET(packet, g_pkt.opcode);
+    if (op == NULL || Py_TYPE(op) != (PyTypeObject *)g_op_type)
+        return 0;
+    freed = PyObject_IsTrue(SLOT_GET(packet, g_pkt.free));
+    if (freed < 0)
+        return -1;
+    if (freed) {
+        PyErr_Format(PyExc_RuntimeError, "double release of %R", packet);
+        return -1;
+    }
+    slot_set_incref(packet, g_pkt.free, Py_True);
+    slot_set_incref(packet, g_pkt.data, Py_None);
+    slot_set_incref(packet, g_pkt.crc, Py_None);
+    minus_one = PyLong_FromLong(-1);
+    if (minus_one == NULL)
+        return -1;
+    slot_set(packet, g_pkt.sent_at, minus_one);
+    pm = SLOT_GET(packet, g_pkt.meta);
+    if (pm != NULL && PyDict_Check(pm) && PyDict_GET_SIZE(pm))
+        PyDict_Clear(pm);
+    return PyList_Append(self->free_list, packet);
+}
+
+static PyObject *
+Pool_release(PoolObject *self, PyObject *packet)
+{
+    if (pool_release_impl(self, packet) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Pool_get_enabled(PoolObject *self, void *c)
+{
+    return PyBool_FromLong(self->enabled);
+}
+
+static int
+Pool_set_enabled(PoolObject *self, PyObject *v, void *c)
+{
+    int x = PyObject_IsTrue(v);
+    if (x < 0)
+        return -1;
+    self->enabled = x;
+    return 0;
+}
+
+#define POOL_LL_GETSET(field)                                            \
+    static PyObject *Pool_get_##field(PoolObject *s, void *c)            \
+    {                                                                    \
+        return PyLong_FromLongLong(s->field);                            \
+    }                                                                    \
+    static int Pool_set_##field(PoolObject *s, PyObject *v, void *c)     \
+    {                                                                    \
+        long long x = PyLong_AsLongLong(v);                              \
+        if (x == -1 && PyErr_Occurred())                                 \
+            return -1;                                                   \
+        s->field = x;                                                    \
+        return 0;                                                        \
+    }
+
+POOL_LL_GETSET(allocated)
+POOL_LL_GETSET(recycled)
+
+static PyObject *
+Pool_get_free_list(PoolObject *self, void *c)
+{
+    Py_INCREF(self->free_list);
+    return self->free_list;
+}
+
+static PyMethodDef Pool_methods[] = {
+    {"protocol", (PyCFunction)(void (*)(void))Pool_protocol,
+     METH_FASTCALL | METH_KEYWORDS, NULL},
+    {"release", (PyCFunction)Pool_release, METH_O, NULL},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef Pool_getsets[] = {
+    {"enabled", (getter)Pool_get_enabled, (setter)Pool_set_enabled, NULL,
+     NULL},
+    {"allocated", (getter)Pool_get_allocated, (setter)Pool_set_allocated,
+     NULL, NULL},
+    {"recycled", (getter)Pool_get_recycled, (setter)Pool_set_recycled,
+     NULL, NULL},
+    {"_free_list", (getter)Pool_get_free_list, NULL, NULL, NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PySequenceMethods Pool_as_sequence = {
+    .sq_length = (lenfunc)Pool_length,
+};
+
+static PyTypeObject Pool_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0).tp_name = "repro._native.Pool",
+    .tp_basicsize = sizeof(PoolObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC |
+                Py_TPFLAGS_BASETYPE,
+    .tp_new = Pool_new,
+    .tp_init = (initproc)Pool_init,
+    .tp_dealloc = (destructor)Pool_dealloc,
+    .tp_traverse = (traverseproc)Pool_traverse,
+    .tp_clear = (inquiry)Pool_clear_gc,
+    .tp_methods = Pool_methods,
+    .tp_getset = Pool_getsets,
+    .tp_as_sequence = &Pool_as_sequence,
+};
+
+/* ------------------------------------------------------------------ */
+/* RxChain: per-node receive path (NIC classify + cache dispatch +    */
+/* pool release), compiled.  Mirrors NetworkInterface._receive plus   */
+/* CacheController.receive for the memory→cache direction.            */
+/* ------------------------------------------------------------------ */
+
+static PyObject *s_state_attr;
+
+typedef struct {
+    PyObject_HEAD
+    vectorcallfunc vectorcall;
+    PyObject *nic, *nic_dict, *nic_receive, *memory_handler;
+    PyObject *cache_rx, *pool, *pool_release, *divert;
+    int pool_native;
+} RxChainObject;
+
+static PyObject *rx_chain_vectorcall(PyObject *, PyObject *const *, size_t,
+                                     PyObject *);
+
+static int
+RxChain_init(RxChainObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *spec;
+    if (!g_ready) {
+        PyErr_SetString(PyExc_RuntimeError, "_native.setup() not called");
+        return -1;
+    }
+    if (!PyArg_ParseTuple(args, "O!:RxChain", &PyDict_Type, &spec))
+        return -1;
+    SPEC_REF(nic, "nic");
+    SPEC_REF(nic_receive, "receive");
+    SPEC_REF(memory_handler, "memory_handler");
+    SPEC_REF(cache_rx, "cache_rx");
+    SPEC_REF(pool, "pool");
+    SPEC_REF(divert, "divert");
+    Py_XSETREF(self->nic_dict, PyObject_GenericGetDict(self->nic, NULL));
+    if (self->nic_dict == NULL)
+        return -1;
+    if (!PyList_Check(self->cache_rx)) {
+        PyErr_SetString(PyExc_TypeError, "cache_rx must be a list");
+        return -1;
+    }
+    self->pool_native = PyObject_TypeCheck(self->pool, &Pool_Type);
+    if (!self->pool_native) {
+        PyObject *rel = PyObject_GetAttrString(self->pool, "release");
+        if (rel == NULL)
+            return -1;
+        Py_XSETREF(self->pool_release, rel);
+    }
+    self->vectorcall = rx_chain_vectorcall;
+    return 0;
+}
+
+static int
+RxChain_traverse(RxChainObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->nic);
+    Py_VISIT(self->nic_dict);
+    Py_VISIT(self->nic_receive);
+    Py_VISIT(self->memory_handler);
+    Py_VISIT(self->cache_rx);
+    Py_VISIT(self->pool);
+    Py_VISIT(self->pool_release);
+    Py_VISIT(self->divert);
+    return 0;
+}
+
+static int
+RxChain_clear(RxChainObject *self)
+{
+    Py_CLEAR(self->nic);
+    Py_CLEAR(self->nic_dict);
+    Py_CLEAR(self->nic_receive);
+    Py_CLEAR(self->memory_handler);
+    Py_CLEAR(self->cache_rx);
+    Py_CLEAR(self->pool);
+    Py_CLEAR(self->pool_release);
+    Py_CLEAR(self->divert);
+    return 0;
+}
+
+static void
+RxChain_dealloc(RxChainObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    RxChain_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+rx_chain_vectorcall(PyObject *cself, PyObject *const *args, size_t nargsf,
+                    PyObject *kwnames)
+{
+    RxChainObject *c = (RxChainObject *)cself;
+    PyObject *packet, *crc, *op, *r;
+    if (PyVectorcall_NARGS(nargsf) != 1 ||
+        (kwnames && PyTuple_GET_SIZE(kwnames))) {
+        PyErr_SetString(PyExc_TypeError, "rx chain takes exactly (packet)");
+        return NULL;
+    }
+    packet = args[0];
+    crc = PyDict_GetItemWithError(c->nic_dict, s_crc_enabled);
+    if (crc == NULL && PyErr_Occurred())
+        return NULL;
+    if (crc != NULL && crc != Py_False) {
+        int t = PyObject_IsTrue(crc);
+        if (t < 0)
+            return NULL;
+        if (t)
+            /* CRC checking is cold: let the Python NIC do the whole
+               receive (it bumps packets_received itself). */
+            return PyObject_CallOneArg(c->nic_receive, packet);
+    }
+    if (dict_add_ll(c->nic_dict, s_packets_received, 1) < 0)
+        return NULL;
+    op = SLOT_GET(packet, g_pkt.opcode);
+    if (op != NULL && Py_TYPE(op) == (PyTypeObject *)g_op_type) {
+        long v = PyLong_AsLong(op);
+        PyObject *handler;
+        if (v == -1 && PyErr_Occurred())
+            return NULL;
+        if (v <= g_last_c2m)
+            /* cache→memory: ownership passes to the directory pipeline,
+               which releases after dispatch. */
+            return PyObject_CallOneArg(c->memory_handler, packet);
+        handler = PyList_GetItem(c->cache_rx, (Py_ssize_t)v);
+        if (handler == NULL)
+            return NULL;
+        Py_INCREF(handler);
+        r = PyObject_CallOneArg(handler, packet);
+        Py_DECREF(handler);
+        if (r == NULL)
+            return NULL;
+        Py_DECREF(r);
+        if (c->pool_native) {
+            if (pool_release_impl((PoolObject *)c->pool, packet) < 0)
+                return NULL;
+        }
+        else {
+            r = PyObject_CallOneArg(c->pool_release, packet);
+            if (r == NULL)
+                return NULL;
+            Py_DECREF(r);
+        }
+        Py_RETURN_NONE;
+    }
+    return PyObject_CallOneArg(c->divert, packet);
+}
+
+static PyTypeObject RxChain_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0).tp_name = "repro._native.RxChain",
+    .tp_basicsize = sizeof(RxChainObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC |
+                Py_TPFLAGS_HAVE_VECTORCALL,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)RxChain_init,
+    .tp_dealloc = (destructor)RxChain_dealloc,
+    .tp_traverse = (traverseproc)RxChain_traverse,
+    .tp_clear = (inquiry)RxChain_clear,
+    .tp_vectorcall_offset = offsetof(RxChainObject, vectorcall),
+    .tp_call = PyVectorcall_Call,
+};
+
+/* ------------------------------------------------------------------ */
+/* TableDispatch: the directory's per-(state, opcode) handler lookup. */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    vectorcallfunc vectorcall;
+    PyObject *table;
+} TableDispatchObject;
+
+static PyObject *table_dispatch_vectorcall(PyObject *, PyObject *const *,
+                                           size_t, PyObject *);
+
+static int
+TableDispatch_init(TableDispatchObject *self, PyObject *args,
+                   PyObject *kwds)
+{
+    PyObject *spec;
+    if (!g_ready) {
+        PyErr_SetString(PyExc_RuntimeError, "_native.setup() not called");
+        return -1;
+    }
+    if (!PyArg_ParseTuple(args, "O!:TableDispatch", &PyDict_Type, &spec))
+        return -1;
+    SPEC_REF(table, "table");
+    if (!PyList_Check(self->table)) {
+        PyErr_SetString(PyExc_TypeError, "table must be a list of lists");
+        return -1;
+    }
+    self->vectorcall = table_dispatch_vectorcall;
+    return 0;
+}
+
+static int
+TableDispatch_traverse(TableDispatchObject *self, visitproc visit,
+                       void *arg)
+{
+    Py_VISIT(self->table);
+    return 0;
+}
+
+static int
+TableDispatch_clear(TableDispatchObject *self)
+{
+    Py_CLEAR(self->table);
+    return 0;
+}
+
+static void
+TableDispatch_dealloc(TableDispatchObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    TableDispatch_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+table_dispatch_vectorcall(PyObject *dself, PyObject *const *args,
+                          size_t nargsf, PyObject *kwnames)
+{
+    TableDispatchObject *d = (TableDispatchObject *)dself;
+    PyObject *entry, *packet, *state_obj, *row, *handler, *op, *r;
+    long s, v;
+    if (PyVectorcall_NARGS(nargsf) != 2 ||
+        (kwnames && PyTuple_GET_SIZE(kwnames))) {
+        PyErr_SetString(PyExc_TypeError,
+                        "dispatch takes exactly (entry, packet)");
+        return NULL;
+    }
+    entry = args[0];
+    packet = args[1];
+    state_obj = PyObject_GetAttr(entry, s_state_attr);
+    if (state_obj == NULL)
+        return NULL;
+    s = PyLong_AsLong(state_obj);
+    Py_DECREF(state_obj);
+    if (s == -1 && PyErr_Occurred())
+        return NULL;
+    op = SLOT_GET(packet, g_pkt.opcode);
+    v = PyLong_AsLong(op);
+    if (v == -1 && PyErr_Occurred())
+        return NULL;
+    row = PyList_GetItem(d->table, (Py_ssize_t)s);
+    if (row == NULL)
+        return NULL;
+    handler = PyList_GetItem(row, (Py_ssize_t)v);
+    if (handler == NULL)
+        return NULL;
+    Py_INCREF(handler);
+    r = PyObject_CallFunctionObjArgs(handler, entry, packet, NULL);
+    Py_DECREF(handler);
+    return r;
+}
+
+static PyTypeObject TableDispatch_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0).tp_name = "repro._native.TableDispatch",
+    .tp_basicsize = sizeof(TableDispatchObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC |
+                Py_TPFLAGS_HAVE_VECTORCALL,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)TableDispatch_init,
+    .tp_dealloc = (destructor)TableDispatch_dealloc,
+    .tp_traverse = (traverseproc)TableDispatch_traverse,
+    .tp_clear = (inquiry)TableDispatch_clear,
+    .tp_vectorcall_offset = offsetof(TableDispatchObject, vectorcall),
+    .tp_call = PyVectorcall_Call,
+};
+
+/* ------------------------------------------------------------------ */
+/* NetSend: wormhole route stepping + delivery scheduling, compiled.  */
+/* Mirrors fastpath.SoaWormholeNetwork.send exactly.                  */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    vectorcallfunc vectorcall;
+    CoreObject *core;
+    PyObject *net, *net_dict, *stats, *per_opcode, *handlers;
+    PyObject *route_cache, *intern_route, *link_free_at, *link_busy;
+    long long hop_latency, cycles_per_word, injection_latency;
+} NetSendObject;
+
+static PyObject *net_send_vectorcall(PyObject *, PyObject *const *, size_t,
+                                     PyObject *);
+
+static int
+NetSend_init(NetSendObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *spec, *core;
+    if (!g_ready) {
+        PyErr_SetString(PyExc_RuntimeError, "_native.setup() not called");
+        return -1;
+    }
+    if (!PyArg_ParseTuple(args, "O!:NetSend", &PyDict_Type, &spec))
+        return -1;
+    core = spec_get(spec, "core");
+    if (core == NULL || !PyObject_TypeCheck(core, &Core_Type)) {
+        if (core != NULL)
+            PyErr_SetString(PyExc_TypeError, "spec['core'] must be a Core");
+        return -1;
+    }
+    Py_INCREF(core);
+    Py_XSETREF(self->core, (CoreObject *)core);
+    SPEC_REF(net, "net");
+    SPEC_REF(stats, "stats");
+    SPEC_REF(per_opcode, "per_opcode");
+    SPEC_REF(handlers, "handlers");
+    SPEC_REF(route_cache, "route_cache");
+    SPEC_REF(intern_route, "intern_route");
+    SPEC_REF(link_free_at, "link_free_at");
+    SPEC_REF(link_busy, "link_busy");
+    Py_XSETREF(self->net_dict, PyObject_GenericGetDict(self->net, NULL));
+    if (self->net_dict == NULL)
+        return -1;
+    if (spec_get_ll(spec, "hop_latency", &self->hop_latency) < 0 ||
+        spec_get_ll(spec, "cycles_per_word", &self->cycles_per_word) < 0 ||
+        spec_get_ll(spec, "injection_latency",
+                    &self->injection_latency) < 0)
+        return -1;
+    if (!PyList_Check(self->handlers) || !PyList_Check(self->link_free_at)
+        || !PyList_Check(self->link_busy) ||
+        !PyDict_Check(self->route_cache) ||
+        !PyDict_Check(self->per_opcode)) {
+        PyErr_SetString(PyExc_TypeError, "bad NetSend spec shapes");
+        return -1;
+    }
+    self->vectorcall = net_send_vectorcall;
+    return 0;
+}
+
+static int
+NetSend_traverse(NetSendObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->core);
+    Py_VISIT(self->net);
+    Py_VISIT(self->net_dict);
+    Py_VISIT(self->stats);
+    Py_VISIT(self->per_opcode);
+    Py_VISIT(self->handlers);
+    Py_VISIT(self->route_cache);
+    Py_VISIT(self->intern_route);
+    Py_VISIT(self->link_free_at);
+    Py_VISIT(self->link_busy);
+    return 0;
+}
+
+static int
+NetSend_clear(NetSendObject *self)
+{
+    Py_CLEAR(self->core);
+    Py_CLEAR(self->net);
+    Py_CLEAR(self->net_dict);
+    Py_CLEAR(self->stats);
+    Py_CLEAR(self->per_opcode);
+    Py_CLEAR(self->handlers);
+    Py_CLEAR(self->route_cache);
+    Py_CLEAR(self->intern_route);
+    Py_CLEAR(self->link_free_at);
+    Py_CLEAR(self->link_busy);
+    return 0;
+}
+
+static void
+NetSend_dealloc(NetSendObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    NetSend_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* per_opcode[key] = per_opcode.get(key, 0) + 1, key as in WormholeNetwork */
+static int
+per_opcode_bump(NetSendObject *ns, PyObject *op)
+{
+    PyObject *key, *cur, *newv;
+    long long c = 0;
+    if (Py_TYPE(op) == (PyTypeObject *)g_op_type) {
+        long v = PyLong_AsLong(op);
+        if (v == -1 && PyErr_Occurred())
+            return -1;
+        key = PyTuple_GET_ITEM(g_op_names, v);
+    }
+    else
+        key = op;
+    cur = PyDict_GetItemWithError(ns->per_opcode, key);
+    if (cur == NULL && PyErr_Occurred())
+        return -1;
+    if (cur != NULL) {
+        c = PyLong_AsLongLong(cur);
+        if (c == -1 && PyErr_Occurred())
+            return -1;
+    }
+    newv = PyLong_FromLongLong(c + 1);
+    if (newv == NULL)
+        return -1;
+    if (PyDict_SetItem(ns->per_opcode, key, newv) < 0) {
+        Py_DECREF(newv);
+        return -1;
+    }
+    Py_DECREF(newv);
+    return 0;
+}
+
+static int
+injector_admit(PyObject *injector, long long when, PyObject *packet)
+{
+    PyObject *m, *t, *r;
+    m = PyObject_GetAttr(injector, s_admit);
+    if (m == NULL)
+        return -1;
+    t = PyLong_FromLongLong(when);
+    if (t == NULL) {
+        Py_DECREF(m);
+        return -1;
+    }
+    r = PyObject_CallFunctionObjArgs(m, t, packet, NULL);
+    Py_DECREF(m);
+    Py_DECREF(t);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+static PyObject *
+net_send_vectorcall(PyObject *nself, PyObject *const *args, size_t nargsf,
+                    PyObject *kwnames)
+{
+    NetSendObject *ns = (NetSendObject *)nself;
+    CoreObject *core = ns->core;
+    PyObject *packet, *src_obj, *dst_obj, *data, *meta, *op, *injector;
+    PyObject *now_obj, *path = NULL, *handler;
+    long long now, src, dst, words;
+    int path_owned = 0;
+    if (PyVectorcall_NARGS(nargsf) != 1 ||
+        (kwnames && PyTuple_GET_SIZE(kwnames))) {
+        PyErr_SetString(PyExc_TypeError, "send takes exactly (packet)");
+        return NULL;
+    }
+    packet = args[0];
+    now = core->now;
+    now_obj = PyLong_FromLongLong(now);
+    if (now_obj == NULL)
+        return NULL;
+    slot_set(packet, g_pkt.sent_at, now_obj);
+    src_obj = SLOT_GET(packet, g_pkt.src);
+    dst_obj = SLOT_GET(packet, g_pkt.dst);
+    src = PyLong_AsLongLong(src_obj);
+    if (src == -1 && PyErr_Occurred())
+        return NULL;
+    dst = PyLong_AsLongLong(dst_obj);
+    if (dst == -1 && PyErr_Occurred())
+        return NULL;
+    data = SLOT_GET(packet, g_pkt.data);
+    meta = SLOT_GET(packet, g_pkt.meta);
+    words = 2 + (PyDict_Check(meta) ? PyDict_GET_SIZE(meta)
+                                    : PyObject_Size(meta));
+    if (data != Py_None && data != NULL) {
+        PyObject *w = PyObject_GetAttr(data, s_words);
+        Py_ssize_t wn;
+        if (w == NULL)
+            return NULL;
+        wn = PyObject_Size(w);
+        Py_DECREF(w);
+        if (wn < 0)
+            return NULL;
+        words += wn;
+    }
+    op = SLOT_GET(packet, g_pkt.opcode);
+    injector = PyDict_GetItemWithError(ns->net_dict, s_fault_injector);
+    if (injector == NULL && PyErr_Occurred())
+        return NULL;
+    if (injector == Py_None)
+        injector = NULL;
+    if (src == dst) {
+        if (stat_add_ll(ns->stats, g_stat.packets, 1) < 0 ||
+            stat_add_ll(ns->stats, g_stat.words, words) < 0 ||
+            stat_add_ll(ns->stats, g_stat.total_latency, 2) < 0)
+            return NULL;
+        if (per_opcode_bump(ns, op) < 0)
+            return NULL;
+        if (injector != NULL) {
+            if (injector_admit(injector, now + 2, packet) < 0)
+                return NULL;
+            Py_RETURN_NONE;
+        }
+        handler = PyList_GetItem(ns->handlers, (Py_ssize_t)dst);
+        if (handler == NULL)
+            return NULL;
+        if (core->running) {
+            if (core_ring_post(core, now + 2, handler, packet) < 0)
+                return NULL;
+        }
+        else if (core_post_impl(core, now + 2, NULL, handler, packet) < 0)
+            return NULL;
+        Py_RETURN_NONE;
+    }
+    {
+        PyObject *key = PyTuple_Pack(2, src_obj, dst_obj);
+        if (key == NULL)
+            return NULL;
+        path = PyDict_GetItemWithError(ns->route_cache, key);
+        Py_DECREF(key);
+        if (path == NULL) {
+            if (PyErr_Occurred())
+                return NULL;
+            path = PyObject_CallFunctionObjArgs(ns->intern_route, src_obj,
+                                                dst_obj, NULL);
+            if (path == NULL)
+                return NULL;
+            path_owned = 1;
+        }
+    }
+    {
+        long long serialization = words * ns->cycles_per_word;
+        long long head = now + ns->injection_latency;
+        long long waited = 0, arrival;
+        PyObject *fast = PySequence_Fast(path, "route must be a sequence");
+        Py_ssize_t i, npath;
+        if (fast == NULL)
+            goto fail_path;
+        npath = PySequence_Fast_GET_SIZE(fast);
+        for (i = 0; i < npath; i++) {
+            long long link =
+                PyLong_AsLongLong(PySequence_Fast_GET_ITEM(fast, i));
+            long long start;
+            PyObject *item, *nf;
+            if (link == -1 && PyErr_Occurred()) {
+                Py_DECREF(fast);
+                goto fail_path;
+            }
+            item = PyList_GetItem(ns->link_free_at, (Py_ssize_t)link);
+            if (item == NULL) {
+                Py_DECREF(fast);
+                goto fail_path;
+            }
+            start = PyLong_AsLongLong(item);
+            if (start == -1 && PyErr_Occurred()) {
+                Py_DECREF(fast);
+                goto fail_path;
+            }
+            if (start < head)
+                start = head;
+            else
+                waited += start - head;
+            nf = PyLong_FromLongLong(start + serialization);
+            if (nf == NULL) {
+                Py_DECREF(fast);
+                goto fail_path;
+            }
+            if (PyList_SetItem(ns->link_free_at, (Py_ssize_t)link, nf)
+                < 0) {
+                Py_DECREF(fast);
+                goto fail_path;
+            }
+            if (list_add_ll(ns->link_busy, (Py_ssize_t)link,
+                            serialization) < 0) {
+                Py_DECREF(fast);
+                goto fail_path;
+            }
+            head = start + ns->hop_latency;
+        }
+        Py_DECREF(fast);
+        arrival = head + serialization;
+        if (stat_add_ll(ns->stats, g_stat.packets, 1) < 0 ||
+            stat_add_ll(ns->stats, g_stat.words, words) < 0 ||
+            stat_add_ll(ns->stats, g_stat.hops, npath) < 0 ||
+            stat_add_ll(ns->stats, g_stat.total_latency, arrival - now) < 0
+            || stat_add_ll(ns->stats, g_stat.contention, waited) < 0)
+            goto fail_path;
+        if (per_opcode_bump(ns, op) < 0)
+            goto fail_path;
+        if (path_owned)
+            Py_DECREF(path);
+        path_owned = 0;
+        if (injector != NULL) {
+            if (injector_admit(injector, arrival, packet) < 0)
+                return NULL;
+            Py_RETURN_NONE;
+        }
+        handler = PyList_GetItem(ns->handlers, (Py_ssize_t)dst);
+        if (handler == NULL)
+            return NULL;
+        if (core->running && arrival - now < RING) {
+            if (core_ring_post(core, arrival, handler, packet) < 0)
+                return NULL;
+        }
+        else if (core_post_impl(core, arrival, NULL, handler, packet) < 0)
+            return NULL;
+        Py_RETURN_NONE;
+    }
+fail_path:
+    if (path_owned)
+        Py_XDECREF(path);
+    return NULL;
+}
+
+static PyTypeObject NetSend_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0).tp_name = "repro._native.NetSend",
+    .tp_basicsize = sizeof(NetSendObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC |
+                Py_TPFLAGS_HAVE_VECTORCALL,
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)NetSend_init,
+    .tp_dealloc = (destructor)NetSend_dealloc,
+    .tp_traverse = (traverseproc)NetSend_traverse,
+    .tp_clear = (inquiry)NetSend_clear,
+    .tp_vectorcall_offset = offsetof(NetSendObject, vectorcall),
+    .tp_call = PyVectorcall_Call,
+};
+
+/* ------------------------------------------------------------------ */
+/* Module setup: the Python side injects every class/constant the     */
+/* kernels need; the extension never imports repro modules itself.    */
+/* ------------------------------------------------------------------ */
+
+static int
+take_ref(PyObject *spec, const char *key, PyObject **slot)
+{
+    PyObject *v = spec_get(spec, key);
+    if (v == NULL)
+        return -1;
+    Py_INCREF(v);
+    Py_XSETREF(*slot, v);
+    return 0;
+}
+
+static PyObject *
+mod_setup(PyObject *mod, PyObject *spec)
+{
+    PyObject *cls;
+    if (!PyDict_Check(spec)) {
+        PyErr_SetString(PyExc_TypeError, "setup() takes a dict");
+        return NULL;
+    }
+    if (take_ref(spec, "SimulationError", &g_sim_error) < 0 ||
+        take_ref(spec, "Event", &g_event_type) < 0 ||
+        take_ref(spec, "NO_ARG", &g_no_arg) < 0 ||
+        take_ref(spec, "DONE", &g_ctx_done) < 0 ||
+        take_ref(spec, "RUNNING", &g_ctx_running) < 0 ||
+        take_ref(spec, "BLOCKED", &g_ctx_blocked) < 0 ||
+        take_ref(spec, "THINK", &g_op_think) < 0 ||
+        take_ref(spec, "LOAD", &g_op_load) < 0 ||
+        take_ref(spec, "STORE", &g_op_store) < 0 ||
+        take_ref(spec, "RMW", &g_op_rmw) < 0 ||
+        take_ref(spec, "Op", &g_op_type) < 0 ||
+        take_ref(spec, "OP_NAMES", &g_op_names) < 0 ||
+        take_ref(spec, "OP_BY_NAME", &g_op_by_name) < 0 ||
+        take_ref(spec, "protocol_packet", &g_protocol_packet) < 0)
+        return NULL;
+    if (!PyTuple_Check(g_op_names)) {
+        PyErr_SetString(PyExc_TypeError, "OP_NAMES must be a tuple");
+        return NULL;
+    }
+    {
+        PyObject *db = spec_get(spec, "DATA_BEARING");
+        Py_ssize_t i, n;
+        if (db == NULL)
+            return NULL;
+        n = PySequence_Size(db);
+        if (n < 0)
+            return NULL;
+        memset(g_data_bearing, 0, sizeof(g_data_bearing));
+        for (i = 0; i < n && i < 64; i++) {
+            PyObject *item = PySequence_GetItem(db, i);
+            int t;
+            if (item == NULL)
+                return NULL;
+            t = PyObject_IsTrue(item);
+            Py_DECREF(item);
+            if (t < 0)
+                return NULL;
+            g_data_bearing[i] = (char)t;
+        }
+    }
+    {
+        PyObject *v = spec_get(spec, "LAST_CACHE_TO_MEMORY");
+        long x;
+        if (v == NULL)
+            return NULL;
+        x = PyLong_AsLong(v);
+        if (x == -1 && PyErr_Occurred())
+            return NULL;
+        g_last_c2m = x;
+    }
+    cls = spec_get(spec, "Event");
+    if (cls == NULL)
+        return NULL;
+    if ((g_ev.cancelled = slot_offset(cls, "cancelled")) < 0 ||
+        (g_ev.done = slot_offset(cls, "_done")) < 0)
+        return NULL;
+    cls = spec_get(spec, "Context");
+    if (cls == NULL)
+        return NULL;
+    if ((g_ctx.state = slot_offset(cls, "state")) < 0 ||
+        (g_ctx.gen = slot_offset(cls, "gen")) < 0 ||
+        (g_ctx.started = slot_offset(cls, "started")) < 0 ||
+        (g_ctx.resume_value = slot_offset(cls, "resume_value")) < 0 ||
+        (g_ctx.ops_executed = slot_offset(cls, "ops_executed")) < 0 ||
+        (g_ctx.last_op = slot_offset(cls, "last_op")) < 0 ||
+        (g_ctx.outstanding_stores =
+             slot_offset(cls, "outstanding_stores")) < 0 ||
+        (g_ctx.pending_op = slot_offset(cls, "pending_op")) < 0 ||
+        (g_ctx.pending_needs = slot_offset(cls, "pending_needs")) < 0 ||
+        (g_ctx.burst_ops = slot_offset(cls, "burst_ops")) < 0 ||
+        (g_ctx.burst_pos = slot_offset(cls, "burst_pos")) < 0)
+        return NULL;
+    cls = spec_get(spec, "Packet");
+    if (cls == NULL)
+        return NULL;
+    if ((g_pkt.src = slot_offset(cls, "src")) < 0 ||
+        (g_pkt.dst = slot_offset(cls, "dst")) < 0 ||
+        (g_pkt.opcode = slot_offset(cls, "opcode")) < 0 ||
+        (g_pkt.address = slot_offset(cls, "address")) < 0 ||
+        (g_pkt.data = slot_offset(cls, "data")) < 0 ||
+        (g_pkt.meta = slot_offset(cls, "meta")) < 0 ||
+        (g_pkt.sent_at = slot_offset(cls, "sent_at")) < 0 ||
+        (g_pkt.crc = slot_offset(cls, "crc")) < 0 ||
+        (g_pkt.free = slot_offset(cls, "_free")) < 0)
+        return NULL;
+    cls = spec_get(spec, "NetworkStats");
+    if (cls == NULL)
+        return NULL;
+    if ((g_stat.packets = slot_offset(cls, "packets")) < 0 ||
+        (g_stat.words = slot_offset(cls, "words")) < 0 ||
+        (g_stat.hops = slot_offset(cls, "hops")) < 0 ||
+        (g_stat.total_latency = slot_offset(cls, "total_latency")) < 0 ||
+        (g_stat.contention = slot_offset(cls, "contention_cycles")) < 0 ||
+        (g_stat.per_opcode = slot_offset(cls, "per_opcode")) < 0)
+        return NULL;
+    g_ready = 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+mod_is_ready(PyObject *mod, PyObject *noarg)
+{
+    return PyBool_FromLong(g_ready);
+}
+
+static PyMethodDef module_methods[] = {
+    {"setup", mod_setup, METH_O, "Inject the Python-side classes."},
+    {"is_ready", mod_is_ready, METH_NOARGS, NULL},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef native_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.backend.native._native",
+    "Compiled hot-path kernels for the native backend.",
+    -1,
+    module_methods,
+};
+
+static int
+intern_into(PyObject **slot, const char *text)
+{
+    PyObject *s = PyUnicode_InternFromString(text);
+    if (s == NULL)
+        return -1;
+    *slot = s;
+    return 0;
+}
+
+PyMODINIT_FUNC
+PyInit__native(void)
+{
+    PyObject *mod;
+    if (PyType_Ready(&Core_Type) < 0 ||
+        PyType_Ready(&StepKernel_Type) < 0 ||
+        PyType_Ready(&Pool_Type) < 0 || PyType_Ready(&RxChain_Type) < 0 ||
+        PyType_Ready(&TableDispatch_Type) < 0 ||
+        PyType_Ready(&NetSend_Type) < 0)
+        return NULL;
+    if (intern_into(&s_max_cycles, "max_cycles") < 0 ||
+        intern_into(&s_busy_cycles, "busy_cycles") < 0 ||
+        intern_into(&s_trap_free_at, "trap_free_at") < 0 ||
+        intern_into(&s_crc_enabled, "crc_enabled") < 0 ||
+        intern_into(&s_packets_received, "packets_received") < 0 ||
+        intern_into(&s_fault_injector, "fault_injector") < 0 ||
+        intern_into(&s_admit, "admit") < 0 ||
+        intern_into(&s_words, "words") < 0 ||
+        intern_into(&s_send, "send") < 0 ||
+        intern_into(&s_state_attr, "state") < 0 ||
+        intern_into(&g_str_all, "all") < 0 ||
+        intern_into(&g_str_load, "load") < 0 ||
+        intern_into(&g_str_store, "store") < 0 ||
+        intern_into(&g_str_rmw, "rmw") < 0)
+        return NULL;
+    {
+        PyObject *retire = PyUnicode_InternFromString("__retire__");
+        if (retire == NULL)
+            return NULL;
+        g_retire_op = PyTuple_Pack(1, retire);
+        Py_DECREF(retire);
+        if (g_retire_op == NULL)
+            return NULL;
+    }
+    mod = PyModule_Create(&native_module);
+    if (mod == NULL)
+        return NULL;
+    if (PyModule_AddObjectRef(mod, "Core", (PyObject *)&Core_Type) < 0 ||
+        PyModule_AddObjectRef(mod, "StepKernel",
+                              (PyObject *)&StepKernel_Type) < 0 ||
+        PyModule_AddObjectRef(mod, "Pool", (PyObject *)&Pool_Type) < 0 ||
+        PyModule_AddObjectRef(mod, "RxChain",
+                              (PyObject *)&RxChain_Type) < 0 ||
+        PyModule_AddObjectRef(mod, "TableDispatch",
+                              (PyObject *)&TableDispatch_Type) < 0 ||
+        PyModule_AddObjectRef(mod, "NetSend",
+                              (PyObject *)&NetSend_Type) < 0) {
+        Py_DECREF(mod);
+        return NULL;
+    }
+    return mod;
+}

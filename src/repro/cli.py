@@ -21,7 +21,7 @@ import argparse
 import sys
 from typing import Callable
 
-from .backend import backend_names
+from .backend import backend_names, get_backend
 from .coherence.registry import protocol_names
 from .machine import AlewifeConfig, run_experiment
 from .stats.machine_report import machine_report
@@ -107,7 +107,9 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         choices=list(backend_names()),
         help="simulation backend: 'reference' is the pure-Python golden "
         "object model, 'soa' the structure-of-arrays + batched-events "
-        "engine (bit-identical results, see docs/BACKENDS.md)",
+        "engine, 'native' the compiled C kernels (falls back to soa when "
+        "the extension is not built; bit-identical results either way, "
+        "see docs/BACKENDS.md)",
     )
     parser.add_argument(
         "--checkpoint-every",
@@ -315,6 +317,9 @@ def _run_from_args(args: argparse.Namespace) -> int:
             )
         runs.append(stats)
         print(stats.summary())
+        backend_notes = get_backend(stats.config.backend).notes
+        if backend_notes:
+            print(f"  backend: {backend_notes}")
         if stats.shard_meta:
             m = stats.shard_meta
             batching = (

@@ -140,7 +140,8 @@ class AlewifeMachine:
         self.network = self._build_network(shard_id, shard_of)
         # One free list per machine instance (per shard when sharded);
         # every component reaches it through the network.
-        self.pool = PacketPool(enabled=config.packet_pool)
+        pool_factory = self.backend.make_pool or PacketPool
+        self.pool = pool_factory(enabled=config.packet_pool)
         self.network.pool = self.pool
         if config.faults_enabled:
             # The injector installs itself as network.fault_injector and
@@ -167,6 +168,8 @@ class AlewifeMachine:
         ]
         #: node id -> Node for the nodes this instance actually built
         self.node_map = {node.node_id: node for node in self.nodes}
+        if self.backend.finalize is not None:
+            self.backend.finalize(self)
 
     def _build_network(self, shard_id: int, shard_of) -> Network:
         cfg = self.config

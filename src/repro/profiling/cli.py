@@ -56,8 +56,8 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
         default="reference",
-        help="simulation backend to profile ('reference' or 'soa'; see "
-        "docs/BACKENDS.md)",
+        help="simulation backend to profile ('reference', 'soa', or "
+        "'native'; see docs/BACKENDS.md)",
     )
     parser.add_argument(
         "--no-pool",

@@ -22,6 +22,7 @@ import tracemalloc
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from ..backend import get_backend
 from ..machine import AlewifeConfig, AlewifeMachine
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -61,6 +62,37 @@ def hot_functions(raw: dict, *, top: int, sort: str = "cumulative") -> list[dict
             }
         )
     return rows
+
+
+def native_component(raw: dict) -> Optional[dict]:
+    """One merged row for every compiled ``repro._native`` frame.
+
+    cProfile records the extension's exported builtins (``Core.run``,
+    ``Pool.protocol``, ...) as location-less C entries, and it cannot see
+    the vectorcall kernel objects (StepKernel, NetSend, RxChain,
+    TableDispatch) at all — their time is charged to the nearest profiled
+    frame, which for a native run is ``Core.run``'s own time.  Summing
+    the builtins' tottime therefore *is* the time spent inside the
+    extension, and reporting it as one ``backend.native`` component keeps
+    compiled time visible in the profile instead of scattering or
+    vanishing.  Returns ``None`` when no extension frame ran.
+    """
+    calls = 0
+    tottime = 0.0
+    found = False
+    for (filename, _line, name), (_cc, nc, tt, _ct, _callers) in raw.items():
+        if filename == "~" and "repro._native" in name:
+            found = True
+            calls += nc
+            tottime += tt
+    if not found:
+        return None
+    return {
+        "function": "backend.native (compiled kernels)",
+        "calls": calls,
+        "tottime": round(tottime, 4),
+        "cumtime": round(tottime, 4),
+    }
 
 
 def folded_stacks(raw: dict) -> list[str]:
@@ -126,9 +158,16 @@ class ProfileReport:
     pool: dict[str, int]
     folded: list[str] = field(default_factory=list)
     worker_sets: dict[int, int] | None = None
-    #: which simulation backend executed the run ("reference" or "soa") —
-    #: throughput numbers are only comparable within one backend
+    #: which simulation backend executed the run — throughput numbers are
+    #: only comparable within one backend
     backend: str = "reference"
+    #: merged cProfile row for the compiled extension (None when no
+    #: ``repro._native`` frame ran, i.e. every non-native run)
+    native: Optional[dict] = None
+    #: the backend bundle's status note (e.g. the native backend's
+    #: compiled/fallback state) — surfaced so a profile of the soa
+    #: fallback can never be mistaken for a compiled measurement
+    backend_notes: Optional[str] = None
 
     @property
     def events_per_sec(self) -> float:
@@ -142,7 +181,9 @@ class ProfileReport:
             "wall_seconds": round(self.wall_seconds, 4),
             "events_executed": self.events_executed,
             "events_per_sec": round(self.events_per_sec),
+            "backend_notes": self.backend_notes,
             "hot_functions": self.hot,
+            "backend_native": self.native,
             "allocation_sites": self.allocations,
             "cycle_attribution": self.attribution,
             "packet_pool": self.pool,
@@ -156,9 +197,16 @@ class ProfileReport:
             f"{self.wall_seconds:.3f}s wall "
             f"({self.events_executed:,} events, {self.events_per_sec:,.0f}/s, "
             f"{self.backend} backend)",
-            "",
-            "simulated-cycle attribution:",
         ]
+        if self.backend_notes:
+            lines.append(f"backend: {self.backend_notes}")
+        if self.native is not None:
+            lines.append(
+                f"compiled component backend.native: "
+                f"{self.native['tottime']:.3f}s across "
+                f"{self.native['calls']:,} extension calls"
+            )
+        lines += ["", "simulated-cycle attribution:"]
         budget = max(1, self.attribution.get("cycle_budget", 1))
         for name, value in self.attribution.items():
             if name in ("simulated_cycles", "cycle_budget"):
@@ -312,6 +360,8 @@ def profile_run(
         folded=folded_stacks(raw) if folded else [],
         worker_sets=overflow_report(machine) if worker_sets else None,
         backend=config.backend,
+        native=native_component(raw),
+        backend_notes=get_backend(config.backend).notes,
     )
     if memory_profiler is not None:
         report.worker_sets = report.worker_sets or {}
@@ -393,6 +443,8 @@ def _profile_sharded(
         pool={"enabled": int(config.packet_pool)},
         folded=folded_stacks(raw) if folded else [],
         backend=config.backend,
+        native=native_component(raw),
+        backend_notes=get_backend(config.backend).notes,
     )
 
 

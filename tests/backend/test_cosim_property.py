@@ -157,3 +157,13 @@ class TestMachineCoSimulation:
         assert _trace_machine("soa", params) == _trace_machine(
             "reference", params
         )
+
+    @settings(max_examples=12, deadline=None)
+    @given(params=_configs)
+    def test_native_machine_matches_reference_window_for_window(self, params):
+        # Runs against the compiled kernels when the extension is built,
+        # and against the soa fallback otherwise — both must co-simulate
+        # with the reference machine window for window.
+        assert _trace_machine("native", params) == _trace_machine(
+            "reference", params
+        )

@@ -145,6 +145,29 @@ class TestCheckpointsAcrossBackends:
             full_stats
         )
 
+    def test_native_digests_match_reference_timeline(self, tmp_path):
+        # Whether the extension is built (compiled kernels) or not (soa
+        # fallback), backend="native" must produce the reference
+        # snapshot timeline digest-for-digest.
+        ref_stats, ref_snaps = self._checkpoints("reference", tmp_path)
+        nat_stats, nat_snaps = self._checkpoints("native", tmp_path)
+        assert equivalence_fingerprint(ref_stats) == equivalence_fingerprint(
+            nat_stats
+        )
+        assert [s.cycle for s in ref_snaps] == [s.cycle for s in nat_snaps]
+        assert [s.digest for s in ref_snaps] == [s.digest for s in nat_snaps]
+
+    def test_native_resume_reproduces_the_full_run(self, tmp_path):
+        from repro.recover.checkpoint import resume_run
+
+        full_stats, snaps = self._checkpoints("native", tmp_path)
+        middle = snaps[len(snaps) // 2]
+        path = _snapshot_path(tmp_path / "native", middle.cycle)
+        stats = resume_run(path)
+        assert equivalence_fingerprint(stats) == equivalence_fingerprint(
+            full_stats
+        )
+
 
 def _snapshot_path(directory, cycle):
     for path in list_snapshots(directory):

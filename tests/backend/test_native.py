@@ -1,0 +1,211 @@
+"""Selection/fallback matrix for the compiled ``native`` backend.
+
+The golden tier in ``test_equivalence.py`` already pins the native
+backend's *results* (it parametrizes over ``backend_names()``, so the
+committed SHA-256 fingerprints cover it with the extension present or
+absent).  This file covers the plumbing around it: requesting ``native``
+without the extension must degrade to the soa components with a recorded
+reason and identical numbers, ``REPRO_NO_NUMPY`` must not interact, the
+``repro run``/``repro profile`` CLIs must accept ``--backend native``,
+and the serve ``/metrics`` per-backend block must report native work.
+
+The extension import and the backend registry both cache at module /
+process scope, so the environment-variable cases run in subprocesses;
+the in-process fallback case patches the module attributes directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.backend import backend_names, equivalence_fingerprint, get_backend
+from repro.backend import native
+from repro.machine import AlewifeConfig, run_experiment
+from repro.workloads import WeatherWorkload
+
+_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+#: one tiny scenario reused by every cross-backend identity check here
+_TINY = (
+    "dict(n_procs=4, protocol='limitless', pointers=2, ts=50, "
+    "max_cycles=2_000_000)"
+)
+
+
+def _subprocess(code: str, **env_overrides: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC
+    env.update(env_overrides)
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+
+
+_FINGERPRINT_CODE = f"""
+import json
+from repro.backend import equivalence_fingerprint, get_backend
+from repro.machine import AlewifeConfig, run_experiment
+from repro.workloads import WeatherWorkload
+
+prints = {{}}
+for backend in ("soa", "native"):
+    config = AlewifeConfig(**{_TINY}, backend=backend)
+    stats = run_experiment(config, WeatherWorkload(iterations=2))
+    prints[backend] = equivalence_fingerprint(stats)
+print(json.dumps({{
+    "fingerprints": prints,
+    "notes": get_backend("native").notes,
+    "simulator": type(get_backend("native").make_simulator()).__name__,
+}}))
+"""
+
+
+def test_native_is_a_registered_backend():
+    assert "native" in backend_names()
+
+
+def test_native_backend_always_carries_notes():
+    backend = get_backend("native")
+    assert backend.name == "native"
+    assert backend.notes
+    if native.available():
+        assert "compiled kernels active" in backend.notes
+    else:  # pragma: no cover - depends on build
+        assert "fallback" in backend.notes
+
+
+def test_requested_but_missing_falls_back_and_records_reason():
+    """Extension disabled via REPRO_NATIVE=0: run proceeds on soa,
+    bit-identical, with the reason in the backend notes."""
+    result = _subprocess(_FINGERPRINT_CODE, REPRO_NATIVE="0")
+    assert result.returncode == 0, result.stderr
+    report = json.loads(result.stdout)
+    assert report["fingerprints"]["native"] == report["fingerprints"]["soa"]
+    assert "native extension unavailable" in report["notes"]
+    assert "REPRO_NATIVE=0" in report["notes"]
+    assert "soa fallback" in report["notes"]
+    assert report["simulator"] == "BatchSimulator"
+
+
+def test_no_numpy_does_not_perturb_native_results():
+    """REPRO_NO_NUMPY only drops the soa cold-scan acceleration; the
+    native backend neither needs numpy nor changes results without it."""
+    result = _subprocess(_FINGERPRINT_CODE, REPRO_NO_NUMPY="1")
+    assert result.returncode == 0, result.stderr
+    report = json.loads(result.stdout)
+    assert report["fingerprints"]["native"] == report["fingerprints"]["soa"]
+
+
+def test_in_process_fallback_uses_soa_components(monkeypatch):
+    """The registry consults load_status() at bundle build time."""
+    import repro.backend as backend_mod
+    from repro.backend.batchsim import BatchSimulator
+
+    monkeypatch.setattr(native, "_native", None)
+    monkeypatch.setattr(native, "_IMPORT_ERROR", "patched out for the test")
+    monkeypatch.delitem(backend_mod._INSTANCES, "native", raising=False)
+    try:
+        backend = get_backend("native")
+        assert "patched out for the test" in backend.notes
+        sim = backend.make_simulator()
+        assert type(sim) is BatchSimulator
+    finally:
+        # drop the patched bundle so later tests rebuild the real one
+        backend_mod._INSTANCES.pop("native", None)
+
+
+@pytest.mark.skipif(not native.available(), reason="extension not built")
+def test_pool_off_is_bit_identical_across_backends():
+    """packet_pool=False must not disturb the compiled pool/rx paths."""
+    prints = {}
+    for backend in ("reference", "native"):
+        config = AlewifeConfig(
+            n_procs=4,
+            protocol="limitless",
+            pointers=2,
+            ts=50,
+            max_cycles=2_000_000,
+            packet_pool=False,
+            backend=backend,
+        )
+        stats = run_experiment(config, WeatherWorkload(iterations=2))
+        prints[backend] = equivalence_fingerprint(stats)
+    assert prints["native"] == prints["reference"]
+
+
+def test_cli_run_accepts_backend_native():
+    result = _subprocess(
+        "import sys; from repro.cli import main; "
+        "sys.exit(main(['run', '--workload', 'weather', '--protocol', "
+        "'fullmap', '--procs', '4', '--iterations', '1', "
+        "'--backend', 'native']))"
+    )
+    assert result.returncode == 0, result.stderr
+    assert "backend:" in result.stdout
+    expected = (
+        "compiled kernels active"
+        if native.available()
+        else "soa fallback"
+    )
+    assert expected in result.stdout
+
+
+def test_cli_profile_accepts_backend_native():
+    result = _subprocess(
+        "import sys; from repro.profiling.cli import main; "
+        "sys.exit(main(['--workload', 'weather', '--protocol', 'fullmap', "
+        "'--procs', '4', '--iterations', '1', '--alloc-top', '0', "
+        "'--top', '3', '--backend', 'native']))"
+    )
+    assert result.returncode == 0, result.stderr
+    assert "native backend" in result.stdout
+    if native.available():
+        # compiled time is attributed to one labeled component instead
+        # of vanishing from the cProfile tree
+        assert "backend.native" in result.stdout
+
+
+def test_serve_metrics_reports_native_backend_block(tmp_path):
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serve import SweepService
+    from repro.sweep import ResultCache
+
+    service = SweepService(
+        workers=1,
+        cache=ResultCache(tmp_path / "cache"),
+        queue_depth=4,
+        executor_factory=lambda workers: ThreadPoolExecutor(
+            max_workers=workers
+        ),
+    )
+    try:
+        record = service.submit_payload(
+            {
+                "config": {
+                    "n_procs": 4,
+                    "protocol": "fullmap",
+                    "max_cycles": 2_000_000,
+                    "backend": "native",
+                },
+                "workload": {"name": "hotspot", "params": {"rounds": 2}},
+            }
+        )
+        assert record.wait(60)
+        snapshot = service.metrics_snapshot()
+    finally:
+        service.close()
+    block = snapshot["backends"]["native"]
+    assert block["points"] == 1
+    assert block["cycles"] > 0
